@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation (DESIGN.md Section 7): tile decomposition vs direct
+ * kernel-level prediction. The direct variant is exactly the Habitat
+ * MLP (same training corpus, same GPU features, latency as the target);
+ * the tile variant is NeuSight. Isolates the contribution of predicting
+ * per-tile utilization instead of whole-kernel latency (Section 3.2).
+ */
+
+#include <cstdio>
+
+#include "baselines/habitat.hpp"
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+
+using namespace neusight;
+
+namespace {
+
+void
+sweep(const graph::LatencyPredictor &predictor,
+      const gpusim::GpuSpec &gpu, uint64_t lo, uint64_t hi,
+      RunningMean &acc)
+{
+    const gpusim::Device device(gpu);
+    for (uint64_t d = lo; d <= hi; d *= 2) {
+        for (uint64_t batch : {1u, 8u, 32u}) {
+            const auto desc = gpusim::makeBmm(batch, d, d, d);
+            acc.add(absPercentageError(
+                predictor.predictKernelMs(desc, gpu),
+                device.measureKernelMs(desc)));
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(false);
+    core::NeuSight &neusight = bench::nvidiaNeuSight();
+    baselines::HabitatPredictor direct;
+    direct.train(bench::nvidiaCorpus());
+
+    TextTable table("Ablation: tile-granularity vs direct kernel "
+                    "prediction (BMM error)",
+                    {"GPU", "Dims", "NeuSight (tiles)", "Direct MLP"});
+    CsvWriter csv(bench::csvPath("ablation_tile"),
+                  {"gpu", "dims", "tile_err_pct", "direct_err_pct"});
+
+    for (const char *gpu_name : {"V100", "A100-40GB", "H100", "L4"}) {
+        const gpusim::GpuSpec &gpu = gpusim::findGpu(gpu_name);
+        for (const auto &[label, lo, hi] :
+             {std::tuple<const char *, uint64_t, uint64_t>{"64..1024", 64,
+                                                           1024},
+              std::tuple<const char *, uint64_t, uint64_t>{
+                  "2048..4096 [OOD]", 2048, 4096}}) {
+            RunningMean tile_err;
+            RunningMean direct_err;
+            sweep(neusight, gpu, lo, hi, tile_err);
+            sweep(direct, gpu, lo, hi, direct_err);
+            table.addRow({gpu_name, label,
+                          TextTable::pct(tile_err.value()),
+                          TextTable::pct(direct_err.value())});
+            csv.writeRow({gpu_name, label,
+                          CsvWriter::fmt(tile_err.value(), 1),
+                          CsvWriter::fmt(direct_err.value(), 1)});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation (DESIGN.md Section 7): the -beta/numWaves occupancy term of
+ * Eq. 7. Without it, utilization is a constant per kernel and the
+ * low-occupancy regime (few waves, Figure 5's left side) is
+ * mispredicted. Compared at fixed shape across batch sizes, which sweep
+ * the wave count exactly like the Figure-5/Table-2 studies.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+
+using namespace neusight;
+
+int
+main()
+{
+    setQuiet(false);
+    inform("Ablation: training the no-wave-term variant...");
+    const auto &corpus = bench::nvidiaCorpus();
+
+    core::NeuSight &full = bench::nvidiaNeuSight();
+    core::PredictorConfig no_waves_cfg;
+    no_waves_cfg.waveTerm = false;
+    core::NeuSight no_waves(no_waves_cfg);
+    no_waves.train(corpus);
+
+    const gpusim::GpuSpec &h100 = gpusim::findGpu("H100");
+    const gpusim::Device device(h100);
+
+    TextTable table("Ablation: occupancy term of Eq. 7, "
+                    "(256x256)x(256x256) BMM on H100 across batch",
+                    {"Batch", "Waves", "Measured ms", "Full err",
+                     "No-wave-term err"});
+    CsvWriter csv(bench::csvPath("ablation_waves"),
+                  {"batch", "waves", "measured_ms", "full_err_pct",
+                   "no_wave_err_pct"});
+
+    RunningMean full_low;
+    RunningMean ablated_low;
+    for (uint64_t batch : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+        const auto desc = gpusim::makeBmm(batch, 256, 256, 256);
+        const auto launch = device.profileKernel(desc);
+        const double measured = launch.latencyMs;
+        const double err_full = absPercentageError(
+            full.predictKernelMs(desc, h100), measured);
+        const double err_ablated = absPercentageError(
+            no_waves.predictKernelMs(desc, h100), measured);
+        if (launch.numWaves <= 2) {
+            full_low.add(err_full);
+            ablated_low.add(err_ablated);
+        }
+        table.addRow({std::to_string(batch),
+                      std::to_string(launch.numWaves),
+                      TextTable::num(measured, 4),
+                      TextTable::pct(err_full),
+                      TextTable::pct(err_ablated)});
+        csv.writeRow({std::to_string(batch),
+                      std::to_string(launch.numWaves),
+                      CsvWriter::fmt(measured, 5),
+                      CsvWriter::fmt(err_full, 1),
+                      CsvWriter::fmt(err_ablated, 1)});
+    }
+    table.print();
+    std::printf("\nLow-occupancy (<=2 waves) mean error: full %.1f%%, "
+                "no-wave-term %.1f%%.\n",
+                full_low.value(), ablated_low.value());
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure bench binaries: cached trained
+ * frameworks, the default (scaled) corpus configuration, and output-file
+ * helpers. Every bench prints the paper's rows as a text table and also
+ * writes them as CSV next to the binary.
+ */
+
+#ifndef NEUSIGHT_BENCH_COMMON_HPP
+#define NEUSIGHT_BENCH_COMMON_HPP
+
+#include <map>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "dataset/dataset.hpp"
+
+namespace neusight::bench {
+
+/** Default scaled sampler (DESIGN.md Section 4). */
+inline dataset::SamplerConfig
+defaultSampler()
+{
+    return dataset::SamplerConfig{};
+}
+
+/**
+ * NeuSight trained on the five NVIDIA training GPUs, cached on disk so
+ * consecutive bench binaries reuse one training run.
+ */
+inline core::NeuSight &
+nvidiaNeuSight()
+{
+    static core::NeuSight framework = core::NeuSight::trainOrLoad(
+        "neusight_nvidia.bin", gpusim::nvidiaTrainingSet(),
+        defaultSampler());
+    return framework;
+}
+
+/** NeuSight trained on MI100 + MI210 (the Figure-9 study). */
+inline core::NeuSight &
+amdNeuSight()
+{
+    dataset::SamplerConfig sampler = defaultSampler();
+    sampler.seed += 17;
+    static core::NeuSight framework = core::NeuSight::trainOrLoad(
+        "neusight_amd.bin", gpusim::amdTrainingSet(), sampler);
+    return framework;
+}
+
+/** The NVIDIA training corpus (regenerated; deterministic by seed). */
+inline const std::map<gpusim::OpType, dataset::OperatorDataset> &
+nvidiaCorpus()
+{
+    static const auto corpus = dataset::generateOperatorData(
+        gpusim::nvidiaTrainingSet(), defaultSampler());
+    return corpus;
+}
+
+/** CSV output path for a bench ("<name>.csv" in the working directory). */
+inline std::string
+csvPath(const std::string &bench_name)
+{
+    return bench_name + ".csv";
+}
+
+} // namespace neusight::bench
+
+#endif // NEUSIGHT_BENCH_COMMON_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 2 reproduction: prediction error of prior work (Habitat's MLP
+ * and Li et al.'s linear regression) on batched matrix multiplication,
+ * across matrix dimensions and GPUs. Both are trained only on GPUs up to
+ * V100 (P4, P100, T4, V100) with dimensions up to 1024 and batch < 128;
+ * larger dims and the A100s / L4 / H100 are out of distribution.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "baselines/habitat.hpp"
+#include "baselines/li.hpp"
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/oracle.hpp"
+#include "gpusim/device.hpp"
+
+using namespace neusight;
+
+namespace {
+
+/** Fig. 2 training split: GPUs predating 2019. */
+std::vector<gpusim::GpuSpec>
+fig2TrainingGpus()
+{
+    std::vector<gpusim::GpuSpec> gpus;
+    for (const char *name : {"P4", "P100", "V100", "T4"})
+        gpus.push_back(gpusim::findGpu(name));
+    return gpus;
+}
+
+/** MAPE of @p predictor on b=8 square BMMs of dimension @p dim. */
+double
+cellError(const graph::LatencyPredictor &predictor,
+          const gpusim::GpuSpec &gpu, uint64_t dim)
+{
+    const gpusim::Device device(gpu);
+    std::vector<double> pred;
+    std::vector<double> meas;
+    for (uint64_t batch : {4u, 8u, 16u}) {
+        const auto desc = gpusim::makeBmm(batch, dim, dim, dim);
+        meas.push_back(device.measureKernelMs(desc));
+        pred.push_back(predictor.predictKernelMs(desc, gpu));
+    }
+    return meanAbsPercentageError(pred, meas);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(false);
+    inform("Figure 2: training Habitat and Li et al. on pre-2019 GPUs...");
+
+    // Section 3.1 training data: dims up to 1024, small batches.
+    dataset::SamplerConfig sampler = bench::defaultSampler();
+    sampler.bmmSamples = 2400;
+    const auto corpus =
+        dataset::generateOperatorData(fig2TrainingGpus(), sampler);
+
+    baselines::HabitatPredictor habitat;
+    habitat.train(corpus);
+    baselines::LiPredictor li;
+    li.train(corpus);
+
+    const std::vector<std::string> gpu_names = {
+        "P100", "V100", "T4", "A100-40GB", "A100-80GB", "L4", "H100"};
+    const std::vector<uint64_t> dims = {256, 512, 1024, 2048, 4096};
+
+    CsvWriter csv(bench::csvPath("fig02_prior_work_bmm"),
+                  {"predictor", "gpu", "dim", "ood_gpu", "ood_dim",
+                   "error_pct"});
+
+    const std::map<std::string, const graph::LatencyPredictor *>
+        predictors = {{"Habitat (MLP)", &habitat},
+                      {"Li et al. (linear regression)", &li}};
+    for (const auto &[pname, predictor] : predictors) {
+        std::vector<std::string> header = {"GPU \\ dim"};
+        for (uint64_t d : dims)
+            header.push_back(std::to_string(d) +
+                             (d > 1024 ? " [OOD]" : ""));
+        TextTable table("Figure 2: " + pname +
+                            " percentage error on BMM (b=4/8/16)",
+                        header);
+        for (const auto &gname : gpu_names) {
+            const gpusim::GpuSpec &gpu = gpusim::findGpu(gname);
+            const bool ood_gpu = gpu.year >= 2019 || !gpu.inTrainingSet;
+            std::vector<std::string> row = {
+                gname + (ood_gpu ? " [OOD]" : "")};
+            for (uint64_t d : dims) {
+                const double err = cellError(*predictor, gpu, d);
+                row.push_back(TextTable::pct(err));
+                csv.writeRow({pname, gname, std::to_string(d),
+                              ood_gpu ? "1" : "0", d > 1024 ? "1" : "0",
+                              CsvWriter::fmt(err, 1)});
+            }
+            table.addRow(row);
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

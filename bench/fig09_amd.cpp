@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 9 reproduction: cross-vendor generalization. NeuSight is
+ * trained on AMD MI100 + MI210 data only and evaluated on MI250 (held
+ * out) plus the training GPUs, for five models, inference and training.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/harness.hpp"
+
+using namespace neusight;
+
+namespace {
+
+void
+runPhase(core::NeuSight &neusight, bool training, CsvWriter &csv,
+         RunningMean &phase_err)
+{
+    const char *phase = training ? "training" : "inference";
+    std::vector<eval::WorkloadCase> cases;
+    for (const char *name : {"BERT-Large", "GPT2-Large", "GPT3-XL",
+                             "OPT-1.3B", "GPT3-2.7B"}) {
+        for (uint64_t batch : {2u, 4u}) {
+            eval::WorkloadCase c;
+            c.model = graph::findModel(name);
+            c.batch = batch;
+            c.training = training;
+            c.oodModel = std::string(name) == "GPT3-2.7B";
+            cases.push_back(c);
+        }
+    }
+    std::vector<gpusim::GpuSpec> gpus;
+    for (const char *name : {"MI100", "MI210", "MI250"})
+        gpus.push_back(gpusim::findGpu(name));
+
+    const auto results = eval::evaluateCases(cases, gpus, {&neusight});
+
+    TextTable table(std::string("Figure 9: AMD ") + phase +
+                        " prediction error (trained on MI100+MI210)",
+                    {"Model", "Batch", "GPU", "Measured ms",
+                     "Predicted ms", "Error"});
+    for (const auto &r : results) {
+        const double pred = r.predictedMs.at("NeuSight");
+        const double err = absPercentageError(pred, r.measuredMs);
+        phase_err.add(err);
+        table.addRow({r.modelName, std::to_string(r.batch),
+                      r.gpuName + (r.oodGpu ? " [OOD]" : ""),
+                      TextTable::num(r.measuredMs, 1),
+                      TextTable::num(pred, 1), TextTable::pct(err)});
+        csv.writeRow({phase, r.modelName, std::to_string(r.batch),
+                      r.gpuName, CsvWriter::fmt(r.measuredMs, 3),
+                      CsvWriter::fmt(pred, 3), CsvWriter::fmt(err, 1)});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(false);
+    inform("Figure 9: training the AMD NeuSight (cached)...");
+    core::NeuSight &neusight = bench::amdNeuSight();
+
+    CsvWriter csv(bench::csvPath("fig09_amd"),
+                  {"phase", "model", "batch", "gpu", "measured_ms",
+                   "predicted_ms", "error_pct"});
+    RunningMean inf_err;
+    RunningMean train_err;
+    runPhase(neusight, false, csv, inf_err);
+    runPhase(neusight, true, csv, train_err);
+
+    std::printf("Mean error: inference %.1f%%, training %.1f%% "
+                "(paper: 8.8%% and 15.7%%).\n",
+                inf_err.value(), train_err.value());
+    return 0;
+}

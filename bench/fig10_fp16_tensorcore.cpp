@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 10 reproduction: adapting NeuSight to a new numeric type and
+ * hardware unit. FP16 tensor-core batched matmuls (NxN)x(NxN) on H100:
+ * NeuSight's features are re-derived with halved traffic and the tensor
+ * core's peak FLOPS (Section 6.2), with no retraining.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+
+using namespace neusight;
+
+int
+main()
+{
+    setQuiet(false);
+    core::NeuSight &neusight = bench::nvidiaNeuSight();
+    const gpusim::GpuSpec &h100 = gpusim::findGpu("H100");
+    const gpusim::Device device(h100);
+
+    TextTable table("Figure 10: FP16 Tensor Core (NxN)x(NxN) BMM on H100",
+                    {"N", "Batch", "Measured ms", "Predicted ms",
+                     "Error"});
+    CsvWriter csv(bench::csvPath("fig10_fp16_tensorcore"),
+                  {"n", "batch", "measured_ms", "predicted_ms",
+                   "error_pct"});
+
+    RunningMean mean_err;
+    for (uint64_t n : {512u, 1024u, 2048u, 4096u}) {
+        for (uint64_t batch : {1u, 4u, 16u, 64u}) {
+            const auto desc = gpusim::makeBmm(batch, n, n, n,
+                                              gpusim::DataType::Fp16,
+                                              true);
+            const double measured = device.measureKernelMs(desc);
+            const double predicted =
+                neusight.predictKernelMs(desc, h100);
+            const double err = absPercentageError(predicted, measured);
+            mean_err.add(err);
+            table.addRow({std::to_string(n), std::to_string(batch),
+                          TextTable::num(measured, 3),
+                          TextTable::num(predicted, 3),
+                          TextTable::pct(err)});
+            csv.writeRow({std::to_string(n), std::to_string(batch),
+                          CsvWriter::fmt(measured, 4),
+                          CsvWriter::fmt(predicted, 4),
+                          CsvWriter::fmt(err, 1)});
+        }
+    }
+    table.print();
+    std::printf("\nMean FP16 tensor-core error: %.1f%% (paper: ~13%%).\n",
+                mean_err.value());
+    return 0;
+}

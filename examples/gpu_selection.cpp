@@ -1,0 +1,83 @@
+/**
+ * @file
+ * GPU selection under a latency SLO (paper Section 3, use case (b):
+ * "utilizing estimates to identify GPUs that meet the performance
+ * requirements"). Forecasts GPT2-Large batch-8 inference on every GPU in
+ * the database — including ones never profiled — and reports which meet
+ * a 500 ms budget.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/predictor.hpp"
+#include "graph/models.hpp"
+
+int
+main()
+{
+    using namespace neusight;
+
+    core::NeuSight neusight = core::NeuSight::trainOrLoad(
+        "neusight_nvidia.bin", gpusim::nvidiaTrainingSet(),
+        dataset::SamplerConfig{});
+
+    const double slo_ms = 500.0;
+    const graph::ModelConfig &model = graph::findModel("GPT2-Large");
+    const uint64_t batch = 8;
+    const graph::KernelGraph g = graph::buildInferenceGraph(model, batch);
+    const double mem_needed = graph::modelMemoryBytes(model, batch, false);
+
+    struct Row
+    {
+        std::string gpu;
+        int year;
+        double ms;
+        bool fits;
+        bool unseen;
+    };
+    std::vector<Row> rows;
+    for (const auto &gpu : gpusim::deviceDatabase()) {
+        if (gpu.vendor != gpusim::Vendor::Nvidia)
+            continue;
+        Row row;
+        row.gpu = gpu.name;
+        row.year = gpu.year;
+        row.fits = mem_needed <= gpu.memBytes();
+        row.unseen = !gpu.inTrainingSet;
+        row.ms = row.fits ? neusight.predictGraphMs(g, gpu) : 0.0;
+        rows.push_back(row);
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        return a.ms < b.ms;
+    });
+
+    TextTable table("GPT2-Large b8 inference forecast vs a 500 ms SLO",
+                    {"GPU", "Year", "Predicted ms", "Meets SLO"});
+    for (const auto &row : rows) {
+        if (!row.fits) {
+            table.addRow({row.gpu, std::to_string(row.year), "OOM", "no"});
+            continue;
+        }
+        table.addRow({row.gpu + (row.unseen ? " (never profiled)" : ""),
+                      std::to_string(row.year), TextTable::num(row.ms, 1),
+                      row.ms <= slo_ms ? "YES" : "no"});
+    }
+    table.print();
+
+    // The oldest (cheapest) GPU that still meets the SLO.
+    const Row *pick = nullptr;
+    for (const auto &row : rows)
+        if (row.fits && row.ms <= slo_ms &&
+            (pick == nullptr || row.year < pick->year))
+            pick = &row;
+    if (pick != nullptr)
+        std::printf("\nRecommendation: %s (oldest part meeting the SLO "
+                    "at %.1f ms predicted).\n",
+                    pick->gpu.c_str(), pick->ms);
+    else
+        std::printf("\nNo GPU in the database meets the SLO.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * What-if forecasting for a GPU that does not exist yet — the paper's
+ * headline use case (Section 1: "new model architectures on new GPUs").
+ * We define a hypothetical next-generation part from spec-sheet numbers
+ * alone (the paper notes Blackwell's memory size, bandwidth and peak
+ * FLOPS were public before launch) and forecast every Table-5 workload
+ * on it, next to H100 and A100 forecasts for context.
+ */
+
+#include <cstdio>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "core/predictor.hpp"
+#include "gpusim/spec_io.hpp"
+#include "graph/models.hpp"
+
+int
+main()
+{
+    using namespace neusight;
+
+    core::NeuSight neusight = core::NeuSight::trainOrLoad(
+        "neusight_nvidia.bin", gpusim::nvidiaTrainingSet(),
+        dataset::SamplerConfig{});
+
+    // A hypothetical "next-gen" part described the way a user of the
+    // neusight-predict tool would: a JSON spec sheet with only publicly
+    // announced numbers (~1.8x H100 compute, 8 TB/s HBM, bigger L2).
+    const gpusim::GpuSpec nextgen = gpusim::gpuSpecFromJson(
+        common::Json::parse(R"({
+            "name": "NextGen-X", "vendor": "nvidia", "year": 2025,
+            "peak_fp32_tflops": 120.0, "fp16_tensor_tflops": 1800.0,
+            "memory_size_gb": 192.0, "memory_bw_gbps": 8000.0,
+            "num_sms": 160, "l2_cache_mb": 64.0,
+            "interconnect_gbps": 1800.0
+        })"));
+
+    const gpusim::GpuSpec &h100 = gpusim::findGpu("H100");
+    const gpusim::GpuSpec &a100 = gpusim::findGpu("A100-80GB");
+
+    TextTable table("Inference forecast (batch 8) on a hypothetical "
+                    "next-gen GPU",
+                    {"Model", "A100-80GB ms", "H100 ms", "NextGen-X ms",
+                     "Speedup vs H100"});
+    for (const auto &model : graph::paperWorkloads()) {
+        const auto g = graph::buildInferenceGraph(model, 8);
+        const double on_a100 = neusight.predictGraphMs(g, a100);
+        const double on_h100 = neusight.predictGraphMs(g, h100);
+        const double on_next = neusight.predictGraphMs(g, nextgen);
+        table.addRow({model.name, TextTable::num(on_a100, 1),
+                      TextTable::num(on_h100, 1),
+                      TextTable::num(on_next, 1),
+                      TextTable::num(on_h100 / on_next, 2) + "x"});
+    }
+    table.print();
+    std::printf("\nNo NextGen-X silicon exists: the forecast uses only "
+                "spec-sheet features, exactly how NeuSight forecast "
+                "H100 from pre-launch documentation.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quickstart: forecast the inference latency of GPT3-XL on an H100 —
+ * a GPU the predictor was never trained on. Mirrors the paper artifact's
+ * basic test (scripts/example/gpt3_inference_h100.sh).
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/predictor.hpp"
+#include "dataset/dataset.hpp"
+#include "eval/oracle.hpp"
+#include "graph/models.hpp"
+
+int
+main()
+{
+    using namespace neusight;
+
+    // 1. Train NeuSight on the five older-generation NVIDIA GPUs
+    //    (P4, P100, V100, T4, A100-40GB), or load a cached model.
+    //    H100 data is never used.
+    core::NeuSight neusight = core::NeuSight::trainOrLoad(
+        "neusight_nvidia.bin", gpusim::nvidiaTrainingSet(),
+        dataset::SamplerConfig{});
+
+    // 2. Describe the workload: GPT3-XL, batch 2, first-token inference.
+    const graph::ModelConfig &model = graph::findModel("GPT3-XL");
+    const graph::KernelGraph g = graph::buildInferenceGraph(model, 2);
+    std::printf("GPT3-XL inference graph: %zu kernels, %.1f GFLOP\n",
+                g.computeNodeCount(), g.totalFlops() / 1e9);
+
+    // 3. Forecast on the unseen GPU.
+    const gpusim::GpuSpec &h100 = gpusim::findGpu("H100");
+    const double predicted_ms = neusight.predictGraphMs(g, h100);
+    std::printf("Predicted latency on H100:  %8.1f ms\n", predicted_ms);
+
+    // 4. Compare against the measurement substrate (in a real deployment
+    //    this is the number you do not have).
+    const eval::SimulatorOracle oracle;
+    const double measured_ms = oracle.predictGraphMs(g, h100);
+    std::printf("Measured latency on H100:   %8.1f ms  (error %.1f%%)\n",
+                measured_ms,
+                (predicted_ms - measured_ms) / measured_ms * 100.0);
+    return 0;
+}

@@ -1,0 +1,124 @@
+#include "baselines/habitat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "gpusim/device.hpp"
+#include "nn/autograd.hpp"
+
+namespace neusight::baselines {
+
+using gpusim::GpuSpec;
+using gpusim::KernelDesc;
+using gpusim::OpType;
+
+HabitatPredictor::HabitatPredictor(const HabitatConfig &config_)
+    : config(config_)
+{
+}
+
+HabitatPredictor::~HabitatPredictor() = default;
+
+std::vector<double>
+HabitatPredictor::features(const KernelDesc &desc, const GpuSpec &gpu)
+{
+    // Fixed 8-wide layout: 4 GPU features (paper Section 3.1) + 4 kernel
+    // dimensions (output dims then the reduction dim, padded with 1).
+    std::vector<double> f = {
+        gpu.memorySizeGB,
+        gpu.memoryBwGBps,
+        static_cast<double>(gpu.numSms),
+        gpusim::effectivePeakFlops(desc, gpu) / 1e12,
+    };
+    for (uint64_t d : desc.outDims)
+        f.push_back(static_cast<double>(d));
+    if (desc.reduceDim > 0)
+        f.push_back(static_cast<double>(desc.reduceDim));
+    while (f.size() < 8)
+        f.push_back(1.0);
+    ensure(f.size() == 8, "HabitatPredictor::features: rank overflow");
+    return f;
+}
+
+void
+HabitatPredictor::train(
+    const std::map<OpType, dataset::OperatorDataset> &corpus)
+{
+    for (const auto &[type, data] : corpus) {
+        // Element-wise (and memory) ops are kernel-alike: scaled from a
+        // reference GPU, not learned.
+        if (type == OpType::Elementwise || type == OpType::Memory)
+            continue;
+        if (data.samples.empty())
+            continue;
+
+        nn::MlpConfig mcfg;
+        mcfg.inputDim = 8;
+        mcfg.hiddenDim = config.hiddenDim;
+        mcfg.hiddenLayers = config.hiddenLayers;
+        mcfg.outputDim = 1;
+        mcfg.seed = config.seed + static_cast<uint64_t>(type) * 211;
+        FamilyModel model;
+        model.mlp = std::make_unique<nn::Mlp>(mcfg);
+
+        const size_t n = data.samples.size();
+        Matrix x(n, 8);
+        std::vector<double> y(n);
+        for (size_t i = 0; i < n; ++i) {
+            const auto &s = data.samples[i];
+            const std::vector<double> f =
+                features(s.desc, gpusim::findGpu(s.gpuName));
+            for (size_t c = 0; c < 8; ++c)
+                x.at(i, c) = f[c];
+            y[i] = config.logTarget ? std::log1p(s.latencyMs)
+                                    : s.latencyMs;
+        }
+        const Matrix scaled = model.scaler.fitTransform(x);
+
+        nn::Mlp &net = *model.mlp;
+        nn::ForwardFn fwd = [&net](const nn::Batch &batch) {
+            return net.forward(nn::constant(batch.x));
+        };
+        nn::fit(net, scaled, y, fwd, config.train);
+        models[type] = std::move(model);
+    }
+}
+
+double
+HabitatPredictor::kernelAlikeMs(const KernelDesc &desc,
+                                const GpuSpec &gpu) const
+{
+    // Measure on an in-hand reference GPU and scale by the bandwidth
+    // ratio (element-wise kernels are memory-bound on every GPU).
+    const std::string &ref_name = gpu.name == config.referenceGpu
+                                      ? config.fallbackReferenceGpu
+                                      : config.referenceGpu;
+    const gpusim::Device reference(gpusim::findGpu(ref_name));
+    const double ref_ms = reference.measureKernelMs(desc);
+    return ref_ms * reference.spec().memoryBwGBps / gpu.memoryBwGBps;
+}
+
+double
+HabitatPredictor::predictKernelMs(const KernelDesc &desc,
+                                  const GpuSpec &gpu) const
+{
+    if (desc.type == OpType::Elementwise || desc.type == OpType::Memory)
+        return kernelAlikeMs(desc, gpu);
+    const auto it = models.find(desc.type);
+    ensure(it != models.end(),
+           std::string("HabitatPredictor: no model trained for family ") +
+               gpusim::opTypeName(desc.type));
+    const std::vector<double> f = features(desc, gpu);
+    Matrix x(1, 8);
+    for (size_t c = 0; c < 8; ++c)
+        x.at(0, c) = f[c];
+    const Matrix scaled = it->second.scaler.transform(x);
+    nn::Var pred = it->second.mlp->forward(nn::constant(scaled));
+    const double raw = pred.value().at(0, 0);
+    if (config.logTarget)
+        return std::max(std::expm1(std::min(raw, 25.0)), 1e-6);
+    return std::max(raw, 1e-6);
+}
+
+} // namespace neusight::baselines

@@ -1,0 +1,63 @@
+#include "baselines/li.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace neusight::baselines {
+
+void
+LiPredictor::train(
+    const std::map<gpusim::OpType, dataset::OperatorDataset> &corpus)
+{
+    // Group (flops, latency) pairs by GPU across every operator family,
+    // following the paper's procedure of regressing latency on the FLOP
+    // count derived from matrix sizes.
+    std::map<std::string, std::pair<std::vector<double>,
+                                    std::vector<double>>> by_gpu;
+    for (const auto &[type, data] : corpus) {
+        for (const auto &sample : data.samples) {
+            auto &[xs, ys] = by_gpu[sample.gpuName];
+            xs.push_back(sample.desc.flops);
+            ys.push_back(sample.latencyMs);
+        }
+    }
+    ensure(!by_gpu.empty(), "LiPredictor::train: empty corpus");
+
+    std::vector<double> bandwidths;
+    std::vector<double> achieved;
+    std::vector<double> intercepts;
+    for (const auto &[name, xy] : by_gpu) {
+        const LinearFit fit = fitLine(xy.first, xy.second);
+        perGpuFit[name] = fit;
+        if (fit.slope > 0.0) {
+            // slope is ms per FLOP: achieved FLOPS = 1e3 / slope.
+            bandwidths.push_back(gpusim::findGpu(name).memoryBwGBps);
+            achieved.push_back(1e3 / fit.slope);
+        }
+        intercepts.push_back(std::max(fit.intercept, 0.0));
+    }
+    ensure(bandwidths.size() >= 2,
+           "LiPredictor::train: need two GPUs with positive slopes");
+    crossFit = fitLine(bandwidths, achieved);
+    meanIntercept = mean(intercepts);
+    crossFitValid = true;
+}
+
+double
+LiPredictor::predictKernelMs(const gpusim::KernelDesc &desc,
+                             const gpusim::GpuSpec &gpu) const
+{
+    ensure(crossFitValid, "LiPredictor::predictKernelMs before train");
+    const auto it = perGpuFit.find(gpu.name);
+    if (it != perGpuFit.end()) {
+        // GPU seen during training: use its own regression.
+        return std::max(it->second(desc.flops), 1e-6);
+    }
+    // Unseen GPU: infer achieved FLOPS from its memory bandwidth.
+    const double achieved_flops = std::max(crossFit(gpu.memoryBwGBps), 1e6);
+    return std::max(desc.flops / achieved_flops * 1e3 + meanIntercept,
+                    1e-6);
+}
+
+} // namespace neusight::baselines

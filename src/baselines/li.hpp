@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Li et al. (MICRO 2023) linear-regression baseline (paper Section 3.1):
+ * per GPU, latency regresses linearly on the kernel's FLOP count; across
+ * GPUs, achieved FLOPS regresses linearly on memory bandwidth, which is
+ * how latency is extrapolated to GPUs outside the training set.
+ */
+
+#ifndef NEUSIGHT_BASELINES_LI_HPP
+#define NEUSIGHT_BASELINES_LI_HPP
+
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+#include "dataset/dataset.hpp"
+#include "graph/latency_predictor.hpp"
+
+namespace neusight::baselines {
+
+/** FLOPs-count linear-regression latency estimator. */
+class LiPredictor : public graph::LatencyPredictor
+{
+  public:
+    std::string name() const override { return "Li et al."; }
+
+    /**
+     * Fit the per-GPU latency~FLOPs regressions and the cross-GPU
+     * achieved-FLOPS~memory-bandwidth regression from the corpus.
+     */
+    void train(const std::map<gpusim::OpType, dataset::OperatorDataset>
+                   &corpus);
+
+    double predictKernelMs(const gpusim::KernelDesc &desc,
+                           const gpusim::GpuSpec &gpu) const override;
+
+    /** True once train() ran. */
+    bool trained() const { return crossFitValid; }
+
+  private:
+    /** latency_ms ~ slope * flops + intercept, per training GPU. */
+    std::map<std::string, LinearFit> perGpuFit;
+    /** achieved FLOPS (1/slope) ~ memory bandwidth, across GPUs. */
+    LinearFit crossFit;
+    /** kernel-launch floor (mean per-GPU intercept), in ms. */
+    double meanIntercept = 0.0;
+    bool crossFitValid = false;
+};
+
+} // namespace neusight::baselines
+
+#endif // NEUSIGHT_BASELINES_LI_HPP

@@ -1,0 +1,19 @@
+#include "baselines/roofline.hpp"
+
+#include <algorithm>
+
+#include "gpusim/device.hpp"
+
+namespace neusight::baselines {
+
+double
+RooflinePredictor::predictKernelMs(const gpusim::KernelDesc &desc,
+                                   const gpusim::GpuSpec &gpu) const
+{
+    const double peak = gpusim::effectivePeakFlops(desc, gpu);
+    const double compute_s = desc.flops / peak;
+    const double memory_s = desc.memBytes / gpu.memBwBytes();
+    return std::max(compute_s, memory_s) * 1e3;
+}
+
+} // namespace neusight::baselines

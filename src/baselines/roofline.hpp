@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Roofline analysis baseline (paper Section 6.1, baseline 1): the kernel
+ * runs at exactly the roofline bandwidth — latency is the larger of the
+ * compute time at peak FLOPS and the transfer time at peak memory
+ * bandwidth. No learning, no utilization model.
+ */
+
+#ifndef NEUSIGHT_BASELINES_ROOFLINE_HPP
+#define NEUSIGHT_BASELINES_ROOFLINE_HPP
+
+#include "graph/latency_predictor.hpp"
+
+namespace neusight::baselines {
+
+/** Analytical roofline latency estimator. */
+class RooflinePredictor : public graph::LatencyPredictor
+{
+  public:
+    std::string name() const override { return "Roofline"; }
+
+    double predictKernelMs(const gpusim::KernelDesc &desc,
+                           const gpusim::GpuSpec &gpu) const override;
+};
+
+} // namespace neusight::baselines
+
+#endif // NEUSIGHT_BASELINES_ROOFLINE_HPP

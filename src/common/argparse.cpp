@@ -1,0 +1,213 @@
+#include "common/argparse.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace neusight::common {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program(std::move(program)), description(std::move(description))
+{
+}
+
+void
+ArgParser::addString(const std::string &name, std::string fallback,
+                     std::string help)
+{
+    ensure(find(name) == nullptr, "argparse: duplicate option " + name);
+    Option opt;
+    opt.name = name;
+    opt.kind = Kind::String;
+    opt.help = std::move(help);
+    opt.fallbackText = fallback;
+    opt.stringValue = std::move(fallback);
+    options.push_back(std::move(opt));
+}
+
+void
+ArgParser::addInt(const std::string &name, int64_t fallback, std::string help)
+{
+    ensure(find(name) == nullptr, "argparse: duplicate option " + name);
+    Option opt;
+    opt.name = name;
+    opt.kind = Kind::Int;
+    opt.help = std::move(help);
+    opt.fallbackText = std::to_string(fallback);
+    opt.intValue = fallback;
+    options.push_back(std::move(opt));
+}
+
+void
+ArgParser::addDouble(const std::string &name, double fallback,
+                     std::string help)
+{
+    ensure(find(name) == nullptr, "argparse: duplicate option " + name);
+    Option opt;
+    opt.name = name;
+    opt.kind = Kind::Double;
+    opt.help = std::move(help);
+    std::ostringstream oss;
+    oss << fallback;
+    opt.fallbackText = oss.str();
+    opt.doubleValue = fallback;
+    options.push_back(std::move(opt));
+}
+
+void
+ArgParser::addFlag(const std::string &name, std::string help)
+{
+    ensure(find(name) == nullptr, "argparse: duplicate option " + name);
+    Option opt;
+    opt.name = name;
+    opt.kind = Kind::Flag;
+    opt.help = std::move(help);
+    opt.fallbackText = "false";
+    options.push_back(std::move(opt));
+}
+
+bool
+ArgParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("argparse: unexpected positional argument '" + arg +
+                  "' (see --help)");
+        Option *opt = find(arg.substr(2));
+        if (opt == nullptr)
+            fatal("argparse: unknown option '" + arg + "' (see --help)");
+        opt->wasGiven = true;
+        if (opt->kind == Kind::Flag) {
+            opt->flagValue = true;
+            continue;
+        }
+        if (i + 1 >= argc)
+            fatal("argparse: option '" + arg + "' needs a value");
+        const std::string value = argv[++i];
+        switch (opt->kind) {
+          case Kind::String:
+            opt->stringValue = value;
+            break;
+          case Kind::Int: {
+            try {
+                size_t used = 0;
+                opt->intValue = std::stoll(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                fatal("argparse: '" + arg + "' expects an integer, got '" +
+                      value + "'");
+            }
+            break;
+          }
+          case Kind::Double: {
+            try {
+                size_t used = 0;
+                opt->doubleValue = std::stod(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                fatal("argparse: '" + arg + "' expects a number, got '" +
+                      value + "'");
+            }
+            break;
+          }
+          case Kind::Flag:
+            break; // Unreachable: handled above.
+        }
+    }
+    return true;
+}
+
+ArgParser::Option &
+ArgParser::require(const std::string &name, Kind kind)
+{
+    Option *opt = find(name);
+    ensure(opt != nullptr, "argparse: unregistered option " + name);
+    ensure(opt->kind == kind, "argparse: wrong type for option " + name);
+    return *opt;
+}
+
+const ArgParser::Option &
+ArgParser::require(const std::string &name, Kind kind) const
+{
+    return const_cast<ArgParser *>(this)->require(name, kind);
+}
+
+ArgParser::Option *
+ArgParser::find(const std::string &name)
+{
+    for (Option &opt : options)
+        if (opt.name == name)
+            return &opt;
+    return nullptr;
+}
+
+const std::string &
+ArgParser::getString(const std::string &name) const
+{
+    return require(name, Kind::String).stringValue;
+}
+
+int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    return require(name, Kind::Int).intValue;
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    return require(name, Kind::Double).doubleValue;
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return require(name, Kind::Flag).flagValue;
+}
+
+bool
+ArgParser::given(const std::string &name) const
+{
+    for (const Option &opt : options)
+        if (opt.name == name)
+            return opt.wasGiven;
+    panic("argparse: unregistered option " + name);
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream oss;
+    oss << program << " — " << description << "\n\nOptions:\n";
+    size_t width = 6; // "--help"
+    for (const Option &opt : options) {
+        size_t w = opt.name.size() + 2;
+        if (opt.kind != Kind::Flag)
+            w += 8; // " <value>"
+        width = std::max(width, w);
+    }
+    for (const Option &opt : options) {
+        std::string left = "--" + opt.name;
+        if (opt.kind != Kind::Flag)
+            left += " <value>";
+        oss << "  " << left << std::string(width - left.size() + 2, ' ')
+            << opt.help;
+        if (opt.kind != Kind::Flag)
+            oss << " (default: " << opt.fallbackText << ")";
+        oss << "\n";
+    }
+    oss << "  --help" << std::string(width - 6 + 2, ' ')
+        << "show this message\n";
+    return oss.str();
+}
+
+} // namespace neusight::common

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Small command-line option parser for the tools/ binaries: typed
+ * --name value options and boolean --flag switches, with generated
+ * usage text. Unknown options and malformed values are user errors
+ * (fatal()); querying an unregistered option is a programmer error
+ * (panic()).
+ */
+
+#ifndef NEUSIGHT_COMMON_ARGPARSE_HPP
+#define NEUSIGHT_COMMON_ARGPARSE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neusight::common {
+
+/** Declarative command-line parser for one tool. */
+class ArgParser
+{
+  public:
+    /**
+     * @param program     binary name shown in usage.
+     * @param description one-line summary shown in usage.
+     */
+    ArgParser(std::string program, std::string description);
+
+    /// @name Option registration (call before parse()).
+    /// @{
+    void addString(const std::string &name, std::string fallback,
+                   std::string help);
+    void addInt(const std::string &name, int64_t fallback, std::string help);
+    void addDouble(const std::string &name, double fallback,
+                   std::string help);
+    /** A presence switch: false unless given on the command line. */
+    void addFlag(const std::string &name, std::string help);
+    /// @}
+
+    /**
+     * Parse the command line.
+     * @return false when --help was requested (usage printed to stdout);
+     *         the tool should exit successfully without doing work.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /// @name Typed queries (after parse()).
+    /// @{
+    const std::string &getString(const std::string &name) const;
+    int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+    /** True when the user supplied the option explicitly. */
+    bool given(const std::string &name) const;
+    /// @}
+
+    /** Generated usage text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind
+    {
+        String,
+        Int,
+        Double,
+        Flag,
+    };
+
+    struct Option
+    {
+        std::string name;
+        Kind kind;
+        std::string help;
+        std::string fallbackText;
+        std::string stringValue;
+        int64_t intValue = 0;
+        double doubleValue = 0.0;
+        bool flagValue = false;
+        bool wasGiven = false;
+    };
+
+    Option &require(const std::string &name, Kind kind);
+    const Option &require(const std::string &name, Kind kind) const;
+    Option *find(const std::string &name);
+
+    std::string program;
+    std::string description;
+    std::vector<Option> options;
+};
+
+} // namespace neusight::common
+
+#endif // NEUSIGHT_COMMON_ARGPARSE_HPP

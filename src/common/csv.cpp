@@ -1,0 +1,60 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace neusight {
+
+namespace {
+
+std::string
+quoteIfNeeded(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string quoted = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : out(path), arity(header.size())
+{
+    if (!out)
+        fatal("CsvWriter: cannot open '" + path + "' for writing");
+    writeRow(header);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    if (fields.size() != arity)
+        fatal("CsvWriter: row arity " + std::to_string(fields.size()) +
+              " != header arity " + std::to_string(arity));
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out << ',';
+        out << quoteIfNeeded(fields[i]);
+    }
+    out << '\n';
+}
+
+std::string
+CsvWriter::fmt(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+} // namespace neusight

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV emission used by every bench to persist the rows it prints,
+ * mirroring the paper artifact's CSV outputs.
+ */
+
+#ifndef NEUSIGHT_COMMON_CSV_HPP
+#define NEUSIGHT_COMMON_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace neusight {
+
+/** Streaming CSV writer; one row at a time, flushed on destruction. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit @p header as the first row.
+     * Throws via fatal() when the file cannot be created.
+     */
+    CsvWriter(const std::string &path, const std::vector<std::string> &header);
+
+    /** Append one row; must have the same arity as the header. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string fmt(double value, int precision = 4);
+
+  private:
+    std::ofstream out;
+    size_t arity;
+};
+
+} // namespace neusight
+
+#endif // NEUSIGHT_COMMON_CSV_HPP

@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace neusight {
+
+namespace {
+std::atomic<bool> quietFlag{false};
+} // namespace
+
+void
+panic(const std::string &message)
+{
+    std::cerr << "panic: " << message << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &message)
+{
+    throw std::runtime_error("fatal: " + message);
+}
+
+void
+warn(const std::string &message)
+{
+    if (!quietFlag.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << message << std::endl;
+}
+
+void
+inform(const std::string &message)
+{
+    if (!quietFlag.load(std::memory_order_relaxed))
+        std::cerr << "info: " << message << std::endl;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace neusight

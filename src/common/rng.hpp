@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic random number generation. All stochastic behaviour in the
+ * library (weight init, dataset sampling, simulator measurement noise) is
+ * seeded explicitly so every test and bench is reproducible.
+ */
+
+#ifndef NEUSIGHT_COMMON_RNG_HPP
+#define NEUSIGHT_COMMON_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace neusight {
+
+/**
+ * SplitMix64 PRNG. Tiny, fast, and statistically adequate for weight
+ * initialization and sampling; chosen over std::mt19937 so streams are
+ * identical across standard-library implementations.
+ */
+class Rng
+{
+  public:
+    /** Construct a stream from an explicit seed. */
+    explicit Rng(uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(next() % static_cast<uint64_t>(hi - lo + 1));
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    normal()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    }
+
+    /** Normal with given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Pick an element of a non-empty vector uniformly at random. */
+    template <typename T>
+    const T &
+    choice(const std::vector<T> &items)
+    {
+        return items[next() % items.size()];
+    }
+
+    /** Fisher-Yates shuffle of index order [0, n). */
+    std::vector<size_t>
+    permutation(size_t n)
+    {
+        std::vector<size_t> idx(n);
+        for (size_t i = 0; i < n; ++i)
+            idx[i] = i;
+        for (size_t i = n; i > 1; --i) {
+            size_t j = next() % i;
+            std::swap(idx[i - 1], idx[j]);
+        }
+        return idx;
+    }
+
+  private:
+    uint64_t state;
+};
+
+/**
+ * Stateless deterministic hash → double in [-1, 1). Used by the GPU
+ * simulator for reproducible "measurement noise": the same kernel on the
+ * same device always perturbs identically.
+ */
+inline double
+hashNoise(uint64_t a, uint64_t b, uint64_t c)
+{
+    uint64_t z = a * 0x9e3779b97f4a7c15ULL + b * 0xbf58476d1ce4e5b9ULL +
+                 c * 0x94d049bb133111ebULL + 0x2545f4914f6cdd1dULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+}
+
+} // namespace neusight
+
+#endif // NEUSIGHT_COMMON_RNG_HPP

@@ -1,0 +1,116 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace neusight {
+
+double
+absPercentageError(double predicted, double actual)
+{
+    ensure(actual != 0.0, "absPercentageError: actual latency is zero");
+    return std::abs(predicted - actual) / std::abs(actual) * 100.0;
+}
+
+double
+meanAbsPercentageError(const std::vector<double> &predicted,
+                       const std::vector<double> &actual)
+{
+    ensure(predicted.size() == actual.size(),
+           "meanAbsPercentageError: length mismatch");
+    if (predicted.empty())
+        return 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i)
+        total += absPercentageError(predicted[i], actual[i]);
+    return total / static_cast<double>(predicted.size());
+}
+
+double
+symmetricMape(const std::vector<double> &predicted,
+              const std::vector<double> &actual)
+{
+    ensure(predicted.size() == actual.size(), "symmetricMape: length mismatch");
+    if (predicted.empty())
+        return 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        const double denom = (std::abs(predicted[i]) + std::abs(actual[i])) / 2.0;
+        ensure(denom != 0.0, "symmetricMape: both values zero");
+        total += std::abs(predicted[i] - actual[i]) / denom * 100.0;
+    }
+    return total / static_cast<double>(predicted.size());
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double mu = mean(values);
+    double ss = 0.0;
+    for (double v : values)
+        ss += (v - mu) * (v - mu);
+    return std::sqrt(ss / static_cast<double>(values.size()));
+}
+
+double
+maxValue(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+LinearFit
+fitLine(const std::vector<double> &x, const std::vector<double> &y)
+{
+    ensure(x.size() == y.size(), "fitLine: length mismatch");
+    ensure(x.size() >= 2, "fitLine: need at least two points");
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        sxx += (x[i] - mx) * (x[i] - mx);
+        sxy += (x[i] - mx) * (y[i] - my);
+    }
+    LinearFit fit;
+    if (sxx == 0.0) {
+        // Degenerate: all x identical; fall back to a flat line at the mean.
+        fit.slope = 0.0;
+        fit.intercept = my;
+    } else {
+        fit.slope = sxy / sxx;
+        fit.intercept = my - fit.slope * mx;
+    }
+    return fit;
+}
+
+} // namespace neusight

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Error metrics and summary statistics. The paper reports mean absolute
+ * percentage error ("percentage error") against measured latencies and
+ * trains NeuSight with symmetric MAPE (Tofallis 2015).
+ */
+
+#ifndef NEUSIGHT_COMMON_STATS_HPP
+#define NEUSIGHT_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace neusight {
+
+/** |pred - actual| / |actual| * 100, the paper's "percentage error". */
+double absPercentageError(double predicted, double actual);
+
+/** Mean of absPercentageError over paired vectors (must be same length). */
+double meanAbsPercentageError(const std::vector<double> &predicted,
+                              const std::vector<double> &actual);
+
+/** Symmetric MAPE: |p - a| / ((|p| + |a|) / 2) * 100, averaged. */
+double symmetricMape(const std::vector<double> &predicted,
+                     const std::vector<double> &actual);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation; 0 for fewer than two values. */
+double stddev(const std::vector<double> &values);
+
+/** Maximum; 0 for empty input. */
+double maxValue(const std::vector<double> &values);
+
+/** Linear-interpolation percentile, p in [0, 100]; 0 for empty input. */
+double percentile(std::vector<double> values, double p);
+
+/**
+ * Ordinary least squares for y ~ slope * x + intercept.
+ * Used by the Li et al. baseline (FLOPs→latency, memBW→achieved FLOPS).
+ */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+
+    /** Evaluate the fitted line. */
+    double operator()(double x) const { return slope * x + intercept; }
+};
+
+/** Fit OLS line through (x, y) pairs; requires at least two points. */
+LinearFit fitLine(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Accumulates a running mean without storing samples. */
+class RunningMean
+{
+  public:
+    /** Fold one sample into the mean. */
+    void
+    add(double value)
+    {
+        ++count;
+        total += value;
+    }
+
+    /** Current mean; 0 if no samples. */
+    double value() const { return count ? total / static_cast<double>(count) : 0.0; }
+
+    /** Number of samples folded in. */
+    size_t samples() const { return count; }
+
+  private:
+    double total = 0.0;
+    size_t count = 0;
+};
+
+} // namespace neusight
+
+#endif // NEUSIGHT_COMMON_STATS_HPP

@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace neusight {
+
+TextTable::TextTable(std::string title_, std::vector<std::string> header_)
+    : title(std::move(title_)), header(std::move(header_))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    row.resize(header.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    size_t total = widths.size() ? 3 * (widths.size() - 1) : 0;
+    for (size_t w : widths)
+        total += w;
+
+    std::ostringstream oss;
+    oss << title << '\n' << std::string(std::max(total, title.size()), '=') << '\n';
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                oss << " | ";
+            oss << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        oss << '\n';
+    };
+    emit(header);
+    oss << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+    return oss.str();
+}
+
+void
+TextTable::print() const
+{
+    std::cout << render() << std::flush;
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TextTable::pct(double value, int precision)
+{
+    return num(value, precision) + "%";
+}
+
+} // namespace neusight

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aligned text-table printer. Every bench binary prints its table/figure
+ * rows in the same layout as the paper before persisting them as CSV.
+ */
+
+#ifndef NEUSIGHT_COMMON_TABLE_HPP
+#define NEUSIGHT_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace neusight {
+
+/** Column-aligned monospace table with a title and a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given title and column names. */
+    TextTable(std::string title, std::vector<std::string> header);
+
+    /** Append one data row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the full table (title, rule, header, rows). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Number formatting helper (fixed decimals). */
+    static std::string num(double value, int precision = 1);
+
+    /** Percentage formatting helper: "12.3%". */
+    static std::string pct(double value, int precision = 1);
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace neusight
+
+#endif // NEUSIGHT_COMMON_TABLE_HPP

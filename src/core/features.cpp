@@ -1,0 +1,27 @@
+#include "core/features.hpp"
+
+#include "common/logging.hpp"
+
+namespace neusight::core {
+
+std::vector<double>
+buildFeatures(const gpusim::KernelDesc &desc, const gpusim::TileInfo &tile,
+              uint64_t num_waves, const gpusim::GpuSpec &gpu)
+{
+    ensure(tile.flopsPerTile > 0.0 && tile.memBytesPerTile > 0.0,
+           "buildFeatures: tile costs must be positive");
+    const double peak = gpusim::effectivePeakFlops(desc, gpu);
+    const double peak_per_sm = peak / gpu.numSms;
+    const double waves = static_cast<double>(num_waves);
+
+    std::vector<double> features(kNumFeatures);
+    features[0] = tile.flopsPerTile / peak_per_sm;
+    features[1] = tile.memBytesPerTile / gpu.memBwPerSm();
+    features[2] = waves * tile.memBytesPerTile / gpu.l2BytesPerSm();
+    features[3] = waves * tile.memBytesPerTile / gpu.memBytesPerSm();
+    features[4] = (tile.flopsPerTile / tile.memBytesPerTile) /
+                  (peak / gpu.memBwBytes());
+    return features;
+}
+
+} // namespace neusight::core

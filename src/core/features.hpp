@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Input-feature construction for the utilization MLPs (paper Table 3).
+ * All device quantities are normalized per SM, because NeuSight predicts
+ * at tile granularity with one tile resident per SM.
+ */
+
+#ifndef NEUSIGHT_CORE_FEATURES_HPP
+#define NEUSIGHT_CORE_FEATURES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "gpusim/tile_policy.hpp"
+
+namespace neusight::core {
+
+/** Number of input features (rows of paper Table 3). */
+inline constexpr size_t kNumFeatures = 5;
+
+/**
+ * Build the Table-3 feature vector for one kernel given its tile
+ * decomposition.
+ *
+ * Features, in order:
+ *  1. FLOPsPerTile / PeakFLOPSPerSM
+ *  2. MemoryPerTile / MemoryBWPerSM
+ *  3. numWaves * MemoryPerTile / L2CacheSizePerSM
+ *  4. numWaves * MemoryPerTile / MemorySizePerSM
+ *  5. (FLOPsPerTile / MemoryPerTile) / (PeakFLOPS / MemoryBW)
+ *
+ * Peak FLOPS follows the public datapath convention of
+ * gpusim::effectivePeakFlops (tensor-core / AMD matrix peaks).
+ */
+std::vector<double> buildFeatures(const gpusim::KernelDesc &desc,
+                                  const gpusim::TileInfo &tile,
+                                  uint64_t num_waves,
+                                  const gpusim::GpuSpec &gpu);
+
+} // namespace neusight::core
+
+#endif // NEUSIGHT_CORE_FEATURES_HPP

@@ -1,0 +1,199 @@
+#include "core/tile_db.hpp"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/logging.hpp"
+
+namespace neusight::core {
+
+namespace {
+
+double
+logGap(double a, double b)
+{
+    const double d = std::log1p(a) - std::log1p(b);
+    return d * d;
+}
+
+uint64_t
+recordHash(const std::string &op, const TileRecord &rec)
+{
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    for (char c : op)
+        mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    for (uint64_t d : rec.outDims)
+        mix(d);
+    for (uint64_t d : rec.tileDims)
+        mix(d);
+    mix(static_cast<uint64_t>(rec.numSms));
+    mix(static_cast<uint64_t>(rec.l2Bytes));
+    return h;
+}
+
+void
+writeU64(std::ostream &out, uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+uint64_t
+readU64(std::istream &in)
+{
+    uint64_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return v;
+}
+
+} // namespace
+
+void
+TileDatabase::record(const gpusim::KernelDesc &desc,
+                     const std::vector<uint64_t> &tile_dims,
+                     const gpusim::GpuSpec &gpu)
+{
+    ensure(tile_dims.size() == desc.outDims.size(),
+           "TileDatabase::record: rank mismatch");
+    TileRecord rec;
+    rec.outDims = desc.outDims;
+    rec.tileDims = tile_dims;
+    rec.numSms = static_cast<double>(gpu.numSms);
+    rec.l2Bytes = gpu.l2Bytes();
+    rec.type = desc.type;
+
+    auto &bucket = records[desc.opName];
+    const uint64_t h = recordHash(desc.opName, rec);
+    if (!hashes[desc.opName].insert(h).second)
+        return; // Exact duplicate launch already stored.
+    bucket.push_back(std::move(rec));
+}
+
+std::vector<uint64_t>
+TileDatabase::lookup(const gpusim::KernelDesc &desc,
+                     const gpusim::GpuSpec &gpu) const
+{
+    auto scan = [&](const std::vector<TileRecord> &bucket,
+                    bool require_same_type, double &best_dist,
+                    const TileRecord *&best_rec) {
+        for (const auto &rec : bucket) {
+            if (rec.outDims.size() != desc.outDims.size())
+                continue;
+            if (require_same_type && rec.type != desc.type)
+                continue;
+            double dist = 0.0;
+            for (size_t i = 0; i < rec.outDims.size(); ++i)
+                dist += logGap(static_cast<double>(desc.outDims[i]),
+                               static_cast<double>(rec.outDims[i]));
+            dist += 0.5 * logGap(static_cast<double>(gpu.numSms),
+                                 rec.numSms);
+            dist += 0.5 * logGap(gpu.l2Bytes(), rec.l2Bytes);
+            // Ties break on lexicographically smaller tile so the lookup
+            // is deterministic regardless of hash-map iteration order.
+            if (dist < best_dist ||
+                (dist == best_dist && best_rec != nullptr &&
+                 rec.tileDims < best_rec->tileDims)) {
+                best_dist = dist;
+                best_rec = &rec;
+            }
+        }
+    };
+
+    double best_dist = std::numeric_limits<double>::max();
+    const TileRecord *best_rec = nullptr;
+    const auto it = records.find(desc.opName);
+    if (it != records.end())
+        scan(it->second, false, best_dist, best_rec);
+    if (best_rec == nullptr) {
+        // Unseen kernel name: nearest record of the same operator family
+        // (libraries tile a family identically regardless of the exact
+        // pointwise op).
+        for (const auto &[name, recs] : records)
+            scan(recs, true, best_dist, best_rec);
+    }
+    if (best_rec == nullptr) {
+        // Last resort: nearest rank-compatible record of any family.
+        for (const auto &[name, recs] : records)
+            scan(recs, false, best_dist, best_rec);
+    }
+    if (best_rec == nullptr)
+        fatal("TileDatabase::lookup: no rank-compatible entry for '" +
+              desc.opName + "'");
+    // Tiles never exceed the output extent of the queried kernel.
+    std::vector<uint64_t> tile = best_rec->tileDims;
+    for (size_t i = 0; i < tile.size(); ++i)
+        tile[i] = std::min<uint64_t>(std::max<uint64_t>(tile[i], 1),
+                                     std::max<uint64_t>(desc.outDims[i], 1));
+    return tile;
+}
+
+size_t
+TileDatabase::size() const
+{
+    size_t total = 0;
+    for (const auto &[name, recs] : records)
+        total += recs.size();
+    return total;
+}
+
+void
+TileDatabase::save(std::ostream &out) const
+{
+    writeU64(out, records.size());
+    for (const auto &[name, recs] : records) {
+        writeU64(out, name.size());
+        out.write(name.data(), static_cast<std::streamsize>(name.size()));
+        writeU64(out, recs.size());
+        for (const auto &rec : recs) {
+            writeU64(out, rec.outDims.size());
+            for (uint64_t d : rec.outDims)
+                writeU64(out, d);
+            for (uint64_t d : rec.tileDims)
+                writeU64(out, d);
+            writeU64(out, static_cast<uint64_t>(rec.numSms));
+            writeU64(out, static_cast<uint64_t>(rec.l2Bytes));
+            writeU64(out, static_cast<uint64_t>(rec.type));
+        }
+    }
+    if (!out)
+        fatal("TileDatabase::save: write failed");
+}
+
+void
+TileDatabase::load(std::istream &in)
+{
+    records.clear();
+    hashes.clear();
+    const uint64_t buckets = readU64(in);
+    for (uint64_t b = 0; b < buckets && in; ++b) {
+        const uint64_t name_len = readU64(in);
+        std::string name(name_len, '\0');
+        in.read(name.data(), static_cast<std::streamsize>(name_len));
+        const uint64_t count = readU64(in);
+        auto &bucket = records[name];
+        for (uint64_t r = 0; r < count && in; ++r) {
+            TileRecord rec;
+            const uint64_t rank = readU64(in);
+            rec.outDims.resize(rank);
+            rec.tileDims.resize(rank);
+            for (uint64_t i = 0; i < rank; ++i)
+                rec.outDims[i] = readU64(in);
+            for (uint64_t i = 0; i < rank; ++i)
+                rec.tileDims[i] = readU64(in);
+            rec.numSms = static_cast<double>(readU64(in));
+            rec.l2Bytes = static_cast<double>(readU64(in));
+            rec.type = static_cast<gpusim::OpType>(readU64(in));
+            hashes[name].insert(recordHash(name, rec));
+            bucket.push_back(std::move(rec));
+        }
+    }
+    if (!in)
+        fatal("TileDatabase::load: truncated file");
+}
+
+} // namespace neusight::core

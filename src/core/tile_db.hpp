@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tile database (paper Section 6.1, "Tile size"): during training-data
+ * collection NeuSight records, per kernel launch, the kernel name, output
+ * dimensions, GPU features and the tile size the library chose. At
+ * prediction time — possibly for a GPU or shape never profiled — it picks
+ * the entry with the closest kernel name, dimensions and GPU features.
+ */
+
+#ifndef NEUSIGHT_CORE_TILE_DB_HPP
+#define NEUSIGHT_CORE_TILE_DB_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace neusight::core {
+
+/** One recorded launch. */
+struct TileRecord
+{
+    std::vector<uint64_t> outDims;
+    std::vector<uint64_t> tileDims;
+    /** GPU features used for nearest-match: SM count and L2 bytes. */
+    double numSms = 0.0;
+    double l2Bytes = 0.0;
+    /** Operator family, for the unseen-kernel-name fallback. */
+    gpusim::OpType type = gpusim::OpType::Memory;
+};
+
+/** Nearest-match store of observed tile sizes. */
+class TileDatabase
+{
+  public:
+    /** Record a launch observed during profiling on a training GPU. */
+    void record(const gpusim::KernelDesc &desc,
+                const std::vector<uint64_t> &tile_dims,
+                const gpusim::GpuSpec &gpu);
+
+    /**
+     * Look up the tile for @p desc on @p gpu: closest entry by kernel
+     * name, log-space output dimensions, and GPU features. fatal() when
+     * the database holds no entry for the kernel's op family.
+     */
+    std::vector<uint64_t> lookup(const gpusim::KernelDesc &desc,
+                                 const gpusim::GpuSpec &gpu) const;
+
+    /** Number of stored records. */
+    size_t size() const;
+
+    /** Serialize (binary). */
+    void save(std::ostream &out) const;
+
+    /** Restore state written by save(). */
+    void load(std::istream &in);
+
+  private:
+    /** Keyed by op family name (e.g. "bmm", "add", "softmax"). */
+    std::unordered_map<std::string, std::vector<TileRecord>> records;
+    /** Hashes of stored records per family, for duplicate suppression. */
+    std::unordered_map<std::string, std::unordered_set<uint64_t>> hashes;
+};
+
+} // namespace neusight::core
+
+#endif // NEUSIGHT_CORE_TILE_DB_HPP

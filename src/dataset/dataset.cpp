@@ -1,0 +1,157 @@
+#include "dataset/dataset.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace neusight::dataset {
+
+using gpusim::Device;
+using gpusim::GpuSpec;
+using gpusim::KernelDesc;
+using gpusim::OpType;
+
+namespace {
+
+/** Log-uniform integer in [lo, hi]. */
+uint64_t
+logUniform(Rng &rng, uint64_t lo, uint64_t hi)
+{
+    ensure(lo >= 1 && hi >= lo, "logUniform: bad range");
+    const double u = rng.uniform(std::log(static_cast<double>(lo)),
+                                 std::log(static_cast<double>(hi) + 1.0));
+    uint64_t v = static_cast<uint64_t>(std::exp(u));
+    return std::min(std::max(v, lo), hi);
+}
+
+/** Measure @p desc on @p gpu and append the sample, unless it would OOM. */
+void
+measureInto(OperatorDataset &ds, const Device &device,
+            const KernelDesc &desc)
+{
+    // Real profiling skips shapes whose operands exceed device memory.
+    if (desc.memBytes > 0.6 * device.spec().memBytes())
+        return;
+    OperatorSample sample;
+    sample.desc = desc;
+    sample.gpuName = device.spec().name;
+    sample.launch = device.profileKernel(desc);
+    sample.latencyMs = sample.launch.latencyMs;
+    ds.samples.push_back(std::move(sample));
+}
+
+const std::vector<std::string> &
+elementwiseOps()
+{
+    static const std::vector<std::string> ops = {"add",  "div",  "mul",
+                                                 "gelu", "relu", "tanh"};
+    return ops;
+}
+
+} // namespace
+
+std::map<OpType, OperatorDataset>
+generateOperatorData(const std::vector<GpuSpec> &gpus,
+                     const SamplerConfig &config)
+{
+    ensure(!gpus.empty(), "generateOperatorData: no GPUs given");
+    std::map<OpType, OperatorDataset> data;
+    Rng rng(config.seed);
+
+    std::vector<Device> devices;
+    devices.reserve(gpus.size());
+    for (const auto &spec : gpus)
+        devices.emplace_back(spec);
+    auto device_for = [&](size_t i) -> const Device & {
+        return devices[i % devices.size()];
+    };
+
+    // Batched matrix multiplication: batch and dims 1..1024 (paper).
+    // A third of the draws concentrate on the upper quarter of the range:
+    // the paper's 87k-point corpus covers large shapes densely, and
+    // end-to-end latency is dominated by exactly those kernels.
+    auto &bmm = data[OpType::BatchedMatmul];
+    for (size_t i = 0; i < config.bmmSamples; ++i) {
+        const uint64_t lo = (i % 3 == 0) ? config.bmmMaxDim / 4 : 1;
+        const uint64_t b = logUniform(rng, 1, config.bmmMaxDim);
+        const uint64_t m = logUniform(rng, lo, config.bmmMaxDim);
+        const uint64_t n = logUniform(rng, lo, config.bmmMaxDim);
+        const uint64_t k = logUniform(rng, lo, config.bmmMaxDim);
+        measureInto(bmm, device_for(i), gpusim::makeBmm(b, m, n, k));
+    }
+
+    // Fully-connected: batch 1..8192, widths 1..65536 (paper), with the
+    // same upper-range densification.
+    auto &fc = data[OpType::FullyConnected];
+    for (size_t i = 0; i < config.fcSamples; ++i) {
+        const bool upper = i % 3 == 0;
+        const uint64_t rows = logUniform(
+            rng, upper ? config.fcMaxBatch / 16 : 1, config.fcMaxBatch);
+        const uint64_t in = logUniform(
+            rng, upper ? config.fcMaxWidth / 64 : 1, config.fcMaxWidth);
+        const uint64_t out = logUniform(
+            rng, upper ? config.fcMaxWidth / 64 : 1, config.fcMaxWidth);
+        measureInto(fc, device_for(i), gpusim::makeLinear(rows, in, out));
+    }
+
+    // Element-wise: batch 512..16384, vector 512..4096, six ops (paper).
+    auto &ew = data[OpType::Elementwise];
+    for (size_t i = 0; i < config.elementwiseSamples; ++i) {
+        const uint64_t rows = logUniform(rng, config.ewMinBatch,
+                                         config.ewMaxBatch);
+        const uint64_t vec = logUniform(rng, config.ewMinVec,
+                                        config.ewMaxVec);
+        const std::string &op = rng.choice(elementwiseOps());
+        const int arity = (op == "add" || op == "div" || op == "mul") ? 2 : 1;
+        measureInto(ew, device_for(i),
+                    gpusim::makeElementwise(
+                        op, rows * vec, arity,
+                        gpusim::elementwiseFlopsPerElem(op)));
+    }
+
+    // Softmax: batch 4096..16384, vector 512..4096 (paper).
+    auto &sm = data[OpType::Softmax];
+    for (size_t i = 0; i < config.softmaxSamples; ++i) {
+        const uint64_t rows = logUniform(rng, config.rowMinBatch,
+                                         config.rowMaxBatch);
+        const uint64_t vec = logUniform(rng, config.ewMinVec,
+                                        config.ewMaxVec);
+        measureInto(sm, device_for(i), gpusim::makeSoftmax(rows, vec));
+    }
+
+    // Layer normalization: same ranges as softmax (paper).
+    auto &ln = data[OpType::LayerNorm];
+    for (size_t i = 0; i < config.layernormSamples; ++i) {
+        const uint64_t rows = logUniform(rng, config.rowMinBatch,
+                                         config.rowMaxBatch);
+        const uint64_t vec = logUniform(rng, config.ewMinVec,
+                                        config.ewMaxVec);
+        measureInto(ln, device_for(i), gpusim::makeLayerNorm(rows, vec));
+    }
+
+    return data;
+}
+
+OperatorDataset
+generateBmmSweep(const std::vector<GpuSpec> &gpus, uint64_t min_dim,
+                 uint64_t max_dim, size_t count, uint64_t seed)
+{
+    ensure(!gpus.empty(), "generateBmmSweep: no GPUs given");
+    OperatorDataset ds;
+    Rng rng(seed);
+    std::vector<Device> devices;
+    for (const auto &spec : gpus)
+        devices.emplace_back(spec);
+    for (size_t i = 0; i < count; ++i) {
+        const uint64_t b = logUniform(rng, 1, 128);
+        const uint64_t m = logUniform(rng, min_dim, max_dim);
+        const uint64_t n = logUniform(rng, min_dim, max_dim);
+        const uint64_t k = logUniform(rng, min_dim, max_dim);
+        measureInto(ds, devices[i % devices.size()],
+                    gpusim::makeBmm(b, m, n, k));
+    }
+    return ds;
+}
+
+} // namespace neusight::dataset

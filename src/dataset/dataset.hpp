@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Operator-level training data (paper Section 6.1): kernels swept over the
+ * paper's shape ranges, "measured" on the training-set GPUs through the
+ * simulator, together with the profiler metadata (tile size, wave count)
+ * recorded per launch.
+ */
+
+#ifndef NEUSIGHT_DATASET_DATASET_HPP
+#define NEUSIGHT_DATASET_DATASET_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace neusight::dataset {
+
+/** One measured kernel launch. */
+struct OperatorSample
+{
+    gpusim::KernelDesc desc;
+    std::string gpuName;
+    /** Measured latency in milliseconds. */
+    double latencyMs = 0.0;
+    /** Profiler metadata of the launch (tile, tiles, waves). */
+    gpusim::KernelLaunch launch;
+};
+
+/** All samples of one operator family. */
+struct OperatorDataset
+{
+    std::vector<OperatorSample> samples;
+
+    size_t size() const { return samples.size(); }
+};
+
+/** Per-family sample budgets and shape ranges. */
+struct SamplerConfig
+{
+    /**
+     * Scale on the per-family sample counts. 1.0 approximates the paper's
+     * dataset sizes (~150k launches) — far too slow to *train on* with a
+     * CPU-only MLP, so benches default to the counts below, which keep
+     * every range of the paper but thin the sampling density.
+     */
+    size_t bmmSamples = 2400;
+    size_t fcSamples = 1600;
+    size_t elementwiseSamples = 1200;
+    /**
+     * Softmax / layer-norm are small families even in the paper (1,807
+     * and 1,501 launches); they are kept at full paper scale because the
+     * short-latency reduction kernels are the hardest to fit (the paper
+     * itself reports its highest per-operator error on layer norm).
+     */
+    size_t softmaxSamples = 1500;
+    size_t layernormSamples = 1200;
+
+    /** Paper ranges (Section 6.1). */
+    uint64_t bmmMaxDim = 1024;
+    uint64_t fcMaxBatch = 8192;
+    uint64_t fcMaxWidth = 65536;
+    uint64_t ewMinBatch = 512;
+    uint64_t ewMaxBatch = 16384;
+    uint64_t ewMinVec = 512;
+    uint64_t ewMaxVec = 4096;
+    uint64_t rowMinBatch = 4096;
+    uint64_t rowMaxBatch = 16384;
+
+    uint64_t seed = 2025;
+};
+
+/**
+ * Generate the full Section-6.1 training corpus on @p gpus: one dataset
+ * per predictor family, keyed by op type. Kernels whose working set would
+ * not fit on the device are skipped (they would OOM on real hardware).
+ */
+std::map<gpusim::OpType, OperatorDataset>
+generateOperatorData(const std::vector<gpusim::GpuSpec> &gpus,
+                     const SamplerConfig &config);
+
+/** Sweep of BMM shapes only (motivation studies, Fig. 2 / Table 1). */
+OperatorDataset generateBmmSweep(const std::vector<gpusim::GpuSpec> &gpus,
+                                 uint64_t min_dim, uint64_t max_dim,
+                                 size_t count, uint64_t seed);
+
+} // namespace neusight::dataset
+
+#endif // NEUSIGHT_DATASET_DATASET_HPP

@@ -1,0 +1,182 @@
+#include "eval/harness.hpp"
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "eval/oracle.hpp"
+#include "gpusim/device.hpp"
+
+namespace neusight::eval {
+
+using graph::KernelGraph;
+using graph::ModelConfig;
+using gpusim::GpuSpec;
+using gpusim::OpType;
+
+namespace {
+
+/** Paper Section 6.1: training is measured on GPUs with >= 24 GB HBM. */
+constexpr double kTrainingMinMemGB = 24.0;
+
+/** Per-model evaluation batch sizes (larger models get smaller batches). */
+std::vector<uint64_t>
+batchesFor(const ModelConfig &model)
+{
+    if (model.name == "BERT-Large")
+        return {8, 16};
+    if (model.name == "GPT2-Large")
+        return {4, 8};
+    if (model.name == "SwitchTrans")
+        return {4, 8};
+    if (model.name == "GPT3-2.7B")
+        return {1, 2};
+    return {2, 4}; // GPT3-XL, OPT-1.3B.
+}
+
+/** Can this (case, GPU) cell be measured at all? */
+bool
+measurable(const WorkloadCase &c, const GpuSpec &gpu)
+{
+    if (c.training && gpu.memorySizeGB < kTrainingMinMemGB)
+        return false;
+    return graph::modelMemoryBytes(c.model, c.batch, c.training) <=
+           gpu.memBytes();
+}
+
+KernelGraph
+buildGraph(const WorkloadCase &c)
+{
+    return c.training ? graph::buildTrainingGraph(c.model, c.batch)
+                      : graph::buildInferenceGraph(c.model, c.batch);
+}
+
+} // namespace
+
+std::vector<WorkloadCase>
+paperEvaluationCases(bool training)
+{
+    std::vector<WorkloadCase> cases;
+    for (const auto &model : graph::paperWorkloads()) {
+        for (uint64_t batch : batchesFor(model)) {
+            WorkloadCase c;
+            c.model = model;
+            c.batch = batch;
+            c.training = training;
+            c.oodModel = model.name == "GPT3-2.7B";
+            cases.push_back(std::move(c));
+        }
+    }
+    return cases;
+}
+
+std::vector<CaseResult>
+evaluateCases(const std::vector<WorkloadCase> &cases,
+              const std::vector<GpuSpec> &gpus,
+              const std::vector<const graph::LatencyPredictor *>
+                  &predictors)
+{
+    const SimulatorOracle oracle;
+    std::vector<CaseResult> results;
+    for (const auto &c : cases) {
+        const KernelGraph g = buildGraph(c);
+        for (const auto &gpu : gpus) {
+            if (!measurable(c, gpu))
+                continue;
+            CaseResult r;
+            r.modelName = c.model.name;
+            r.batch = c.batch;
+            r.training = c.training;
+            r.gpuName = gpu.name;
+            r.oodGpu = !gpu.inTrainingSet;
+            r.oodModel = c.oodModel;
+            r.measuredMs = oracle.predictGraphMs(g, gpu);
+            for (const auto *p : predictors)
+                r.predictedMs[p->name()] = p->predictGraphMs(g, gpu);
+            results.push_back(std::move(r));
+        }
+    }
+    return results;
+}
+
+std::map<std::string, double>
+endToEndError(const std::vector<CaseResult> &results)
+{
+    std::map<std::string, RunningMean> acc;
+    for (const auto &r : results)
+        for (const auto &[name, pred] : r.predictedMs)
+            acc[name].add(absPercentageError(pred, r.measuredMs));
+    std::map<std::string, double> out;
+    for (const auto &[name, mean_acc] : acc)
+        out[name] = mean_acc.value();
+    return out;
+}
+
+std::map<std::string, double>
+outOfDistributionError(const std::vector<CaseResult> &results)
+{
+    std::map<std::string, RunningMean> acc;
+    for (const auto &r : results) {
+        if (!r.oodGpu && !r.oodModel)
+            continue;
+        for (const auto &[name, pred] : r.predictedMs)
+            acc[name].add(absPercentageError(pred, r.measuredMs));
+    }
+    std::map<std::string, double> out;
+    for (const auto &[name, mean_acc] : acc)
+        out[name] = mean_acc.value();
+    return out;
+}
+
+std::map<OpType, std::map<std::string, double>>
+perOperatorErrors(const std::vector<WorkloadCase> &cases,
+                  const std::vector<GpuSpec> &gpus,
+                  const std::vector<const graph::LatencyPredictor *>
+                      &predictors)
+{
+    std::map<OpType, std::map<std::string, RunningMean>> acc;
+    for (const auto &c : cases) {
+        const KernelGraph g = buildGraph(c);
+        for (const auto &gpu : gpus) {
+            if (!measurable(c, gpu))
+                continue;
+            const gpusim::Device device(gpu);
+            for (const auto &node : g.nodes) {
+                if (node.kind != graph::NodeKind::Compute)
+                    continue;
+                const double measured =
+                    device.measureKernelMs(node.kernel);
+                for (const auto *p : predictors) {
+                    const double pred =
+                        p->predictKernelMs(node.kernel, gpu);
+                    acc[node.kernel.type][p->name()].add(
+                        absPercentageError(pred, measured));
+                }
+            }
+        }
+    }
+    std::map<OpType, std::map<std::string, double>> out;
+    for (const auto &[type, per_pred] : acc)
+        for (const auto &[name, mean_acc] : per_pred)
+            out[type][name] = mean_acc.value();
+    return out;
+}
+
+std::map<OpType, double>
+operatorContribution(const KernelGraph &g, const GpuSpec &gpu)
+{
+    const gpusim::Device device(gpu);
+    std::map<OpType, double> ms_by_type;
+    double total = 0.0;
+    for (const auto &node : g.nodes) {
+        if (node.kind != graph::NodeKind::Compute)
+            continue;
+        const double ms = device.measureKernelMs(node.kernel);
+        ms_by_type[node.kernel.type] += ms;
+        total += ms;
+    }
+    ensure(total > 0.0, "operatorContribution: empty graph");
+    for (auto &[type, ms] : ms_by_type)
+        ms /= total;
+    return ms_by_type;
+}
+
+} // namespace neusight::eval

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * End-to-end evaluation harness (paper Section 6.2): sweeps models x
+ * batch sizes x GPUs, records measured (simulator) latency and each
+ * predictor's forecast, applies the paper's memory screening, and
+ * aggregates mean absolute percentage errors — end-to-end and per
+ * operator family.
+ */
+
+#ifndef NEUSIGHT_EVAL_HARNESS_HPP
+#define NEUSIGHT_EVAL_HARNESS_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/latency_predictor.hpp"
+#include "graph/models.hpp"
+
+namespace neusight::eval {
+
+/** One (model, batch, phase) evaluation point. */
+struct WorkloadCase
+{
+    graph::ModelConfig model;
+    uint64_t batch = 1;
+    bool training = false;
+    /** Model-level out-of-distribution flag (paper: GPT3-2.7B). */
+    bool oodModel = false;
+};
+
+/** One evaluated (case, GPU) cell. */
+struct CaseResult
+{
+    std::string modelName;
+    uint64_t batch = 0;
+    bool training = false;
+    std::string gpuName;
+    bool oodGpu = false;
+    bool oodModel = false;
+    double measuredMs = 0.0;
+    /** Predictor display name -> predicted latency (ms). */
+    std::map<std::string, double> predictedMs;
+};
+
+/**
+ * The paper's Figure-7 sweep: Table-5 models at two batch sizes each,
+ * inference or training.
+ */
+std::vector<WorkloadCase> paperEvaluationCases(bool training);
+
+/**
+ * Evaluate all cases on all GPUs with the given predictors. Applies the
+ * paper's screening: configurations that exceed device memory are
+ * skipped, and training is only measured on GPUs with >= 24 GB.
+ */
+std::vector<CaseResult>
+evaluateCases(const std::vector<WorkloadCase> &cases,
+              const std::vector<gpusim::GpuSpec> &gpus,
+              const std::vector<const graph::LatencyPredictor *>
+                  &predictors);
+
+/** Mean absolute percentage error per predictor over a result set. */
+std::map<std::string, double>
+endToEndError(const std::vector<CaseResult> &results);
+
+/** Error per predictor restricted to OOD (GPU or model) cells. */
+std::map<std::string, double>
+outOfDistributionError(const std::vector<CaseResult> &results);
+
+/**
+ * Kernel-level error per operator family per predictor (paper Figure 8):
+ * every kernel of every case/GPU cell compared individually.
+ */
+std::map<gpusim::OpType, std::map<std::string, double>>
+perOperatorErrors(const std::vector<WorkloadCase> &cases,
+                  const std::vector<gpusim::GpuSpec> &gpus,
+                  const std::vector<const graph::LatencyPredictor *>
+                      &predictors);
+
+/**
+ * Contribution of each operator family to a model's measured end-to-end
+ * latency on one GPU (paper Table 6), as fractions summing to 1.
+ */
+std::map<gpusim::OpType, double>
+operatorContribution(const graph::KernelGraph &g,
+                     const gpusim::GpuSpec &gpu);
+
+} // namespace neusight::eval
+
+#endif // NEUSIGHT_EVAL_HARNESS_HPP

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Simulator oracle: exposes the gpusim ground truth through the
+ * LatencyPredictor interface so "measured" and "predicted" latencies flow
+ * through identical aggregation code in the harness and benches.
+ */
+
+#ifndef NEUSIGHT_EVAL_ORACLE_HPP
+#define NEUSIGHT_EVAL_ORACLE_HPP
+
+#include "gpusim/device.hpp"
+#include "graph/latency_predictor.hpp"
+
+namespace neusight::eval {
+
+/** Ground-truth "predictor" backed by the device simulator. */
+class SimulatorOracle : public graph::LatencyPredictor
+{
+  public:
+    std::string name() const override { return "Measured"; }
+
+    double
+    predictKernelMs(const gpusim::KernelDesc &desc,
+                    const gpusim::GpuSpec &gpu) const override
+    {
+        return gpusim::Device(gpu).measureKernelMs(desc);
+    }
+};
+
+} // namespace neusight::eval
+
+#endif // NEUSIGHT_EVAL_ORACLE_HPP

@@ -1,0 +1,271 @@
+#include "gpusim/device.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace neusight::gpusim {
+
+double
+effectivePeakFlops(const KernelDesc &desc, const GpuSpec &gpu)
+{
+    const bool gemm_family = desc.type == OpType::BatchedMatmul ||
+                             desc.type == OpType::FullyConnected;
+    if (gemm_family && desc.usesTensorCore && gpu.fp16Flops() > 0.0 &&
+        desc.dtype == DataType::Fp16)
+        return gpu.fp16Flops();
+    if (gemm_family)
+        return gpu.matrixFlops();
+    return gpu.peakFlops();
+}
+
+namespace {
+
+/**
+ * Hidden per-GPU behavioural parameters. These model the part of real
+ * hardware/driver/library behaviour that is NOT derivable from the spec
+ * sheet; predictors never see them. Residuals are deterministic functions
+ * of the device name so held-out GPUs carry an irreducible idiosyncrasy,
+ * like real silicon does.
+ */
+struct HiddenParams
+{
+    double launchOverheadUs;
+    double efficiencyResidual; // multiplies the utilization ceiling
+    double rampResidual;       // multiplies the occupancy ramp constant
+};
+
+uint64_t
+nameHash(const std::string &name)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : name) {
+        h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+HiddenParams
+hiddenParams(const GpuSpec &gpu)
+{
+    HiddenParams p;
+    // Launch overhead shrinks with driver/architecture generation.
+    p.launchOverheadUs = gpu.year >= 2022   ? 4.5
+                         : gpu.year >= 2020 ? 5.5
+                         : gpu.year >= 2017 ? 6.5
+                                            : 8.0;
+    if (gpu.vendor == Vendor::Amd)
+        p.launchOverheadUs += 1.5;
+    const uint64_t h = nameHash(gpu.name);
+    p.efficiencyResidual = 1.0 + 0.03 * hashNoise(h, 11, 23);
+    p.rampResidual = 1.0 + 0.25 * hashNoise(h, 37, 71);
+    return p;
+}
+
+/** Utilization ceiling of an operator family (library maturity). */
+double
+opCeiling(OpType type)
+{
+    switch (type) {
+      case OpType::BatchedMatmul:
+        return 0.93;
+      case OpType::FullyConnected:
+        return 0.95;
+      case OpType::Elementwise:
+        return 0.97;
+      case OpType::Softmax:
+        return 0.88;
+      case OpType::LayerNorm:
+        return 0.80;
+      case OpType::Memory:
+        return 0.85;
+    }
+    return 0.85;
+}
+
+/** Occupancy ramp constant: waves needed to approach the ceiling. */
+double
+rampConstant(OpType type)
+{
+    switch (type) {
+      case OpType::BatchedMatmul:
+        return 0.40;
+      case OpType::FullyConnected:
+        return 0.35;
+      case OpType::Elementwise:
+        return 0.60;
+      case OpType::Softmax:
+        return 0.50;
+      case OpType::LayerNorm:
+        return 0.70;
+      case OpType::Memory:
+        return 0.50;
+    }
+    return 0.5;
+}
+
+/**
+ * Architecture factor: the feature-predictable part of how close a GPU
+ * generation's libraries get to peak. Larger L2 parts (newer generations)
+ * achieve more of their roofline.
+ */
+double
+archFactor(const GpuSpec &gpu)
+{
+    return 0.90 + 0.045 * std::tanh(std::log(gpu.l2CacheMB / 8.0) / 2.0);
+}
+
+/** GEMM tile-shape efficiency: fatter tiles expose more reuse. */
+double
+tileFactor(const KernelDesc &desc, const TileInfo &tile)
+{
+    if (desc.type != OpType::BatchedMatmul &&
+        desc.type != OpType::FullyConnected)
+        return 1.0;
+    const size_t rank = tile.dims.size();
+    const double tm = static_cast<double>(tile.dims[rank - 2]);
+    const double tn = static_cast<double>(tile.dims[rank - 1]);
+    const double shape = 0.70 + 0.30 * std::min(1.0, std::sqrt(tm * tn) / 181.0);
+    // Longer reductions amortize prologue/epilogue.
+    const double k = static_cast<double>(desc.reduceDim);
+    const double depth = 0.80 + 0.20 * k / (k + 128.0);
+    return shape * depth;
+}
+
+/** Mild dip in achievable throughput near the roofline ridge point. */
+double
+intensityFactor(double k_intensity, double ridge)
+{
+    if (k_intensity <= 0.0 || ridge <= 0.0)
+        return 1.0;
+    const double x = std::log(k_intensity / ridge);
+    return 1.0 - 0.12 * std::exp(-x * x / 2.0);
+}
+
+/** Tensor-core kernels are harder to keep saturated. */
+double
+dtypeFactor(const KernelDesc &desc)
+{
+    return desc.usesTensorCore ? 0.92 : 1.0;
+}
+
+/**
+ * L2 locality: kernels whose whole working set is L2-resident see more
+ * than DRAM bandwidth.
+ */
+double
+l2BandwidthBoost(const KernelDesc &desc, const GpuSpec &gpu)
+{
+    // Capped at ~1.12x DRAM bandwidth: enough to be a real learning
+    // signal (feature 3 of Table 3 captures the working-set/L2 ratio)
+    // while staying within the error a bandwidth-roofline-bounded
+    // predictor can absorb.
+    const double ratio = desc.memBytes / gpu.l2Bytes();
+    return 1.0 + 0.12 / (1.0 + ratio);
+}
+
+/**
+ * Latency-hiding ramp (paper Fig. 5): more waves per SM means more
+ * independent threads to hide stalls behind.
+ */
+double
+occupancyRamp(double waves, double gamma)
+{
+    return waves / (waves + gamma);
+}
+
+/**
+ * Effective wave count: full waves plus a tail wave that overlaps
+ * partially with its predecessor (threads from multiple tiles execute
+ * concurrently, Section 4.2).
+ */
+double
+effectiveWaves(uint64_t num_tiles, int num_sms)
+{
+    const uint64_t full = num_tiles / static_cast<uint64_t>(num_sms);
+    const uint64_t rem = num_tiles % static_cast<uint64_t>(num_sms);
+    double waves = static_cast<double>(full);
+    if (rem > 0)
+        waves += 0.55 + 0.45 * static_cast<double>(rem) /
+                            static_cast<double>(num_sms);
+    return waves;
+}
+
+} // namespace
+
+Device::Device(GpuSpec spec_) : gpu(std::move(spec_))
+{
+    ensure(gpu.numSms > 0 && gpu.peakFp32Tflops > 0.0 &&
+               gpu.memoryBwGBps > 0.0,
+           "Device: incomplete GPU spec '" + gpu.name + "'");
+}
+
+Device
+Device::byName(const std::string &name)
+{
+    return Device(findGpu(name));
+}
+
+bool
+Device::fitsMemory(double bytes) const
+{
+    return bytes <= gpu.memBytes();
+}
+
+KernelLaunch
+Device::profileKernel(const KernelDesc &desc) const
+{
+    KernelLaunch launch;
+    launch.tile = TilePolicy::select(desc, gpu);
+    launch.numTiles = TilePolicy::numTiles(desc, launch.tile.dims);
+    launch.numWaves = TilePolicy::numWaves(launch.numTiles, gpu.numSms);
+
+    const HiddenParams hidden = hiddenParams(gpu);
+    const double peak = effectivePeakFlops(desc, gpu);
+    const double peak_per_sm = peak / gpu.numSms;
+    const double mem_bw_per_sm =
+        gpu.memBwPerSm() * l2BandwidthBoost(desc, gpu);
+
+    const double k_intensity =
+        launch.tile.flopsPerTile / launch.tile.memBytesPerTile;
+    const double ridge = peak / gpu.memBwBytes();
+    launch.rooflinePerSm =
+        std::min(k_intensity * mem_bw_per_sm, peak_per_sm);
+
+    const double ceiling = opCeiling(desc.type) * archFactor(gpu) *
+                           tileFactor(desc, launch.tile) *
+                           intensityFactor(k_intensity, ridge) *
+                           dtypeFactor(desc) * hidden.efficiencyResidual;
+    const double gamma = rampConstant(desc.type) * hidden.rampResidual;
+    launch.utilization =
+        std::min(0.99, ceiling * occupancyRamp(
+                           static_cast<double>(launch.numWaves), gamma));
+
+    const double tile_lat_s = launch.tile.flopsPerTile /
+                              (launch.rooflinePerSm * launch.utilization);
+    const double eff_waves = effectiveWaves(launch.numTiles, gpu.numSms);
+    double lat_s = tile_lat_s * eff_waves;
+
+    // Deterministic pseudo measurement noise (+/- 2%).
+    const double noise =
+        1.0 + 0.02 * hashNoise(nameHash(gpu.name),
+                               nameHash(desc.opName),
+                               static_cast<uint64_t>(desc.flops) ^
+                                   static_cast<uint64_t>(desc.memBytes));
+    lat_s *= noise;
+
+    launch.overheadMs = hiddenParams(gpu).launchOverheadUs * 1e-3;
+    launch.latencyMs = lat_s * 1e3 + launch.overheadMs;
+    return launch;
+}
+
+double
+Device::measureKernelMs(const KernelDesc &desc) const
+{
+    return profileKernel(desc).latencyMs;
+}
+
+} // namespace neusight::gpusim

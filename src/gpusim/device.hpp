@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The simulated GPU: the measurement substrate standing in for physical
+ * hardware + cuDNN/CUTLASS (see DESIGN.md Section 1). Device::measureKernelMs
+ * is the reproduction's equivalent of timing a kernel with PyTorch on a real
+ * GPU; Device::profileKernel is the equivalent of the PyTorch Profiler
+ * metadata (kernel name, tile size, thread-block count) the paper records
+ * into NeuSight's tile database.
+ *
+ * The execution model implements exactly the mechanisms the paper
+ * attributes to GPUs — tiled dispatch over SMs, wave quantization, roofline
+ * ceilings, occupancy-driven latency hiding (Fig. 5), L2 locality — plus
+ * hidden per-GPU behaviour (library efficiency, launch overhead,
+ * deterministic measurement noise) that predictors must infer from public
+ * spec features alone.
+ */
+
+#ifndef NEUSIGHT_GPUSIM_DEVICE_HPP
+#define NEUSIGHT_GPUSIM_DEVICE_HPP
+
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "gpusim/tile_policy.hpp"
+
+namespace neusight::gpusim {
+
+/** Execution metadata of one simulated kernel launch. */
+struct KernelLaunch
+{
+    TileInfo tile;
+    uint64_t numTiles = 0;
+    uint64_t numWaves = 0;
+    /** Achieved fraction of the per-SM roofline (noise-free). */
+    double utilization = 0.0;
+    /** Per-SM roofline throughput in FLOP/s (Eq. 1, per-SM normalized). */
+    double rooflinePerSm = 0.0;
+    /** End-to-end kernel latency in milliseconds, incl. launch overhead. */
+    double latencyMs = 0.0;
+    /** Fixed launch/driver overhead portion of latencyMs. */
+    double overheadMs = 0.0;
+};
+
+/**
+ * Peak FLOP/s of the datapath @p desc executes on: FP16 tensor peak for
+ * tensor-core kernels, the dedicated FP32 matrix peak for GEMM-family ops
+ * on parts that have one (AMD CDNA), the vector peak otherwise. This is a
+ * *public* convention shared by the simulator and every predictor.
+ */
+double effectivePeakFlops(const KernelDesc &desc, const GpuSpec &gpu);
+
+/** A simulated GPU device. */
+class Device
+{
+  public:
+    /** Wrap a spec from deviceDatabase() (or a hypothetical one). */
+    explicit Device(GpuSpec spec);
+
+    /** Construct from a database name. */
+    static Device byName(const std::string &name);
+
+    /** The public spec of this device. */
+    const GpuSpec &spec() const { return gpu; }
+
+    /**
+     * "Run" @p desc and return its measured latency in milliseconds.
+     * Deterministic: the same kernel on the same device always returns the
+     * same value (including the pseudo measurement noise).
+     */
+    double measureKernelMs(const KernelDesc &desc) const;
+
+    /** Full execution metadata (profiler view) for @p desc. */
+    KernelLaunch profileKernel(const KernelDesc &desc) const;
+
+    /** True when a resident working set of @p bytes fits in device memory. */
+    bool fitsMemory(double bytes) const;
+
+  private:
+    GpuSpec gpu;
+};
+
+} // namespace neusight::gpusim
+
+#endif // NEUSIGHT_GPUSIM_DEVICE_HPP

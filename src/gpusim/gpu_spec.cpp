@@ -1,0 +1,102 @@
+#include "gpusim/gpu_spec.hpp"
+
+#include "common/logging.hpp"
+
+namespace neusight::gpusim {
+
+namespace {
+
+GpuSpec
+makeSpec(std::string name, Vendor vendor, int year, double fp32, double mat,
+         double fp16_tensor, double mem_gb, double bw_gbps, int sms,
+         double l2_mb, double link_gbps, bool training)
+{
+    GpuSpec s;
+    s.name = std::move(name);
+    s.vendor = vendor;
+    s.year = year;
+    s.peakFp32Tflops = fp32;
+    s.matrixFp32Tflops = mat > 0.0 ? mat : fp32;
+    s.fp16TensorTflops = fp16_tensor;
+    s.memorySizeGB = mem_gb;
+    s.memoryBwGBps = bw_gbps;
+    s.numSms = sms;
+    s.l2CacheMB = l2_mb;
+    s.interconnectGBps = link_gbps;
+    s.inTrainingSet = training;
+    return s;
+}
+
+std::vector<GpuSpec>
+buildDatabase()
+{
+    // Columns mirror paper Table 4: peak FP32 TFLOPS (matrix peak for AMD),
+    // memory size GB, memory bandwidth GB/s, #SMs, L2 MB. Interconnect
+    // bandwidth follows Section 6.3 (A100 mesh: 600 GB/s, H100 DGX:
+    // 900 GB/s); PCIe-class parts get 32 GB/s. FP16 tensor peaks are the
+    // public dense numbers used only by the Figure-10 experiment.
+    std::vector<GpuSpec> db;
+    db.push_back(makeSpec("P4", Vendor::Nvidia, 2016, 5.4, 0, 0,
+                          8, 192, 40, 2, 32, true));
+    db.push_back(makeSpec("P100", Vendor::Nvidia, 2016, 9.5, 0, 19.0,
+                          16, 732, 56, 4, 160, true));
+    db.push_back(makeSpec("V100", Vendor::Nvidia, 2017, 8.1, 0, 125.0,
+                          32, 900, 80, 6, 300, true));
+    db.push_back(makeSpec("T4", Vendor::Nvidia, 2018, 14.1, 0, 65.0,
+                          16, 320, 40, 4, 32, true));
+    db.push_back(makeSpec("A100-40GB", Vendor::Nvidia, 2020, 19.5, 0, 312.0,
+                          40, 1555, 108, 40, 600, true));
+    db.push_back(makeSpec("A100-80GB", Vendor::Nvidia, 2020, 19.5, 0, 312.0,
+                          80, 1935, 108, 40, 600, false));
+    db.push_back(makeSpec("L4", Vendor::Nvidia, 2023, 31.3, 0, 242.0,
+                          24, 300, 60, 48, 32, false));
+    db.push_back(makeSpec("H100", Vendor::Nvidia, 2022, 66.9, 0, 989.4,
+                          80, 3430, 132, 50, 900, false));
+    db.push_back(makeSpec("MI100", Vendor::Amd, 2020, 23.1, 46.1, 184.6,
+                          32, 1230, 120, 8, 276, true));
+    db.push_back(makeSpec("MI210", Vendor::Amd, 2021, 22.6, 45.3, 181.0,
+                          64, 1640, 104, 16, 300, true));
+    db.push_back(makeSpec("MI250", Vendor::Amd, 2021, 22.6, 45.3, 181.0,
+                          64, 1640, 104, 16, 400, false));
+    return db;
+}
+
+} // namespace
+
+const std::vector<GpuSpec> &
+deviceDatabase()
+{
+    static const std::vector<GpuSpec> db = buildDatabase();
+    return db;
+}
+
+const GpuSpec &
+findGpu(const std::string &name)
+{
+    for (const auto &spec : deviceDatabase())
+        if (spec.name == name)
+            return spec;
+    fatal("findGpu: unknown GPU '" + name + "'");
+}
+
+std::vector<GpuSpec>
+nvidiaTrainingSet()
+{
+    std::vector<GpuSpec> out;
+    for (const auto &spec : deviceDatabase())
+        if (spec.vendor == Vendor::Nvidia && spec.inTrainingSet)
+            out.push_back(spec);
+    return out;
+}
+
+std::vector<GpuSpec>
+amdTrainingSet()
+{
+    std::vector<GpuSpec> out;
+    for (const auto &spec : deviceDatabase())
+        if (spec.vendor == Vendor::Amd && spec.inTrainingSet)
+            out.push_back(spec);
+    return out;
+}
+
+} // namespace neusight::gpusim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Public GPU specifications. These are exactly the abstract, publicly
+ * documented features NeuSight is allowed to use for an unseen GPU
+ * (paper Table 4 + Section 4.3): peak FLOPS, memory size and bandwidth,
+ * number of SMs, and L2 cache size. The simulator's hidden behavioural
+ * parameters live in gpusim/device.cpp and are never exposed here.
+ */
+
+#ifndef NEUSIGHT_GPUSIM_GPU_SPEC_HPP
+#define NEUSIGHT_GPUSIM_GPU_SPEC_HPP
+
+#include <string>
+#include <vector>
+
+namespace neusight::gpusim {
+
+/** GPU vendor (the paper evaluates NVIDIA and AMD parts). */
+enum class Vendor
+{
+    Nvidia,
+    Amd,
+};
+
+/** Publicly documented per-GPU features (paper Table 4, verbatim). */
+struct GpuSpec
+{
+    std::string name;
+    Vendor vendor = Vendor::Nvidia;
+    int year = 2016;
+
+    /** Peak FP32 FLOPS in TFLOPS (vector datapath). */
+    double peakFp32Tflops = 0.0;
+    /**
+     * Peak FP32 matrix-engine FLOPS in TFLOPS. Equal to the vector peak on
+     * GPUs without a dedicated FP32 matrix datapath; AMD CDNA parts list a
+     * separate matrix peak (Table 4).
+     */
+    double matrixFp32Tflops = 0.0;
+    /** Peak dense FP16 tensor-core/matrix FLOPS in TFLOPS (0 if absent). */
+    double fp16TensorTflops = 0.0;
+
+    double memorySizeGB = 0.0;
+    double memoryBwGBps = 0.0;
+    int numSms = 0;
+    double l2CacheMB = 0.0;
+
+    /**
+     * Bidirectional GPU-to-GPU interconnect bandwidth within a server in
+     * GB/s (NVLink mesh / DGX switch; Section 6.3).
+     */
+    double interconnectGBps = 32.0;
+
+    /** True when the paper uses this GPU to train the predictors (§6.1). */
+    bool inTrainingSet = false;
+
+    /// @name Derived quantities used throughout the framework.
+    /// @{
+    double peakFlops() const { return peakFp32Tflops * 1e12; }
+    double matrixFlops() const { return matrixFp32Tflops * 1e12; }
+    double fp16Flops() const { return fp16TensorTflops * 1e12; }
+    double memBwBytes() const { return memoryBwGBps * 1e9; }
+    double memBytes() const { return memorySizeGB * 1e9; }
+    double l2Bytes() const { return l2CacheMB * 1e6; }
+
+    /** Per-SM peak FLOPS (feature normalization, Table 3). */
+    double peakFlopsPerSm() const { return peakFlops() / numSms; }
+
+    /** Per-SM memory bandwidth in bytes/s. */
+    double memBwPerSm() const { return memBwBytes() / numSms; }
+
+    /** Per-SM L2 capacity in bytes. */
+    double l2BytesPerSm() const { return l2Bytes() / numSms; }
+
+    /** Per-SM off-chip memory capacity in bytes. */
+    double memBytesPerSm() const { return memBytes() / numSms; }
+    /// @}
+};
+
+/** All GPUs of paper Table 4, in its row order. */
+const std::vector<GpuSpec> &deviceDatabase();
+
+/** Look up a GPU by name (e.g. "H100"); fatal() when unknown. */
+const GpuSpec &findGpu(const std::string &name);
+
+/** The NVIDIA training-set GPUs (P4, P100, V100, T4, A100-40GB). */
+std::vector<GpuSpec> nvidiaTrainingSet();
+
+/** The AMD training-set GPUs (MI100, MI210). */
+std::vector<GpuSpec> amdTrainingSet();
+
+} // namespace neusight::gpusim
+
+#endif // NEUSIGHT_GPUSIM_GPU_SPEC_HPP

@@ -1,0 +1,189 @@
+#include "gpusim/kernel_desc.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace neusight::gpusim {
+
+size_t
+dtypeBytes(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::Fp32:
+        return 4;
+      case DataType::Fp16:
+        return 2;
+    }
+    return 4;
+}
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::BatchedMatmul:
+        return "BMM";
+      case OpType::FullyConnected:
+        return "FC";
+      case OpType::Elementwise:
+        return "EW";
+      case OpType::Softmax:
+        return "Softmax";
+      case OpType::LayerNorm:
+        return "LayerNorm";
+      case OpType::Memory:
+        return "Memory";
+    }
+    return "?";
+}
+
+uint64_t
+KernelDesc::numOutputElements() const
+{
+    uint64_t total = 1;
+    for (uint64_t d : outDims)
+        total *= d;
+    return total;
+}
+
+std::string
+KernelDesc::summary() const
+{
+    std::ostringstream oss;
+    oss << opName << "[";
+    for (size_t i = 0; i < outDims.size(); ++i) {
+        if (i)
+            oss << "x";
+        oss << outDims[i];
+    }
+    oss << "] flops=" << flops << " mem=" << memBytes;
+    return oss.str();
+}
+
+KernelDesc
+makeBmm(uint64_t b, uint64_t m, uint64_t n, uint64_t k, DataType dtype,
+        bool tensor_core)
+{
+    ensure(b > 0 && m > 0 && n > 0 && k > 0, "makeBmm: zero dimension");
+    KernelDesc d;
+    d.type = OpType::BatchedMatmul;
+    d.opName = "bmm";
+    d.outDims = {b, m, n};
+    d.reduceDim = k;
+    d.flops = 2.0 * static_cast<double>(b) * static_cast<double>(m) *
+              static_cast<double>(n) * static_cast<double>(k);
+    const double elems = static_cast<double>(b) *
+                         (static_cast<double>(m) * static_cast<double>(k) +
+                          static_cast<double>(k) * static_cast<double>(n) +
+                          static_cast<double>(m) * static_cast<double>(n));
+    d.memBytes = elems * static_cast<double>(dtypeBytes(dtype));
+    d.dtype = dtype;
+    d.usesTensorCore = tensor_core;
+    return d;
+}
+
+KernelDesc
+makeLinear(uint64_t rows, uint64_t in, uint64_t out, DataType dtype,
+           bool tensor_core)
+{
+    ensure(rows > 0 && in > 0 && out > 0, "makeLinear: zero dimension");
+    KernelDesc d;
+    d.type = OpType::FullyConnected;
+    d.opName = "linear";
+    d.outDims = {rows, out};
+    d.reduceDim = in;
+    d.flops = 2.0 * static_cast<double>(rows) * static_cast<double>(in) *
+                  static_cast<double>(out) +
+              static_cast<double>(rows) * static_cast<double>(out);
+    const double elems = static_cast<double>(rows) * static_cast<double>(in) +
+                         static_cast<double>(in) * static_cast<double>(out) +
+                         static_cast<double>(rows) * static_cast<double>(out);
+    d.memBytes = elems * static_cast<double>(dtypeBytes(dtype));
+    d.dtype = dtype;
+    d.usesTensorCore = tensor_core;
+    return d;
+}
+
+double
+elementwiseFlopsPerElem(const std::string &op_name)
+{
+    if (op_name == "add" || op_name == "sub" || op_name == "mul" ||
+        op_name == "div" || op_name == "relu")
+        return 1.0;
+    if (op_name == "tanh" || op_name == "sigmoid")
+        return 4.0;
+    if (op_name == "gelu")
+        return 8.0;
+    if (op_name == "dropout" || op_name == "scale")
+        return 1.0;
+    return 2.0;
+}
+
+KernelDesc
+makeElementwise(const std::string &op_name, uint64_t numel, int arity,
+                double flops_per_elem, DataType dtype)
+{
+    ensure(numel > 0, "makeElementwise: zero elements");
+    ensure(arity >= 1 && arity <= 3, "makeElementwise: bad arity");
+    KernelDesc d;
+    d.type = OpType::Elementwise;
+    d.opName = op_name;
+    d.outDims = {numel};
+    d.flops = static_cast<double>(numel) * flops_per_elem;
+    d.memBytes = static_cast<double>(numel) *
+                 static_cast<double>(arity + 1) *
+                 static_cast<double>(dtypeBytes(dtype));
+    d.dtype = dtype;
+    return d;
+}
+
+KernelDesc
+makeSoftmax(uint64_t rows, uint64_t cols, DataType dtype)
+{
+    ensure(rows > 0 && cols > 0, "makeSoftmax: zero dimension");
+    KernelDesc d;
+    d.type = OpType::Softmax;
+    d.opName = "softmax";
+    d.outDims = {rows, cols};
+    const double numel = static_cast<double>(rows) * static_cast<double>(cols);
+    // max, subtract, exp, accumulate, divide: ~5 FLOPs per element.
+    d.flops = 5.0 * numel;
+    d.memBytes = 2.0 * numel * static_cast<double>(dtypeBytes(dtype));
+    d.dtype = dtype;
+    return d;
+}
+
+KernelDesc
+makeLayerNorm(uint64_t rows, uint64_t cols, DataType dtype)
+{
+    ensure(rows > 0 && cols > 0, "makeLayerNorm: zero dimension");
+    KernelDesc d;
+    d.type = OpType::LayerNorm;
+    d.opName = "layernorm";
+    d.outDims = {rows, cols};
+    const double numel = static_cast<double>(rows) * static_cast<double>(cols);
+    // mean, variance, normalize, affine: ~8 FLOPs per element.
+    d.flops = 8.0 * numel;
+    d.memBytes = (2.0 * numel + 2.0 * static_cast<double>(cols)) *
+                 static_cast<double>(dtypeBytes(dtype));
+    d.dtype = dtype;
+    return d;
+}
+
+KernelDesc
+makeMemoryOp(const std::string &op_name, double bytes, DataType dtype)
+{
+    ensure(bytes > 0.0, "makeMemoryOp: zero bytes");
+    KernelDesc d;
+    d.type = OpType::Memory;
+    d.opName = op_name;
+    d.outDims = {static_cast<uint64_t>(bytes /
+                                       static_cast<double>(dtypeBytes(dtype)))};
+    d.flops = bytes / 100.0; // Negligible compute, keeps intensity nonzero.
+    d.memBytes = bytes;
+    d.dtype = dtype;
+    return d;
+}
+
+} // namespace neusight::gpusim

@@ -1,0 +1,111 @@
+#include "gpusim/spec_io.hpp"
+
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace neusight::gpusim {
+
+using common::Json;
+
+GpuSpec
+gpuSpecFromJson(const Json &json)
+{
+    if (!json.isObject())
+        fatal("gpu spec: expected a JSON object");
+    GpuSpec spec;
+    spec.name = json.at("name").asString();
+    if (spec.name.empty())
+        fatal("gpu spec: empty name");
+
+    const std::string vendor = json.stringOr("vendor", "nvidia");
+    if (vendor == "nvidia" || vendor == "NVIDIA")
+        spec.vendor = Vendor::Nvidia;
+    else if (vendor == "amd" || vendor == "AMD")
+        spec.vendor = Vendor::Amd;
+    else
+        fatal("gpu spec: unknown vendor '" + vendor + "'");
+
+    spec.year = static_cast<int>(json.numberOr("year", 2024));
+    spec.peakFp32Tflops = json.at("peak_fp32_tflops").asDouble();
+    spec.matrixFp32Tflops =
+        json.numberOr("matrix_fp32_tflops", spec.peakFp32Tflops);
+    spec.fp16TensorTflops = json.numberOr("fp16_tensor_tflops", 0.0);
+    spec.memorySizeGB = json.at("memory_size_gb").asDouble();
+    spec.memoryBwGBps = json.at("memory_bw_gbps").asDouble();
+    spec.numSms = static_cast<int>(json.at("num_sms").asInt());
+    spec.l2CacheMB = json.at("l2_cache_mb").asDouble();
+    spec.interconnectGBps = json.numberOr("interconnect_gbps", 32.0);
+    spec.inTrainingSet = json.boolOr("in_training_set", false);
+
+    if (spec.peakFp32Tflops <= 0.0 || spec.matrixFp32Tflops <= 0.0)
+        fatal("gpu spec: peak FLOPS must be positive for " + spec.name);
+    if (spec.memorySizeGB <= 0.0 || spec.memoryBwGBps <= 0.0)
+        fatal("gpu spec: memory size/bandwidth must be positive for " +
+              spec.name);
+    if (spec.numSms <= 0)
+        fatal("gpu spec: SM count must be positive for " + spec.name);
+    if (spec.l2CacheMB <= 0.0)
+        fatal("gpu spec: L2 size must be positive for " + spec.name);
+    if (spec.fp16TensorTflops < 0.0 || spec.interconnectGBps < 0.0)
+        fatal("gpu spec: negative feature for " + spec.name);
+    return spec;
+}
+
+Json
+gpuSpecToJson(const GpuSpec &spec)
+{
+    Json json;
+    json.set("name", spec.name);
+    json.set("vendor", spec.vendor == Vendor::Amd ? "amd" : "nvidia");
+    json.set("year", spec.year);
+    json.set("peak_fp32_tflops", spec.peakFp32Tflops);
+    json.set("matrix_fp32_tflops", spec.matrixFp32Tflops);
+    json.set("fp16_tensor_tflops", spec.fp16TensorTflops);
+    json.set("memory_size_gb", spec.memorySizeGB);
+    json.set("memory_bw_gbps", spec.memoryBwGBps);
+    json.set("num_sms", spec.numSms);
+    json.set("l2_cache_mb", spec.l2CacheMB);
+    json.set("interconnect_gbps", spec.interconnectGBps);
+    json.set("in_training_set", spec.inTrainingSet);
+    return json;
+}
+
+std::vector<GpuSpec>
+loadGpuSpecs(const std::string &path)
+{
+    const Json doc = Json::parseFile(path);
+    std::vector<GpuSpec> specs;
+    if (doc.isArray()) {
+        for (const Json &entry : doc.asArray())
+            specs.push_back(gpuSpecFromJson(entry));
+    } else {
+        specs.push_back(gpuSpecFromJson(doc));
+    }
+    if (specs.empty())
+        fatal("gpu spec: '" + path + "' holds no specs");
+    return specs;
+}
+
+void
+saveGpuSpecs(const std::vector<GpuSpec> &specs, const std::string &path)
+{
+    Json doc;
+    for (const GpuSpec &spec : specs)
+        doc.push(gpuSpecToJson(spec));
+    std::ofstream out(path);
+    if (!out)
+        fatal("gpu spec: cannot write '" + path + "'");
+    out << doc.dump() << "\n";
+}
+
+GpuSpec
+resolveGpu(const std::string &name_or_path)
+{
+    for (const GpuSpec &spec : deviceDatabase())
+        if (spec.name == name_or_path)
+            return spec;
+    return loadGpuSpecs(name_or_path).front();
+}
+
+} // namespace neusight::gpusim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * JSON (de)serialization for GpuSpec: lets users forecast on a GPU that
+ * is not in the built-in Table-4 database by describing it in a config
+ * file with only its publicly announced numbers (the paper's Blackwell
+ * scenario, Section 4.3). Used by the tools/ binaries and the
+ * new-GPU-what-if example.
+ */
+
+#ifndef NEUSIGHT_GPUSIM_SPEC_IO_HPP
+#define NEUSIGHT_GPUSIM_SPEC_IO_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "gpusim/gpu_spec.hpp"
+
+namespace neusight::gpusim {
+
+/**
+ * Build a GpuSpec from a JSON object. Required keys: "name",
+ * "peak_fp32_tflops", "memory_size_gb", "memory_bw_gbps", "num_sms",
+ * "l2_cache_mb". Optional: "vendor" ("nvidia"/"amd"), "year",
+ * "matrix_fp32_tflops" (defaults to the vector peak),
+ * "fp16_tensor_tflops", "interconnect_gbps". fatal() on missing keys or
+ * non-physical values.
+ */
+GpuSpec gpuSpecFromJson(const common::Json &json);
+
+/** Serialize a GpuSpec to the same JSON schema. */
+common::Json gpuSpecToJson(const GpuSpec &spec);
+
+/**
+ * Load one spec or an array of specs from the JSON document at @p path.
+ */
+std::vector<GpuSpec> loadGpuSpecs(const std::string &path);
+
+/** Write @p specs to @p path as a JSON array; fatal() on I/O error. */
+void saveGpuSpecs(const std::vector<GpuSpec> &specs,
+                  const std::string &path);
+
+/**
+ * Resolve a GPU by database name or by config file: when @p name_or_path
+ * names a Table-4 GPU it is returned from the database, otherwise it is
+ * treated as a path to a JSON spec (the first spec of an array file).
+ */
+GpuSpec resolveGpu(const std::string &name_or_path);
+
+} // namespace neusight::gpusim
+
+#endif // NEUSIGHT_GPUSIM_SPEC_IO_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Library tile-size selection, modeling how cuBLAS/CUTLASS-style kernels
+ * partition a kernel's output into identical tiles dispatched across SMs
+ * (paper Section 4.1, Figure 3). The selected tile is both what the
+ * simulator executes and what the PyTorch-Profiler-equivalent metadata
+ * reports into NeuSight's tile database.
+ */
+
+#ifndef NEUSIGHT_GPUSIM_TILE_POLICY_HPP
+#define NEUSIGHT_GPUSIM_TILE_POLICY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace neusight::gpusim {
+
+/** A tile of the output space plus its per-tile cost accounting. */
+struct TileInfo
+{
+    /** Tile dimensions, aligned index-by-index with KernelDesc::outDims. */
+    std::vector<uint64_t> dims;
+    /** FLOPs needed to produce one tile. */
+    double flopsPerTile = 0.0;
+    /** DRAM bytes one tile moves (operand loads + output store). */
+    double memBytesPerTile = 0.0;
+};
+
+/** Tile selection and wave arithmetic (Eq. 2 and Eq. 3). */
+class TilePolicy
+{
+  public:
+    /** Pick the tile a tuned library would launch for @p desc on @p gpu. */
+    static TileInfo select(const KernelDesc &desc, const GpuSpec &gpu);
+
+    /**
+     * Eq. 2: numTiles = prod_i ceil(outDims[i] / tileDims[i]).
+     * @p tile_dims must have the same rank as @p desc.outDims.
+     */
+    static uint64_t numTiles(const KernelDesc &desc,
+                             const std::vector<uint64_t> &tile_dims);
+
+    /** Eq. 3: numWaves = ceil(numTiles / numSms). */
+    static uint64_t numWaves(uint64_t num_tiles, int num_sms);
+
+    /**
+     * Per-tile FLOPs / DRAM bytes for an arbitrary tile shape of @p desc
+     * (GEMM tiles account for operand reuse; pointwise families scale by
+     * output coverage). Used both by select() and by NeuSight when it
+     * re-derives costs for a database-matched tile.
+     */
+    static TileInfo tileCosts(const KernelDesc &desc,
+                              const std::vector<uint64_t> &tile_dims);
+
+    /** The (tm, tn) GEMM tile palette available on @p gpu. */
+    static std::vector<std::pair<uint64_t, uint64_t>>
+    gemmPalette(const GpuSpec &gpu);
+};
+
+} // namespace neusight::gpusim
+
+#endif // NEUSIGHT_GPUSIM_TILE_POLICY_HPP

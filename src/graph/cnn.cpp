@@ -1,0 +1,281 @@
+#include "graph/cnn.hpp"
+
+#include <string>
+
+#include "common/logging.hpp"
+#include "graph/models.hpp"
+
+namespace neusight::graph {
+
+using gpusim::DataType;
+using gpusim::KernelDesc;
+using gpusim::OpType;
+using gpusim::dtypeBytes;
+using gpusim::makeElementwise;
+using gpusim::makeLinear;
+
+uint64_t
+convOutputExtent(uint64_t extent, uint64_t kernel, uint64_t stride,
+                 uint64_t pad)
+{
+    if (stride == 0)
+        fatal("convOutputExtent: zero stride");
+    if (extent + 2 * pad < kernel)
+        fatal("convOutputExtent: window larger than padded input");
+    return (extent + 2 * pad - kernel) / stride + 1;
+}
+
+KernelDesc
+makeConv2d(uint64_t batch, uint64_t c_in, uint64_t height, uint64_t width,
+           uint64_t c_out, uint64_t kernel, uint64_t stride, uint64_t pad,
+           DataType dtype)
+{
+    if (batch == 0 || c_in == 0 || c_out == 0 || kernel == 0)
+        fatal("makeConv2d: zero dimension");
+    const uint64_t oh = convOutputExtent(height, kernel, stride, pad);
+    const uint64_t ow = convOutputExtent(width, kernel, stride, pad);
+    const uint64_t rows = batch * oh * ow;
+    const uint64_t k = c_in * kernel * kernel;
+
+    KernelDesc d;
+    d.type = OpType::FullyConnected;
+    d.opName = "conv2d";
+    d.outDims = {rows, c_out};
+    d.reduceDim = k;
+    d.flops = 2.0 * static_cast<double>(rows) * static_cast<double>(k) *
+              static_cast<double>(c_out);
+    // Implicit GEMM streams the feature map, filter and output once; the
+    // im2col patch matrix is never materialized in DRAM.
+    const double elems =
+        static_cast<double>(batch) * static_cast<double>(c_in) *
+            static_cast<double>(height) * static_cast<double>(width) +
+        static_cast<double>(k) * static_cast<double>(c_out) +
+        static_cast<double>(rows) * static_cast<double>(c_out);
+    d.memBytes = elems * static_cast<double>(dtypeBytes(dtype));
+    d.dtype = dtype;
+    return d;
+}
+
+KernelDesc
+makeBatchNorm(uint64_t rows, uint64_t channels, DataType dtype)
+{
+    if (rows == 0 || channels == 0)
+        fatal("makeBatchNorm: zero dimension");
+    KernelDesc d;
+    d.type = OpType::LayerNorm;
+    d.opName = "batchnorm";
+    d.outDims = {rows, channels};
+    const double numel =
+        static_cast<double>(rows) * static_cast<double>(channels);
+    // Normalize + affine against per-channel statistics: ~4 FLOPs/elem.
+    d.flops = 4.0 * numel;
+    d.memBytes = (2.0 * numel + 4.0 * static_cast<double>(channels)) *
+                 static_cast<double>(dtypeBytes(dtype));
+    d.dtype = dtype;
+    return d;
+}
+
+KernelDesc
+makePool(uint64_t batch, uint64_t channels, uint64_t height, uint64_t width,
+         uint64_t window, uint64_t stride, uint64_t pad, DataType dtype)
+{
+    if (batch == 0 || channels == 0)
+        fatal("makePool: zero dimension");
+    const uint64_t oh = convOutputExtent(height, window, stride, pad);
+    const uint64_t ow = convOutputExtent(width, window, stride, pad);
+    const double in_elems = static_cast<double>(batch) *
+                            static_cast<double>(channels) *
+                            static_cast<double>(height) *
+                            static_cast<double>(width);
+    const double out_elems = static_cast<double>(batch) *
+                             static_cast<double>(channels) *
+                             static_cast<double>(oh) *
+                             static_cast<double>(ow);
+    KernelDesc d;
+    d.type = OpType::Memory;
+    d.opName = "pool";
+    d.outDims = {static_cast<uint64_t>(out_elems)};
+    d.flops = in_elems; // One compare/accumulate per input element.
+    d.memBytes = (in_elems + out_elems) *
+                 static_cast<double>(dtypeBytes(dtype));
+    d.dtype = dtype;
+    return d;
+}
+
+namespace {
+
+/** Conv + BN (+ optional ReLU), the repeated motif of both CNNs. */
+void
+appendConvBnRelu(KernelGraph &g, const std::string &label, uint64_t batch,
+                 uint64_t c_in, uint64_t extent, uint64_t c_out,
+                 uint64_t kernel, uint64_t stride, uint64_t pad, bool relu,
+                 DataType dtype)
+{
+    g.add(makeConv2d(batch, c_in, extent, extent, c_out, kernel, stride,
+                     pad, dtype),
+          label + ".conv");
+    const uint64_t out = convOutputExtent(extent, kernel, stride, pad);
+    g.add(makeBatchNorm(batch * out * out, c_out, dtype), label + ".bn");
+    if (relu)
+        g.add(makeElementwise("relu", batch * out * out * c_out, 1, 1.0,
+                              dtype),
+              label + ".relu");
+}
+
+/**
+ * One ResNet bottleneck: 1x1 reduce, 3x3 (carrying the stride), 1x1
+ * expand, projection shortcut when the shape changes.
+ */
+void
+appendBottleneck(KernelGraph &g, const std::string &label, uint64_t batch,
+                 uint64_t c_in, uint64_t extent, uint64_t mid,
+                 uint64_t c_out, uint64_t stride, DataType dtype)
+{
+    appendConvBnRelu(g, label + ".a", batch, c_in, extent, mid, 1, 1, 0,
+                     true, dtype);
+    appendConvBnRelu(g, label + ".b", batch, mid, extent, mid, 3, stride, 1,
+                     true, dtype);
+    const uint64_t out_extent = extent / stride;
+    appendConvBnRelu(g, label + ".c", batch, mid, out_extent, c_out, 1, 1,
+                     0, false, dtype);
+    if (stride != 1 || c_in != c_out)
+        appendConvBnRelu(g, label + ".down", batch, c_in, extent, c_out, 1,
+                         stride, 0, false, dtype);
+    const uint64_t numel = batch * out_extent * out_extent * c_out;
+    g.add(makeElementwise("add", numel, 2, 1.0, dtype), label + ".residual");
+    g.add(makeElementwise("relu", numel, 1, 1.0, dtype), label + ".out");
+}
+
+} // namespace
+
+KernelGraph
+buildResNet50Graph(uint64_t batch, DataType dtype)
+{
+    if (batch == 0)
+        fatal("buildResNet50Graph: batch must be positive");
+    KernelGraph g;
+
+    // Stem: 7x7/2 conv then 3x3/2 max-pool, 224 -> 56.
+    appendConvBnRelu(g, "stem", batch, 3, 224, 64, 7, 2, 3, true, dtype);
+    g.add(makePool(batch, 64, 112, 112, 3, 2, 1, dtype), "stem.maxpool");
+
+    struct Stage
+    {
+        uint64_t blocks;
+        uint64_t mid;
+        uint64_t out;
+        uint64_t stride;
+    };
+    const Stage stages[] = {
+        {3, 64, 256, 1},
+        {4, 128, 512, 2},
+        {6, 256, 1024, 2},
+        {3, 512, 2048, 2},
+    };
+
+    uint64_t c_in = 64;
+    uint64_t extent = 56;
+    for (size_t s = 0; s < 4; ++s) {
+        const Stage &stage = stages[s];
+        for (uint64_t b = 0; b < stage.blocks; ++b) {
+            const uint64_t stride = (b == 0) ? stage.stride : 1;
+            const std::string label = "stage" + std::to_string(s + 1) +
+                                      ".block" + std::to_string(b);
+            appendBottleneck(g, label, batch, c_in, extent, stage.mid,
+                             stage.out, stride, dtype);
+            extent /= stride;
+            c_in = stage.out;
+        }
+    }
+
+    // Global average pool (7x7 -> 1x1) and classifier.
+    g.add(makePool(batch, 2048, 7, 7, 7, 7, 0, dtype), "head.avgpool");
+    g.add(makeLinear(batch, 2048, 1000, dtype), "head.fc");
+    return g;
+}
+
+KernelGraph
+buildResNet50TrainingGraph(uint64_t batch, DataType dtype)
+{
+    KernelGraph g = buildResNet50Graph(batch, dtype);
+    appendBackwardPass(g);
+    return g;
+}
+
+KernelGraph
+buildVgg16Graph(uint64_t batch, DataType dtype)
+{
+    if (batch == 0)
+        fatal("buildVgg16Graph: batch must be positive");
+    KernelGraph g;
+
+    struct Stage
+    {
+        uint64_t convs;
+        uint64_t channels;
+    };
+    const Stage stages[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+
+    uint64_t c_in = 3;
+    uint64_t extent = 224;
+    for (size_t s = 0; s < 5; ++s) {
+        const Stage &stage = stages[s];
+        const std::string base = "stage" + std::to_string(s + 1);
+        for (uint64_t c = 0; c < stage.convs; ++c) {
+            const std::string label = base + ".conv" + std::to_string(c);
+            g.add(makeConv2d(batch, c_in, extent, extent, stage.channels, 3,
+                             1, 1, dtype),
+                  label);
+            g.add(makeElementwise("relu",
+                                  batch * extent * extent * stage.channels,
+                                  1, 1.0, dtype),
+                  label + ".relu");
+            c_in = stage.channels;
+        }
+        g.add(makePool(batch, stage.channels, extent, extent, 2, 2, 0,
+                       dtype),
+              base + ".maxpool");
+        extent /= 2;
+    }
+
+    // Classifier head: 512*7*7 -> 4096 -> 4096 -> 1000.
+    g.add(makeLinear(batch, 512 * 7 * 7, 4096, dtype), "head.fc1");
+    g.add(makeElementwise("relu", batch * 4096, 1, 1.0, dtype),
+          "head.fc1.relu");
+    g.add(makeLinear(batch, 4096, 4096, dtype), "head.fc2");
+    g.add(makeElementwise("relu", batch * 4096, 1, 1.0, dtype),
+          "head.fc2.relu");
+    g.add(makeLinear(batch, 4096, 1000, dtype), "head.fc3");
+    return g;
+}
+
+double
+cnnParameterCount(const KernelGraph &graph)
+{
+    double total = 0.0;
+    for (const KernelNode &node : graph.nodes) {
+        if (node.kind != NodeKind::Compute)
+            continue;
+        const KernelDesc &k = node.kernel;
+        if (k.type == OpType::FullyConnected) {
+            // Weight (K x out); conv filters have no bias (BN follows),
+            // classifier linears do.
+            total += static_cast<double>(k.reduceDim) *
+                     static_cast<double>(k.outDims[1]);
+            if (k.opName == "linear")
+                total += static_cast<double>(k.outDims[1]);
+        } else if (k.type == OpType::LayerNorm && k.opName == "batchnorm") {
+            total += 2.0 * static_cast<double>(k.outDims[1]);
+        }
+    }
+    return total;
+}
+
+double
+resNet50ParameterCount()
+{
+    static const double count = cnnParameterCount(buildResNet50Graph(1));
+    return count;
+}
+
+} // namespace neusight::graph

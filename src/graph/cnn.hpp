@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Convolutional workloads. The paper's kernel taxonomy (Section 2.2)
+ * includes CONV as a GEMM-family kernel: modern libraries lower Conv2d to
+ * implicit GEMM, which is how it is modeled here — a fully-connected
+ * kernel of the im2col shape, predicted by the FC family. ResNet-50 is
+ * the paper's running example for cycle-accurate-simulator cost
+ * (Section 1: "up to 18 hours to simulate ResNet-50 with batch 256"),
+ * so it is the builder provided.
+ */
+
+#ifndef NEUSIGHT_GRAPH_CNN_HPP
+#define NEUSIGHT_GRAPH_CNN_HPP
+
+#include "graph/graph.hpp"
+
+namespace neusight::graph {
+
+/**
+ * Conv2d as an implicit GEMM: output (N*OH*OW, Cout) = im2col patches
+ * (N*OH*OW, Cin*KH*KW) x filter (Cin*KH*KW, Cout). Stride/padding enter
+ * through the output spatial size.
+ */
+gpusim::KernelDesc makeConv2d(uint64_t batch, uint64_t c_in,
+                              uint64_t height, uint64_t width,
+                              uint64_t c_out, uint64_t kernel,
+                              uint64_t stride = 1, uint64_t pad = 0,
+                              gpusim::DataType dtype =
+                                  gpusim::DataType::Fp32);
+
+/** Batch normalization over (rows, channels): a row-reduction kernel. */
+gpusim::KernelDesc makeBatchNorm(uint64_t rows, uint64_t channels,
+                                 gpusim::DataType dtype =
+                                     gpusim::DataType::Fp32);
+
+/** Window pooling (max/average): memory-bound over the feature map. */
+gpusim::KernelDesc makePool(uint64_t batch, uint64_t channels,
+                            uint64_t height, uint64_t width,
+                            uint64_t window, uint64_t stride,
+                            uint64_t pad = 0,
+                            gpusim::DataType dtype =
+                                gpusim::DataType::Fp32);
+
+/** Spatial output extent of a conv/pool window sweep. */
+uint64_t convOutputExtent(uint64_t extent, uint64_t kernel, uint64_t stride,
+                          uint64_t pad);
+
+/**
+ * ResNet-50 inference forward pass (ImageNet 224x224 input): the stem,
+ * sixteen bottleneck blocks over four stages, global pooling and the
+ * 1000-way classifier.
+ */
+KernelGraph buildResNet50Graph(uint64_t batch,
+                               gpusim::DataType dtype =
+                                   gpusim::DataType::Fp32);
+
+/** ResNet-50 training iteration (forward + backward). */
+KernelGraph buildResNet50TrainingGraph(uint64_t batch,
+                                       gpusim::DataType dtype =
+                                           gpusim::DataType::Fp32);
+
+/**
+ * VGG-16 inference forward pass (ImageNet 224x224): thirteen 3x3 convs in
+ * five max-pooled stages and the three-layer classifier head.
+ */
+KernelGraph buildVgg16Graph(uint64_t batch,
+                            gpusim::DataType dtype =
+                                gpusim::DataType::Fp32);
+
+/**
+ * Trainable parameters implied by the conv / fully-connected / norm
+ * kernels of a CNN graph (weights are batch-independent, so any batch
+ * size gives the same count). Used for memory screening.
+ */
+double cnnParameterCount(const KernelGraph &graph);
+
+/** Approximate ResNet-50 parameter count (for memory screening). */
+double resNet50ParameterCount();
+
+} // namespace neusight::graph
+
+#endif // NEUSIGHT_GRAPH_CNN_HPP

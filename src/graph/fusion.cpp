@@ -1,0 +1,95 @@
+#include "graph/fusion.hpp"
+
+#include "common/logging.hpp"
+
+namespace neusight::graph {
+
+using gpusim::DataType;
+using gpusim::KernelDesc;
+using gpusim::OpType;
+using gpusim::dtypeBytes;
+
+namespace {
+
+/** Pointwise activations that fuse into a preceding GEMM epilogue. */
+bool
+isActivation(const KernelDesc &k)
+{
+    return k.type == OpType::Elementwise &&
+           (k.opName == "gelu" || k.opName == "relu" || k.opName == "tanh" ||
+            k.opName == "sigmoid");
+}
+
+/** Elements of the intermediate tensor between the two kernels. */
+double
+intermediateElems(const KernelDesc &second)
+{
+    double elems = 1.0;
+    for (uint64_t d : second.outDims)
+        elems *= static_cast<double>(d);
+    return elems;
+}
+
+} // namespace
+
+bool
+canFuse(const KernelDesc &first, const KernelDesc &second)
+{
+    if (first.dtype != second.dtype)
+        return false;
+    // Residual add + layer norm over the same elements.
+    if (first.type == OpType::Elementwise && first.opName == "add" &&
+        second.type == OpType::LayerNorm) {
+        const uint64_t ln_elems = second.outDims[0] * second.outDims[1];
+        return first.outDims[0] == ln_elems;
+    }
+    // GEMM + activation over the GEMM output.
+    if ((first.type == OpType::FullyConnected ||
+         first.type == OpType::BatchedMatmul) &&
+        isActivation(second)) {
+        return first.numOutputElements() == second.outDims[0];
+    }
+    return false;
+}
+
+KernelDesc
+fuseKernels(const KernelDesc &first, const KernelDesc &second)
+{
+    ensure(canFuse(first, second), "fuseKernels: kernels are not fusible");
+    KernelDesc fused = first;
+    fused.opName = first.opName + "+" + second.opName;
+    fused.flops = first.flops + second.flops;
+    // Drop the intermediate tensor's store (epilogue of the first kernel)
+    // and load (prologue of the second kernel): Section 4.4.
+    const double saved = 2.0 * intermediateElems(second) *
+                         static_cast<double>(dtypeBytes(first.dtype));
+    fused.memBytes = first.memBytes + second.memBytes - saved;
+    ensure(fused.memBytes > 0.0, "fuseKernels: negative fused traffic");
+    return fused;
+}
+
+KernelGraph
+fuseGraph(const KernelGraph &g)
+{
+    KernelGraph out;
+    size_t i = 0;
+    while (i < g.nodes.size()) {
+        const KernelNode &node = g.nodes[i];
+        if (node.kind == NodeKind::Compute && i + 1 < g.nodes.size() &&
+            g.nodes[i + 1].kind == NodeKind::Compute &&
+            canFuse(node.kernel, g.nodes[i + 1].kernel)) {
+            KernelDesc fused = fuseKernels(node.kernel,
+                                           g.nodes[i + 1].kernel);
+            out.nodes.push_back(KernelNode::compute(
+                std::move(fused),
+                node.label + "+" + g.nodes[i + 1].label));
+            i += 2;
+            continue;
+        }
+        out.nodes.push_back(node);
+        ++i;
+    }
+    return out;
+}
+
+} // namespace neusight::graph

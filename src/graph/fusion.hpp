@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Operator fusion pass (paper Section 4.4): consecutive memory-bound
+ * kernels are merged, accumulating FLOPs while discarding the DRAM traffic
+ * of the intermediate tensor. The fused kernel keeps the type and tiling
+ * of the first operator, which is also the predictor NeuSight uses for it.
+ *
+ * Implemented patterns (the two the paper describes):
+ *  - element-wise add + layer normalization (residual connections), and
+ *  - GEMM (fully-connected / BMM) + pointwise activation.
+ */
+
+#ifndef NEUSIGHT_GRAPH_FUSION_HPP
+#define NEUSIGHT_GRAPH_FUSION_HPP
+
+#include "graph/graph.hpp"
+
+namespace neusight::graph {
+
+/** Return a copy of @p g with all fusible adjacent pairs merged. */
+KernelGraph fuseGraph(const KernelGraph &g);
+
+/** True when the two compute kernels can fuse under Section 4.4 rules. */
+bool canFuse(const gpusim::KernelDesc &first,
+             const gpusim::KernelDesc &second);
+
+/** Merge two fusible kernels into one (see canFuse). */
+gpusim::KernelDesc fuseKernels(const gpusim::KernelDesc &first,
+                               const gpusim::KernelDesc &second);
+
+} // namespace neusight::graph
+
+#endif // NEUSIGHT_GRAPH_FUSION_HPP

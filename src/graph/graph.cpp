@@ -1,0 +1,71 @@
+#include "graph/graph.hpp"
+
+namespace neusight::graph {
+
+KernelNode
+KernelNode::compute(gpusim::KernelDesc kernel, std::string label)
+{
+    KernelNode node;
+    node.kind = NodeKind::Compute;
+    node.kernel = std::move(kernel);
+    node.label = std::move(label);
+    return node;
+}
+
+KernelNode
+KernelNode::comm(NodeKind kind, double bytes, std::string label)
+{
+    KernelNode node;
+    node.kind = kind;
+    node.commBytes = bytes;
+    node.label = std::move(label);
+    return node;
+}
+
+void
+KernelGraph::add(gpusim::KernelDesc kernel, std::string label)
+{
+    nodes.push_back(KernelNode::compute(std::move(kernel), std::move(label)));
+}
+
+double
+KernelGraph::totalFlops() const
+{
+    double total = 0.0;
+    for (const auto &node : nodes)
+        if (node.kind == NodeKind::Compute)
+            total += node.kernel.flops;
+    return total;
+}
+
+double
+KernelGraph::totalMemBytes() const
+{
+    double total = 0.0;
+    for (const auto &node : nodes)
+        if (node.kind == NodeKind::Compute)
+            total += node.kernel.memBytes;
+    return total;
+}
+
+size_t
+KernelGraph::countType(gpusim::OpType type) const
+{
+    size_t count = 0;
+    for (const auto &node : nodes)
+        if (node.kind == NodeKind::Compute && node.kernel.type == type)
+            ++count;
+    return count;
+}
+
+size_t
+KernelGraph::computeNodeCount() const
+{
+    size_t count = 0;
+    for (const auto &node : nodes)
+        if (node.kind == NodeKind::Compute)
+            ++count;
+    return count;
+}
+
+} // namespace neusight::graph

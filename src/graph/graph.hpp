@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dataflow-graph IR: the sequence of kernels a framework dispatches to one
+ * GPU for a model, in execution order. This is the reproduction's
+ * equivalent of the operator/kernel graph the paper extracts with Torch.fx
+ * (Section 5). Kernels execute sequentially on the device, so per-GPU
+ * latency is the sum over nodes; communication nodes are inserted by the
+ * distributed transforms (Section 5.1).
+ */
+
+#ifndef NEUSIGHT_GRAPH_GRAPH_HPP
+#define NEUSIGHT_GRAPH_GRAPH_HPP
+
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel_desc.hpp"
+
+namespace neusight::graph {
+
+/** What a node represents. */
+enum class NodeKind
+{
+    Compute,
+    /** Ring all-reduce across the parallel group (DP gradients, TP acts). */
+    AllReduce,
+    /** Point-to-point activation transfer between pipeline stages. */
+    SendRecv,
+};
+
+/** One node of the per-GPU execution sequence. */
+struct KernelNode
+{
+    NodeKind kind = NodeKind::Compute;
+    /** Kernel metadata; meaningful when kind == Compute. */
+    gpusim::KernelDesc kernel;
+    /** Payload bytes; meaningful for communication nodes. */
+    double commBytes = 0.0;
+    /** Human-readable origin, e.g. "layer3.attn.qkv". */
+    std::string label;
+
+    /** Convenience constructor for compute nodes. */
+    static KernelNode compute(gpusim::KernelDesc kernel, std::string label);
+
+    /** Convenience constructor for communication nodes. */
+    static KernelNode comm(NodeKind kind, double bytes, std::string label);
+};
+
+/** Sequential kernel graph for one device. */
+struct KernelGraph
+{
+    std::vector<KernelNode> nodes;
+
+    /** Append a compute node. */
+    void add(gpusim::KernelDesc kernel, std::string label);
+
+    /** Total FLOPs over compute nodes. */
+    double totalFlops() const;
+
+    /** Total DRAM traffic over compute nodes. */
+    double totalMemBytes() const;
+
+    /** Number of compute nodes of the given family. */
+    size_t countType(gpusim::OpType type) const;
+
+    /** Number of compute nodes. */
+    size_t computeNodeCount() const;
+};
+
+} // namespace neusight::graph
+
+#endif // NEUSIGHT_GRAPH_GRAPH_HPP

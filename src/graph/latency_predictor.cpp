@@ -1,0 +1,16 @@
+#include "graph/latency_predictor.hpp"
+
+namespace neusight::graph {
+
+double
+LatencyPredictor::predictGraphMs(const KernelGraph &g,
+                                 const gpusim::GpuSpec &gpu) const
+{
+    double total = 0.0;
+    for (const auto &node : g.nodes)
+        if (node.kind == NodeKind::Compute)
+            total += predictKernelMs(node.kernel, gpu);
+    return total;
+}
+
+} // namespace neusight::graph

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Abstract latency-predictor interface implemented by NeuSight and by
+ * every baseline (roofline analysis, Habitat, Li et al.), so the
+ * evaluation harness and benches can sweep them uniformly.
+ */
+
+#ifndef NEUSIGHT_GRAPH_LATENCY_PREDICTOR_HPP
+#define NEUSIGHT_GRAPH_LATENCY_PREDICTOR_HPP
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "gpusim/gpu_spec.hpp"
+
+namespace neusight::graph {
+
+/** Predicts DNN kernel / model latency on a (possibly unseen) GPU. */
+class LatencyPredictor
+{
+  public:
+    virtual ~LatencyPredictor() = default;
+
+    /** Display name ("NeuSight", "Roofline", "Habitat", "Li et al."). */
+    virtual std::string name() const = 0;
+
+    /** Latency of one kernel on @p gpu in milliseconds. */
+    virtual double predictKernelMs(const gpusim::KernelDesc &desc,
+                                   const gpusim::GpuSpec &gpu) const = 0;
+
+    /**
+     * Per-GPU latency of a kernel graph: kernels execute sequentially on
+     * the device (Section 5), so the default sums over compute nodes.
+     */
+    virtual double predictGraphMs(const KernelGraph &g,
+                                  const gpusim::GpuSpec &gpu) const;
+};
+
+} // namespace neusight::graph
+
+#endif // NEUSIGHT_GRAPH_LATENCY_PREDICTOR_HPP

@@ -1,0 +1,98 @@
+#include "graph/model_io.hpp"
+
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace neusight::graph {
+
+using common::Json;
+
+ModelConfig
+modelConfigFromJson(const Json &json)
+{
+    if (!json.isObject())
+        fatal("model config: expected a JSON object");
+    ModelConfig config;
+    config.name = json.at("name").asString();
+    if (config.name.empty())
+        fatal("model config: empty name");
+    config.numLayers = static_cast<uint64_t>(json.at("num_layers").asInt());
+    config.hidden = static_cast<uint64_t>(json.at("hidden").asInt());
+    config.heads = static_cast<uint64_t>(json.at("heads").asInt());
+    config.seq = static_cast<uint64_t>(json.at("seq").asInt());
+    config.ffDim = static_cast<uint64_t>(
+        json.has("ff_dim") ? json.at("ff_dim").asInt() : 0);
+    config.vocab = static_cast<uint64_t>(
+        json.has("vocab") ? json.at("vocab").asInt() : 50257);
+    config.numExperts = static_cast<uint64_t>(
+        json.has("num_experts") ? json.at("num_experts").asInt() : 1);
+    config.encoderOnly = json.boolOr("encoder_only", false);
+
+    if (config.numLayers == 0 || config.hidden == 0 || config.heads == 0 ||
+        config.seq == 0)
+        fatal("model config: zero dimension in " + config.name);
+    if (config.hidden % config.heads != 0)
+        fatal("model config: hidden (" + std::to_string(config.hidden) +
+              ") must be divisible by heads (" +
+              std::to_string(config.heads) + ") in " + config.name);
+    if (config.vocab == 0 || config.numExperts == 0)
+        fatal("model config: zero vocab/experts in " + config.name);
+    return config;
+}
+
+Json
+modelConfigToJson(const ModelConfig &config)
+{
+    Json json;
+    json.set("name", config.name);
+    json.set("num_layers", config.numLayers);
+    json.set("hidden", config.hidden);
+    json.set("heads", config.heads);
+    json.set("seq", config.seq);
+    json.set("ff_dim", config.ffDim);
+    json.set("vocab", config.vocab);
+    json.set("num_experts", config.numExperts);
+    json.set("encoder_only", config.encoderOnly);
+    return json;
+}
+
+std::vector<ModelConfig>
+loadModelConfigs(const std::string &path)
+{
+    const Json doc = Json::parseFile(path);
+    std::vector<ModelConfig> configs;
+    if (doc.isArray()) {
+        for (const Json &entry : doc.asArray())
+            configs.push_back(modelConfigFromJson(entry));
+    } else {
+        configs.push_back(modelConfigFromJson(doc));
+    }
+    if (configs.empty())
+        fatal("model config: '" + path + "' holds no configs");
+    return configs;
+}
+
+void
+saveModelConfigs(const std::vector<ModelConfig> &configs,
+                 const std::string &path)
+{
+    Json doc;
+    for (const ModelConfig &config : configs)
+        doc.push(modelConfigToJson(config));
+    std::ofstream out(path);
+    if (!out)
+        fatal("model config: cannot write '" + path + "'");
+    out << doc.dump() << "\n";
+}
+
+ModelConfig
+resolveModel(const std::string &name_or_path)
+{
+    for (const ModelConfig &config : paperWorkloads())
+        if (config.name == name_or_path)
+            return config;
+    return loadModelConfigs(name_or_path).front();
+}
+
+} // namespace neusight::graph

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * JSON (de)serialization for ModelConfig: lets users forecast model
+ * architectures that are not in the built-in Table-5 set — the paper's
+ * "new model architectures on existing GPUs" scenario — by describing
+ * the transformer hyper-parameters in a config file.
+ */
+
+#ifndef NEUSIGHT_GRAPH_MODEL_IO_HPP
+#define NEUSIGHT_GRAPH_MODEL_IO_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "graph/models.hpp"
+
+namespace neusight::graph {
+
+/**
+ * Build a ModelConfig from a JSON object. Required keys: "name",
+ * "num_layers", "hidden", "heads", "seq". Optional: "ff_dim" (default
+ * 4*hidden), "vocab", "num_experts", "encoder_only". fatal() on missing
+ * keys or inconsistent dimensions (hidden must divide heads).
+ */
+ModelConfig modelConfigFromJson(const common::Json &json);
+
+/** Serialize a ModelConfig to the same JSON schema. */
+common::Json modelConfigToJson(const ModelConfig &config);
+
+/** Load one config or an array of configs from the document at @p path. */
+std::vector<ModelConfig> loadModelConfigs(const std::string &path);
+
+/** Write @p configs to @p path as a JSON array; fatal() on I/O error. */
+void saveModelConfigs(const std::vector<ModelConfig> &configs,
+                      const std::string &path);
+
+/**
+ * Resolve a model by Table-5 name or by config file: unknown names are
+ * treated as a path to a JSON description (first config of an array).
+ */
+ModelConfig resolveModel(const std::string &name_or_path);
+
+} // namespace neusight::graph
+
+#endif // NEUSIGHT_GRAPH_MODEL_IO_HPP

@@ -1,0 +1,647 @@
+#include "nn/autograd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+
+namespace neusight::nn {
+
+namespace {
+
+std::atomic<uint64_t> nextNodeId{1};
+
+std::shared_ptr<Node>
+makeNode(Matrix value, std::vector<std::shared_ptr<Node>> parents,
+         std::function<void(Node &)> backfn)
+{
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    node->parents = std::move(parents);
+    node->backfn = std::move(backfn);
+    node->id = nextNodeId.fetch_add(1, std::memory_order_relaxed);
+    for (const auto &p : node->parents)
+        node->requiresGrad = node->requiresGrad || p->requiresGrad;
+    return node;
+}
+
+} // namespace
+
+Var
+makeOpNode(Matrix value, std::vector<std::shared_ptr<Node>> parents,
+           std::function<void(Node &)> backfn)
+{
+    return Var(makeNode(std::move(value), std::move(parents),
+                        std::move(backfn)));
+}
+
+Matrix &
+Node::ensureGrad()
+{
+    if (!gradAllocated) {
+        grad = Matrix(value.rows(), value.cols());
+        gradAllocated = true;
+    }
+    return grad;
+}
+
+const Matrix &
+Var::grad() const
+{
+    ensure(node_ != nullptr, "Var::grad on null Var");
+    return node_->ensureGrad();
+}
+
+Var
+parameter(Matrix value, std::string name)
+{
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    node->requiresGrad = true;
+    node->name = std::move(name);
+    node->id = nextNodeId.fetch_add(1, std::memory_order_relaxed);
+    return Var(node);
+}
+
+Var
+constant(Matrix value)
+{
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    node->id = nextNodeId.fetch_add(1, std::memory_order_relaxed);
+    return Var(node);
+}
+
+void
+backward(const Var &output)
+{
+    ensure(output && output.value().rows() == 1 && output.value().cols() == 1,
+           "backward: output must be a 1x1 scalar");
+
+    // Gather every node reachable from the output.
+    std::vector<std::shared_ptr<Node>> tape;
+    std::unordered_set<Node *> seen;
+    std::vector<std::shared_ptr<Node>> stack{output.node()};
+    while (!stack.empty()) {
+        auto node = stack.back();
+        stack.pop_back();
+        if (!seen.insert(node.get()).second)
+            continue;
+        tape.push_back(node);
+        for (const auto &p : node->parents)
+            stack.push_back(p);
+    }
+    // Creation order is a topological order: parents precede children.
+    std::sort(tape.begin(), tape.end(),
+              [](const auto &a, const auto &b) { return a->id > b->id; });
+
+    output.node()->ensureGrad().fill(1.0);
+    for (const auto &node : tape) {
+        if (node->backfn && node->gradAllocated && node->requiresGrad)
+            node->backfn(*node);
+    }
+}
+
+Var
+matmulAv(const Var &a, const Var &b)
+{
+    Matrix out = matmul(a.value(), b.value());
+    return Var(makeNode(std::move(out), {a.node(), b.node()}, [](Node &self) {
+        auto &pa = *self.parents[0];
+        auto &pb = *self.parents[1];
+        if (pa.requiresGrad)
+            addInPlace(pa.ensureGrad(), matmulNT(self.grad, pb.value));
+        if (pb.requiresGrad)
+            addInPlace(pb.ensureGrad(), matmulTN(pa.value, self.grad));
+    }));
+}
+
+Var
+addAv(const Var &a, const Var &b)
+{
+    Matrix out = add(a.value(), b.value());
+    return Var(makeNode(std::move(out), {a.node(), b.node()}, [](Node &self) {
+        for (auto &p : self.parents)
+            if (p->requiresGrad)
+                addInPlace(p->ensureGrad(), self.grad);
+    }));
+}
+
+Var
+subAv(const Var &a, const Var &b)
+{
+    Matrix out = sub(a.value(), b.value());
+    return Var(makeNode(std::move(out), {a.node(), b.node()}, [](Node &self) {
+        if (self.parents[0]->requiresGrad)
+            addInPlace(self.parents[0]->ensureGrad(), self.grad);
+        if (self.parents[1]->requiresGrad)
+            axpyInPlace(self.parents[1]->ensureGrad(), -1.0, self.grad);
+    }));
+}
+
+Var
+mulAv(const Var &a, const Var &b)
+{
+    Matrix out = mul(a.value(), b.value());
+    return Var(makeNode(std::move(out), {a.node(), b.node()}, [](Node &self) {
+        auto &pa = *self.parents[0];
+        auto &pb = *self.parents[1];
+        if (pa.requiresGrad)
+            addInPlace(pa.ensureGrad(), mul(self.grad, pb.value));
+        if (pb.requiresGrad)
+            addInPlace(pb.ensureGrad(), mul(self.grad, pa.value));
+    }));
+}
+
+Var
+scaleAv(const Var &a, double s)
+{
+    Matrix out = scale(a.value(), s);
+    return Var(makeNode(std::move(out), {a.node()}, [s](Node &self) {
+        if (self.parents[0]->requiresGrad)
+            axpyInPlace(self.parents[0]->ensureGrad(), s, self.grad);
+    }));
+}
+
+Var
+addRowBroadcastAv(const Var &x, const Var &bias)
+{
+    Matrix out = addRowBroadcast(x.value(), bias.value());
+    return Var(makeNode(std::move(out), {x.node(), bias.node()},
+                        [](Node &self) {
+        if (self.parents[0]->requiresGrad)
+            addInPlace(self.parents[0]->ensureGrad(), self.grad);
+        if (self.parents[1]->requiresGrad)
+            addInPlace(self.parents[1]->ensureGrad(), colSum(self.grad));
+    }));
+}
+
+Var
+reluAv(const Var &x)
+{
+    Matrix out = x.value();
+    for (size_t i = 0; i < out.size(); ++i)
+        out.raw()[i] = std::max(out.raw()[i], 0.0);
+    return Var(makeNode(std::move(out), {x.node()}, [](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        for (size_t i = 0; i < g.size(); ++i)
+            if (p.value.raw()[i] > 0.0)
+                g.raw()[i] += self.grad.raw()[i];
+    }));
+}
+
+Var
+sigmoidAv(const Var &x)
+{
+    Matrix out = x.value();
+    out.apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+    return Var(makeNode(std::move(out), {x.node()}, [](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        for (size_t i = 0; i < g.size(); ++i) {
+            const double y = self.value.raw()[i];
+            g.raw()[i] += self.grad.raw()[i] * y * (1.0 - y);
+        }
+    }));
+}
+
+Var
+tanhAv(const Var &x)
+{
+    Matrix out = x.value();
+    out.apply([](double v) { return std::tanh(v); });
+    return Var(makeNode(std::move(out), {x.node()}, [](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        for (size_t i = 0; i < g.size(); ++i) {
+            const double y = self.value.raw()[i];
+            g.raw()[i] += self.grad.raw()[i] * (1.0 - y * y);
+        }
+    }));
+}
+
+Var
+geluAv(const Var &x)
+{
+    constexpr double kSqrt2OverPi = 0.7978845608028654;
+    constexpr double kCubic = 0.044715;
+    Matrix out = x.value();
+    out.apply([&](double v) {
+        const double u = kSqrt2OverPi * (v + kCubic * v * v * v);
+        return 0.5 * v * (1.0 + std::tanh(u));
+    });
+    return Var(makeNode(std::move(out), {x.node()}, [=](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        for (size_t i = 0; i < g.size(); ++i) {
+            const double v = p.value.raw()[i];
+            const double u = kSqrt2OverPi * (v + kCubic * v * v * v);
+            const double t = std::tanh(u);
+            const double du = kSqrt2OverPi * (1.0 + 3.0 * kCubic * v * v);
+            const double dy = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du;
+            g.raw()[i] += self.grad.raw()[i] * dy;
+        }
+    }));
+}
+
+Var
+softmaxRowsAv(const Var &x)
+{
+    Matrix out = x.value();
+    for (size_t r = 0; r < out.rows(); ++r) {
+        double mx = out.at(r, 0);
+        for (size_t c = 1; c < out.cols(); ++c)
+            mx = std::max(mx, out.at(r, c));
+        double total = 0.0;
+        for (size_t c = 0; c < out.cols(); ++c) {
+            out.at(r, c) = std::exp(out.at(r, c) - mx);
+            total += out.at(r, c);
+        }
+        for (size_t c = 0; c < out.cols(); ++c)
+            out.at(r, c) /= total;
+    }
+    return Var(makeNode(std::move(out), {x.node()}, [](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        for (size_t r = 0; r < self.value.rows(); ++r) {
+            double dot = 0.0;
+            for (size_t c = 0; c < self.value.cols(); ++c)
+                dot += self.grad.at(r, c) * self.value.at(r, c);
+            for (size_t c = 0; c < self.value.cols(); ++c)
+                g.at(r, c) += self.value.at(r, c) *
+                              (self.grad.at(r, c) - dot);
+        }
+    }));
+}
+
+Var
+meanAllAv(const Var &x)
+{
+    const double n = static_cast<double>(x.value().size());
+    Matrix out(1, 1);
+    out.at(0, 0) = x.value().sum() / n;
+    return Var(makeNode(std::move(out), {x.node()}, [n](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        const double d = self.grad.at(0, 0) / n;
+        for (size_t i = 0; i < g.size(); ++i)
+            g.raw()[i] += d;
+    }));
+}
+
+Var
+utilizationLawAv(const Var &alpha_beta, const std::vector<double> &waves)
+{
+    const Matrix &ab = alpha_beta.value();
+    ensure(ab.cols() == 2 && ab.rows() == waves.size(),
+           "utilizationLawAv: expected (B,2) inputs matching waves length");
+    Matrix out(ab.rows(), 1);
+    for (size_t i = 0; i < ab.rows(); ++i)
+        out.at(i, 0) = ab.at(i, 0) - ab.at(i, 1) / waves[i];
+    return Var(makeNode(std::move(out), {alpha_beta.node()},
+                        [waves](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        for (size_t i = 0; i < self.grad.rows(); ++i) {
+            g.at(i, 0) += self.grad.at(i, 0);
+            g.at(i, 1) += -self.grad.at(i, 0) / waves[i];
+        }
+    }));
+}
+
+Var
+clampMinAv(const Var &x, double lo)
+{
+    Matrix out = x.value();
+    for (size_t i = 0; i < out.size(); ++i)
+        out.raw()[i] = std::max(out.raw()[i], lo);
+    return Var(makeNode(std::move(out), {x.node()}, [lo](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        for (size_t i = 0; i < g.size(); ++i)
+            if (p.value.raw()[i] > lo)
+                g.raw()[i] += self.grad.raw()[i];
+    }));
+}
+
+Var
+reciprocalScaleAv(const Var &x, const std::vector<double> &c)
+{
+    const Matrix &xv = x.value();
+    ensure(xv.cols() == 1 && xv.rows() == c.size(),
+           "reciprocalScaleAv: expected (B,1) input matching constants");
+    Matrix out(xv.rows(), 1);
+    for (size_t i = 0; i < xv.rows(); ++i) {
+        ensure(xv.at(i, 0) != 0.0, "reciprocalScaleAv: division by zero");
+        out.at(i, 0) = c[i] / xv.at(i, 0);
+    }
+    return Var(makeNode(std::move(out), {x.node()}, [c](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        for (size_t i = 0; i < g.rows(); ++i) {
+            const double xi = p.value.at(i, 0);
+            g.at(i, 0) += -c[i] / (xi * xi) * self.grad.at(i, 0);
+        }
+    }));
+}
+
+Var
+tokenizeFeaturesAv(const Var &x, const Var &w, const Var &b)
+{
+    const Matrix &xv = x.value();
+    const Matrix &wv = w.value();
+    const Matrix &bv = b.value();
+    const size_t batch = xv.rows();
+    const size_t feats = xv.cols();
+    const size_t dim = wv.cols();
+    ensure(wv.rows() == feats && bv.rows() == feats && bv.cols() == dim,
+           "tokenizeFeaturesAv: weight/bias must be (F,d)");
+    Matrix out(batch * feats, dim);
+    for (size_t s = 0; s < batch; ++s)
+        for (size_t i = 0; i < feats; ++i)
+            for (size_t j = 0; j < dim; ++j)
+                out.at(s * feats + i, j) = xv.at(s, i) * wv.at(i, j) +
+                                           bv.at(i, j);
+    return Var(makeNode(std::move(out), {x.node(), w.node(), b.node()},
+                        [batch, feats, dim](Node &self) {
+        auto &px = *self.parents[0];
+        auto &pw = *self.parents[1];
+        auto &pb = *self.parents[2];
+        for (size_t s = 0; s < batch; ++s) {
+            for (size_t i = 0; i < feats; ++i) {
+                const size_t r = s * feats + i;
+                double dxsum = 0.0;
+                for (size_t j = 0; j < dim; ++j) {
+                    const double go = self.grad.at(r, j);
+                    dxsum += go * pw.value.at(i, j);
+                    if (pw.requiresGrad)
+                        pw.ensureGrad().at(i, j) += go * px.value.at(s, i);
+                    if (pb.requiresGrad)
+                        pb.ensureGrad().at(i, j) += go;
+                }
+                if (px.requiresGrad)
+                    px.ensureGrad().at(s, i) += dxsum;
+            }
+        }
+    }));
+}
+
+Var
+addBlockBroadcastAv(const Var &x, const Var &pos)
+{
+    const Matrix &xv = x.value();
+    const Matrix &pv = pos.value();
+    const size_t seq = pv.rows();
+    ensure(seq > 0 && xv.rows() % seq == 0 && xv.cols() == pv.cols(),
+           "addBlockBroadcastAv: rows must be a multiple of pos rows");
+    Matrix out = xv;
+    for (size_t r = 0; r < xv.rows(); ++r)
+        for (size_t j = 0; j < xv.cols(); ++j)
+            out.at(r, j) += pv.at(r % seq, j);
+    return Var(makeNode(std::move(out), {x.node(), pos.node()},
+                        [seq](Node &self) {
+        auto &px = *self.parents[0];
+        auto &pp = *self.parents[1];
+        if (px.requiresGrad)
+            addInPlace(px.ensureGrad(), self.grad);
+        if (pp.requiresGrad) {
+            Matrix &g = pp.ensureGrad();
+            for (size_t r = 0; r < self.grad.rows(); ++r)
+                for (size_t j = 0; j < self.grad.cols(); ++j)
+                    g.at(r % seq, j) += self.grad.at(r, j);
+        }
+    }));
+}
+
+Var
+blockAttentionAv(const Var &q, const Var &k, const Var &v, size_t seq_len,
+                 size_t num_heads)
+{
+    const Matrix &qv = q.value();
+    const Matrix &kv = k.value();
+    const Matrix &vv = v.value();
+    const size_t n = qv.rows();
+    const size_t dim = qv.cols();
+    ensure(seq_len > 0 && n % seq_len == 0,
+           "blockAttentionAv: rows must be a multiple of seq_len");
+    ensure(kv.rows() == n && vv.rows() == n && kv.cols() == dim &&
+               vv.cols() == dim,
+           "blockAttentionAv: q/k/v shape mismatch");
+    ensure(num_heads > 0 && dim % num_heads == 0,
+           "blockAttentionAv: dim must divide num_heads");
+    const size_t blocks = n / seq_len;
+    const size_t dh = dim / num_heads;
+    const double inv = 1.0 / std::sqrt(static_cast<double>(dh));
+
+    // probs[b * num_heads + h] is the (seq,seq) softmax matrix, cached for
+    // the backward pass.
+    auto probs = std::make_shared<std::vector<Matrix>>();
+    probs->reserve(blocks * num_heads);
+    Matrix out(n, dim);
+    for (size_t blk = 0; blk < blocks; ++blk) {
+        const size_t r0 = blk * seq_len;
+        for (size_t h = 0; h < num_heads; ++h) {
+            const size_t c0 = h * dh;
+            Matrix score(seq_len, seq_len);
+            for (size_t i = 0; i < seq_len; ++i)
+                for (size_t j = 0; j < seq_len; ++j) {
+                    double acc = 0.0;
+                    for (size_t p = 0; p < dh; ++p)
+                        acc += qv.at(r0 + i, c0 + p) * kv.at(r0 + j, c0 + p);
+                    score.at(i, j) = acc * inv;
+                }
+            // Row softmax.
+            for (size_t i = 0; i < seq_len; ++i) {
+                double mx = score.at(i, 0);
+                for (size_t j = 1; j < seq_len; ++j)
+                    mx = std::max(mx, score.at(i, j));
+                double total = 0.0;
+                for (size_t j = 0; j < seq_len; ++j) {
+                    score.at(i, j) = std::exp(score.at(i, j) - mx);
+                    total += score.at(i, j);
+                }
+                for (size_t j = 0; j < seq_len; ++j)
+                    score.at(i, j) /= total;
+            }
+            for (size_t i = 0; i < seq_len; ++i)
+                for (size_t p = 0; p < dh; ++p) {
+                    double acc = 0.0;
+                    for (size_t j = 0; j < seq_len; ++j)
+                        acc += score.at(i, j) * vv.at(r0 + j, c0 + p);
+                    out.at(r0 + i, c0 + p) = acc;
+                }
+            probs->push_back(std::move(score));
+        }
+    }
+    return Var(makeNode(std::move(out), {q.node(), k.node(), v.node()},
+                        [probs, blocks, seq_len, num_heads, dh,
+                         inv](Node &self) {
+        auto &pq = *self.parents[0];
+        auto &pk = *self.parents[1];
+        auto &pv = *self.parents[2];
+        Matrix &gq = pq.ensureGrad();
+        Matrix &gk = pk.ensureGrad();
+        Matrix &gv = pv.ensureGrad();
+        for (size_t blk = 0; blk < blocks; ++blk) {
+            const size_t r0 = blk * seq_len;
+            for (size_t h = 0; h < num_heads; ++h) {
+                const size_t c0 = h * dh;
+                const Matrix &prob = (*probs)[blk * num_heads + h];
+                // dV += P^T dO
+                for (size_t j = 0; j < seq_len; ++j)
+                    for (size_t p = 0; p < dh; ++p) {
+                        double acc = 0.0;
+                        for (size_t i = 0; i < seq_len; ++i)
+                            acc += prob.at(i, j) * self.grad.at(r0 + i, c0 + p);
+                        gv.at(r0 + j, c0 + p) += acc;
+                    }
+                // dP = dO V^T ; dS = softmax-backward(dP)
+                Matrix dscore(seq_len, seq_len);
+                for (size_t i = 0; i < seq_len; ++i) {
+                    for (size_t j = 0; j < seq_len; ++j) {
+                        double acc = 0.0;
+                        for (size_t p = 0; p < dh; ++p)
+                            acc += self.grad.at(r0 + i, c0 + p) *
+                                   pv.value.at(r0 + j, c0 + p);
+                        dscore.at(i, j) = acc;
+                    }
+                    double dot = 0.0;
+                    for (size_t j = 0; j < seq_len; ++j)
+                        dot += dscore.at(i, j) * prob.at(i, j);
+                    for (size_t j = 0; j < seq_len; ++j)
+                        dscore.at(i, j) = prob.at(i, j) *
+                                          (dscore.at(i, j) - dot);
+                }
+                // dQ += dS K * inv ; dK += dS^T Q * inv
+                for (size_t i = 0; i < seq_len; ++i)
+                    for (size_t p = 0; p < dh; ++p) {
+                        double accq = 0.0;
+                        for (size_t j = 0; j < seq_len; ++j)
+                            accq += dscore.at(i, j) * pk.value.at(r0 + j, c0 + p);
+                        gq.at(r0 + i, c0 + p) += accq * inv;
+                    }
+                for (size_t j = 0; j < seq_len; ++j)
+                    for (size_t p = 0; p < dh; ++p) {
+                        double acck = 0.0;
+                        for (size_t i = 0; i < seq_len; ++i)
+                            acck += dscore.at(i, j) * pq.value.at(r0 + i, c0 + p);
+                        gk.at(r0 + j, c0 + p) += acck * inv;
+                    }
+            }
+        }
+    }));
+}
+
+Var
+layerNormRowsAv(const Var &x, const Var &gain, const Var &bias)
+{
+    constexpr double kEps = 1e-5;
+    const Matrix &xv = x.value();
+    const size_t dim = xv.cols();
+    ensure(gain.value().rows() == 1 && gain.value().cols() == dim &&
+               bias.value().rows() == 1 && bias.value().cols() == dim,
+           "layerNormRowsAv: gain/bias must be (1,d)");
+
+    auto xhat = std::make_shared<Matrix>(xv.rows(), dim);
+    auto invstd = std::make_shared<std::vector<double>>(xv.rows());
+    Matrix out(xv.rows(), dim);
+    for (size_t r = 0; r < xv.rows(); ++r) {
+        double mu = 0.0;
+        for (size_t j = 0; j < dim; ++j)
+            mu += xv.at(r, j);
+        mu /= static_cast<double>(dim);
+        double var = 0.0;
+        for (size_t j = 0; j < dim; ++j) {
+            const double d = xv.at(r, j) - mu;
+            var += d * d;
+        }
+        var /= static_cast<double>(dim);
+        const double is = 1.0 / std::sqrt(var + kEps);
+        (*invstd)[r] = is;
+        for (size_t j = 0; j < dim; ++j) {
+            const double xh = (xv.at(r, j) - mu) * is;
+            xhat->at(r, j) = xh;
+            out.at(r, j) = xh * gain.value().at(0, j) + bias.value().at(0, j);
+        }
+    }
+    return Var(makeNode(std::move(out), {x.node(), gain.node(), bias.node()},
+                        [xhat, invstd, dim](Node &self) {
+        auto &px = *self.parents[0];
+        auto &pg = *self.parents[1];
+        auto &pb = *self.parents[2];
+        const double dn = static_cast<double>(dim);
+        for (size_t r = 0; r < self.grad.rows(); ++r) {
+            double mean_dxhat = 0.0;
+            double mean_dxhat_xhat = 0.0;
+            for (size_t j = 0; j < dim; ++j) {
+                const double go = self.grad.at(r, j);
+                if (pg.requiresGrad)
+                    pg.ensureGrad().at(0, j) += go * xhat->at(r, j);
+                if (pb.requiresGrad)
+                    pb.ensureGrad().at(0, j) += go;
+                const double dxh = go * pg.value.at(0, j);
+                mean_dxhat += dxh;
+                mean_dxhat_xhat += dxh * xhat->at(r, j);
+            }
+            mean_dxhat /= dn;
+            mean_dxhat_xhat /= dn;
+            if (px.requiresGrad) {
+                Matrix &gx = px.ensureGrad();
+                for (size_t j = 0; j < dim; ++j) {
+                    const double dxh = self.grad.at(r, j) * pg.value.at(0, j);
+                    gx.at(r, j) += (*invstd)[r] *
+                                   (dxh - mean_dxhat -
+                                    xhat->at(r, j) * mean_dxhat_xhat);
+                }
+            }
+        }
+    }));
+}
+
+Var
+meanPoolBlocksAv(const Var &x, size_t seq_len)
+{
+    const Matrix &xv = x.value();
+    ensure(seq_len > 0 && xv.rows() % seq_len == 0,
+           "meanPoolBlocksAv: rows must be a multiple of seq_len");
+    const size_t blocks = xv.rows() / seq_len;
+    Matrix out(blocks, xv.cols());
+    for (size_t b = 0; b < blocks; ++b)
+        for (size_t i = 0; i < seq_len; ++i)
+            for (size_t j = 0; j < xv.cols(); ++j)
+                out.at(b, j) += xv.at(b * seq_len + i, j) /
+                                static_cast<double>(seq_len);
+    return Var(makeNode(std::move(out), {x.node()}, [seq_len](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        const double inv = 1.0 / static_cast<double>(seq_len);
+        for (size_t r = 0; r < g.rows(); ++r)
+            for (size_t j = 0; j < g.cols(); ++j)
+                g.at(r, j) += self.grad.at(r / seq_len, j) * inv;
+    }));
+}
+
+} // namespace neusight::nn

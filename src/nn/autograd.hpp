@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tape-based reverse-mode automatic differentiation over Matrix values.
+ *
+ * Every forward op appends a node to an implicit tape (creation order is a
+ * valid topological order). backward() walks the tape in reverse and
+ * accumulates gradients into the leaves. Parameters are persistent leaf
+ * nodes owned by modules; intermediate nodes are freed when the last Var
+ * referencing them goes out of scope.
+ *
+ * Beyond the generic ops (matmul, elementwise, activations) this engine
+ * carries a few fused, domain-specific ops used by the NeuSight predictor
+ * (utilization law, latency inversion) and by the Table-1 transformer
+ * baseline (block attention, feature tokenizer) so training stays fast
+ * without a batched-tensor abstraction.
+ */
+
+#ifndef NEUSIGHT_NN_AUTOGRAD_HPP
+#define NEUSIGHT_NN_AUTOGRAD_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace neusight::nn {
+
+/** One tape entry: a value, its gradient, and how to push grads upstream. */
+struct Node
+{
+    Matrix value;
+    Matrix grad;
+    bool requiresGrad = false;
+    bool gradAllocated = false;
+    uint64_t id = 0;
+    std::string name;
+    std::vector<std::shared_ptr<Node>> parents;
+    /** Propagate this node's grad into parents' grads. */
+    std::function<void(Node &)> backfn;
+
+    /** Lazily allocate (and zero) the gradient buffer. */
+    Matrix &ensureGrad();
+};
+
+/** Value handle in the autograd graph. */
+class Var
+{
+  public:
+    /** Null handle. */
+    Var() = default;
+
+    /** Wrap an existing node. */
+    explicit Var(std::shared_ptr<Node> n) : node_(std::move(n)) {}
+
+    /** The wrapped node (never null for a valid Var). */
+    const std::shared_ptr<Node> &node() const { return node_; }
+
+    /** Forward value. */
+    const Matrix &value() const { return node_->value; }
+
+    /** Gradient after backward(); zero matrix when never touched. */
+    const Matrix &grad() const;
+
+    /** True when this Var participates in differentiation. */
+    bool requiresGrad() const { return node_->requiresGrad; }
+
+    /** True when wrapping a node. */
+    explicit operator bool() const { return node_ != nullptr; }
+
+  private:
+    std::shared_ptr<Node> node_;
+};
+
+/** Create a trainable leaf (gradient accumulated across steps until reset). */
+Var parameter(Matrix value, std::string name = "");
+
+/** Create a non-trainable leaf. */
+Var constant(Matrix value);
+
+/**
+ * Create an interior op node. Exposed so other modules (e.g. the fused
+ * losses) can define custom differentiable ops; requiresGrad is inherited
+ * from the parents and the node id preserves tape (topological) order.
+ */
+Var makeOpNode(Matrix value, std::vector<std::shared_ptr<Node>> parents,
+               std::function<void(Node &)> backfn);
+
+/**
+ * Reverse-mode sweep from @p output, which must be a 1x1 scalar.
+ * Accumulates into every reachable leaf with requiresGrad.
+ */
+void backward(const Var &output);
+
+/// @name Generic ops
+/// @{
+Var matmulAv(const Var &a, const Var &b);
+Var addAv(const Var &a, const Var &b);
+Var subAv(const Var &a, const Var &b);
+Var mulAv(const Var &a, const Var &b);
+Var scaleAv(const Var &a, double s);
+Var addRowBroadcastAv(const Var &x, const Var &bias);
+Var reluAv(const Var &x);
+Var sigmoidAv(const Var &x);
+Var tanhAv(const Var &x);
+Var geluAv(const Var &x);
+Var softmaxRowsAv(const Var &x);
+Var meanAllAv(const Var &x);
+/// @}
+
+/// @name Fused NeuSight ops
+/// @{
+
+/**
+ * The paper's utilization law (Eq. 7): util_i = ab[i,0] - ab[i,1] / waves_i.
+ * @param alpha_beta (B,2) matrix, columns already sigmoid-bounded.
+ * @param waves      per-sample wave counts (length B).
+ */
+Var utilizationLawAv(const Var &alpha_beta, const std::vector<double> &waves);
+
+/** max(x, lo) elementwise with subgradient 0 on the clamped side. */
+Var clampMinAv(const Var &x, double lo);
+
+/**
+ * Latency inversion (Eq. 4-6): lat_i = c_i / x_i for per-sample constants
+ * c_i = flops_tile * waves / rooflineBW.
+ */
+Var reciprocalScaleAv(const Var &x, const std::vector<double> &c);
+/// @}
+
+/// @name Fused transformer ops (Table-1 "Prime" baseline)
+/// @{
+
+/**
+ * Turn a (B,F) feature matrix into B blocks of F tokens, each token a
+ * d-dimensional embedding: out[s*F+i, :] = x[s,i] * w[i,:] + b[i,:].
+ */
+Var tokenizeFeaturesAv(const Var &x, const Var &w, const Var &b);
+
+/** Add a (F,d) positional table to every block of F rows. */
+Var addBlockBroadcastAv(const Var &x, const Var &pos);
+
+/**
+ * Multi-head scaled-dot self-attention applied independently to each block
+ * of @p seq_len rows (block-diagonal attention, no cross-sample mixing).
+ * q,k,v are (B*seq_len, d) with d divisible by @p num_heads.
+ */
+Var blockAttentionAv(const Var &q, const Var &k, const Var &v,
+                     size_t seq_len, size_t num_heads);
+
+/** Row-wise layer norm with learned gain/bias (each (1,d)). */
+Var layerNormRowsAv(const Var &x, const Var &gain, const Var &bias);
+
+/** Mean over each block of @p seq_len rows: (B*seq_len,d) -> (B,d). */
+Var meanPoolBlocksAv(const Var &x, size_t seq_len);
+/// @}
+
+} // namespace neusight::nn
+
+#endif // NEUSIGHT_NN_AUTOGRAD_HPP

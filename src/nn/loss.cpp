@@ -1,0 +1,124 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace neusight::nn {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kHuberDelta = 1.0;
+
+double
+signOf(double v)
+{
+    return v > 0.0 ? 1.0 : (v < 0.0 ? -1.0 : 0.0);
+}
+
+/** Per-sample loss and derivative with respect to the prediction. */
+void
+pointLoss(double p, double t, LossKind kind, double &loss, double &dloss)
+{
+    const double r = p - t;
+    switch (kind) {
+      case LossKind::Mse:
+        loss = r * r;
+        dloss = 2.0 * r;
+        return;
+      case LossKind::Mape: {
+        const double denom = std::max(std::abs(t), kEps);
+        loss = std::abs(r) / denom;
+        dloss = signOf(r) / denom;
+        return;
+      }
+      case LossKind::Smape: {
+        const double denom = (std::abs(p) + std::abs(t)) / 2.0 + kEps;
+        loss = std::abs(r) / denom;
+        dloss = signOf(r) / denom -
+                std::abs(r) * signOf(p) / (2.0 * denom * denom);
+        return;
+      }
+      case LossKind::Huber:
+        if (std::abs(r) <= kHuberDelta) {
+            loss = 0.5 * r * r;
+            dloss = r;
+        } else {
+            loss = kHuberDelta * (std::abs(r) - 0.5 * kHuberDelta);
+            dloss = kHuberDelta * signOf(r);
+        }
+        return;
+    }
+    panic("pointLoss: unknown LossKind");
+}
+
+} // namespace
+
+const char *
+lossName(LossKind kind)
+{
+    switch (kind) {
+      case LossKind::Mse:
+        return "mse";
+      case LossKind::Mape:
+        return "mape";
+      case LossKind::Smape:
+        return "smape";
+      case LossKind::Huber:
+        return "huber";
+    }
+    return "?";
+}
+
+Var
+lossAv(const Var &pred, const std::vector<double> &target, LossKind kind)
+{
+    const Matrix &pv = pred.value();
+    ensure(pv.cols() == 1 && pv.rows() == target.size(),
+           "lossAv: prediction must be (B,1) matching target length");
+    const size_t n = target.size();
+    ensure(n > 0, "lossAv: empty batch");
+
+    // Cache the per-sample derivative computed in the forward pass.
+    auto dloss = std::make_shared<std::vector<double>>(n);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double li = 0.0;
+        pointLoss(pv.at(i, 0), target[i], kind, li, (*dloss)[i]);
+        total += li;
+    }
+    Matrix out(1, 1);
+    out.at(0, 0) = total / static_cast<double>(n);
+
+    return makeOpNode(std::move(out), {pred.node()},
+                      [dloss, n](Node &self) {
+        auto &p = *self.parents[0];
+        if (!p.requiresGrad)
+            return;
+        Matrix &g = p.ensureGrad();
+        const double scale = self.grad.at(0, 0) / static_cast<double>(n);
+        for (size_t i = 0; i < n; ++i)
+            g.at(i, 0) += scale * (*dloss)[i];
+    });
+}
+
+double
+lossValue(const std::vector<double> &pred, const std::vector<double> &target,
+          LossKind kind)
+{
+    ensure(pred.size() == target.size(), "lossValue: length mismatch");
+    if (pred.empty())
+        return 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        double li = 0.0;
+        double unused = 0.0;
+        pointLoss(pred[i], target[i], kind, li, unused);
+        total += li;
+    }
+    return total / static_cast<double>(pred.size());
+}
+
+} // namespace neusight::nn

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regression losses. The paper trains the Habitat baseline with MAPE and
+ * NeuSight with symmetric MAPE (Tofallis 2015); MSE and Huber are provided
+ * for tests and ablations.
+ */
+
+#ifndef NEUSIGHT_NN_LOSS_HPP
+#define NEUSIGHT_NN_LOSS_HPP
+
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace neusight::nn {
+
+/** Supported loss functions. */
+enum class LossKind
+{
+    Mse,
+    Mape,
+    Smape,
+    Huber,
+};
+
+/** Human-readable loss name. */
+const char *lossName(LossKind kind);
+
+/**
+ * Scalar loss between predictions (B,1) and targets (length B).
+ * Differentiable with respect to @p pred.
+ */
+Var lossAv(const Var &pred, const std::vector<double> &target, LossKind kind);
+
+/** Non-differentiating evaluation of the same losses. */
+double lossValue(const std::vector<double> &pred,
+                 const std::vector<double> &target, LossKind kind);
+
+} // namespace neusight::nn
+
+#endif // NEUSIGHT_NN_LOSS_HPP

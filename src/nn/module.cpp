@@ -1,0 +1,201 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hpp"
+
+namespace neusight::nn {
+
+Var
+Linear::forward(const Var &x) const
+{
+    return addRowBroadcastAv(matmulAv(x, weight), bias);
+}
+
+void
+Module::zeroGrad()
+{
+    for (auto &p : params) {
+        p.node()->ensureGrad().setZero();
+    }
+}
+
+size_t
+Module::parameterCount() const
+{
+    size_t total = 0;
+    for (const auto &p : params)
+        total += p.value().size();
+    return total;
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x4e535731; // "NSW1"
+} // namespace
+
+void
+Module::saveParameters(std::ostream &out) const
+{
+    const uint32_t magic = kMagic;
+    const uint64_t count = params.size();
+    out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const auto &p : params) {
+        const uint64_t rows = p.value().rows();
+        const uint64_t cols = p.value().cols();
+        out.write(reinterpret_cast<const char *>(&rows), sizeof(rows));
+        out.write(reinterpret_cast<const char *>(&cols), sizeof(cols));
+        out.write(reinterpret_cast<const char *>(p.value().raw()),
+                  static_cast<std::streamsize>(sizeof(double) *
+                                               p.value().size()));
+    }
+    if (!out)
+        fatal("Module::saveParameters: write failed");
+}
+
+void
+Module::loadParameters(std::istream &in)
+{
+    uint32_t magic = 0;
+    uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in || magic != kMagic)
+        fatal("Module::loadParameters: bad header");
+    if (count != params.size())
+        fatal("Module::loadParameters: parameter count mismatch (file has " +
+              std::to_string(count) + ", module has " +
+              std::to_string(params.size()) + ")");
+    for (auto &p : params) {
+        uint64_t rows = 0;
+        uint64_t cols = 0;
+        in.read(reinterpret_cast<char *>(&rows), sizeof(rows));
+        in.read(reinterpret_cast<char *>(&cols), sizeof(cols));
+        if (!in || rows != p.value().rows() || cols != p.value().cols())
+            fatal("Module::loadParameters: shape mismatch for '" +
+                  p.node()->name + "'");
+        in.read(reinterpret_cast<char *>(
+                    const_cast<Matrix &>(p.value()).raw()),
+                static_cast<std::streamsize>(sizeof(double) * rows * cols));
+    }
+    if (!in)
+        fatal("Module::loadParameters: truncated file");
+}
+
+Var
+Module::registerParameter(Matrix init, const std::string &name)
+{
+    Var p = parameter(std::move(init), name);
+    params.push_back(p);
+    return p;
+}
+
+Linear
+Module::makeLinear(size_t in, size_t out, Rng &rng, const std::string &name)
+{
+    Var w = registerParameter(kaimingInit(in, out, rng), name + ".weight");
+    Var b = registerParameter(Matrix(1, out), name + ".bias");
+    return Linear(w, b);
+}
+
+Matrix
+Module::kaimingInit(size_t rows, size_t cols, Rng &rng)
+{
+    Matrix w(rows, cols);
+    const double std_dev = std::sqrt(2.0 / static_cast<double>(rows));
+    for (size_t i = 0; i < w.size(); ++i)
+        w.raw()[i] = rng.normal(0.0, std_dev);
+    return w;
+}
+
+Mlp::Mlp(const MlpConfig &config_) : config(config_)
+{
+    ensure(config.inputDim > 0 && config.hiddenDim > 0 &&
+               config.outputDim > 0,
+           "MlpConfig: dimensions must be positive");
+    Rng rng(config.seed);
+    size_t in = config.inputDim;
+    for (size_t l = 0; l < config.hiddenLayers; ++l) {
+        layers.push_back(
+            makeLinear(in, config.hiddenDim, rng,
+                       "mlp.hidden" + std::to_string(l)));
+        in = config.hiddenDim;
+    }
+    layers.push_back(makeLinear(in, config.outputDim, rng, "mlp.out"));
+}
+
+Var
+Mlp::forward(const Var &x)
+{
+    Var h = x;
+    for (size_t l = 0; l + 1 < layers.size(); ++l)
+        h = reluAv(layers[l].forward(h));
+    return layers.back().forward(h);
+}
+
+TransformerRegressor::TransformerRegressor(const TransformerConfig &config_)
+    : config(config_)
+{
+    ensure(config.dModel % config.numHeads == 0,
+           "TransformerConfig: dModel must divide numHeads");
+    Rng rng(config.seed);
+    const size_t f = config.numFeatures;
+    const size_t d = config.dModel;
+
+    tokenW = registerParameter(kaimingInit(f, d, rng), "tok.weight");
+    tokenB = registerParameter(Matrix(f, d), "tok.bias");
+    Matrix pos(f, d);
+    for (size_t i = 0; i < pos.size(); ++i)
+        pos.raw()[i] = rng.normal(0.0, 0.02);
+    posTable = registerParameter(std::move(pos), "tok.pos");
+
+    for (size_t l = 0; l < config.numLayers; ++l) {
+        Block blk;
+        const std::string base = "enc" + std::to_string(l);
+        blk.wq = makeLinear(d, d, rng, base + ".wq");
+        blk.wk = makeLinear(d, d, rng, base + ".wk");
+        blk.wv = makeLinear(d, d, rng, base + ".wv");
+        blk.wo = makeLinear(d, d, rng, base + ".wo");
+        blk.ff1 = makeLinear(d, config.ffDim, rng, base + ".ff1");
+        blk.ff2 = makeLinear(config.ffDim, d, rng, base + ".ff2");
+        blk.ln1Gain = registerParameter(Matrix(1, d, 1.0), base + ".ln1.g");
+        blk.ln1Bias = registerParameter(Matrix(1, d), base + ".ln1.b");
+        blk.ln2Gain = registerParameter(Matrix(1, d, 1.0), base + ".ln2.g");
+        blk.ln2Bias = registerParameter(Matrix(1, d), base + ".ln2.b");
+        blocks.push_back(std::move(blk));
+    }
+    finalGain = registerParameter(Matrix(1, d, 1.0), "final.ln.g");
+    finalBias = registerParameter(Matrix(1, d), "final.ln.b");
+    head = makeLinear(d, 1, rng, "head");
+}
+
+Var
+TransformerRegressor::forward(const Var &x)
+{
+    const size_t f = config.numFeatures;
+    ensure(x.value().cols() == f,
+           "TransformerRegressor: feature width mismatch");
+    Var tokens = tokenizeFeaturesAv(x, tokenW, tokenB);
+    Var h = addBlockBroadcastAv(tokens, posTable);
+    for (const auto &blk : blocks) {
+        // Pre-LN attention sub-block.
+        Var normed = layerNormRowsAv(h, blk.ln1Gain, blk.ln1Bias);
+        Var attn = blockAttentionAv(blk.wq.forward(normed),
+                                    blk.wk.forward(normed),
+                                    blk.wv.forward(normed), f,
+                                    config.numHeads);
+        h = addAv(h, blk.wo.forward(attn));
+        // Pre-LN feed-forward sub-block.
+        Var normed2 = layerNormRowsAv(h, blk.ln2Gain, blk.ln2Bias);
+        Var ff = blk.ff2.forward(geluAv(blk.ff1.forward(normed2)));
+        h = addAv(h, ff);
+    }
+    Var pooled = meanPoolBlocksAv(
+        layerNormRowsAv(h, finalGain, finalBias), f);
+    return head.forward(pooled);
+}
+
+} // namespace neusight::nn

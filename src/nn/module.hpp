@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Trainable modules: parameter registry base class, Linear layer, the MLP
+ * used by NeuSight's utilization predictor and the Habitat baseline, and a
+ * small transformer-encoder regressor used by the Table-1 study (the
+ * "Prime" architecture: one token per input feature).
+ */
+
+#ifndef NEUSIGHT_NN_MODULE_HPP
+#define NEUSIGHT_NN_MODULE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/autograd.hpp"
+
+namespace neusight::nn {
+
+/** Fully-connected layer y = xW + b. Parameters are owned by a Module. */
+class Linear
+{
+  public:
+    /** Empty layer; assigned by Module::makeLinear. */
+    Linear() = default;
+
+    /** Wrap already-registered parameters. */
+    Linear(Var weight, Var bias)
+        : weight(std::move(weight)), bias(std::move(bias))
+    {
+    }
+
+    /** y = xW + b. */
+    Var forward(const Var &x) const;
+
+    Var weight; ///< (in, out) weight.
+    Var bias;   ///< (1, out) bias.
+};
+
+/** Base class owning the trainable parameters of a model. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** Map a (B, inputDim) feature batch to a (B, outputDim) prediction. */
+    virtual Var forward(const Var &x) = 0;
+
+    /** Width of the expected input feature vector. */
+    virtual size_t inputDim() const = 0;
+
+    /** All trainable parameters, in registration order. */
+    const std::vector<Var> &parameters() const { return params; }
+
+    /** Reset accumulated gradients to zero. */
+    void zeroGrad();
+
+    /** Total scalar parameter count. */
+    size_t parameterCount() const;
+
+    /** Serialize parameter values (binary). */
+    void saveParameters(std::ostream &out) const;
+
+    /**
+     * Restore parameter values written by saveParameters. Shapes and order
+     * must match the constructed architecture; mismatch raises fatal().
+     */
+    void loadParameters(std::istream &in);
+
+  protected:
+    /** Register a trainable leaf and return its handle. */
+    Var registerParameter(Matrix init, const std::string &name);
+
+    /** Register a Linear layer with Kaiming-normal init. */
+    Linear makeLinear(size_t in, size_t out, Rng &rng,
+                      const std::string &name);
+
+    /** Kaiming-normal init for a (rows, cols) weight feeding ReLU. */
+    static Matrix kaimingInit(size_t rows, size_t cols, Rng &rng);
+
+  private:
+    std::vector<Var> params;
+};
+
+/** Configuration for Mlp. */
+struct MlpConfig
+{
+    size_t inputDim = 5;
+    size_t hiddenDim = 512;
+    /** Number of hidden layers (paper default: 8 of width 512). */
+    size_t hiddenLayers = 8;
+    size_t outputDim = 1;
+    uint64_t seed = 1;
+};
+
+/**
+ * Multi-layer perceptron with ReLU after every layer except the last,
+ * matching the paper's predictor architecture (Section 4.3).
+ */
+class Mlp : public Module
+{
+  public:
+    /** Build and initialize per @p config. */
+    explicit Mlp(const MlpConfig &config);
+
+    Var forward(const Var &x) override;
+
+    size_t inputDim() const override { return config.inputDim; }
+
+    /** The construction configuration. */
+    const MlpConfig &configuration() const { return config; }
+
+  private:
+    MlpConfig config;
+    std::vector<Linear> layers;
+};
+
+/** Configuration for TransformerRegressor. */
+struct TransformerConfig
+{
+    /** Number of scalar input features; each becomes one token. */
+    size_t numFeatures = 5;
+    size_t dModel = 32;
+    size_t numLayers = 3;
+    size_t numHeads = 4;
+    size_t ffDim = 64;
+    uint64_t seed = 1;
+};
+
+/**
+ * Pre-LN transformer encoder over feature tokens with mean pooling and a
+ * linear regression head. Used only as the "larger predictor" baseline in
+ * the Table-1 reproduction.
+ */
+class TransformerRegressor : public Module
+{
+  public:
+    /** Build and initialize per @p config. */
+    explicit TransformerRegressor(const TransformerConfig &config);
+
+    Var forward(const Var &x) override;
+
+    size_t inputDim() const override { return config.numFeatures; }
+
+  private:
+    struct Block
+    {
+        Linear wq, wk, wv, wo, ff1, ff2;
+        Var ln1Gain, ln1Bias, ln2Gain, ln2Bias;
+    };
+
+    TransformerConfig config;
+    Var tokenW, tokenB, posTable;
+    std::vector<Block> blocks;
+    Var finalGain, finalBias;
+    Linear head;
+};
+
+} // namespace neusight::nn
+
+#endif // NEUSIGHT_NN_MODULE_HPP

@@ -1,0 +1,42 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace neusight::nn {
+
+AdamW::AdamW(Module &module_, const AdamWConfig &config_)
+    : module(module_), config(config_)
+{
+    for (const auto &p : module.parameters()) {
+        m.emplace_back(p.value().rows(), p.value().cols());
+        v.emplace_back(p.value().rows(), p.value().cols());
+    }
+}
+
+void
+AdamW::step()
+{
+    ++t;
+    const double bc1 = 1.0 - std::pow(config.beta1, static_cast<double>(t));
+    const double bc2 = 1.0 - std::pow(config.beta2, static_cast<double>(t));
+    const auto &params = module.parameters();
+    for (size_t i = 0; i < params.size(); ++i) {
+        auto &node = *params[i].node();
+        const Matrix &g = node.ensureGrad();
+        Matrix &val = node.value;
+        double *mp = m[i].raw();
+        double *vp = v[i].raw();
+        for (size_t j = 0; j < val.size(); ++j) {
+            const double grad = g.raw()[j];
+            mp[j] = config.beta1 * mp[j] + (1.0 - config.beta1) * grad;
+            vp[j] = config.beta2 * vp[j] + (1.0 - config.beta2) * grad * grad;
+            const double mhat = mp[j] / bc1;
+            const double vhat = vp[j] / bc2;
+            // Decoupled weight decay (AdamW), then the Adam step.
+            val.raw()[j] -= config.lr * config.weightDecay * val.raw()[j];
+            val.raw()[j] -= config.lr * mhat / (std::sqrt(vhat) + config.eps);
+        }
+    }
+}
+
+} // namespace neusight::nn

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * AdamW optimizer with decoupled weight decay (the paper trains all MLPs
+ * with "AdamW ... with L2 regularization", Section 6.1).
+ */
+
+#ifndef NEUSIGHT_NN_OPTIMIZER_HPP
+#define NEUSIGHT_NN_OPTIMIZER_HPP
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace neusight::nn {
+
+/** AdamW hyper-parameters. */
+struct AdamWConfig
+{
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weightDecay = 1e-4;
+};
+
+/** AdamW over a module's parameter list. */
+class AdamW
+{
+  public:
+    /** Bind to @p module's parameters (state allocated lazily). */
+    AdamW(Module &module, const AdamWConfig &config);
+
+    /** Apply one update from the currently accumulated gradients. */
+    void step();
+
+    /** Override the learning rate (for schedules). */
+    void setLearningRate(double lr) { config.lr = lr; }
+
+    /** Current learning rate. */
+    double learningRate() const { return config.lr; }
+
+  private:
+    Module &module;
+    AdamWConfig config;
+    std::vector<Matrix> m;
+    std::vector<Matrix> v;
+    uint64_t t = 0;
+};
+
+} // namespace neusight::nn
+
+#endif // NEUSIGHT_NN_OPTIMIZER_HPP

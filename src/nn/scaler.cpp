@@ -1,0 +1,123 @@
+#include "nn/scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hpp"
+
+namespace neusight::nn {
+
+double
+FeatureScaler::compress(double v) const
+{
+    if (!useLog)
+        return v;
+    return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
+}
+
+void
+FeatureScaler::fit(const Matrix &x)
+{
+    ensure(x.rows() > 0, "FeatureScaler::fit: empty matrix");
+    means.assign(x.cols(), 0.0);
+    stds.assign(x.cols(), 0.0);
+    for (size_t c = 0; c < x.cols(); ++c) {
+        double total = 0.0;
+        for (size_t r = 0; r < x.rows(); ++r)
+            total += compress(x.at(r, c));
+        means[c] = total / static_cast<double>(x.rows());
+        double ss = 0.0;
+        for (size_t r = 0; r < x.rows(); ++r) {
+            const double d = compress(x.at(r, c)) - means[c];
+            ss += d * d;
+        }
+        stds[c] = std::sqrt(ss / static_cast<double>(x.rows()));
+        if (stds[c] < 1e-12)
+            stds[c] = 1.0; // Constant column: pass through centered.
+    }
+    // Record the transformed range for optional clamping.
+    fitMin.assign(x.cols(), 0.0);
+    fitMax.assign(x.cols(), 0.0);
+    for (size_t c = 0; c < x.cols(); ++c) {
+        double lo = std::numeric_limits<double>::max();
+        double hi = std::numeric_limits<double>::lowest();
+        for (size_t r = 0; r < x.rows(); ++r) {
+            const double z = (compress(x.at(r, c)) - means[c]) / stds[c];
+            lo = std::min(lo, z);
+            hi = std::max(hi, z);
+        }
+        fitMin[c] = lo;
+        fitMax[c] = hi;
+    }
+}
+
+Matrix
+FeatureScaler::transform(const Matrix &x) const
+{
+    ensure(fitted(), "FeatureScaler::transform before fit");
+    ensure(x.cols() == means.size(), "FeatureScaler: column count mismatch");
+    Matrix out(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+        for (size_t c = 0; c < x.cols(); ++c) {
+            double z = (compress(x.at(r, c)) - means[c]) / stds[c];
+            if (clampRange)
+                z = std::clamp(z, fitMin[c], fitMax[c]);
+            out.at(r, c) = z;
+        }
+    }
+    return out;
+}
+
+Matrix
+FeatureScaler::fitTransform(const Matrix &x)
+{
+    fit(x);
+    return transform(x);
+}
+
+void
+FeatureScaler::save(std::ostream &out) const
+{
+    const uint8_t log_flag = useLog ? 1 : 0;
+    const uint8_t clamp_flag = clampRange ? 1 : 0;
+    const uint64_t count = means.size();
+    out.write(reinterpret_cast<const char *>(&log_flag), sizeof(log_flag));
+    out.write(reinterpret_cast<const char *>(&clamp_flag),
+              sizeof(clamp_flag));
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const auto *vec : {&means, &stds, &fitMin, &fitMax})
+        out.write(reinterpret_cast<const char *>(vec->data()),
+                  static_cast<std::streamsize>(sizeof(double) * count));
+    if (!out)
+        fatal("FeatureScaler::save: write failed");
+}
+
+void
+FeatureScaler::load(std::istream &in)
+{
+    uint8_t log_flag = 0;
+    uint8_t clamp_flag = 0;
+    uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&log_flag), sizeof(log_flag));
+    in.read(reinterpret_cast<char *>(&clamp_flag), sizeof(clamp_flag));
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in)
+        fatal("FeatureScaler::load: bad header");
+    useLog = log_flag != 0;
+    clampRange = clamp_flag != 0;
+    means.assign(count, 0.0);
+    stds.assign(count, 0.0);
+    fitMin.assign(count, 0.0);
+    fitMax.assign(count, 0.0);
+    for (auto *vec : {&means, &stds, &fitMin, &fitMax})
+        in.read(reinterpret_cast<char *>(vec->data()),
+                static_cast<std::streamsize>(sizeof(double) * count));
+    if (!in)
+        fatal("FeatureScaler::load: truncated file");
+}
+
+} // namespace neusight::nn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Feature standardization. Predictor inputs span many orders of magnitude
+ * (per-tile FLOPs vs cache ratios), so features are log1p-compressed and
+ * standardized to zero mean / unit variance before entering an MLP.
+ */
+
+#ifndef NEUSIGHT_NN_SCALER_HPP
+#define NEUSIGHT_NN_SCALER_HPP
+
+#include <iosfwd>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace neusight::nn {
+
+/** Column-wise (optionally log1p) standardizer fitted on training data. */
+class FeatureScaler
+{
+  public:
+    /** @param use_log apply log1p to |x| (sign preserved) before scaling. */
+    explicit FeatureScaler(bool use_log = true) : useLog(use_log) {}
+
+    /**
+     * Clamp transformed values to the per-column range seen during
+     * fit(). Bounds the downstream MLP's inputs so out-of-distribution
+     * kernels saturate to the nearest seen regime instead of driving
+     * the network into arbitrary extrapolation — the input-side
+     * counterpart of NeuSight's sigmoid output bound (Section 4.2).
+     */
+    void setClampToFitRange(bool clamp) { clampRange = clamp; }
+
+    /** Fit column means and stddevs on @p x. */
+    void fit(const Matrix &x);
+
+    /** Apply the fitted transform. */
+    Matrix transform(const Matrix &x) const;
+
+    /** fit() then transform(). */
+    Matrix fitTransform(const Matrix &x);
+
+    /** True after fit(). */
+    bool fitted() const { return !means.empty(); }
+
+    /** Serialize (binary). */
+    void save(std::ostream &out) const;
+
+    /** Restore state written by save(). */
+    void load(std::istream &in);
+
+  private:
+    double compress(double v) const;
+
+    bool useLog;
+    bool clampRange = false;
+    std::vector<double> means;
+    std::vector<double> stds;
+    std::vector<double> fitMin;
+    std::vector<double> fitMax;
+};
+
+} // namespace neusight::nn
+
+#endif // NEUSIGHT_NN_SCALER_HPP

@@ -1,0 +1,123 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace neusight::nn {
+
+Matrix
+gatherRows(const Matrix &x, const std::vector<size_t> &rows)
+{
+    Matrix out(rows.size(), x.cols());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        ensure(rows[r] < x.rows(), "gatherRows: index out of range");
+        for (size_t c = 0; c < x.cols(); ++c)
+            out.at(r, c) = x.at(rows[r], c);
+    }
+    return out;
+}
+
+namespace {
+
+/** Mean loss over a set of rows without touching gradients. */
+double
+evaluateSplit(const std::vector<size_t> &rows, const Matrix &x,
+              const std::vector<double> &y, const ForwardFn &fwd,
+              const TrainConfig &config)
+{
+    if (rows.empty())
+        return 0.0;
+    double total = 0.0;
+    size_t counted = 0;
+    const size_t bs = config.batchSize;
+    for (size_t start = 0; start < rows.size(); start += bs) {
+        const size_t end = std::min(start + bs, rows.size());
+        Batch batch;
+        batch.indices.assign(rows.begin() + static_cast<long>(start),
+                             rows.begin() + static_cast<long>(end));
+        batch.x = gatherRows(x, batch.indices);
+        batch.y.reserve(batch.indices.size());
+        for (size_t idx : batch.indices)
+            batch.y.push_back(y[idx]);
+        Var pred = fwd(batch);
+        Var loss = lossAv(pred, batch.y, config.loss);
+        total += loss.value().at(0, 0) * static_cast<double>(batch.y.size());
+        counted += batch.y.size();
+    }
+    return total / static_cast<double>(counted);
+}
+
+} // namespace
+
+TrainHistory
+fit(Module &module, const Matrix &x, const std::vector<double> &y,
+    const ForwardFn &fwd, const TrainConfig &config)
+{
+    ensure(x.rows() == y.size(), "fit: feature/target length mismatch");
+    ensure(x.rows() > 0, "fit: empty dataset");
+    ensure(config.batchSize > 0, "fit: batchSize must be positive");
+
+    Rng rng(config.seed);
+    std::vector<size_t> order = rng.permutation(x.rows());
+
+    // Hold out the tail of the shuffled order for validation.
+    const size_t val_count = static_cast<size_t>(
+        static_cast<double>(x.rows()) * config.validationFraction);
+    std::vector<size_t> val_rows(order.end() - static_cast<long>(val_count),
+                                 order.end());
+    std::vector<size_t> train_rows(order.begin(),
+                                   order.end() - static_cast<long>(val_count));
+    ensure(!train_rows.empty(), "fit: validation split leaves no train rows");
+
+    AdamWConfig opt_config;
+    opt_config.lr = config.lr;
+    opt_config.weightDecay = config.weightDecay;
+    AdamW optimizer(module, opt_config);
+
+    TrainHistory history;
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        // Reshuffle the training rows each epoch.
+        std::vector<size_t> perm = rng.permutation(train_rows.size());
+        double epoch_loss = 0.0;
+        size_t counted = 0;
+        for (size_t start = 0; start < train_rows.size();
+             start += config.batchSize) {
+            const size_t end =
+                std::min(start + config.batchSize, train_rows.size());
+            Batch batch;
+            batch.indices.reserve(end - start);
+            for (size_t i = start; i < end; ++i)
+                batch.indices.push_back(train_rows[perm[i]]);
+            batch.x = gatherRows(x, batch.indices);
+            batch.y.reserve(batch.indices.size());
+            for (size_t idx : batch.indices)
+                batch.y.push_back(y[idx]);
+
+            module.zeroGrad();
+            Var pred = fwd(batch);
+            Var loss = lossAv(pred, batch.y, config.loss);
+            backward(loss);
+            optimizer.step();
+
+            epoch_loss +=
+                loss.value().at(0, 0) * static_cast<double>(batch.y.size());
+            counted += batch.y.size();
+        }
+        history.trainLoss.push_back(epoch_loss /
+                                    static_cast<double>(counted));
+        history.valLoss.push_back(
+            evaluateSplit(val_rows, x, y, fwd, config));
+        optimizer.setLearningRate(optimizer.learningRate() * config.lrDecay);
+        if (config.verbose) {
+            std::cerr << "epoch " << epoch + 1 << "/" << config.epochs
+                      << " train=" << history.trainLoss.back()
+                      << " val=" << history.valLoss.back() << std::endl;
+        }
+    }
+    return history;
+}
+
+} // namespace neusight::nn

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Generic mini-batch training loop shared by the NeuSight predictors and
+ * the learned baselines. The forward pass is a callback so callers can
+ * thread per-sample auxiliary data (wave counts, roofline constants)
+ * through the prediction graph — NeuSight trains *through* the utilization
+ * law and latency inversion, not on raw labels.
+ */
+
+#ifndef NEUSIGHT_NN_TRAINER_HPP
+#define NEUSIGHT_NN_TRAINER_HPP
+
+#include <functional>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+
+namespace neusight::nn {
+
+/** A mini-batch handed to the forward callback. */
+struct Batch
+{
+    /** (B, inputDim) feature block, already gathered. */
+    Matrix x;
+    /** Targets aligned with rows of x. */
+    std::vector<double> y;
+    /** Original dataset row of each batch row (for auxiliary lookups). */
+    std::vector<size_t> indices;
+};
+
+/** Training-loop configuration (paper Section 6.1 defaults). */
+struct TrainConfig
+{
+    size_t epochs = 100;
+    size_t batchSize = 64;
+    double lr = 1e-3;
+    /** Multiplicative LR decay applied each epoch. */
+    double lrDecay = 0.99;
+    double weightDecay = 1e-4;
+    LossKind loss = LossKind::Smape;
+    double validationFraction = 0.2;
+    uint64_t seed = 7;
+    bool verbose = false;
+};
+
+/** Loss trajectory of one fit() call. */
+struct TrainHistory
+{
+    std::vector<double> trainLoss;
+    std::vector<double> valLoss;
+
+    /** Final training loss (0 when no epochs ran). */
+    double
+    finalTrainLoss() const
+    {
+        return trainLoss.empty() ? 0.0 : trainLoss.back();
+    }
+
+    /** Final validation loss (0 when no validation split). */
+    double
+    finalValLoss() const
+    {
+        return valLoss.empty() ? 0.0 : valLoss.back();
+    }
+};
+
+/**
+ * Builds the differentiable prediction (B,1) for a batch. The callback owns
+ * the module reference and any auxiliary per-sample vectors.
+ */
+using ForwardFn = std::function<Var(const Batch &)>;
+
+/**
+ * Train @p module on (X, y) with AdamW.
+ *
+ * @param module  Model whose parameters are optimized.
+ * @param x       (N, inputDim) features.
+ * @param y       N targets.
+ * @param fwd     Differentiable forward pass for one batch.
+ * @param config  Loop hyper-parameters.
+ * @return loss history (train and validation per epoch).
+ */
+TrainHistory fit(Module &module, const Matrix &x,
+                 const std::vector<double> &y, const ForwardFn &fwd,
+                 const TrainConfig &config);
+
+/** Gather the given rows of @p x into a dense batch matrix. */
+Matrix gatherRows(const Matrix &x, const std::vector<size_t> &rows);
+
+} // namespace neusight::nn
+
+#endif // NEUSIGHT_NN_TRAINER_HPP

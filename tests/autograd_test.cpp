@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Finite-difference gradient checks for every autograd op, plus
+ * structural tests of the tape (diamond reuse, accumulation, constants).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/autograd.hpp"
+#include "nn/loss.hpp"
+
+namespace neusight::nn {
+namespace {
+
+Matrix
+randomMatrix(size_t rows, size_t cols, uint64_t seed, double scale = 1.0,
+             double shift = 0.0)
+{
+    Rng rng(seed);
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.raw()[i] = rng.normal() * scale + shift;
+    return m;
+}
+
+/** Rebuilds the scalar objective from the current parameter values. */
+using BuildFn = std::function<Var()>;
+
+/** Central-difference check of d(objective)/d(param) for all params. */
+void
+expectGradientsMatch(const std::vector<Var> &params, const BuildFn &build,
+                     double eps = 1e-5, double tol = 2e-5)
+{
+    for (const auto &p : params)
+        p.node()->ensureGrad().setZero();
+    Var out = build();
+    backward(out);
+
+    for (const auto &p : params) {
+        Matrix &value = p.node()->value;
+        const Matrix &analytic = p.node()->ensureGrad();
+        for (size_t i = 0; i < value.size(); ++i) {
+            const double orig = value.raw()[i];
+            value.raw()[i] = orig + eps;
+            const double plus = build().value().at(0, 0);
+            value.raw()[i] = orig - eps;
+            const double minus = build().value().at(0, 0);
+            value.raw()[i] = orig;
+            const double numeric = (plus - minus) / (2.0 * eps);
+            EXPECT_NEAR(analytic.raw()[i], numeric,
+                        tol * std::max(1.0, std::abs(numeric)))
+                << "param '" << p.node()->name << "' element " << i;
+        }
+    }
+}
+
+TEST(Autograd, MatmulGradients)
+{
+    Var a = parameter(randomMatrix(3, 4, 1), "a");
+    Var b = parameter(randomMatrix(4, 2, 2), "b");
+    expectGradientsMatch({a, b},
+                         [&] { return meanAllAv(matmulAv(a, b)); });
+}
+
+TEST(Autograd, AddSubMulGradients)
+{
+    Var a = parameter(randomMatrix(2, 3, 3), "a");
+    Var b = parameter(randomMatrix(2, 3, 4), "b");
+    expectGradientsMatch({a, b}, [&] {
+        return meanAllAv(mulAv(addAv(a, b), subAv(a, b)));
+    });
+}
+
+TEST(Autograd, ScaleGradients)
+{
+    Var a = parameter(randomMatrix(2, 2, 5), "a");
+    expectGradientsMatch({a}, [&] { return meanAllAv(scaleAv(a, -2.5)); });
+}
+
+TEST(Autograd, AddRowBroadcastGradients)
+{
+    Var x = parameter(randomMatrix(4, 3, 6), "x");
+    Var bias = parameter(randomMatrix(1, 3, 7), "bias");
+    expectGradientsMatch({x, bias}, [&] {
+        return meanAllAv(mulAv(addRowBroadcastAv(x, bias),
+                               addRowBroadcastAv(x, bias)));
+    });
+}
+
+TEST(Autograd, ReluGradients)
+{
+    // Shift away from the kink at 0 so finite differences are valid.
+    Var x = parameter(randomMatrix(3, 3, 8, 1.0, 2.0), "x");
+    expectGradientsMatch({x}, [&] { return meanAllAv(reluAv(x)); });
+}
+
+TEST(Autograd, SigmoidGradients)
+{
+    Var x = parameter(randomMatrix(3, 3, 9), "x");
+    expectGradientsMatch({x}, [&] {
+        return meanAllAv(mulAv(sigmoidAv(x), sigmoidAv(x)));
+    });
+}
+
+TEST(Autograd, TanhGradients)
+{
+    Var x = parameter(randomMatrix(3, 3, 10), "x");
+    expectGradientsMatch({x}, [&] { return meanAllAv(tanhAv(x)); });
+}
+
+TEST(Autograd, GeluGradients)
+{
+    Var x = parameter(randomMatrix(3, 3, 11), "x");
+    expectGradientsMatch({x}, [&] { return meanAllAv(geluAv(x)); });
+}
+
+TEST(Autograd, SoftmaxRowsGradients)
+{
+    Var x = parameter(randomMatrix(4, 5, 12), "x");
+    Var w = parameter(randomMatrix(4, 5, 13), "w");
+    expectGradientsMatch({x, w}, [&] {
+        return meanAllAv(mulAv(softmaxRowsAv(x), w));
+    });
+}
+
+TEST(Autograd, SoftmaxRowsSumToOne)
+{
+    Var x = constant(randomMatrix(6, 9, 14, 3.0));
+    const Matrix y = softmaxRowsAv(x).value();
+    for (size_t r = 0; r < y.rows(); ++r) {
+        double total = 0.0;
+        for (size_t c = 0; c < y.cols(); ++c) {
+            EXPECT_GT(y.at(r, c), 0.0);
+            total += y.at(r, c);
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+TEST(Autograd, UtilizationLawGradients)
+{
+    Var ab = parameter(randomMatrix(5, 2, 15, 0.2, 0.6), "ab");
+    const std::vector<double> waves = {1, 2, 4, 9, 33};
+    expectGradientsMatch({ab}, [&] {
+        return meanAllAv(utilizationLawAv(ab, waves));
+    });
+}
+
+TEST(Autograd, UtilizationLawValues)
+{
+    Matrix ab(2, 2);
+    ab.at(0, 0) = 0.9;
+    ab.at(0, 1) = 0.3;
+    ab.at(1, 0) = 0.5;
+    ab.at(1, 1) = 0.5;
+    const Var out = utilizationLawAv(constant(std::move(ab)), {3.0, 1.0});
+    EXPECT_NEAR(out.value().at(0, 0), 0.9 - 0.3 / 3.0, 1e-12);
+    EXPECT_NEAR(out.value().at(1, 0), 0.0, 1e-12);
+}
+
+TEST(Autograd, ClampMinGradients)
+{
+    // Values away from the clamp threshold.
+    Var x = parameter(randomMatrix(3, 3, 16, 0.3, 1.0), "x");
+    expectGradientsMatch({x}, [&] {
+        return meanAllAv(clampMinAv(x, 0.01));
+    });
+}
+
+TEST(Autograd, ClampMinBlocksGradientBelowThreshold)
+{
+    Matrix v(1, 1);
+    v.at(0, 0) = -5.0;
+    Var x = parameter(std::move(v), "x");
+    Var out = meanAllAv(clampMinAv(x, 0.5));
+    backward(out);
+    EXPECT_DOUBLE_EQ(out.value().at(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(x.grad().at(0, 0), 0.0);
+}
+
+TEST(Autograd, ReciprocalScaleGradients)
+{
+    Var x = parameter(randomMatrix(4, 1, 17, 0.2, 2.0), "x");
+    const std::vector<double> c = {1.0, 2.0, 3.0, 4.0};
+    expectGradientsMatch({x}, [&] {
+        return meanAllAv(reciprocalScaleAv(x, c));
+    });
+}
+
+TEST(Autograd, TokenizeFeaturesGradients)
+{
+    Var x = parameter(randomMatrix(3, 4, 18), "x");
+    Var w = parameter(randomMatrix(4, 5, 19), "w");
+    Var b = parameter(randomMatrix(4, 5, 20), "b");
+    expectGradientsMatch({x, w, b}, [&] {
+        Var t = tokenizeFeaturesAv(x, w, b);
+        return meanAllAv(mulAv(t, t));
+    });
+}
+
+TEST(Autograd, AddBlockBroadcastGradients)
+{
+    Var x = parameter(randomMatrix(6, 4, 21), "x"); // 2 blocks of 3.
+    Var pos = parameter(randomMatrix(3, 4, 22), "pos");
+    expectGradientsMatch({x, pos}, [&] {
+        Var y = addBlockBroadcastAv(x, pos);
+        return meanAllAv(mulAv(y, y));
+    });
+}
+
+TEST(Autograd, BlockAttentionGradients)
+{
+    const size_t seq = 3;
+    const size_t dim = 4;
+    Var q = parameter(randomMatrix(2 * seq, dim, 23), "q");
+    Var k = parameter(randomMatrix(2 * seq, dim, 24), "k");
+    Var v = parameter(randomMatrix(2 * seq, dim, 25), "v");
+    expectGradientsMatch(
+        {q, k, v},
+        [&] {
+            Var o = blockAttentionAv(q, k, v, seq, 2);
+            return meanAllAv(mulAv(o, o));
+        },
+        1e-5, 5e-5);
+}
+
+TEST(Autograd, BlockAttentionBlocksAreIndependent)
+{
+    // Changing block 1's inputs must not change block 0's outputs.
+    Matrix qm = randomMatrix(4, 4, 26);
+    Matrix km = randomMatrix(4, 4, 27);
+    Matrix vm = randomMatrix(4, 4, 28);
+    const Matrix out1 =
+        blockAttentionAv(constant(qm), constant(km), constant(vm), 2, 1)
+            .value();
+    for (size_t j = 0; j < 4; ++j) {
+        qm.at(2, j) += 10.0;
+        vm.at(3, j) -= 5.0;
+    }
+    const Matrix out2 =
+        blockAttentionAv(constant(qm), constant(km), constant(vm), 2, 1)
+            .value();
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t j = 0; j < 4; ++j)
+            EXPECT_DOUBLE_EQ(out1.at(r, j), out2.at(r, j));
+}
+
+TEST(Autograd, LayerNormRowsGradients)
+{
+    Var x = parameter(randomMatrix(3, 6, 29), "x");
+    Var g = parameter(randomMatrix(1, 6, 30, 0.2, 1.0), "g");
+    Var b = parameter(randomMatrix(1, 6, 31), "b");
+    expectGradientsMatch(
+        {x, g, b},
+        [&] {
+            Var y = layerNormRowsAv(x, g, b);
+            return meanAllAv(mulAv(y, y));
+        },
+        1e-5, 5e-5);
+}
+
+TEST(Autograd, LayerNormNormalizesRows)
+{
+    Var x = constant(randomMatrix(5, 32, 32, 3.0, 7.0));
+    Var g = constant(Matrix(1, 32, 1.0));
+    Var b = constant(Matrix(1, 32));
+    const Matrix y = layerNormRowsAv(x, g, b).value();
+    for (size_t r = 0; r < y.rows(); ++r) {
+        double mu = 0.0;
+        for (size_t c = 0; c < y.cols(); ++c)
+            mu += y.at(r, c);
+        mu /= static_cast<double>(y.cols());
+        EXPECT_NEAR(mu, 0.0, 1e-9);
+    }
+}
+
+TEST(Autograd, MeanPoolBlocksGradients)
+{
+    Var x = parameter(randomMatrix(8, 3, 33), "x"); // 2 blocks of 4.
+    expectGradientsMatch({x}, [&] {
+        Var y = meanPoolBlocksAv(x, 4);
+        return meanAllAv(mulAv(y, y));
+    });
+}
+
+class LossGradients : public ::testing::TestWithParam<LossKind>
+{
+};
+
+TEST_P(LossGradients, MatchesFiniteDifferences)
+{
+    const LossKind kind = GetParam();
+    // Positive predictions/targets away from |p-t| = 0 kinks.
+    Var pred = parameter(randomMatrix(6, 1, 34, 0.3, 3.0), "pred");
+    const std::vector<double> target = {1.0, 2.0, 4.5, 1.5, 2.5, 5.0};
+    expectGradientsMatch({pred}, [&] {
+        return lossAv(pred, target, kind);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradients,
+                         ::testing::Values(LossKind::Mse, LossKind::Mape,
+                                           LossKind::Smape,
+                                           LossKind::Huber));
+
+TEST(Autograd, LossValuesMatchGraphValues)
+{
+    const std::vector<double> p = {1.0, 2.0, 3.0};
+    const std::vector<double> t = {1.5, 1.5, 3.5};
+    Matrix pm(3, 1);
+    for (size_t i = 0; i < 3; ++i)
+        pm.at(i, 0) = p[i];
+    for (LossKind kind : {LossKind::Mse, LossKind::Mape, LossKind::Smape,
+                          LossKind::Huber}) {
+        const double graph_val =
+            lossAv(constant(pm), t, kind).value().at(0, 0);
+        EXPECT_NEAR(graph_val, lossValue(p, t, kind), 1e-12)
+            << lossName(kind);
+    }
+}
+
+TEST(Autograd, DiamondGraphAccumulates)
+{
+    // y = mean(x*x + x*x): gradient must be 4x/N, exercising fan-out.
+    Var x = parameter(randomMatrix(2, 2, 35), "x");
+    Var sq = mulAv(x, x);
+    Var out = meanAllAv(addAv(sq, sq));
+    backward(out);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(x.grad().raw()[i], 4.0 * x.value().raw()[i] / 4.0,
+                    1e-12);
+}
+
+TEST(Autograd, GradientsAccumulateAcrossBackwardCalls)
+{
+    Var x = parameter(Matrix(1, 1, 3.0), "x");
+    backward(meanAllAv(mulAv(x, x)));
+    const double once = x.grad().at(0, 0);
+    backward(meanAllAv(mulAv(x, x)));
+    EXPECT_NEAR(x.grad().at(0, 0), 2.0 * once, 1e-12);
+}
+
+TEST(Autograd, ConstantsReceiveNoGradient)
+{
+    Var c = constant(Matrix(2, 2, 1.0));
+    Var x = parameter(Matrix(2, 2, 2.0), "x");
+    backward(meanAllAv(mulAv(c, x)));
+    EXPECT_FALSE(c.requiresGrad());
+    EXPECT_DOUBLE_EQ(c.grad().sum(), 0.0);
+    EXPECT_GT(x.grad().sum(), 0.0);
+}
+
+TEST(Autograd, BackwardRequiresScalar)
+{
+    Var x = parameter(Matrix(2, 2, 1.0), "x");
+    EXPECT_DEATH(backward(mulAv(x, x)), "scalar");
+}
+
+} // namespace
+} // namespace neusight::nn

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the three baselines: roofline analysis (exact formula),
+ * Li et al. (per-GPU regression + bandwidth extrapolation), and Habitat
+ * (direct-latency MLPs, kernel-alike reference scaling).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/habitat.hpp"
+#include "baselines/li.hpp"
+#include "baselines/roofline.hpp"
+#include "gpusim/device.hpp"
+
+namespace neusight::baselines {
+namespace {
+
+using gpusim::OpType;
+
+std::map<OpType, dataset::OperatorDataset>
+tinyCorpus()
+{
+    dataset::SamplerConfig sampler;
+    sampler.bmmSamples = 400;
+    sampler.fcSamples = 250;
+    sampler.elementwiseSamples = 200;
+    sampler.softmaxSamples = 100;
+    sampler.layernormSamples = 100;
+    return dataset::generateOperatorData(gpusim::nvidiaTrainingSet(),
+                                         sampler);
+}
+
+TEST(Roofline, ComputeBoundKernel)
+{
+    const RooflinePredictor roofline;
+    const gpusim::GpuSpec &gpu = gpusim::findGpu("V100");
+    const auto desc = gpusim::makeBmm(16, 2048, 2048, 2048);
+    // Heavily compute bound: latency = flops / peak.
+    EXPECT_NEAR(roofline.predictKernelMs(desc, gpu),
+                desc.flops / gpu.peakFlops() * 1e3, 1e-9);
+}
+
+TEST(Roofline, MemoryBoundKernel)
+{
+    const RooflinePredictor roofline;
+    const gpusim::GpuSpec &gpu = gpusim::findGpu("H100");
+    const auto desc = gpusim::makeElementwise("add", 1 << 24, 2, 1.0);
+    EXPECT_NEAR(roofline.predictKernelMs(desc, gpu),
+                desc.memBytes / gpu.memBwBytes() * 1e3, 1e-9);
+}
+
+TEST(Roofline, AlwaysUnderestimatesSimulator)
+{
+    // The simulator never exceeds the roofline by construction, except
+    // for small L2-resident kernels; large kernels must satisfy it.
+    const RooflinePredictor roofline;
+    for (const char *name : {"P100", "A100-40GB", "H100"}) {
+        const gpusim::GpuSpec &gpu = gpusim::findGpu(name);
+        const gpusim::Device dev(gpu);
+        const auto desc = gpusim::makeBmm(32, 2048, 2048, 1024);
+        EXPECT_LT(roofline.predictKernelMs(desc, gpu),
+                  dev.measureKernelMs(desc))
+            << name;
+    }
+}
+
+TEST(Roofline, UsesMatrixPeakOnAmd)
+{
+    const RooflinePredictor roofline;
+    const gpusim::GpuSpec &mi100 = gpusim::findGpu("MI100");
+    const auto desc = gpusim::makeBmm(8, 4096, 4096, 4096);
+    EXPECT_NEAR(roofline.predictKernelMs(desc, mi100),
+                desc.flops / mi100.matrixFlops() * 1e3, 1e-9);
+}
+
+TEST(Li, RequiresTraining)
+{
+    const LiPredictor li;
+    EXPECT_FALSE(li.trained());
+    EXPECT_DEATH(li.predictKernelMs(gpusim::makeBmm(1, 64, 64, 64),
+                                    gpusim::findGpu("V100")),
+                 "before train");
+}
+
+TEST(Li, InTrainingGpuUsesOwnFit)
+{
+    LiPredictor li;
+    li.train(tinyCorpus());
+    ASSERT_TRUE(li.trained());
+    const gpusim::GpuSpec &v100 = gpusim::findGpu("V100");
+    const auto small = gpusim::makeBmm(1, 128, 128, 128);
+    const auto big = gpusim::makeBmm(64, 1024, 1024, 1024);
+    // Linear in FLOPs: latency grows proportionally for in-set GPUs.
+    const double lat_small = li.predictKernelMs(small, v100);
+    const double lat_big = li.predictKernelMs(big, v100);
+    EXPECT_GT(lat_big, lat_small);
+}
+
+TEST(Li, ExtrapolatesByMemoryBandwidth)
+{
+    LiPredictor li;
+    li.train(tinyCorpus());
+    // H100 is unseen: prediction comes from the bandwidth regression and
+    // must scale linearly with FLOPs.
+    const gpusim::GpuSpec &h100 = gpusim::findGpu("H100");
+    const auto d1 = gpusim::makeBmm(8, 1024, 1024, 1024);
+    const auto d2 = gpusim::makeBmm(16, 1024, 1024, 1024);
+    const double l1 = li.predictKernelMs(d1, h100);
+    const double l2 = li.predictKernelMs(d2, h100);
+    // Doubled flops term plus the same launch-floor intercept.
+    EXPECT_GT(l2, l1 * 1.2);
+    EXPECT_LT(l2, l1 * 2.5);
+}
+
+TEST(Li, LinearAssumptionFailsForSmallKernels)
+{
+    // The paper's critique (Fig. 2b): the linear latency~FLOPs fit breaks
+    // down for small matrices, where the GPU is under-utilized and the
+    // regression is dominated by its large-kernel slope and intercept.
+    LiPredictor li;
+    li.train(tinyCorpus());
+    const gpusim::GpuSpec &v100 = gpusim::findGpu("V100");
+    const gpusim::Device dev(v100);
+    double worst_error = 0.0;
+    for (uint64_t dim : {16u, 32u, 64u}) {
+        const auto tiny = gpusim::makeBmm(1, dim, dim, dim);
+        const double measured = dev.measureKernelMs(tiny);
+        const double predicted = li.predictKernelMs(tiny, v100);
+        worst_error = std::max(
+            worst_error, std::abs(predicted - measured) / measured);
+    }
+    EXPECT_GT(worst_error, 0.25);
+}
+
+TEST(Habitat, FeatureLayoutIsFixedWidth)
+{
+    const gpusim::GpuSpec &gpu = gpusim::findGpu("T4");
+    for (const auto &desc :
+         {gpusim::makeBmm(2, 64, 128, 32), gpusim::makeLinear(16, 32, 64),
+          gpusim::makeSoftmax(128, 64),
+          gpusim::makeElementwise("add", 100, 2, 1.0)}) {
+        const auto f = HabitatPredictor::features(desc, gpu);
+        ASSERT_EQ(f.size(), 8u) << desc.summary();
+        EXPECT_DOUBLE_EQ(f[0], gpu.memorySizeGB);
+        EXPECT_DOUBLE_EQ(f[1], gpu.memoryBwGBps);
+        EXPECT_DOUBLE_EQ(f[2], gpu.numSms);
+    }
+    const auto bmm = HabitatPredictor::features(
+        gpusim::makeBmm(2, 64, 128, 32), gpu);
+    EXPECT_DOUBLE_EQ(bmm[4], 2.0);
+    EXPECT_DOUBLE_EQ(bmm[5], 64.0);
+    EXPECT_DOUBLE_EQ(bmm[6], 128.0);
+    EXPECT_DOUBLE_EQ(bmm[7], 32.0);
+}
+
+TEST(Habitat, KernelAlikeScalesByBandwidth)
+{
+    const HabitatPredictor habitat; // Untrained is fine for EW ops.
+    const auto desc = gpusim::makeElementwise("add", 1 << 22, 2, 1.0);
+    const gpusim::Device ref(gpusim::findGpu("V100"));
+    const double ref_ms = ref.measureKernelMs(desc);
+    const gpusim::GpuSpec &h100 = gpusim::findGpu("H100");
+    EXPECT_NEAR(habitat.predictKernelMs(desc, h100),
+                ref_ms * 900.0 / 3430.0, 1e-9);
+}
+
+TEST(Habitat, V100UsesFallbackReference)
+{
+    const HabitatPredictor habitat;
+    const auto desc = gpusim::makeElementwise("mul", 1 << 20, 2, 1.0);
+    const gpusim::Device p100(gpusim::findGpu("P100"));
+    const double expected =
+        p100.measureKernelMs(desc) * 732.0 / 900.0;
+    EXPECT_NEAR(habitat.predictKernelMs(desc, gpusim::findGpu("V100")),
+                expected, 1e-9);
+}
+
+TEST(Habitat, UntrainedKernelVaryingDies)
+{
+    const HabitatPredictor habitat;
+    EXPECT_DEATH(habitat.predictKernelMs(gpusim::makeBmm(1, 64, 64, 64),
+                                         gpusim::findGpu("V100")),
+                 "no model trained");
+}
+
+TEST(Habitat, TrainedPredictsReasonablyInDistribution)
+{
+    HabitatConfig cfg;
+    cfg.hiddenDim = 32;
+    cfg.hiddenLayers = 4;
+    cfg.train.epochs = 40;
+    HabitatPredictor habitat(cfg);
+    habitat.train(tinyCorpus());
+    const gpusim::GpuSpec &v100 = gpusim::findGpu("V100");
+    const gpusim::Device dev(v100);
+    // In-distribution shape on a training GPU.
+    const auto desc = gpusim::makeBmm(16, 512, 512, 512);
+    // Direct-latency regression over five decades of latency is crude
+    // even in distribution (paper Fig. 2a shows up to 38% error); just
+    // require the right order of magnitude here.
+    const double measured = dev.measureKernelMs(desc);
+    const double predicted = habitat.predictKernelMs(desc, v100);
+    EXPECT_GT(predicted, measured * 0.1);
+    EXPECT_LT(predicted, measured * 10.0);
+}
+
+} // namespace
+} // namespace neusight::baselines

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for the convolutional-workload substrate: implicit-GEMM conv
+ * descriptors, batch-norm / pooling kernels, the ResNet-50 and VGG-16
+ * builders (parameter counts and FLOPs vs the published architectures),
+ * and training-graph synthesis through appendBackwardPass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/cnn.hpp"
+#include "graph/models.hpp"
+
+namespace neusight::graph {
+namespace {
+
+using gpusim::DataType;
+using gpusim::KernelDesc;
+using gpusim::OpType;
+
+TEST(ConvMath, OutputExtentMatchesConvArithmetic)
+{
+    EXPECT_EQ(convOutputExtent(224, 7, 2, 3), 112u); // ResNet stem.
+    EXPECT_EQ(convOutputExtent(112, 3, 2, 1), 56u);  // Stem max-pool.
+    EXPECT_EQ(convOutputExtent(56, 3, 1, 1), 56u);   // Same-pad 3x3.
+    EXPECT_EQ(convOutputExtent(56, 1, 1, 0), 56u);   // Pointwise.
+    EXPECT_EQ(convOutputExtent(7, 7, 7, 0), 1u);     // Global pool.
+    EXPECT_EQ(convOutputExtent(224, 2, 2, 0), 112u); // VGG max-pool.
+}
+
+TEST(ConvMath, OutputExtentRejectsOversizedWindow)
+{
+    EXPECT_THROW(convOutputExtent(4, 7, 1, 0), std::runtime_error);
+    EXPECT_THROW(convOutputExtent(8, 3, 0, 1), std::runtime_error);
+}
+
+TEST(Conv2d, LowersToImplicitGemmShape)
+{
+    // 3x3 same-pad conv on (8, 64, 56, 56) -> 128 channels.
+    const KernelDesc d = makeConv2d(8, 64, 56, 56, 128, 3, 1, 1);
+    EXPECT_EQ(d.type, OpType::FullyConnected);
+    EXPECT_EQ(d.opName, "conv2d");
+    ASSERT_EQ(d.outDims.size(), 2u);
+    EXPECT_EQ(d.outDims[0], 8u * 56 * 56); // N * OH * OW rows.
+    EXPECT_EQ(d.outDims[1], 128u);         // Cout columns.
+    EXPECT_EQ(d.reduceDim, 64u * 3 * 3);   // Cin * KH * KW.
+}
+
+TEST(Conv2d, FlopsMatchDirectConvolutionCount)
+{
+    const KernelDesc d = makeConv2d(2, 16, 32, 32, 32, 3, 1, 1);
+    // 2 * N*OH*OW * Cin*K*K * Cout multiply-accumulates.
+    const double expected = 2.0 * (2.0 * 32 * 32) * (16.0 * 9) * 32.0;
+    EXPECT_DOUBLE_EQ(d.flops, expected);
+}
+
+TEST(Conv2d, TrafficExcludesIm2colMaterialization)
+{
+    const KernelDesc d = makeConv2d(1, 64, 56, 56, 64, 3, 1, 1);
+    // Feature map + filter + output, NOT the 9x-larger patch matrix.
+    const double feature = 64.0 * 56 * 56;
+    const double filter = 64.0 * 9 * 64;
+    const double output = 56.0 * 56 * 64;
+    EXPECT_DOUBLE_EQ(d.memBytes, (feature + filter + output) * 4.0);
+    const double im2col = feature * 9.0;
+    EXPECT_LT(d.memBytes, (im2col + filter + output) * 4.0);
+}
+
+TEST(Conv2d, StrideShrinksRowsQuadratically)
+{
+    const KernelDesc s1 = makeConv2d(1, 8, 64, 64, 8, 3, 1, 1);
+    const KernelDesc s2 = makeConv2d(1, 8, 64, 64, 8, 3, 2, 1);
+    EXPECT_EQ(s1.outDims[0], 64u * 64);
+    EXPECT_EQ(s2.outDims[0], 32u * 32);
+    EXPECT_NEAR(s1.flops / s2.flops, 4.0, 1e-9);
+}
+
+TEST(Conv2d, Fp16HalvesTraffic)
+{
+    const KernelDesc f32 = makeConv2d(4, 32, 28, 28, 64, 3, 1, 1);
+    const KernelDesc f16 =
+        makeConv2d(4, 32, 28, 28, 64, 3, 1, 1, DataType::Fp16);
+    EXPECT_DOUBLE_EQ(f32.flops, f16.flops);
+    EXPECT_DOUBLE_EQ(f32.memBytes, 2.0 * f16.memBytes);
+}
+
+TEST(BatchNorm, IsLayerNormFamilyWithChannelStats)
+{
+    const KernelDesc d = makeBatchNorm(8 * 56 * 56, 64);
+    EXPECT_EQ(d.type, OpType::LayerNorm);
+    EXPECT_EQ(d.opName, "batchnorm");
+    EXPECT_EQ(d.outDims[0], 8u * 56 * 56);
+    EXPECT_EQ(d.outDims[1], 64u);
+    // Read + write each element plus four per-channel vectors.
+    EXPECT_DOUBLE_EQ(d.memBytes,
+                     (2.0 * 8 * 56 * 56 * 64 + 4.0 * 64) * 4.0);
+}
+
+TEST(Pool, IsMemoryBoundAndShrinksOutput)
+{
+    const KernelDesc d = makePool(8, 64, 112, 112, 3, 2, 1);
+    EXPECT_EQ(d.type, OpType::Memory);
+    const double in_elems = 8.0 * 64 * 112 * 112;
+    const double out_elems = 8.0 * 64 * 56 * 56;
+    EXPECT_DOUBLE_EQ(d.memBytes, (in_elems + out_elems) * 4.0);
+    EXPECT_LT(d.intensity(), 1.0); // Memory bound by construction.
+}
+
+TEST(ResNet50, ParameterCountMatchesTorchvision)
+{
+    // torchvision resnet50: 25.557M parameters.
+    EXPECT_NEAR(resNet50ParameterCount(), 25.56e6, 25.56e6 * 0.03);
+}
+
+TEST(ResNet50, ForwardFlopsMatchPublishedGflops)
+{
+    // ~4.1 GFLOPs MACs*2 per 224x224 image (published ~8.2 GFLOP with
+    // multiply+add counted separately).
+    const KernelGraph g = buildResNet50Graph(1);
+    const double conv_fc_flops = [&] {
+        double total = 0.0;
+        for (const auto &n : g.nodes)
+            if (n.kernel.type == OpType::FullyConnected)
+                total += n.kernel.flops;
+        return total;
+    }();
+    EXPECT_NEAR(conv_fc_flops, 8.2e9, 8.2e9 * 0.05);
+}
+
+TEST(ResNet50, HasSixteenBottlenecksAndFourDownsamples)
+{
+    const KernelGraph g = buildResNet50Graph(1);
+    int convs = 0;
+    int downsamples = 0;
+    for (const auto &n : g.nodes) {
+        if (n.kernel.opName == "conv2d")
+            ++convs;
+        if (n.label.find(".down.conv") != std::string::npos)
+            ++downsamples;
+    }
+    // Stem + 16 blocks x 3 convs + 4 projection shortcuts = 53.
+    EXPECT_EQ(convs, 53);
+    EXPECT_EQ(downsamples, 4);
+}
+
+TEST(ResNet50, FlopsScaleLinearlyWithBatch)
+{
+    const double f1 = buildResNet50Graph(1).totalFlops();
+    const double f8 = buildResNet50Graph(8).totalFlops();
+    EXPECT_NEAR(f8 / f1, 8.0, 0.01);
+}
+
+TEST(ResNet50, TrainingGraphRoughlyTriplesForwardWork)
+{
+    const double fwd = buildResNet50Graph(4).totalFlops();
+    const double train = buildResNet50TrainingGraph(4).totalFlops();
+    EXPECT_GT(train, 2.5 * fwd);
+    EXPECT_LT(train, 3.5 * fwd);
+}
+
+TEST(ResNet50, RejectsZeroBatch)
+{
+    EXPECT_THROW(buildResNet50Graph(0), std::runtime_error);
+}
+
+TEST(Vgg16, ParameterCountMatchesTorchvision)
+{
+    // torchvision vgg16: 138.36M parameters (dominated by head.fc1).
+    EXPECT_NEAR(cnnParameterCount(buildVgg16Graph(1)), 138.36e6,
+                138.36e6 * 0.02);
+}
+
+TEST(Vgg16, ForwardFlopsMatchPublishedGflops)
+{
+    // ~15.5 GMACs -> ~31 GFLOPs per image.
+    const KernelGraph g = buildVgg16Graph(1);
+    double conv_fc = 0.0;
+    for (const auto &n : g.nodes)
+        if (n.kernel.type == OpType::FullyConnected)
+            conv_fc += n.kernel.flops;
+    EXPECT_NEAR(conv_fc, 31.0e9, 31.0e9 * 0.05);
+}
+
+TEST(Vgg16, ThirteenConvsThreeLinears)
+{
+    const KernelGraph g = buildVgg16Graph(2);
+    int convs = 0;
+    int linears = 0;
+    for (const auto &n : g.nodes) {
+        if (n.kernel.opName == "conv2d")
+            ++convs;
+        if (n.kernel.opName == "linear")
+            ++linears;
+    }
+    EXPECT_EQ(convs, 13);
+    EXPECT_EQ(linears, 3);
+}
+
+TEST(CnnParams, IgnoresActivationsAndPools)
+{
+    KernelGraph g;
+    g.add(gpusim::makeElementwise("relu", 1024, 1, 1.0), "relu");
+    g.add(makePool(1, 8, 16, 16, 2, 2), "pool");
+    EXPECT_DOUBLE_EQ(cnnParameterCount(g), 0.0);
+}
+
+TEST(CnnParams, CountsConvWeightsWithoutBias)
+{
+    KernelGraph g;
+    g.add(makeConv2d(1, 16, 8, 8, 32, 3, 1, 1), "conv");
+    EXPECT_DOUBLE_EQ(cnnParameterCount(g), 16.0 * 9 * 32);
+    g.add(gpusim::makeLinear(1, 32, 10), "fc");
+    EXPECT_DOUBLE_EQ(cnnParameterCount(g), 16.0 * 9 * 32 + 32.0 * 10 + 10.0);
+}
+
+/** Conv shapes from every ResNet-50 stage for property sweeps. */
+struct ConvCase
+{
+    uint64_t batch, c_in, extent, c_out, kernel, stride, pad;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvSweep, GemmLoweringInvariants)
+{
+    const ConvCase &c = GetParam();
+    const KernelDesc d = makeConv2d(c.batch, c.c_in, c.extent, c.extent,
+                                    c.c_out, c.kernel, c.stride, c.pad);
+    const uint64_t out = convOutputExtent(c.extent, c.kernel, c.stride,
+                                          c.pad);
+    // Rows track the output feature map exactly.
+    EXPECT_EQ(d.outDims[0], c.batch * out * out);
+    // FLOPs = 2 * rows * K * cols, always positive and GEMM-consistent.
+    EXPECT_DOUBLE_EQ(d.flops, 2.0 * static_cast<double>(d.outDims[0]) *
+                                  static_cast<double>(d.reduceDim) *
+                                  static_cast<double>(d.outDims[1]));
+    // Implicit GEMM never reads more than the im2col equivalent.
+    const double im2col_bytes =
+        (static_cast<double>(d.outDims[0]) *
+             static_cast<double>(d.reduceDim) +
+         static_cast<double>(d.reduceDim) *
+             static_cast<double>(d.outDims[1]) +
+         static_cast<double>(d.outDims[0]) *
+             static_cast<double>(d.outDims[1])) *
+        4.0;
+    EXPECT_LE(d.memBytes, im2col_bytes);
+    // Arithmetic intensity grows with channel width.
+    EXPECT_GT(d.intensity(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ResNetShapes, ConvSweep,
+    ::testing::Values(ConvCase{1, 3, 224, 64, 7, 2, 3},
+                      ConvCase{8, 64, 56, 64, 1, 1, 0},
+                      ConvCase{8, 64, 56, 64, 3, 1, 1},
+                      ConvCase{8, 64, 56, 256, 1, 1, 0},
+                      ConvCase{4, 256, 56, 128, 1, 1, 0},
+                      ConvCase{4, 128, 56, 128, 3, 2, 1},
+                      ConvCase{2, 512, 28, 256, 1, 1, 0},
+                      ConvCase{2, 1024, 14, 512, 1, 1, 0},
+                      ConvCase{1, 512, 7, 2048, 1, 1, 0}));
+
+} // namespace
+} // namespace neusight::graph

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the common utilities: statistics, error metrics, linear
+ * fits, RNG determinism, CSV emission and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace neusight {
+namespace {
+
+TEST(Stats, AbsPercentageErrorBasics)
+{
+    EXPECT_DOUBLE_EQ(absPercentageError(110.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(absPercentageError(90.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(absPercentageError(100.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(absPercentageError(-110.0, -100.0), 10.0);
+}
+
+TEST(Stats, MeanAbsPercentageError)
+{
+    EXPECT_DOUBLE_EQ(
+        meanAbsPercentageError({110.0, 80.0}, {100.0, 100.0}), 15.0);
+    EXPECT_DOUBLE_EQ(meanAbsPercentageError({}, {}), 0.0);
+}
+
+TEST(Stats, SymmetricMapeIsSymmetric)
+{
+    const double ab = symmetricMape({120.0}, {100.0});
+    const double ba = symmetricMape({100.0}, {120.0});
+    EXPECT_DOUBLE_EQ(ab, ba);
+    // |120-100| / 110 * 100.
+    EXPECT_NEAR(ab, 20.0 / 110.0 * 100.0, 1e-9);
+}
+
+TEST(Stats, SymmetricMapeBoundedBy200)
+{
+    EXPECT_LE(symmetricMape({1e9}, {1e-9}), 200.0 + 1e-6);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, MaxValueAndPercentile)
+{
+    EXPECT_DOUBLE_EQ(maxValue({3.0, 9.0, 1.0}), 9.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2}, 50.0), 1.5);
+}
+
+TEST(Stats, FitLineRecoversExactLine)
+{
+    std::vector<double> x = {1, 2, 3, 4};
+    std::vector<double> y = {5, 7, 9, 11}; // y = 2x + 3.
+    const LinearFit fit = fitLine(x, y);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+    EXPECT_NEAR(fit(10.0), 23.0, 1e-12);
+}
+
+TEST(Stats, FitLineDegenerateXFallsBackToMean)
+{
+    const LinearFit fit = fitLine({2, 2, 2}, {1, 3, 5});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 3.0);
+}
+
+TEST(Stats, RunningMeanAccumulates)
+{
+    RunningMean rm;
+    EXPECT_DOUBLE_EQ(rm.value(), 0.0);
+    rm.add(2.0);
+    rm.add(4.0);
+    EXPECT_DOUBLE_EQ(rm.value(), 3.0);
+    EXPECT_EQ(rm.samples(), 2u);
+}
+
+TEST(Rng, DeterministicStreams)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(3.0, 5.0);
+        EXPECT_GE(u, 3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.uniformInt(1, 4);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 4);
+        saw_lo = saw_lo || v == 1;
+        saw_hi = saw_hi || v == 4;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double total = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        total += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(total / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(3);
+    const auto perm = rng.permutation(100);
+    std::vector<bool> seen(100, false);
+    for (size_t idx : perm) {
+        ASSERT_LT(idx, 100u);
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+    }
+}
+
+TEST(Rng, HashNoiseBoundedAndDeterministic)
+{
+    for (uint64_t i = 0; i < 500; ++i) {
+        const double v = hashNoise(i, i * 3 + 1, i * 7 + 2);
+        EXPECT_GE(v, -1.0);
+        EXPECT_LT(v, 1.0);
+        EXPECT_DOUBLE_EQ(v, hashNoise(i, i * 3 + 1, i * 7 + 2));
+    }
+}
+
+TEST(Csv, WritesHeaderAndRowsWithQuoting)
+{
+    const std::string path = "/tmp/neusight_csv_test.csv";
+    {
+        CsvWriter csv(path, {"a", "b"});
+        csv.writeRow({"1", "plain"});
+        csv.writeRow({"2", "needs,quote"});
+        csv.writeRow({"3", "has\"quote"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,plain");
+    std::getline(in, line);
+    EXPECT_EQ(line, "2,\"needs,quote\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "3,\"has\"\"quote\"");
+    std::filesystem::remove(path);
+}
+
+TEST(Csv, RejectsWrongArity)
+{
+    CsvWriter csv("/tmp/neusight_csv_arity.csv", {"a", "b"});
+    EXPECT_THROW(csv.writeRow({"only-one"}), std::runtime_error);
+    std::filesystem::remove("/tmp/neusight_csv_arity.csv");
+}
+
+TEST(Csv, FormatsFixedPrecision)
+{
+    EXPECT_EQ(CsvWriter::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(CsvWriter::fmt(2.0, 1), "2.0");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t("Demo", {"col", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("col"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows)
+{
+    TextTable t("T", {"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, NumberFormatters)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(12.345, 1), "12.3%");
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom"), std::runtime_error);
+}
+
+TEST(Logging, EnsurePassesOnTrue)
+{
+    EXPECT_NO_THROW(ensure(true, "fine"));
+}
+
+} // namespace
+} // namespace neusight

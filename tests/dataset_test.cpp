@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the Section-6.1 training-data generator: per-family sample
+ * budgets, paper shape ranges, OOM screening, determinism, and coverage
+ * of the training GPUs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/dataset.hpp"
+
+namespace neusight::dataset {
+namespace {
+
+using gpusim::OpType;
+
+SamplerConfig
+tinyConfig()
+{
+    SamplerConfig cfg;
+    cfg.bmmSamples = 200;
+    cfg.fcSamples = 150;
+    cfg.elementwiseSamples = 120;
+    cfg.softmaxSamples = 60;
+    cfg.layernormSamples = 60;
+    return cfg;
+}
+
+TEST(Dataset, GeneratesAllFiveFamilies)
+{
+    const auto corpus =
+        generateOperatorData(gpusim::nvidiaTrainingSet(), tinyConfig());
+    EXPECT_EQ(corpus.size(), 5u);
+    for (OpType type :
+         {OpType::BatchedMatmul, OpType::FullyConnected, OpType::Elementwise,
+          OpType::Softmax, OpType::LayerNorm}) {
+        ASSERT_TRUE(corpus.count(type));
+        EXPECT_GT(corpus.at(type).size(), 0u);
+    }
+}
+
+TEST(Dataset, RespectsSampleBudgets)
+{
+    const SamplerConfig cfg = tinyConfig();
+    const auto corpus =
+        generateOperatorData(gpusim::nvidiaTrainingSet(), cfg);
+    // OOM screening may drop a few samples, never add any.
+    EXPECT_LE(corpus.at(OpType::BatchedMatmul).size(), cfg.bmmSamples);
+    EXPECT_GE(corpus.at(OpType::BatchedMatmul).size(),
+              cfg.bmmSamples * 9 / 10);
+    EXPECT_LE(corpus.at(OpType::Softmax).size(), cfg.softmaxSamples);
+}
+
+TEST(Dataset, ShapesWithinPaperRanges)
+{
+    const SamplerConfig cfg = tinyConfig();
+    const auto corpus =
+        generateOperatorData(gpusim::nvidiaTrainingSet(), cfg);
+    for (const auto &s : corpus.at(OpType::BatchedMatmul).samples) {
+        for (uint64_t d : s.desc.outDims) {
+            EXPECT_GE(d, 1u);
+            EXPECT_LE(d, cfg.bmmMaxDim);
+        }
+        EXPECT_LE(s.desc.reduceDim, cfg.bmmMaxDim);
+    }
+    for (const auto &s : corpus.at(OpType::Softmax).samples) {
+        EXPECT_GE(s.desc.outDims[0], cfg.rowMinBatch);
+        EXPECT_LE(s.desc.outDims[0], cfg.rowMaxBatch);
+        EXPECT_GE(s.desc.outDims[1], cfg.ewMinVec);
+        EXPECT_LE(s.desc.outDims[1], cfg.ewMaxVec);
+    }
+}
+
+TEST(Dataset, ElementwiseCoversSixOps)
+{
+    const auto corpus =
+        generateOperatorData(gpusim::nvidiaTrainingSet(), tinyConfig());
+    std::set<std::string> ops;
+    for (const auto &s : corpus.at(OpType::Elementwise).samples)
+        ops.insert(s.desc.opName);
+    for (const char *op : {"add", "div", "mul", "gelu", "relu", "tanh"})
+        EXPECT_TRUE(ops.count(op)) << op;
+}
+
+TEST(Dataset, SamplesCarryProfilerMetadata)
+{
+    const auto corpus =
+        generateOperatorData(gpusim::nvidiaTrainingSet(), tinyConfig());
+    for (const auto &s : corpus.at(OpType::FullyConnected).samples) {
+        EXPECT_GT(s.latencyMs, 0.0);
+        EXPECT_DOUBLE_EQ(s.latencyMs, s.launch.latencyMs);
+        EXPECT_GE(s.launch.numWaves, 1u);
+        EXPECT_GE(s.launch.numTiles, 1u);
+        EXPECT_FALSE(s.launch.tile.dims.empty());
+    }
+}
+
+TEST(Dataset, CoversAllTrainingGpus)
+{
+    const auto gpus = gpusim::nvidiaTrainingSet();
+    const auto corpus = generateOperatorData(gpus, tinyConfig());
+    std::set<std::string> seen;
+    for (const auto &s : corpus.at(OpType::BatchedMatmul).samples)
+        seen.insert(s.gpuName);
+    EXPECT_EQ(seen.size(), gpus.size());
+}
+
+TEST(Dataset, DeterministicForFixedSeed)
+{
+    const auto a =
+        generateOperatorData(gpusim::nvidiaTrainingSet(), tinyConfig());
+    const auto b =
+        generateOperatorData(gpusim::nvidiaTrainingSet(), tinyConfig());
+    ASSERT_EQ(a.at(OpType::BatchedMatmul).size(),
+              b.at(OpType::BatchedMatmul).size());
+    for (size_t i = 0; i < a.at(OpType::BatchedMatmul).size(); ++i) {
+        EXPECT_EQ(a.at(OpType::BatchedMatmul).samples[i].desc.outDims,
+                  b.at(OpType::BatchedMatmul).samples[i].desc.outDims);
+        EXPECT_DOUBLE_EQ(a.at(OpType::BatchedMatmul).samples[i].latencyMs,
+                         b.at(OpType::BatchedMatmul).samples[i].latencyMs);
+    }
+}
+
+TEST(Dataset, SeedChangesSamples)
+{
+    SamplerConfig cfg = tinyConfig();
+    const auto a = generateOperatorData(gpusim::nvidiaTrainingSet(), cfg);
+    cfg.seed += 1;
+    const auto b = generateOperatorData(gpusim::nvidiaTrainingSet(), cfg);
+    bool any_diff = false;
+    const auto &sa = a.at(OpType::BatchedMatmul).samples;
+    const auto &sb = b.at(OpType::BatchedMatmul).samples;
+    for (size_t i = 0; i < std::min(sa.size(), sb.size()); ++i)
+        any_diff = any_diff || sa[i].desc.outDims != sb[i].desc.outDims;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, OomScreeningDropsHugeKernels)
+{
+    // On a P4 (8 GB) a 65536x65536 FC weight cannot be profiled.
+    const std::vector<gpusim::GpuSpec> gpus = {gpusim::findGpu("P4")};
+    SamplerConfig cfg = tinyConfig();
+    cfg.fcSamples = 400;
+    const auto corpus = generateOperatorData(gpus, cfg);
+    for (const auto &s : corpus.at(OpType::FullyConnected).samples)
+        EXPECT_LE(s.desc.memBytes, 0.6 * gpusim::findGpu("P4").memBytes());
+    EXPECT_LT(corpus.at(OpType::FullyConnected).size(), 400u);
+}
+
+TEST(Dataset, BmmSweepHonorsDimRange)
+{
+    const auto ds = generateBmmSweep({gpusim::findGpu("V100")}, 256, 1024,
+                                     100, 7);
+    EXPECT_GT(ds.size(), 0u);
+    for (const auto &s : ds.samples) {
+        EXPECT_GE(s.desc.outDims[1], 256u);
+        EXPECT_LE(s.desc.outDims[1], 1024u);
+        EXPECT_LE(s.desc.outDims[0], 128u); // Batch cap.
+    }
+}
+
+} // namespace
+} // namespace neusight::dataset

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the evaluation harness: case enumeration, memory screening,
+ * error aggregation, OOD filtering, and operator-contribution math.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/roofline.hpp"
+#include "eval/harness.hpp"
+#include "eval/oracle.hpp"
+
+namespace neusight::eval {
+namespace {
+
+TEST(Harness, PaperCasesCoverAllModelsTwice)
+{
+    const auto cases = paperEvaluationCases(false);
+    EXPECT_EQ(cases.size(), 12u); // 6 models x 2 batch sizes.
+    size_t ood = 0;
+    for (const auto &c : cases) {
+        EXPECT_FALSE(c.training);
+        EXPECT_GE(c.batch, 1u);
+        ood += c.oodModel ? 1 : 0;
+    }
+    EXPECT_EQ(ood, 2u); // GPT3-2.7B at two batch sizes.
+    for (const auto &c : paperEvaluationCases(true))
+        EXPECT_TRUE(c.training);
+}
+
+TEST(Harness, TrainingScreensSmallMemoryGpus)
+{
+    // Training cases never land on sub-24GB GPUs (paper Section 6.1).
+    std::vector<WorkloadCase> cases;
+    WorkloadCase c;
+    c.model = graph::findModel("BERT-Large");
+    c.batch = 2;
+    c.training = true;
+    cases.push_back(c);
+    const baselines::RooflinePredictor roofline;
+    const std::vector<gpusim::GpuSpec> gpus = {
+        gpusim::findGpu("T4"), // 16 GB: excluded.
+        gpusim::findGpu("A100-40GB")};
+    const auto results = evaluateCases(cases, gpus, {&roofline});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].gpuName, "A100-40GB");
+}
+
+TEST(Harness, OomConfigurationsAreSkipped)
+{
+    std::vector<WorkloadCase> cases;
+    WorkloadCase c;
+    c.model = graph::findModel("GPT3-2.7B");
+    c.batch = 64; // Far beyond any single device.
+    c.training = true;
+    cases.push_back(c);
+    const baselines::RooflinePredictor roofline;
+    const auto results = evaluateCases(
+        cases, {gpusim::findGpu("A100-80GB")}, {&roofline});
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(Harness, ResultsCarryOodFlags)
+{
+    std::vector<WorkloadCase> cases;
+    WorkloadCase c;
+    c.model = graph::findModel("BERT-Large");
+    c.batch = 2;
+    cases.push_back(c);
+    const baselines::RooflinePredictor roofline;
+    const auto results = evaluateCases(
+        cases, {gpusim::findGpu("V100"), gpusim::findGpu("H100")},
+        {&roofline});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].oodGpu);
+    EXPECT_TRUE(results[1].oodGpu);
+    EXPECT_GT(results[0].measuredMs, 0.0);
+    EXPECT_EQ(results[0].predictedMs.count("Roofline"), 1u);
+}
+
+TEST(Harness, ErrorAggregationMath)
+{
+    std::vector<CaseResult> results(2);
+    results[0].measuredMs = 100.0;
+    results[0].predictedMs["P"] = 110.0; // 10% error.
+    results[1].measuredMs = 200.0;
+    results[1].predictedMs["P"] = 160.0; // 20% error.
+    results[1].oodGpu = true;
+    const auto overall = endToEndError(results);
+    EXPECT_NEAR(overall.at("P"), 15.0, 1e-12);
+    const auto ood = outOfDistributionError(results);
+    EXPECT_NEAR(ood.at("P"), 20.0, 1e-12);
+}
+
+TEST(Harness, OperatorContributionSumsToOne)
+{
+    const auto g =
+        graph::buildInferenceGraph(graph::findModel("GPT2-Large"), 2);
+    const auto contrib =
+        operatorContribution(g, gpusim::findGpu("H100"));
+    double total = 0.0;
+    for (const auto &[type, frac] : contrib) {
+        EXPECT_GE(frac, 0.0);
+        EXPECT_LE(frac, 1.0);
+        total += frac;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // GEMMs dominate transformer latency (paper Table 6).
+    EXPECT_GT(contrib.at(gpusim::OpType::FullyConnected), 0.4);
+}
+
+TEST(Oracle, MatchesDeviceMeasurement)
+{
+    const SimulatorOracle oracle;
+    const auto &gpu = gpusim::findGpu("L4");
+    const auto desc = gpusim::makeSoftmax(8192, 512);
+    EXPECT_DOUBLE_EQ(oracle.predictKernelMs(desc, gpu),
+                     gpusim::Device(gpu).measureKernelMs(desc));
+    EXPECT_EQ(oracle.name(), "Measured");
+}
+
+} // namespace
+} // namespace neusight::eval

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Property sweeps of the simulator across every GPU of Table 4: for each
+ * device, the execution model must satisfy the physical invariants the
+ * paper builds on (determinism, the compute roofline, bounded
+ * utilization, wave arithmetic consistency, occupancy monotonicity,
+ * overhead accounting, datapath selection).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/device.hpp"
+#include "gpusim/tile_policy.hpp"
+
+namespace neusight::gpusim {
+namespace {
+
+class PerGpu : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const GpuSpec &gpu() const { return findGpu(GetParam()); }
+};
+
+std::vector<KernelDesc>
+probeKernels()
+{
+    return {
+        makeBmm(1, 64, 64, 64),
+        makeBmm(16, 1024, 1024, 512),
+        makeBmm(4, 2048, 2048, 2048),
+        makeLinear(512, 1024, 4096),
+        makeLinear(8192, 2048, 2048),
+        makeElementwise("add", 1 << 20, 2, 1.0),
+        makeElementwise("gelu", 1 << 18, 1, 8.0),
+        makeSoftmax(8192, 1024),
+        makeLayerNorm(16384, 2048),
+        makeMemoryOp("embedding", 1e7),
+    };
+}
+
+TEST_P(PerGpu, SpecIsComplete)
+{
+    const GpuSpec &g = gpu();
+    EXPECT_GT(g.peakFp32Tflops, 0.0);
+    EXPECT_GT(g.memoryBwGBps, 0.0);
+    EXPECT_GT(g.memorySizeGB, 0.0);
+    EXPECT_GT(g.numSms, 0);
+    EXPECT_GT(g.l2CacheMB, 0.0);
+    EXPECT_GE(g.matrixFp32Tflops, g.peakFp32Tflops);
+    EXPECT_GT(g.interconnectGBps, 0.0);
+}
+
+TEST_P(PerGpu, MeasurementsAreDeterministic)
+{
+    const Device dev(gpu());
+    for (const auto &desc : probeKernels())
+        EXPECT_DOUBLE_EQ(dev.measureKernelMs(desc),
+                         dev.measureKernelMs(desc))
+            << desc.summary();
+}
+
+TEST_P(PerGpu, ComputeRooflineNeverBeaten)
+{
+    const Device dev(gpu());
+    for (const auto &desc : probeKernels()) {
+        const double bound_ms =
+            desc.flops / effectivePeakFlops(desc, gpu()) * 1e3;
+        EXPECT_GE(dev.measureKernelMs(desc), bound_ms * 0.999)
+            << desc.summary();
+    }
+}
+
+TEST_P(PerGpu, UtilizationBounded)
+{
+    const Device dev(gpu());
+    for (const auto &desc : probeKernels()) {
+        const KernelLaunch launch = dev.profileKernel(desc);
+        EXPECT_GT(launch.utilization, 0.0) << desc.summary();
+        EXPECT_LT(launch.utilization, 1.0) << desc.summary();
+    }
+}
+
+TEST_P(PerGpu, WaveArithmeticConsistent)
+{
+    const Device dev(gpu());
+    for (const auto &desc : probeKernels()) {
+        const KernelLaunch launch = dev.profileKernel(desc);
+        ASSERT_EQ(launch.tile.dims.size(), desc.outDims.size())
+            << desc.summary();
+        EXPECT_EQ(launch.numTiles,
+                  TilePolicy::numTiles(desc, launch.tile.dims));
+        EXPECT_EQ(launch.numWaves,
+                  TilePolicy::numWaves(launch.numTiles, gpu().numSms));
+        EXPECT_GE(launch.numWaves, 1u);
+        EXPECT_LE(launch.numWaves, launch.numTiles);
+    }
+}
+
+TEST_P(PerGpu, LatencyIncludesLaunchOverhead)
+{
+    const Device dev(gpu());
+    for (const auto &desc : probeKernels()) {
+        const KernelLaunch launch = dev.profileKernel(desc);
+        EXPECT_GT(launch.overheadMs, 0.0);
+        EXPECT_GE(launch.latencyMs, launch.overheadMs) << desc.summary();
+    }
+}
+
+TEST_P(PerGpu, ThroughputRampsWithOccupancy)
+{
+    // Achieved FLOPS at 16x the batch must exceed achieved FLOPS at 1x
+    // (paper Fig. 5: more waves hide more latency).
+    const Device dev(gpu());
+    const auto small = makeBmm(1, 256, 256, 256);
+    const auto large = makeBmm(64, 256, 256, 256);
+    const double tput_small =
+        small.flops / dev.measureKernelMs(small);
+    const double tput_large =
+        large.flops / dev.measureKernelMs(large);
+    EXPECT_GT(tput_large, tput_small);
+}
+
+TEST_P(PerGpu, Fp16NeverSlowerThanFp32ForGemm)
+{
+    const Device dev(gpu());
+    const auto fp32 = makeBmm(8, 1024, 1024, 1024);
+    const bool has_tensor = gpu().fp16Flops() > 0.0;
+    const auto fp16 = makeBmm(8, 1024, 1024, 1024, DataType::Fp16,
+                              has_tensor);
+    // 5% headroom: measurement noise is +/-2% on each kernel.
+    EXPECT_LE(dev.measureKernelMs(fp16),
+              dev.measureKernelMs(fp32) * 1.05);
+}
+
+TEST_P(PerGpu, TileSelectionIsDeterministicAndRankPreserving)
+{
+    for (const auto &desc : probeKernels()) {
+        const TileInfo a = TilePolicy::select(desc, gpu());
+        const TileInfo b = TilePolicy::select(desc, gpu());
+        EXPECT_EQ(a.dims, b.dims) << desc.summary();
+        ASSERT_EQ(a.dims.size(), desc.outDims.size());
+        for (size_t i = 0; i < a.dims.size(); ++i)
+            EXPECT_GE(a.dims[i], 1u);
+        EXPECT_GT(a.flopsPerTile, 0.0);
+        EXPECT_GT(a.memBytesPerTile, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable4Gpus, PerGpu,
+                         ::testing::Values("P4", "P100", "V100", "T4",
+                                           "A100-40GB", "A100-80GB", "L4",
+                                           "H100", "MI100", "MI210",
+                                           "MI250"));
+
+} // namespace
+} // namespace neusight::gpusim

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for the GPU simulator substrate: the Table-4 device database,
+ * kernel cost accounting, tile policy (Eq. 2-3) and the execution model's
+ * physical invariants (roofline bound, wave quantization, occupancy ramp,
+ * determinism, bounded noise).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/device.hpp"
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "gpusim/tile_policy.hpp"
+
+namespace neusight::gpusim {
+namespace {
+
+TEST(GpuSpec, DatabaseHasAllTable4Gpus)
+{
+    const auto &db = deviceDatabase();
+    EXPECT_EQ(db.size(), 11u);
+    for (const char *name :
+         {"P4", "P100", "V100", "T4", "A100-40GB", "A100-80GB", "L4",
+          "H100", "MI100", "MI210", "MI250"})
+        EXPECT_NO_THROW(findGpu(name)) << name;
+    EXPECT_THROW(findGpu("B200"), std::runtime_error);
+}
+
+TEST(GpuSpec, Table4ValuesReproduced)
+{
+    const GpuSpec &h100 = findGpu("H100");
+    EXPECT_DOUBLE_EQ(h100.peakFp32Tflops, 66.9);
+    EXPECT_DOUBLE_EQ(h100.memorySizeGB, 80.0);
+    EXPECT_DOUBLE_EQ(h100.memoryBwGBps, 3430.0);
+    EXPECT_EQ(h100.numSms, 132);
+    EXPECT_DOUBLE_EQ(h100.l2CacheMB, 50.0);
+    EXPECT_FALSE(h100.inTrainingSet);
+
+    const GpuSpec &v100 = findGpu("V100");
+    EXPECT_DOUBLE_EQ(v100.peakFp32Tflops, 8.1);
+    EXPECT_EQ(v100.numSms, 80);
+    EXPECT_TRUE(v100.inTrainingSet);
+
+    const GpuSpec &mi100 = findGpu("MI100");
+    EXPECT_EQ(mi100.vendor, Vendor::Amd);
+    EXPECT_DOUBLE_EQ(mi100.matrixFp32Tflops, 46.1);
+}
+
+TEST(GpuSpec, TrainingSetsMatchPaperSplit)
+{
+    const auto nvidia = nvidiaTrainingSet();
+    EXPECT_EQ(nvidia.size(), 5u);
+    for (const auto &g : nvidia) {
+        EXPECT_TRUE(g.inTrainingSet);
+        EXPECT_EQ(g.vendor, Vendor::Nvidia);
+    }
+    const auto amd = amdTrainingSet();
+    EXPECT_EQ(amd.size(), 2u);
+}
+
+TEST(GpuSpec, DerivedQuantities)
+{
+    const GpuSpec &a100 = findGpu("A100-40GB");
+    EXPECT_DOUBLE_EQ(a100.peakFlops(), 19.5e12);
+    EXPECT_DOUBLE_EQ(a100.memBwBytes(), 1555e9);
+    EXPECT_DOUBLE_EQ(a100.peakFlopsPerSm(), 19.5e12 / 108);
+    EXPECT_DOUBLE_EQ(a100.l2BytesPerSm(), 40e6 / 108);
+}
+
+TEST(KernelDesc, DtypeBytes)
+{
+    EXPECT_EQ(dtypeBytes(DataType::Fp32), 4u);
+    EXPECT_EQ(dtypeBytes(DataType::Fp16), 2u);
+}
+
+TEST(KernelDesc, BmmAccounting)
+{
+    const KernelDesc d = makeBmm(4, 128, 256, 64);
+    EXPECT_EQ(d.type, OpType::BatchedMatmul);
+    EXPECT_EQ(d.outDims, (std::vector<uint64_t>{4, 128, 256}));
+    EXPECT_EQ(d.reduceDim, 64u);
+    EXPECT_DOUBLE_EQ(d.flops, 2.0 * 4 * 128 * 256 * 64);
+    EXPECT_DOUBLE_EQ(d.memBytes,
+                     4.0 * (128 * 64 + 64 * 256 + 128 * 256) * 4);
+    EXPECT_EQ(d.numOutputElements(), 4u * 128 * 256);
+}
+
+TEST(KernelDesc, LinearAccounting)
+{
+    const KernelDesc d = makeLinear(32, 1024, 4096);
+    EXPECT_EQ(d.type, OpType::FullyConnected);
+    EXPECT_DOUBLE_EQ(d.flops, 2.0 * 32 * 1024 * 4096 + 32.0 * 4096);
+    EXPECT_DOUBLE_EQ(
+        d.memBytes, (32.0 * 1024 + 1024.0 * 4096 + 32.0 * 4096) * 4);
+}
+
+TEST(KernelDesc, Fp16HalvesTraffic)
+{
+    const KernelDesc fp32 = makeBmm(1, 256, 256, 256);
+    const KernelDesc fp16 = makeBmm(1, 256, 256, 256, DataType::Fp16);
+    EXPECT_DOUBLE_EQ(fp16.memBytes, fp32.memBytes / 2.0);
+    EXPECT_DOUBLE_EQ(fp16.flops, fp32.flops);
+}
+
+TEST(KernelDesc, ElementwiseAccounting)
+{
+    const KernelDesc d = makeElementwise("add", 1000, 2, 1.0);
+    EXPECT_DOUBLE_EQ(d.flops, 1000.0);
+    EXPECT_DOUBLE_EQ(d.memBytes, 1000.0 * 3 * 4); // 2 in + 1 out.
+    const KernelDesc g = makeElementwise("gelu", 1000, 1, 8.0);
+    EXPECT_DOUBLE_EQ(g.memBytes, 1000.0 * 2 * 4); // 1 in + 1 out.
+}
+
+TEST(KernelDesc, IntensityIsFlopsOverBytes)
+{
+    const KernelDesc d = makeBmm(1, 512, 512, 512);
+    EXPECT_NEAR(d.intensity(), d.flops / d.memBytes, 1e-15);
+}
+
+TEST(TilePolicy, NumTilesIsCeilDivProduct)
+{
+    const KernelDesc d = makeBmm(3, 100, 100, 64);
+    EXPECT_EQ(TilePolicy::numTiles(d, {1, 64, 64}), 3u * 2 * 2);
+    EXPECT_EQ(TilePolicy::numTiles(d, {1, 128, 128}), 3u * 1 * 1);
+    EXPECT_EQ(TilePolicy::numTiles(d, {3, 100, 100}), 1u);
+}
+
+TEST(TilePolicy, NumWavesIsCeilDiv)
+{
+    EXPECT_EQ(TilePolicy::numWaves(1, 80), 1u);
+    EXPECT_EQ(TilePolicy::numWaves(80, 80), 1u);
+    EXPECT_EQ(TilePolicy::numWaves(81, 80), 2u);
+    EXPECT_EQ(TilePolicy::numWaves(800, 80), 10u);
+}
+
+TEST(TilePolicy, GemmTileCostsAccountForReuse)
+{
+    const KernelDesc d = makeBmm(1, 512, 512, 256);
+    const TileInfo t = TilePolicy::tileCosts(d, {1, 128, 64});
+    EXPECT_DOUBLE_EQ(t.flopsPerTile, 2.0 * 128 * 64 * 256);
+    EXPECT_DOUBLE_EQ(t.memBytesPerTile,
+                     (128.0 * 256 + 256.0 * 64 + 128.0 * 64) * 4);
+}
+
+TEST(TilePolicy, PointwiseTileCostsScaleByCoverage)
+{
+    const KernelDesc d = makeElementwise("add", 10000, 2, 1.0);
+    const TileInfo t = TilePolicy::tileCosts(d, {1000});
+    EXPECT_NEAR(t.flopsPerTile, d.flops / 10.0, 1e-9);
+    EXPECT_NEAR(t.memBytesPerTile, d.memBytes / 10.0, 1e-9);
+}
+
+TEST(TilePolicy, SelectsLargerTilesForLargerGemms)
+{
+    const GpuSpec &v100 = findGpu("V100");
+    const TileInfo small =
+        TilePolicy::select(makeBmm(1, 64, 64, 64), v100);
+    const TileInfo large =
+        TilePolicy::select(makeBmm(64, 4096, 4096, 1024), v100);
+    const uint64_t small_area = small.dims[1] * small.dims[2];
+    const uint64_t large_area = large.dims[1] * large.dims[2];
+    EXPECT_GE(large_area, small_area);
+    EXPECT_GE(large_area, 128u * 64); // Fat tiles on a saturated GEMM.
+}
+
+TEST(TilePolicy, PaletteIsGpuDependent)
+{
+    // Large-L2 parts expose fatter tile variants.
+    const auto p4 = TilePolicy::gemmPalette(findGpu("P4"));
+    const auto h100 = TilePolicy::gemmPalette(findGpu("H100"));
+    EXPECT_GT(h100.size(), p4.size());
+    uint64_t max_p4 = 0;
+    uint64_t max_h100 = 0;
+    for (const auto &[tm, tn] : p4)
+        max_p4 = std::max(max_p4, tm * tn);
+    for (const auto &[tm, tn] : h100)
+        max_h100 = std::max(max_h100, tm * tn);
+    EXPECT_GT(max_h100, max_p4);
+}
+
+TEST(TilePolicy, TileNeverHasZeroDim)
+{
+    const GpuSpec &t4 = findGpu("T4");
+    for (const auto &desc :
+         {makeBmm(1, 1, 1, 1), makeElementwise("add", 1, 2, 1.0),
+          makeSoftmax(1, 1), makeLayerNorm(7, 3)}) {
+        const TileInfo t = TilePolicy::select(desc, t4);
+        for (uint64_t d : t.dims)
+            EXPECT_GE(d, 1u) << desc.summary();
+    }
+}
+
+TEST(Device, EffectivePeakFollowsDatapath)
+{
+    const GpuSpec &mi100 = findGpu("MI100");
+    EXPECT_DOUBLE_EQ(effectivePeakFlops(makeBmm(1, 64, 64, 64), mi100),
+                     46.1e12); // AMD matrix engine for GEMM.
+    EXPECT_DOUBLE_EQ(
+        effectivePeakFlops(makeElementwise("add", 100, 2, 1.0), mi100),
+        23.1e12); // Vector datapath otherwise.
+    const GpuSpec &h100 = findGpu("H100");
+    EXPECT_DOUBLE_EQ(
+        effectivePeakFlops(
+            makeBmm(1, 64, 64, 64, DataType::Fp16, true), h100),
+        989.4e12); // Tensor core.
+}
+
+TEST(Device, MeasurementIsDeterministic)
+{
+    const Device dev(findGpu("A100-40GB"));
+    const KernelDesc d = makeBmm(8, 512, 512, 512);
+    EXPECT_DOUBLE_EQ(dev.measureKernelMs(d), dev.measureKernelMs(d));
+}
+
+TEST(Device, LatencyRespectsComputeLowerBound)
+{
+    // No kernel can beat peak FLOPS: latency >= flops / peak.
+    for (const char *name : {"P4", "V100", "A100-40GB", "H100", "MI250"}) {
+        const Device dev(findGpu(name));
+        for (const auto &desc :
+             {makeBmm(16, 1024, 1024, 1024), makeLinear(4096, 4096, 4096),
+              makeSoftmax(8192, 2048)}) {
+            const double bound_ms =
+                desc.flops / effectivePeakFlops(desc, dev.spec()) * 1e3;
+            EXPECT_GE(dev.measureKernelMs(desc), bound_ms * 0.999)
+                << name << " " << desc.summary();
+        }
+    }
+}
+
+TEST(Device, UtilizationIsAFraction)
+{
+    const Device dev(findGpu("H100"));
+    for (uint64_t dim : {16u, 64u, 256u, 1024u, 4096u}) {
+        const KernelLaunch launch =
+            dev.profileKernel(makeBmm(4, dim, dim, dim));
+        EXPECT_GT(launch.utilization, 0.0);
+        EXPECT_LT(launch.utilization, 1.0);
+    }
+}
+
+TEST(Device, UtilizationRampsWithWaves)
+{
+    // Paper Figure 5 / Table 2: utilization grows with the wave count.
+    const Device dev(findGpu("V100"));
+    double prev_util = 0.0;
+    for (uint64_t batch : {1u, 4u, 16u, 64u, 256u}) {
+        const KernelLaunch launch =
+            dev.profileKernel(makeBmm(batch, 256, 256, 256));
+        EXPECT_GE(launch.utilization, prev_util * 0.999)
+            << "batch " << batch;
+        prev_util = launch.utilization;
+    }
+}
+
+TEST(Device, LatencyMonotonicInProblemSize)
+{
+    const Device dev(findGpu("A100-80GB"));
+    double prev = 0.0;
+    for (uint64_t m : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+        const double ms = dev.measureKernelMs(makeBmm(4, m, 1024, 1024));
+        EXPECT_GT(ms, prev) << m;
+        prev = ms;
+    }
+}
+
+TEST(Device, WaveQuantizationStep)
+{
+    // Crossing an SM-count boundary in tiles raises latency noticeably —
+    // whenever the library keeps the same tile. (The policy may instead
+    // switch to a smaller tile to smooth the cliff, which is also
+    // realistic; we require the cliff to be visible at least once in a
+    // batch sweep with a stable tile.)
+    const GpuSpec &gpu = findGpu("V100"); // 80 SMs.
+    const Device dev(gpu);
+    bool saw_step = false;
+    KernelLaunch prev = dev.profileKernel(makeBmm(1, 128, 128, 512));
+    double prev_ms = prev.latencyMs;
+    for (uint64_t b = 2; b <= 4 * static_cast<uint64_t>(gpu.numSms); ++b) {
+        const KernelLaunch cur =
+            dev.profileKernel(makeBmm(b, 128, 128, 512));
+        // The relative step shrinks as 1/waves; assert it where it is
+        // large (the first few wave boundaries).
+        if (cur.tile.dims == prev.tile.dims &&
+            cur.numWaves == prev.numWaves + 1 && prev.numWaves <= 2) {
+            EXPECT_GT(cur.latencyMs, prev_ms * 1.15) << "batch " << b;
+            saw_step = true;
+        }
+        prev = cur;
+        prev_ms = cur.latencyMs;
+    }
+    EXPECT_TRUE(saw_step);
+}
+
+TEST(Device, NoiseIsBounded)
+{
+    // Latency with noise stays within ~2.5% of the re-derivable mean:
+    // measure two nearby kernels and confirm no wild outliers.
+    const Device dev(findGpu("T4"));
+    for (uint64_t k = 512; k <= 560; k += 8) {
+        const double a = dev.measureKernelMs(makeBmm(8, 512, 512, k));
+        const double b = dev.measureKernelMs(makeBmm(8, 512, 512, k + 4));
+        EXPECT_NEAR(a, b, a * 0.10) << k;
+    }
+}
+
+TEST(Device, LaunchOverheadDominatesTinyKernels)
+{
+    const Device dev(findGpu("H100"));
+    const KernelLaunch launch =
+        dev.profileKernel(makeElementwise("add", 64, 2, 1.0));
+    EXPECT_GT(launch.overheadMs / launch.latencyMs, 0.5);
+}
+
+TEST(Device, Fp16TensorCoreBeatsFp32)
+{
+    const Device dev(findGpu("H100"));
+    const double fp32 =
+        dev.measureKernelMs(makeBmm(16, 2048, 2048, 2048));
+    const double fp16 = dev.measureKernelMs(
+        makeBmm(16, 2048, 2048, 2048, DataType::Fp16, true));
+    EXPECT_LT(fp16, fp32 / 2.0);
+}
+
+TEST(Device, NewerGpuIsFasterOnBigGemm)
+{
+    const KernelDesc d = makeBmm(16, 2048, 2048, 2048);
+    const double p100 = Device(findGpu("P100")).measureKernelMs(d);
+    const double a100 = Device(findGpu("A100-40GB")).measureKernelMs(d);
+    const double h100 = Device(findGpu("H100")).measureKernelMs(d);
+    EXPECT_LT(a100, p100);
+    EXPECT_LT(h100, a100);
+}
+
+TEST(Device, MemoryBoundOpsScaleWithBandwidth)
+{
+    const KernelDesc d = makeElementwise("add", 1 << 24, 2, 1.0);
+    const double t4 = Device(findGpu("T4")).measureKernelMs(d); // 320 GB/s
+    const double h100 =
+        Device(findGpu("H100")).measureKernelMs(d); // 3430 GB/s
+    const double ratio = t4 / h100;
+    EXPECT_GT(ratio, 4.0);
+    EXPECT_LT(ratio, 16.0);
+}
+
+TEST(Device, FitsMemoryChecksCapacity)
+{
+    const Device dev(findGpu("P4")); // 8 GB.
+    EXPECT_TRUE(dev.fitsMemory(4e9));
+    EXPECT_FALSE(dev.fitsMemory(16e9));
+}
+
+TEST(Device, ProfileMatchesMeasure)
+{
+    const Device dev(findGpu("L4"));
+    const KernelDesc d = makeSoftmax(4096, 1024);
+    EXPECT_DOUBLE_EQ(dev.profileKernel(d).latencyMs,
+                     dev.measureKernelMs(d));
+}
+
+TEST(Device, RejectsIncompleteSpec)
+{
+    GpuSpec bogus;
+    bogus.name = "incomplete";
+    EXPECT_DEATH(Device dev(bogus), "incomplete");
+}
+
+} // namespace
+} // namespace neusight::gpusim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit and property tests for the Matrix kernels, including parameterized
+ * GEMM-vs-naive-reference sweeps and layout-variant consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace neusight {
+namespace {
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng)
+{
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.raw()[i] = rng.normal();
+    return m;
+}
+
+Matrix
+naiveMatmul(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < b.cols(); ++j)
+            for (size_t p = 0; p < a.cols(); ++p)
+                c.at(i, j) += a.at(i, p) * b.at(p, j);
+    return c;
+}
+
+TEST(Matrix, ConstructionAndFill)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+    m.fill(2.0);
+    EXPECT_DOUBLE_EQ(m.sum(), 12.0);
+    m.setZero();
+    EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+}
+
+TEST(Matrix, FromRows)
+{
+    const Matrix m = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(Matrix, ApplyMapsElementwise)
+{
+    Matrix m = Matrix::fromRows({{1, -2}, {3, -4}});
+    m.apply([](double v) { return v * v; });
+    EXPECT_TRUE(m.allClose(Matrix::fromRows({{1, 4}, {9, 16}})));
+}
+
+TEST(Matrix, AllCloseShapes)
+{
+    EXPECT_FALSE(Matrix(2, 2).allClose(Matrix(2, 3)));
+    Matrix a(2, 2, 1.0);
+    Matrix b(2, 2, 1.0 + 1e-12);
+    EXPECT_TRUE(a.allClose(b, 1e-9));
+    EXPECT_FALSE(a.allClose(Matrix(2, 2, 1.1), 1e-9));
+}
+
+/** GEMM sweep over assorted shapes including degenerate ones. */
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>>
+{
+};
+
+TEST_P(MatmulShapes, MatchesNaiveReference)
+{
+    const auto [m, k, n] = GetParam();
+    Rng rng(m * 10007 + k * 101 + n);
+    const Matrix a = randomMatrix(m, k, rng);
+    const Matrix b = randomMatrix(k, n, rng);
+    EXPECT_TRUE(matmul(a, b).allClose(naiveMatmul(a, b), 1e-9));
+}
+
+TEST_P(MatmulShapes, LayoutVariantsAgree)
+{
+    const auto [m, k, n] = GetParam();
+    Rng rng(m * 7919 + k * 31 + n);
+    const Matrix a = randomMatrix(m, k, rng);
+    const Matrix b = randomMatrix(k, n, rng);
+    const Matrix ref = matmul(a, b);
+    // A * B == A * (B^T)^T via matmulNT.
+    EXPECT_TRUE(matmulNT(a, transpose(b)).allClose(ref, 1e-9));
+    // A * B == (A^T)^T * B via matmulTN.
+    EXPECT_TRUE(matmulTN(transpose(a), b).allClose(ref, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 5, 3),
+                      std::make_tuple(4, 1, 4), std::make_tuple(3, 7, 2),
+                      std::make_tuple(8, 8, 8), std::make_tuple(17, 9, 13),
+                      std::make_tuple(33, 65, 17),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(128, 3, 128)));
+
+TEST(Matrix, ElementwiseOps)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    EXPECT_TRUE(add(a, b).allClose(Matrix::fromRows({{6, 8}, {10, 12}})));
+    EXPECT_TRUE(sub(b, a).allClose(Matrix::fromRows({{4, 4}, {4, 4}})));
+    EXPECT_TRUE(mul(a, b).allClose(Matrix::fromRows({{5, 12}, {21, 32}})));
+    EXPECT_TRUE(scale(a, 2.0).allClose(Matrix::fromRows({{2, 4}, {6, 8}})));
+}
+
+TEST(Matrix, AddRowBroadcast)
+{
+    const Matrix x = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix bias = Matrix::fromRows({{10, 20}});
+    EXPECT_TRUE(addRowBroadcast(x, bias).allClose(
+        Matrix::fromRows({{11, 22}, {13, 24}})));
+}
+
+TEST(Matrix, ColSum)
+{
+    const Matrix x = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    EXPECT_TRUE(colSum(x).allClose(Matrix::fromRows({{9, 12}})));
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Rng rng(5);
+    const Matrix x = randomMatrix(7, 3, rng);
+    EXPECT_TRUE(transpose(transpose(x)).allClose(x));
+    EXPECT_EQ(transpose(x).rows(), 3u);
+    EXPECT_EQ(transpose(x).cols(), 7u);
+}
+
+TEST(Matrix, InPlaceOps)
+{
+    Matrix a = Matrix::fromRows({{1, 2}});
+    addInPlace(a, Matrix::fromRows({{3, 4}}));
+    EXPECT_TRUE(a.allClose(Matrix::fromRows({{4, 6}})));
+    axpyInPlace(a, -2.0, Matrix::fromRows({{1, 1}}));
+    EXPECT_TRUE(a.allClose(Matrix::fromRows({{2, 4}})));
+}
+
+TEST(Matrix, MatmulAssociativityProperty)
+{
+    Rng rng(9);
+    const Matrix a = randomMatrix(5, 6, rng);
+    const Matrix b = randomMatrix(6, 7, rng);
+    const Matrix c = randomMatrix(7, 4, rng);
+    EXPECT_TRUE(
+        matmul(matmul(a, b), c).allClose(matmul(a, matmul(b, c)), 1e-8));
+}
+
+TEST(Matrix, MatmulDistributivityProperty)
+{
+    Rng rng(13);
+    const Matrix a = randomMatrix(4, 5, rng);
+    const Matrix b = randomMatrix(5, 3, rng);
+    const Matrix c = randomMatrix(5, 3, rng);
+    EXPECT_TRUE(matmul(a, add(b, c)).allClose(
+        add(matmul(a, b), matmul(a, c)), 1e-9));
+}
+
+} // namespace
+} // namespace neusight

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests for the NN substrate: module construction, MLP/transformer
+ * convergence on synthetic regression tasks, AdamW behaviour, trainer
+ * bookkeeping, feature scaling, and serialization round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/scaler.hpp"
+#include "nn/trainer.hpp"
+
+namespace neusight::nn {
+namespace {
+
+/** Synthetic dataset y = f(x) with x ~ N(0,1). */
+void
+makeDataset(size_t n, size_t dim, uint64_t seed,
+            const std::function<double(const std::vector<double> &)> &fn,
+            Matrix &x, std::vector<double> &y)
+{
+    Rng rng(seed);
+    x = Matrix(n, dim);
+    y.resize(n);
+    std::vector<double> row(dim);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < dim; ++c) {
+            row[c] = rng.normal();
+            x.at(i, c) = row[c];
+        }
+        y[i] = fn(row);
+    }
+}
+
+TEST(Mlp, ParameterCountMatchesArchitecture)
+{
+    MlpConfig cfg;
+    cfg.inputDim = 5;
+    cfg.hiddenDim = 16;
+    cfg.hiddenLayers = 3;
+    cfg.outputDim = 2;
+    Mlp mlp(cfg);
+    // 5*16+16 + 2*(16*16+16) + 16*2+2.
+    EXPECT_EQ(mlp.parameterCount(),
+              5u * 16 + 16 + 2 * (16 * 16 + 16) + 16 * 2 + 2);
+    EXPECT_EQ(mlp.inputDim(), 5u);
+}
+
+TEST(Mlp, ForwardShape)
+{
+    Mlp mlp({.inputDim = 4, .hiddenDim = 8, .hiddenLayers = 2,
+             .outputDim = 3, .seed = 1});
+    Var out = mlp.forward(constant(Matrix(7, 4, 0.5)));
+    EXPECT_EQ(out.value().rows(), 7u);
+    EXPECT_EQ(out.value().cols(), 3u);
+}
+
+TEST(Mlp, ZeroGradClearsAccumulation)
+{
+    Mlp mlp({.inputDim = 2, .hiddenDim = 4, .hiddenLayers = 1,
+             .outputDim = 1, .seed = 2});
+    Var out = meanAllAv(mlp.forward(constant(Matrix(3, 2, 1.0))));
+    backward(out);
+    double total = 0.0;
+    for (const auto &p : mlp.parameters())
+        total += std::abs(p.grad().sum());
+    EXPECT_GT(total, 0.0);
+    mlp.zeroGrad();
+    for (const auto &p : mlp.parameters())
+        EXPECT_DOUBLE_EQ(p.grad().sum(), 0.0);
+}
+
+TEST(Trainer, MlpLearnsLinearFunction)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeDataset(512, 3, 42,
+                [](const std::vector<double> &v) {
+                    return 2.0 * v[0] - v[1] + 0.5 * v[2] + 3.0;
+                },
+                x, y);
+    Mlp mlp({.inputDim = 3, .hiddenDim = 16, .hiddenLayers = 2,
+             .outputDim = 1, .seed = 3});
+    TrainConfig cfg;
+    cfg.epochs = 60;
+    cfg.batchSize = 32;
+    cfg.lr = 3e-3;
+    cfg.loss = LossKind::Mse;
+    cfg.weightDecay = 0.0;
+    ForwardFn fwd = [&mlp](const Batch &b) {
+        return mlp.forward(constant(b.x));
+    };
+    const TrainHistory h = fit(mlp, x, y, fwd, cfg);
+    EXPECT_LT(h.finalTrainLoss(), 0.05);
+    EXPECT_LT(h.finalValLoss(), 0.1);
+    EXPECT_LT(h.finalTrainLoss(), h.trainLoss.front());
+}
+
+TEST(Trainer, MlpLearnsNonlinearFunction)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeDataset(800, 2, 43,
+                [](const std::vector<double> &v) {
+                    return std::abs(v[0]) + v[1] * v[1];
+                },
+                x, y);
+    Mlp mlp({.inputDim = 2, .hiddenDim = 32, .hiddenLayers = 3,
+             .outputDim = 1, .seed = 4});
+    TrainConfig cfg;
+    cfg.epochs = 80;
+    cfg.batchSize = 64;
+    cfg.lr = 3e-3;
+    cfg.loss = LossKind::Mse;
+    cfg.weightDecay = 0.0;
+    ForwardFn fwd = [&mlp](const Batch &b) {
+        return mlp.forward(constant(b.x));
+    };
+    const TrainHistory h = fit(mlp, x, y, fwd, cfg);
+    EXPECT_LT(h.finalTrainLoss(), 0.1);
+}
+
+TEST(Trainer, HistoryHasOneEntryPerEpoch)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeDataset(64, 2, 44,
+                [](const std::vector<double> &v) { return v[0]; }, x, y);
+    Mlp mlp({.inputDim = 2, .hiddenDim = 4, .hiddenLayers = 1,
+             .outputDim = 1, .seed = 5});
+    TrainConfig cfg;
+    cfg.epochs = 7;
+    cfg.batchSize = 16;
+    ForwardFn fwd = [&mlp](const Batch &b) {
+        return mlp.forward(constant(b.x));
+    };
+    const TrainHistory h = fit(mlp, x, y, fwd, cfg);
+    EXPECT_EQ(h.trainLoss.size(), 7u);
+    EXPECT_EQ(h.valLoss.size(), 7u);
+}
+
+TEST(Trainer, GatherRowsPicksCorrectRows)
+{
+    const Matrix x = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    const Matrix g = gatherRows(x, {2, 0});
+    EXPECT_TRUE(g.allClose(Matrix::fromRows({{5, 6}, {1, 2}})));
+}
+
+TEST(AdamW, SingleStepReducesLoss)
+{
+    Mlp mlp({.inputDim = 2, .hiddenDim = 8, .hiddenLayers = 1,
+             .outputDim = 1, .seed = 6});
+    const Matrix x(16, 2, 0.7);
+    const std::vector<double> y(16, 5.0);
+    auto loss_value = [&] {
+        Var pred = mlp.forward(constant(x));
+        return lossAv(pred, y, LossKind::Mse).value().at(0, 0);
+    };
+    const double before = loss_value();
+    AdamW opt(mlp, {.lr = 1e-2, .weightDecay = 0.0});
+    for (int i = 0; i < 20; ++i) {
+        mlp.zeroGrad();
+        Var loss = lossAv(mlp.forward(constant(x)), y, LossKind::Mse);
+        backward(loss);
+        opt.step();
+    }
+    EXPECT_LT(loss_value(), before);
+}
+
+TEST(AdamW, WeightDecayShrinksWeightsWithZeroGradient)
+{
+    Mlp mlp({.inputDim = 2, .hiddenDim = 4, .hiddenLayers = 1,
+             .outputDim = 1, .seed = 7});
+    AdamW opt(mlp, {.lr = 1e-2, .weightDecay = 0.5});
+    double norm_before = 0.0;
+    for (const auto &p : mlp.parameters())
+        for (size_t i = 0; i < p.value().size(); ++i)
+            norm_before += p.value().raw()[i] * p.value().raw()[i];
+    mlp.zeroGrad(); // All gradients zero: only decay acts.
+    opt.step();
+    double norm_after = 0.0;
+    for (const auto &p : mlp.parameters())
+        for (size_t i = 0; i < p.value().size(); ++i)
+            norm_after += p.value().raw()[i] * p.value().raw()[i];
+    EXPECT_LT(norm_after, norm_before);
+}
+
+TEST(Scaler, StandardizesColumns)
+{
+    FeatureScaler scaler(false);
+    const Matrix x = Matrix::fromRows({{1, 100}, {3, 300}, {5, 500}});
+    const Matrix t = scaler.fitTransform(x);
+    for (size_t c = 0; c < 2; ++c) {
+        double mu = 0.0;
+        double ss = 0.0;
+        for (size_t r = 0; r < 3; ++r)
+            mu += t.at(r, c);
+        mu /= 3.0;
+        for (size_t r = 0; r < 3; ++r)
+            ss += (t.at(r, c) - mu) * (t.at(r, c) - mu);
+        EXPECT_NEAR(mu, 0.0, 1e-12);
+        EXPECT_NEAR(std::sqrt(ss / 3.0), 1.0, 1e-12);
+    }
+}
+
+TEST(Scaler, ConstantColumnsPassThrough)
+{
+    FeatureScaler scaler(false);
+    const Matrix x = Matrix::fromRows({{7, 1}, {7, 2}});
+    const Matrix t = scaler.fitTransform(x);
+    EXPECT_DOUBLE_EQ(t.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(t.at(1, 0), 0.0);
+}
+
+TEST(Scaler, LogCompressionTamesMagnitudes)
+{
+    FeatureScaler scaler(true);
+    const Matrix x = Matrix::fromRows({{1.0}, {1e6}, {1e12}});
+    const Matrix t = scaler.fitTransform(x);
+    EXPECT_LT(std::abs(t.at(2, 0)), 3.0);
+}
+
+TEST(Scaler, ClampToFitRangeBoundsExtrapolation)
+{
+    FeatureScaler scaler(false);
+    scaler.setClampToFitRange(true);
+    scaler.fit(Matrix::fromRows({{0.0}, {10.0}, {20.0}}));
+    // A value far beyond the fit range saturates at the range edge.
+    const Matrix wild = scaler.transform(Matrix::fromRows({{1000.0}}));
+    const Matrix edge = scaler.transform(Matrix::fromRows({{20.0}}));
+    EXPECT_DOUBLE_EQ(wild.at(0, 0), edge.at(0, 0));
+    // Values inside the range are unaffected.
+    FeatureScaler unclamped(false);
+    unclamped.fit(Matrix::fromRows({{0.0}, {10.0}, {20.0}}));
+    EXPECT_DOUBLE_EQ(
+        scaler.transform(Matrix::fromRows({{5.0}})).at(0, 0),
+        unclamped.transform(Matrix::fromRows({{5.0}})).at(0, 0));
+}
+
+TEST(Scaler, ClampFlagSurvivesSerialization)
+{
+    FeatureScaler scaler(false);
+    scaler.setClampToFitRange(true);
+    scaler.fit(Matrix::fromRows({{1.0}, {3.0}}));
+    std::stringstream buf;
+    scaler.save(buf);
+    FeatureScaler restored(true);
+    restored.load(buf);
+    const Matrix wild = Matrix::fromRows({{100.0}});
+    EXPECT_TRUE(
+        restored.transform(wild).allClose(scaler.transform(wild), 1e-12));
+}
+
+TEST(Scaler, SaveLoadRoundTrip)
+{
+    FeatureScaler scaler(true);
+    const Matrix x = Matrix::fromRows({{1, 10}, {100, 1000}, {5, 50}});
+    scaler.fit(x);
+    std::stringstream buf;
+    scaler.save(buf);
+    FeatureScaler restored(false);
+    restored.load(buf);
+    EXPECT_TRUE(restored.transform(x).allClose(scaler.transform(x), 1e-12));
+}
+
+TEST(Module, SaveLoadRoundTripPreservesPredictions)
+{
+    Mlp a({.inputDim = 3, .hiddenDim = 8, .hiddenLayers = 2,
+           .outputDim = 2, .seed = 8});
+    Mlp b({.inputDim = 3, .hiddenDim = 8, .hiddenLayers = 2,
+           .outputDim = 2, .seed = 999}); // Different init.
+    std::stringstream buf;
+    a.saveParameters(buf);
+    b.loadParameters(buf);
+    const Matrix x(5, 3, 0.3);
+    EXPECT_TRUE(b.forward(constant(x)).value().allClose(
+        a.forward(constant(x)).value(), 1e-12));
+}
+
+TEST(Module, LoadRejectsWrongArchitecture)
+{
+    Mlp a({.inputDim = 3, .hiddenDim = 8, .hiddenLayers = 2,
+           .outputDim = 1, .seed = 9});
+    Mlp wrong({.inputDim = 3, .hiddenDim = 4, .hiddenLayers = 2,
+               .outputDim = 1, .seed = 9});
+    std::stringstream buf;
+    a.saveParameters(buf);
+    EXPECT_THROW(wrong.loadParameters(buf), std::runtime_error);
+}
+
+TEST(Transformer, ForwardShapeAndDeterminism)
+{
+    TransformerConfig cfg;
+    cfg.numFeatures = 6;
+    cfg.dModel = 16;
+    cfg.numLayers = 2;
+    cfg.numHeads = 4;
+    cfg.ffDim = 32;
+    cfg.seed = 10;
+    TransformerRegressor model(cfg);
+    const Matrix x(9, 6, 0.25);
+    const Matrix out1 = model.forward(constant(x)).value();
+    const Matrix out2 = model.forward(constant(x)).value();
+    EXPECT_EQ(out1.rows(), 9u);
+    EXPECT_EQ(out1.cols(), 1u);
+    EXPECT_TRUE(out1.allClose(out2, 1e-15));
+}
+
+TEST(Transformer, LearnsSimpleRegression)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeDataset(256, 4, 45,
+                [](const std::vector<double> &v) {
+                    return v[0] + 2.0 * v[2];
+                },
+                x, y);
+    TransformerConfig cfg;
+    cfg.numFeatures = 4;
+    cfg.dModel = 16;
+    cfg.numLayers = 1;
+    cfg.numHeads = 2;
+    cfg.ffDim = 32;
+    cfg.seed = 11;
+    TransformerRegressor model(cfg);
+    TrainConfig tc;
+    tc.epochs = 60;
+    tc.batchSize = 32;
+    tc.lr = 3e-3;
+    tc.loss = LossKind::Mse;
+    tc.weightDecay = 0.0;
+    ForwardFn fwd = [&model](const Batch &b) {
+        return model.forward(constant(b.x));
+    };
+    const TrainHistory h = fit(model, x, y, fwd, tc);
+    EXPECT_LT(h.finalTrainLoss(), 0.5);
+    EXPECT_LT(h.finalTrainLoss(), h.trainLoss.front() * 0.25);
+}
+
+TEST(Transformer, SerializationRoundTrip)
+{
+    TransformerConfig cfg;
+    cfg.numFeatures = 3;
+    cfg.dModel = 8;
+    cfg.numLayers = 1;
+    cfg.numHeads = 2;
+    cfg.ffDim = 16;
+    cfg.seed = 12;
+    TransformerRegressor a(cfg);
+    cfg.seed = 13;
+    TransformerRegressor b(cfg);
+    std::stringstream buf;
+    a.saveParameters(buf);
+    b.loadParameters(buf);
+    const Matrix x(4, 3, 0.4);
+    EXPECT_TRUE(b.forward(constant(x)).value().allClose(
+        a.forward(constant(x)).value(), 1e-12));
+}
+
+} // namespace
+} // namespace neusight::nn

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the autoregressive-decode extension: KV-cache graph
+ * structure, memory accounting, its memory-bound character, and the
+ * trained predictor's behaviour on these far-out-of-distribution
+ * shapes (the utilization-floor bound).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/predictor.hpp"
+#include "eval/oracle.hpp"
+#include "graph/cnn.hpp"
+#include "graph/models.hpp"
+
+namespace neusight {
+namespace {
+
+using graph::buildDecodeGraph;
+using graph::findModel;
+using graph::kvCacheBytes;
+using gpusim::OpType;
+
+TEST(Decode, GraphHasOneRowPerSequence)
+{
+    const auto &model = findModel("GPT3-XL");
+    const auto g = buildDecodeGraph(model, 4, 2048);
+    for (const auto &node : g.nodes) {
+        if (node.kernel.opName == "linear") {
+            // Every GEMM row count collapses to the batch (one token).
+            EXPECT_EQ(node.kernel.outDims[0] % 4, 0u) << node.label;
+            EXPECT_LE(node.kernel.outDims[0], 4u) << node.label;
+        }
+        if (node.kernel.opName == "bmm") {
+            // Attention BMMs carry a single query row.
+            EXPECT_EQ(node.kernel.outDims[1], 1u) << node.label;
+        }
+    }
+}
+
+TEST(Decode, AttentionSpansCachePlusOne)
+{
+    const auto &model = findModel("GPT2-Large");
+    const uint64_t past = 777;
+    const auto g = buildDecodeGraph(model, 2, past);
+    bool saw_qk = false;
+    for (const auto &node : g.nodes) {
+        if (node.label.find(".attn.qk") == std::string::npos ||
+            node.kernel.opName != "bmm")
+            continue;
+        saw_qk = true;
+        EXPECT_EQ(node.kernel.outDims[2], past + 1) << node.label;
+    }
+    EXPECT_TRUE(saw_qk);
+}
+
+TEST(Decode, FlopsAreTinyComparedToPrefill)
+{
+    const auto &model = findModel("GPT3-XL");
+    const double prefill =
+        graph::buildInferenceGraph(model, 4).totalFlops();
+    const double decode = buildDecodeGraph(model, 4, model.seq).totalFlops();
+    // One token vs seq tokens: roughly a factor of seq less compute.
+    EXPECT_LT(decode, prefill / 100.0);
+}
+
+TEST(Decode, IsMemoryBoundUnlikePrefill)
+{
+    const auto &model = findModel("GPT3-XL");
+    const auto decode = buildDecodeGraph(model, 4, model.seq);
+    const auto prefill = graph::buildInferenceGraph(model, 4);
+    const double decode_intensity =
+        decode.totalFlops() / decode.totalMemBytes();
+    const double prefill_intensity =
+        prefill.totalFlops() / prefill.totalMemBytes();
+    EXPECT_LT(decode_intensity, 2.0);
+    EXPECT_GT(prefill_intensity, 20.0 * decode_intensity);
+}
+
+TEST(Decode, MoeModelRoutesPerToken)
+{
+    const auto &moe = findModel("SwitchTrans");
+    const auto g = buildDecodeGraph(moe, 8, 256);
+    size_t routers = 0;
+    for (const auto &node : g.nodes)
+        if (node.label.find(".moe.router") != std::string::npos)
+            ++routers;
+    EXPECT_EQ(routers, moe.numLayers / 2);
+}
+
+TEST(Decode, RejectsBadArguments)
+{
+    const auto &model = findModel("GPT2-Large");
+    EXPECT_THROW(buildDecodeGraph(model, 0, 128), std::runtime_error);
+    EXPECT_THROW(buildDecodeGraph(model, 1, 0), std::runtime_error);
+}
+
+TEST(KvCache, GrowsLinearlyInAllDimensions)
+{
+    const auto &model = findModel("GPT3-XL");
+    const double base = kvCacheBytes(model, 1, 1024);
+    EXPECT_DOUBLE_EQ(kvCacheBytes(model, 2, 1024), 2.0 * base);
+    EXPECT_DOUBLE_EQ(kvCacheBytes(model, 1, 2048), 2.0 * base);
+    // fp16 halves it.
+    EXPECT_DOUBLE_EQ(
+        kvCacheBytes(model, 1, 1024, gpusim::DataType::Fp16), base / 2.0);
+    // Two tensors (K and V) per layer per position.
+    EXPECT_DOUBLE_EQ(base, 2.0 * static_cast<double>(model.numLayers) *
+                               1024.0 * static_cast<double>(model.hidden) *
+                               4.0);
+}
+
+/** Decode latency through the simulator behaves like serving reality. */
+TEST(DecodeOracle, LatencyGrowsWithCacheLength)
+{
+    const eval::SimulatorOracle oracle;
+    const auto &gpu = gpusim::findGpu("A100-40GB");
+    const auto &model = findModel("GPT2-Large");
+    double prev = 0.0;
+    for (uint64_t past : {256u, 1024u, 4096u}) {
+        const double ms = oracle.predictGraphMs(
+            buildDecodeGraph(model, 4, past), gpu);
+        EXPECT_GT(ms, prev);
+        prev = ms;
+    }
+}
+
+TEST(DecodeOracle, HigherBandwidthGpuDecodesFaster)
+{
+    const eval::SimulatorOracle oracle;
+    const auto &model = findModel("GPT3-XL");
+    const auto g = buildDecodeGraph(model, 4, 2048);
+    const double v100 =
+        oracle.predictGraphMs(g, gpusim::findGpu("V100"));
+    const double a100 =
+        oracle.predictGraphMs(g, gpusim::findGpu("A100-40GB"));
+    const double h100 =
+        oracle.predictGraphMs(g, gpusim::findGpu("H100"));
+    EXPECT_LT(a100, v100);
+    EXPECT_LT(h100, a100);
+}
+
+/** Trained-predictor behaviour on decode shapes (shared fixture). */
+class DecodePrediction : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setQuiet(true);
+        dataset::SamplerConfig sampler;
+        sampler.bmmSamples = 600;
+        sampler.fcSamples = 450;
+        sampler.elementwiseSamples = 300;
+        sampler.softmaxSamples = 200;
+        sampler.layernormSamples = 200;
+        const auto corpus = dataset::generateOperatorData(
+            gpusim::nvidiaTrainingSet(), sampler);
+        core::PredictorConfig cfg;
+        cfg.train.epochs = 30;
+        framework = new core::NeuSight(cfg);
+        framework->train(corpus);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete framework;
+        framework = nullptr;
+    }
+
+    static core::NeuSight *framework;
+};
+
+core::NeuSight *DecodePrediction::framework = nullptr;
+
+TEST_F(DecodePrediction, StaysWithinAFactorOfGroundTruth)
+{
+    // Decode shapes are far outside every training range; the
+    // utilization-floor bound must keep the forecast within a small
+    // factor instead of letting it explode by orders of magnitude.
+    const eval::SimulatorOracle oracle;
+    const auto &model = findModel("GPT3-XL");
+    const auto g = buildDecodeGraph(model, 4, 2048);
+    for (const char *name : {"V100", "A100-40GB", "H100"}) {
+        const auto &gpu = gpusim::findGpu(name);
+        const double truth = oracle.predictGraphMs(g, gpu);
+        const double guess = framework->predictGraphMs(g, gpu);
+        EXPECT_LT(guess, 3.0 * truth) << name;
+        EXPECT_GT(guess, truth / 3.0) << name;
+    }
+}
+
+TEST_F(DecodePrediction, TransfersToConvolutionalWorkloads)
+{
+    // The predictor never saw a convolution; the implicit-GEMM lowering
+    // routes conv kernels through the FC family, and the forecast should
+    // land within a factor of ground truth on an unseen workload class.
+    const eval::SimulatorOracle oracle;
+    const auto g = graph::buildResNet50Graph(8);
+    for (const char *name : {"V100", "A100-40GB", "H100"}) {
+        const auto &gpu = gpusim::findGpu(name);
+        const double truth = oracle.predictGraphMs(g, gpu);
+        const double guess = framework->predictGraphMs(g, gpu);
+        EXPECT_LT(std::abs(guess - truth) / truth, 0.6) << name;
+    }
+}
+
+TEST_F(DecodePrediction, MemoryBoundFamiliesDoNotDominate)
+{
+    // The failure mode the floor prevents: EW/softmax/LN predictions
+    // dwarfing the GEMMs that actually dominate decode.
+    const auto &gpu = gpusim::findGpu("A100-40GB");
+    const auto g = buildDecodeGraph(findModel("GPT3-XL"), 4, 2048);
+    double gemm_ms = 0.0;
+    double vector_ms = 0.0;
+    for (const auto &node : g.nodes) {
+        const double ms = framework->predictKernelMs(node.kernel, gpu);
+        if (node.kernel.type == OpType::BatchedMatmul ||
+            node.kernel.type == OpType::FullyConnected)
+            gemm_ms += ms;
+        else if (node.kernel.type != OpType::Memory)
+            vector_ms += ms;
+    }
+    EXPECT_GT(gemm_ms, vector_ms);
+}
+
+} // namespace
+} // namespace neusight

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * neusight-compare: evaluate NeuSight against the three baselines
+ * (roofline, Habitat, Li et al.) on a models x GPUs grid with simulator
+ * ground truth — a command-line slice of the Figure-7 study.
+ *
+ *   neusight-compare --models BERT-Large,GPT3-XL --gpus V100,H100
+ *   neusight-compare --phase training --batch 4
+ */
+
+#include <cstdio>
+
+#include "baselines/habitat.hpp"
+#include "baselines/li.hpp"
+#include "baselines/roofline.hpp"
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "eval/harness.hpp"
+#include "eval/oracle.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace neusight;
+
+int
+run(int argc, const char *const *argv)
+{
+    common::ArgParser args(
+        "neusight-compare",
+        "compare NeuSight and baseline predictors on a workload grid");
+    args.addString("models", "BERT-Large,GPT2-Large,GPT3-XL",
+                   "comma list of Table-5 names or model JSON paths");
+    args.addString("gpus", "V100,A100-40GB,H100",
+                   "comma list of GPU names or spec JSON paths");
+    args.addInt("batch", 4, "batch size for every model");
+    args.addString("phase", "inference", "inference | training");
+    args.addString("predictor", "neusight_nvidia.bin",
+                   "trained NeuSight cache path");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const bool training = args.getString("phase") == "training";
+    if (!training && args.getString("phase") != "inference")
+        fatal("--phase must be 'inference' or 'training'");
+
+    std::vector<eval::WorkloadCase> cases;
+    for (const std::string &name : tools::splitList(args.getString("models"))) {
+        eval::WorkloadCase c;
+        c.model = graph::resolveModel(name);
+        c.batch = static_cast<uint64_t>(args.getInt("batch"));
+        c.training = training;
+        cases.push_back(c);
+    }
+    const std::vector<gpusim::GpuSpec> gpus =
+        tools::resolveGpuList(args.getString("gpus"));
+
+    const core::NeuSight neusight = tools::loadOrTrainPredictor(
+        args.getString("predictor"), gpusim::nvidiaTrainingSet());
+    const baselines::RooflinePredictor roofline;
+    // Habitat / Li train quickly on a fresh corpus (they have no cache
+    // format of their own; the paper retrains them per study too).
+    const auto corpus = dataset::generateOperatorData(
+        gpusim::nvidiaTrainingSet(), dataset::SamplerConfig{});
+    baselines::HabitatPredictor habitat{baselines::HabitatConfig{}};
+    habitat.train(corpus);
+    baselines::LiPredictor li;
+    li.train(corpus);
+
+    const auto results = eval::evaluateCases(
+        cases, gpus, {&neusight, &roofline, &habitat, &li});
+
+    TextTable table("Prediction error by cell (" +
+                        args.getString("phase") + ", batch " +
+                        std::to_string(args.getInt("batch")) + ")",
+                    {"model", "gpu", "measured (ms)", "NeuSight",
+                     "Roofline", "Habitat", "Li et al."});
+    for (const auto &r : results) {
+        std::vector<std::string> row = {r.modelName, r.gpuName,
+                                        TextTable::num(r.measuredMs, 2)};
+        for (const char *name :
+             {"NeuSight", "Roofline", "Habitat", "Li et al."}) {
+            const double pred = r.predictedMs.at(name);
+            const double err =
+                100.0 * std::abs(pred - r.measuredMs) / r.measuredMs;
+            row.push_back(TextTable::pct(err));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+
+    const auto err = eval::endToEndError(results);
+    std::printf("\nMean absolute percentage error over %zu cells:\n",
+                results.size());
+    for (const auto &[name, value] : err)
+        std::printf("  %-10s %6.1f%%\n", name.c_str(), value);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

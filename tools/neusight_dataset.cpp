@@ -1,0 +1,111 @@
+/**
+ * @file
+ * neusight-dataset: generate the Section-6.1 operator corpus and dump it
+ * as one CSV per operator family (kernel shape, GPU, measured latency,
+ * profiler tile metadata) — the artifact's "collect datasets from
+ * scratch" workflow against the simulator.
+ *
+ *   neusight-dataset --out-dir dataset/
+ *   neusight-dataset --gpus V100,T4 --scale 0.25
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/argparse.hpp"
+#include "common/csv.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace neusight;
+
+int
+run(int argc, const char *const *argv)
+{
+    common::ArgParser args(
+        "neusight-dataset",
+        "generate and dump the operator training corpus as CSV");
+    args.addString("out-dir", "dataset", "output directory");
+    args.addString("vendor", "nvidia", "training set: nvidia or amd");
+    args.addString("gpus", "",
+                   "override: comma list of GPU names / spec files");
+    args.addDouble("scale", 1.0, "multiplier on per-family sample counts");
+    args.addInt("seed", 2025, "sampling seed");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    std::vector<gpusim::GpuSpec> gpus;
+    if (!args.getString("gpus").empty())
+        gpus = tools::resolveGpuList(args.getString("gpus"));
+    else if (args.getString("vendor") == "amd")
+        gpus = gpusim::amdTrainingSet();
+    else
+        gpus = gpusim::nvidiaTrainingSet();
+
+    dataset::SamplerConfig sampler;
+    const double scale = args.getDouble("scale");
+    if (scale <= 0.0)
+        fatal("--scale must be positive");
+    sampler.bmmSamples = static_cast<size_t>(sampler.bmmSamples * scale);
+    sampler.fcSamples = static_cast<size_t>(sampler.fcSamples * scale);
+    sampler.elementwiseSamples =
+        static_cast<size_t>(sampler.elementwiseSamples * scale);
+    sampler.softmaxSamples =
+        static_cast<size_t>(sampler.softmaxSamples * scale);
+    sampler.layernormSamples =
+        static_cast<size_t>(sampler.layernormSamples * scale);
+    sampler.seed = static_cast<uint64_t>(args.getInt("seed"));
+
+    const auto corpus = dataset::generateOperatorData(gpus, sampler);
+
+    const std::filesystem::path dir(args.getString("out-dir"));
+    std::filesystem::create_directories(dir);
+    for (const auto &[type, data] : corpus) {
+        std::string file = gpusim::opTypeName(type);
+        for (char &c : file)
+            c = static_cast<char>(std::tolower(c));
+        const std::string path = (dir / (file + ".csv")).string();
+        CsvWriter csv(
+            path, {"op_name", "gpu", "out_dims", "reduce_dim", "flops",
+                   "mem_bytes", "tile_dims", "num_tiles", "num_waves",
+                   "latency_ms"});
+        for (const auto &sample : data.samples) {
+            std::string out_dims;
+            for (size_t i = 0; i < sample.desc.outDims.size(); ++i) {
+                if (i)
+                    out_dims += "x";
+                out_dims += std::to_string(sample.desc.outDims[i]);
+            }
+            std::string tile_dims;
+            for (size_t i = 0; i < sample.launch.tile.dims.size(); ++i) {
+                if (i)
+                    tile_dims += "x";
+                tile_dims += std::to_string(sample.launch.tile.dims[i]);
+            }
+            csv.writeRow({sample.desc.opName, sample.gpuName, out_dims,
+                          std::to_string(sample.desc.reduceDim),
+                          std::to_string(sample.desc.flops),
+                          std::to_string(sample.desc.memBytes), tile_dims,
+                          std::to_string(sample.launch.numTiles),
+                          std::to_string(sample.launch.numWaves),
+                          std::to_string(sample.latencyMs)});
+        }
+        std::printf("%-10s %6zu samples -> %s\n", gpusim::opTypeName(type),
+                    data.size(), path.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * neusight-distributed: forecast the training-iteration latency of a
+ * model distributed over a multi-GPU server (Section 5.1) under data,
+ * tensor, or pipeline parallelism — or all three side by side.
+ *
+ *   neusight-distributed --model GPT2-Large --gpu H100 --num-gpus 4
+ *   neusight-distributed --model GPT3-XL --strategy tensor \
+ *                        --global-batch 16
+ */
+
+#include <cstdio>
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "dist/parallel.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace neusight;
+
+int
+run(int argc, const char *const *argv)
+{
+    common::ArgParser args(
+        "neusight-distributed",
+        "forecast distributed training latency on a multi-GPU server");
+    args.addString("model", "GPT2-Large",
+                   "Table-5 name or model JSON path");
+    args.addString("gpu", "H100", "GPU name or spec JSON path");
+    args.addInt("num-gpus", 4, "GPUs in the server");
+    args.addInt("global-batch", 4, "global batch size");
+    args.addString("strategy", "all", "data | tensor | pipeline | all");
+    args.addDouble("link-gbps", 0.0,
+                   "peak GPU-to-GPU bandwidth GB/s (0 = GPU spec value)");
+    args.addString("reference-system", "A100-NVLink",
+                   "in-hand server used to calibrate link utilization");
+    args.addDouble("reference-link-gbps", 600.0,
+                   "peak link bandwidth of the reference system");
+    args.addString("predictor", "neusight_nvidia.bin",
+                   "trained predictor cache path");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const graph::ModelConfig model =
+        graph::resolveModel(args.getString("model"));
+    const gpusim::GpuSpec gpu = gpusim::resolveGpu(args.getString("gpu"));
+
+    dist::ServerConfig server;
+    server.systemName = gpu.name + "-server";
+    server.gpuName = gpu.name;
+    server.numGpus = static_cast<int>(args.getInt("num-gpus"));
+    server.linkGBps = args.getDouble("link-gbps");
+    if (server.numGpus < 2)
+        fatal("--num-gpus must be at least 2");
+
+    std::vector<dist::Parallelism> strategies;
+    const std::string choice = args.getString("strategy");
+    if (choice == "data" || choice == "all")
+        strategies.push_back(dist::Parallelism::Data);
+    if (choice == "tensor" || choice == "all")
+        strategies.push_back(dist::Parallelism::Tensor);
+    if (choice == "pipeline" || choice == "all")
+        strategies.push_back(dist::Parallelism::Pipeline);
+    if (strategies.empty())
+        fatal("--strategy must be data, tensor, pipeline, or all");
+
+    const core::NeuSight neusight = tools::loadOrTrainPredictor(
+        args.getString("predictor"), gpusim::nvidiaTrainingSet());
+    const dist::EstimatedCollectives comms(
+        args.getString("reference-system"),
+        args.getDouble("reference-link-gbps"));
+
+    TextTable table(model.name + " training on " +
+                        std::to_string(server.numGpus) + "x " + gpu.name +
+                        " (global batch " +
+                        std::to_string(args.getInt("global-batch")) + ")",
+                    {"strategy", "predicted (ms)", "note"});
+    for (dist::Parallelism strategy : strategies) {
+        const auto result = dist::distributedTrainingMs(
+            neusight, comms, server, model,
+            static_cast<uint64_t>(args.getInt("global-batch")), strategy);
+        table.addRow({dist::parallelismName(strategy),
+                      result.oom ? "-" : TextTable::num(result.latencyMs, 1),
+                      result.oom ? "out of memory" : ""});
+    }
+    table.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * neusight-predict: forecast the latency of a deep learning workload on
+ * a GPU without running it there — the framework's headline use case.
+ *
+ *   neusight-predict --model GPT3-XL --gpu H100 --batch 2
+ *   neusight-predict --model my_model.json --gpu blackwell.json \
+ *                    --phase training --breakdown
+ *
+ * Accepts Table-5 model names, "ResNet-50"/"VGG-16", or a JSON model
+ * description; GPUs by Table-4 name or JSON spec file. The trained
+ * predictor is cached at --predictor (trained on the five NVIDIA
+ * training GPUs on first use).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/argparse.hpp"
+#include "common/table.hpp"
+#include "graph/fusion.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace neusight;
+
+int
+run(int argc, const char *const *argv)
+{
+    common::ArgParser args(
+        "neusight-predict",
+        "forecast DNN latency on a GPU without executing there");
+    args.addString("model", "GPT3-XL",
+                   "Table-5 name, ResNet-50, VGG-16, or model JSON path");
+    args.addString("gpu", "H100", "Table-4 name or GPU spec JSON path");
+    args.addInt("batch", 2, "batch size");
+    args.addString("phase", "inference", "inference | training");
+    args.addFlag("fp16", "use the FP16 tensor-core datapath");
+    args.addFlag("fuse", "apply the operator-fusion pass first");
+    args.addFlag("breakdown", "print the per-operator-family breakdown");
+    args.addString("predictor", "neusight_nvidia.bin",
+                   "trained predictor cache path");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const bool training = args.getString("phase") == "training";
+    if (!training && args.getString("phase") != "inference")
+        fatal("--phase must be 'inference' or 'training'");
+    const gpusim::DataType dtype = args.getFlag("fp16")
+                                       ? gpusim::DataType::Fp16
+                                       : gpusim::DataType::Fp32;
+
+    const gpusim::GpuSpec gpu = gpusim::resolveGpu(args.getString("gpu"));
+    graph::KernelGraph g = tools::buildWorkloadGraph(
+        args.getString("model"), static_cast<uint64_t>(args.getInt("batch")),
+        training, dtype);
+    if (args.getFlag("fuse"))
+        g = graph::fuseGraph(g);
+
+    const core::NeuSight neusight = tools::loadOrTrainPredictor(
+        args.getString("predictor"), gpusim::nvidiaTrainingSet());
+
+    const double total_ms = neusight.predictGraphMs(g, gpu);
+    std::printf("%s %s on %s (batch %lld%s%s): %.2f ms predicted\n",
+                args.getString("model").c_str(),
+                training ? "training-iteration" : "inference",
+                gpu.name.c_str(),
+                static_cast<long long>(args.getInt("batch")),
+                args.getFlag("fp16") ? ", fp16" : "",
+                args.getFlag("fuse") ? ", fused" : "", total_ms);
+    std::printf("  kernels: %zu   total: %.2f GFLOPs, %.2f GB traffic\n",
+                g.computeNodeCount(), g.totalFlops() / 1e9,
+                g.totalMemBytes() / 1e9);
+
+    if (args.getFlag("breakdown")) {
+        std::map<gpusim::OpType, double> per_type;
+        std::map<gpusim::OpType, size_t> counts;
+        for (const auto &node : g.nodes) {
+            if (node.kind != graph::NodeKind::Compute)
+                continue;
+            per_type[node.kernel.type] +=
+                neusight.predictKernelMs(node.kernel, gpu);
+            ++counts[node.kernel.type];
+        }
+        TextTable table("Per-operator-family breakdown",
+                        {"family", "kernels", "latency (ms)", "share"});
+        for (const auto &[type, ms] : per_type)
+            table.addRow({gpusim::opTypeName(type),
+                          std::to_string(counts[type]),
+                          TextTable::num(ms, 2),
+                          TextTable::pct(100.0 * ms / total_ms)});
+        table.print();
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * neusight-train: generate the Section-6.1 operator corpus on a set of
+ * training GPUs, train the five utilization MLPs, and persist the
+ * framework for the other tools.
+ *
+ *   neusight-train --out my_predictor.bin
+ *   neusight-train --vendor amd --epochs 90 --hidden 128 --layers 8
+ *   neusight-train --gpus P100,V100,T4 --scale 0.5
+ */
+
+#include <cstdio>
+
+#include "common/argparse.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace neusight;
+
+int
+run(int argc, const char *const *argv)
+{
+    common::ArgParser args(
+        "neusight-train",
+        "train the NeuSight utilization predictors and save them");
+    args.addString("out", "neusight_nvidia.bin", "output predictor path");
+    args.addString("vendor", "nvidia",
+                   "training set: nvidia (P4,P100,V100,T4,A100-40GB) or "
+                   "amd (MI100,MI210)");
+    args.addString("gpus", "",
+                   "override: comma list of GPU names / spec files");
+    args.addDouble("scale", 1.0, "multiplier on per-family sample counts");
+    args.addInt("epochs", 0, "training epochs (0 = per-family default)");
+    args.addInt("hidden", 0, "MLP hidden width (0 = default; paper: 512)");
+    args.addInt("layers", 0, "MLP hidden layers (0 = default; paper: 8)");
+    args.addInt("seed", 2025, "dataset sampling seed");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    std::vector<gpusim::GpuSpec> gpus;
+    if (!args.getString("gpus").empty()) {
+        gpus = tools::resolveGpuList(args.getString("gpus"));
+    } else if (args.getString("vendor") == "nvidia") {
+        gpus = gpusim::nvidiaTrainingSet();
+    } else if (args.getString("vendor") == "amd") {
+        gpus = gpusim::amdTrainingSet();
+    } else {
+        fatal("--vendor must be 'nvidia' or 'amd'");
+    }
+
+    dataset::SamplerConfig sampler;
+    const double scale = args.getDouble("scale");
+    if (scale <= 0.0)
+        fatal("--scale must be positive");
+    sampler.bmmSamples = static_cast<size_t>(sampler.bmmSamples * scale);
+    sampler.fcSamples = static_cast<size_t>(sampler.fcSamples * scale);
+    sampler.elementwiseSamples =
+        static_cast<size_t>(sampler.elementwiseSamples * scale);
+    sampler.softmaxSamples =
+        static_cast<size_t>(sampler.softmaxSamples * scale);
+    sampler.layernormSamples =
+        static_cast<size_t>(sampler.layernormSamples * scale);
+    sampler.seed = static_cast<uint64_t>(args.getInt("seed"));
+
+    core::PredictorConfig config;
+    if (args.getInt("epochs") > 0)
+        config.train.epochs =
+            static_cast<size_t>(args.getInt("epochs"));
+    if (args.getInt("hidden") > 0)
+        config.hiddenDim = static_cast<size_t>(args.getInt("hidden"));
+    if (args.getInt("layers") > 0)
+        config.hiddenLayers = static_cast<size_t>(args.getInt("layers"));
+
+    std::printf("generating corpus on %zu GPUs (seed %lld)...\n",
+                gpus.size(), static_cast<long long>(args.getInt("seed")));
+    const auto corpus = dataset::generateOperatorData(gpus, sampler);
+    size_t total = 0;
+    for (const auto &[type, data] : corpus) {
+        std::printf("  %-10s %6zu samples\n", gpusim::opTypeName(type),
+                    data.size());
+        total += data.size();
+    }
+    std::printf("training 5 predictors on %zu samples...\n", total);
+
+    core::NeuSight neusight(config);
+    neusight.train(corpus);
+    neusight.save(args.getString("out"));
+    std::printf("saved trained framework to %s\n",
+                args.getString("out").c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
