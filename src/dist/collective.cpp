@@ -1,0 +1,173 @@
+#include "dist/collective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hpp"
+
+namespace neusight::dist {
+
+namespace {
+
+/** FNV-1a hash of the system name: seeds the hidden parameters. */
+uint64_t
+fnv1a(const std::string &text)
+{
+    uint64_t hash = 14695981039346656037ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/** The @p index-th deterministic uniform draw in [0, 1) for @p name. */
+double
+systemDraw(const std::string &name, int index)
+{
+    const uint64_t h = fnv1a(name + "#" + std::to_string(index));
+    return static_cast<double>(h % 1000003ull) / 1000003.0;
+}
+
+/**
+ * Time to move @p bytes over a @p link_gbps link running at utilization
+ * @p util, in milliseconds.
+ */
+double
+transferMs(double bytes, double link_gbps, double util)
+{
+    return bytes / (link_gbps * 1e9 * util) * 1e3;
+}
+
+/** Ring all-reduce structure shared by the simulator and the estimator. */
+double
+ringAllReduceMs(double bytes, int num_gpus, double link_gbps, double hop_ms,
+                double util)
+{
+    if (bytes <= 0.0 || num_gpus <= 1)
+        return 0.0;
+    ensure(link_gbps > 0.0, "ringAllReduceMs: link bandwidth must be > 0");
+    // Reduce-scatter + all-gather: 2(n-1) steps; each GPU cycles the full
+    // payload through its link once per phase, (n-1)/n of it per phase.
+    const double n = static_cast<double>(num_gpus);
+    const double steps = 2.0 * (n - 1.0);
+    return steps * hop_ms +
+           transferMs(2.0 * (n - 1.0) / n * bytes, link_gbps, util);
+}
+
+} // namespace
+
+SimCollectives::SimCollectives(const std::string &system_name)
+    : systemName(system_name)
+{
+    // Hidden per-system behaviour, deterministic in the name: hop latency
+    // 6-10 us, saturated utilization 78-90% of peak, half-saturation
+    // message size 6-10 MB.
+    hopMs = 0.006 + 0.004 * systemDraw(system_name, 0);
+    maxUtilization = 0.78 + 0.12 * systemDraw(system_name, 1);
+    halfSatBytes = 6e6 + 4e6 * systemDraw(system_name, 2);
+}
+
+double
+SimCollectives::linkUtilization(double bytes) const
+{
+    if (bytes <= 0.0)
+        return maxUtilization;
+    return maxUtilization * bytes / (bytes + halfSatBytes);
+}
+
+double
+SimCollectives::allReduceMs(double bytes, int num_gpus,
+                            double link_gbps) const
+{
+    return ringAllReduceMs(bytes, num_gpus, link_gbps, hopMs,
+                           linkUtilization(bytes));
+}
+
+double
+SimCollectives::sendRecvMs(double bytes, double link_gbps) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    ensure(link_gbps > 0.0, "sendRecvMs: link bandwidth must be > 0");
+    return hopMs + transferMs(bytes, link_gbps, linkUtilization(bytes));
+}
+
+EstimatedCollectives::EstimatedCollectives(
+    const std::string &reference_system, double reference_link_gbps)
+{
+    if (reference_link_gbps <= 0.0)
+        fatal("EstimatedCollectives: reference link bandwidth must be > 0");
+    const SimCollectives reference(reference_system);
+
+    // Profile ring all-reduces at two group sizes over a log-spaced sweep
+    // of message sizes. With t2 = 2h + x and t4 = 6h + 1.5x (h the hop
+    // latency, x the saturated wire time of the payload), each pair
+    // solves exactly: h = (t4 - 1.5 t2) / 3, x = t2 - 2h.
+    constexpr double kMinBytes = 512.0;
+    constexpr double kMaxBytes = 16e9;
+    constexpr int kPointsPerDecade = 8;
+    const int points =
+        static_cast<int>(std::ceil(std::log10(kMaxBytes / kMinBytes) *
+                                   kPointsPerDecade)) +
+        1;
+    double hop_sum = 0.0;
+    for (int i = 0; i < points; ++i) {
+        const double bytes =
+            kMinBytes * std::pow(10.0, static_cast<double>(i) /
+                                           kPointsPerDecade);
+        const double t2 =
+            reference.allReduceMs(bytes, 2, reference_link_gbps);
+        const double t4 =
+            reference.allReduceMs(bytes, 4, reference_link_gbps);
+        const double hop = (t4 - 1.5 * t2) / 3.0;
+        const double wire_ms = t2 - 2.0 * hop;
+        ensure(wire_ms > 0.0,
+               "EstimatedCollectives: degenerate calibration point");
+        // wire_ms = bytes / (link * u): invert for the utilization.
+        const double util =
+            bytes / (reference_link_gbps * 1e9) * 1e3 / wire_ms;
+        logBytesGrid.push_back(std::log(bytes));
+        utilizationGrid.push_back(util);
+        hop_sum += hop;
+    }
+    hopMs = hop_sum / static_cast<double>(points);
+}
+
+double
+EstimatedCollectives::linkUtilization(double bytes) const
+{
+    const double x = std::log(std::max(bytes, 1.0));
+    if (x <= logBytesGrid.front())
+        return utilizationGrid.front();
+    if (x >= logBytesGrid.back())
+        return utilizationGrid.back();
+    const auto it = std::upper_bound(logBytesGrid.begin(),
+                                     logBytesGrid.end(), x);
+    const size_t hi = static_cast<size_t>(it - logBytesGrid.begin());
+    const size_t lo = hi - 1;
+    const double t = (x - logBytesGrid[lo]) /
+                     (logBytesGrid[hi] - logBytesGrid[lo]);
+    return utilizationGrid[lo] +
+           t * (utilizationGrid[hi] - utilizationGrid[lo]);
+}
+
+double
+EstimatedCollectives::allReduceMs(double bytes, int num_gpus,
+                                  double link_gbps) const
+{
+    return ringAllReduceMs(bytes, num_gpus, link_gbps, hopMs,
+                           linkUtilization(bytes));
+}
+
+double
+EstimatedCollectives::sendRecvMs(double bytes, double link_gbps) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    ensure(link_gbps > 0.0, "sendRecvMs: link bandwidth must be > 0");
+    return hopMs + transferMs(bytes, link_gbps, linkUtilization(bytes));
+}
+
+} // namespace neusight::dist

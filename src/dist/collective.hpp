@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Collective-communication cost models for multi-GPU forecasting
+ * (paper Section 5.1). SimCollectives is the measurement substrate: the
+ * ground-truth cost of a ring all-reduce / stage-to-stage send-recv on a
+ * concrete server, including hidden per-system behaviour (hop latency,
+ * link-utilization curve) a predictor cannot read from a spec sheet.
+ * EstimatedCollectives is NeuSight's side of the methodology: it profiles
+ * the one reference system that is in hand, recovers the hop latency and
+ * the utilization-vs-message-size curve from those measurements alone,
+ * and transfers them to servers it has never touched by rescaling to the
+ * target's published peak link bandwidth.
+ */
+
+#ifndef NEUSIGHT_DIST_COLLECTIVE_HPP
+#define NEUSIGHT_DIST_COLLECTIVE_HPP
+
+#include <string>
+#include <vector>
+
+namespace neusight::dist {
+
+/** Cost model for the collectives the parallelism transforms emit. */
+class CollectiveModel
+{
+  public:
+    virtual ~CollectiveModel() = default;
+
+    /**
+     * Ring all-reduce of @p bytes across @p num_gpus peers connected by
+     * links of @p link_gbps peak bandwidth, in milliseconds. Zero when
+     * there is nothing to reduce or only one participant.
+     */
+    virtual double allReduceMs(double bytes, int num_gpus,
+                               double link_gbps) const = 0;
+
+    /** Point-to-point transfer of @p bytes over one link, in ms. */
+    virtual double sendRecvMs(double bytes, double link_gbps) const = 0;
+};
+
+/**
+ * Ground-truth collective cost on a named server. The system name seeds
+ * the hidden behavioural parameters (per-hop launch/synchronization
+ * latency and the link-utilization saturation curve), so two servers
+ * with the same nominal link bandwidth still differ — exactly the
+ * residual the estimator has to absorb when it transfers.
+ */
+class SimCollectives : public CollectiveModel
+{
+  public:
+    /** @param system_name server identity, e.g. "A100-NVLink". */
+    explicit SimCollectives(const std::string &system_name);
+
+    double allReduceMs(double bytes, int num_gpus,
+                       double link_gbps) const override;
+    double sendRecvMs(double bytes, double link_gbps) const override;
+
+    /** Hidden achieved fraction of peak for a message of @p bytes. */
+    double linkUtilization(double bytes) const;
+
+    /** Hidden per-hop latency in milliseconds. */
+    double hopLatencyMs() const { return hopMs; }
+
+  private:
+    std::string systemName;
+    double hopMs = 0.0;          // Per-hop latency.
+    double maxUtilization = 0.0; // Saturated fraction of peak bandwidth.
+    double halfSatBytes = 0.0;   // Message size reaching half of that.
+};
+
+/**
+ * Calibrated collective estimator (Section 5.1): measures ring
+ * all-reduces of two group sizes on the reference system, solves for the
+ * per-hop latency and the utilization curve, and predicts any (message
+ * size, group size, link bandwidth) triple from those two quantities.
+ * Applied to a different system, the error is the hidden per-system
+ * residual — small, because utilization curves are shaped by the ring
+ * algorithm more than by the fabric.
+ */
+class EstimatedCollectives : public CollectiveModel
+{
+  public:
+    /**
+     * @param reference_system name of the in-hand server to calibrate on.
+     * @param reference_link_gbps its peak per-link bandwidth in GB/s.
+     */
+    EstimatedCollectives(const std::string &reference_system,
+                         double reference_link_gbps);
+
+    double allReduceMs(double bytes, int num_gpus,
+                       double link_gbps) const override;
+    double sendRecvMs(double bytes, double link_gbps) const override;
+
+    /** Utilization recovered from calibration, interpolated at @p bytes. */
+    double linkUtilization(double bytes) const;
+
+  private:
+    double hopMs = 0.0;
+    /** Piecewise-linear utilization curve over log(message bytes). */
+    std::vector<double> logBytesGrid;
+    std::vector<double> utilizationGrid;
+};
+
+} // namespace neusight::dist
+
+#endif // NEUSIGHT_DIST_COLLECTIVE_HPP

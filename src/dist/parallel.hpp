@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Distributed-training forecasting (paper Section 5.1): graph transforms
+ * that turn a single-GPU kernel graph into the per-GPU graph of a data-,
+ * tensor-, or pipeline-parallel execution, plus the orchestration that
+ * combines a latency predictor with a collective cost model into an
+ * end-to-end iteration forecast — including the out-of-memory screening
+ * of the paper's tables, micro-batched pipeline schedules (GPipe and
+ * 1F1B), and the multi-node hierarchy of Table 9.
+ */
+
+#ifndef NEUSIGHT_DIST_PARALLEL_HPP
+#define NEUSIGHT_DIST_PARALLEL_HPP
+
+#include <string>
+
+#include "dist/collective.hpp"
+#include "graph/latency_predictor.hpp"
+#include "graph/models.hpp"
+
+namespace neusight::dist {
+
+/** A homogeneous multi-GPU server. */
+struct ServerConfig
+{
+    /** Identity of the box; seeds SimCollectives' hidden behaviour. */
+    std::string systemName = "server";
+    /** GPU model name, resolved through gpusim::findGpu(). */
+    std::string gpuName = "A100-40GB";
+    int numGpus = 4;
+    /** Peak GPU-to-GPU bandwidth in GB/s; 0 means "use the GPU spec". */
+    double linkGBps = 0.0;
+
+    /** The configured link bandwidth, or the GPU spec's when unset. */
+    double effectiveLinkGBps() const;
+};
+
+/** The three parallelization strategies of paper Table 8. */
+enum class Parallelism
+{
+    Data,
+    Tensor,
+    Pipeline,
+};
+
+/** Display name, e.g. "Data Parallel". */
+const char *parallelismName(Parallelism strategy);
+
+/** Micro-batch execution orders for pipeline parallelism. */
+enum class PipelineSchedule
+{
+    /** All forwards, then all backwards: stashes every micro-batch. */
+    GPipe,
+    /** One-forward-one-backward: stash capped at the stage count. */
+    OneFOneB,
+};
+
+/** Display name, e.g. "GPipe". */
+const char *pipelineScheduleName(PipelineSchedule schedule);
+
+/** Micro-batching configuration for the pipeline forecaster. */
+struct PipelineConfig
+{
+    /** Micro-batches per iteration; the global batch splits across them. */
+    int numMicroBatches = 1;
+    PipelineSchedule schedule = PipelineSchedule::GPipe;
+};
+
+/** Outcome of a distributed forecast: latency, or "does not fit". */
+struct DistributedResult
+{
+    double latencyMs = 0.0;
+    bool oom = false;
+    /**
+     * Summed payload bytes of the communication operations the forecast
+     * priced: the per-GPU collectives of the DP/TP graph, or every
+     * micro-batch stage-boundary transfer of the pipeline.
+     */
+    double commBytes = 0.0;
+};
+
+/**
+ * Per-GPU kernel graph of a data-parallel training iteration: the local
+ * training graph at batch @p global_batch / @p num_gpus plus one gradient
+ * all-reduce of every parameter (Section 5.1).
+ */
+graph::KernelGraph
+buildDataParallelGraph(const graph::ModelConfig &config,
+                       uint64_t global_batch, int num_gpus,
+                       gpusim::DataType dtype = gpusim::DataType::Fp32);
+
+/**
+ * Per-GPU kernel graph of a Megatron-style tensor-parallel execution at
+ * degree @p tp_degree: attention heads and feed-forward width shard
+ * across GPUs; embeddings, layer norms, residuals, and the head
+ * replicate. Each layer all-reduces its attention and feed-forward
+ * outputs in the forward pass, and the matching input gradients when
+ * @p training — 2 (resp. 4) all-reduces per layer.
+ */
+graph::KernelGraph
+buildTensorParallelGraph(const graph::ModelConfig &config, uint64_t batch,
+                         int tp_degree, bool training,
+                         gpusim::DataType dtype = gpusim::DataType::Fp32);
+
+/**
+ * Kernel graph of pipeline stage @p stage of @p num_stages at micro-batch
+ * size @p micro_batch: a near-even slice of the layers, with the
+ * embedding prologue on the first stage and the head epilogue on the
+ * last.
+ */
+graph::KernelGraph
+buildPipelineStageGraph(const graph::ModelConfig &config,
+                        uint64_t micro_batch, int stage, int num_stages,
+                        bool training = true,
+                        gpusim::DataType dtype = gpusim::DataType::Fp32);
+
+/**
+ * Check the structural preconditions of running @p config at
+ * @p global_batch on @p server under @p strategy (batch/head/width
+ * divisibility, stages vs layers, micro-batch split). Returns an empty
+ * string when the combination is valid, else a human-readable reason.
+ * The forecast entry points enforce the same conditions by aborting or
+ * throwing; callers with user-supplied configurations should screen
+ * through this first.
+ */
+std::string
+validateStrategy(const graph::ModelConfig &config,
+                 const ServerConfig &server, uint64_t global_batch,
+                 Parallelism strategy,
+                 const PipelineConfig &pipeline = PipelineConfig{});
+
+/**
+ * Forecast one training iteration of @p config at @p global_batch on
+ * @p server under @p strategy: per-GPU kernel latency through
+ * @p predictor, collective latency through @p comms, with the paper's
+ * out-of-memory screening. Pipeline parallelism runs a single
+ * micro-batch (the paper's Table 8 configuration); use
+ * pipelineTrainingMs() for micro-batched schedules.
+ */
+DistributedResult
+distributedTrainingMs(const graph::LatencyPredictor &predictor,
+                      const CollectiveModel &comms,
+                      const ServerConfig &server,
+                      const graph::ModelConfig &config,
+                      uint64_t global_batch, Parallelism strategy);
+
+/**
+ * Micro-batched pipeline-parallel forecast with one stage per server
+ * GPU. The global batch splits into @p pipeline.numMicroBatches
+ * micro-batches filling M + S - 1 schedule slots (bubble fraction
+ * (S-1)/(M+S-1)); GPipe and non-interleaved 1F1B share this latency and
+ * differ in the activation stash the OOM screen charges (M vs min(M, S)
+ * micro-batches).
+ */
+DistributedResult
+pipelineTrainingMs(const graph::LatencyPredictor &predictor,
+                   const CollectiveModel &comms, const ServerConfig &server,
+                   const graph::ModelConfig &config, uint64_t global_batch,
+                   const PipelineConfig &pipeline);
+
+/** The Table-9 cluster hierarchy: TP inside a node, DP across nodes. */
+struct MultiNodeConfig
+{
+    int gpusPerNode = 8;
+    /** Tensor-parallel degree inside each node (must divide the heads). */
+    int tpDegree = 8;
+    uint64_t perNodeBatch = 8;
+    /** Inter-node fabric bandwidth per node in Gbit/s (InfiniBand). */
+    double interNodeGbps = 100.0;
+    /**
+     * Fat-tree contention: the achievable fraction of the fabric decays
+     * from ~1 on a few nodes to @p fabricFloorFraction at cluster scale,
+     * with @p fabricSaturationNodes setting the knee — the Table-9 shape
+     * of one large jump followed by a nearly flat tail.
+     */
+    double fabricFloorFraction = 0.25;
+    double fabricSaturationNodes = 64.0;
+
+    /** Achievable fraction of the nominal fabric bandwidth at @p nodes. */
+    double fabricEfficiency(int nodes) const;
+};
+
+/**
+ * Forecast one training iteration on @p num_nodes nodes of
+ * @p cfg.gpusPerNode x @p gpu: tensor parallelism over the intra-node
+ * link, data parallelism over the inter-node fabric (gradients already
+ * sharded by TP), per-node batch @p cfg.perNodeBatch.
+ */
+double
+multiNodeIterationMs(const graph::LatencyPredictor &predictor,
+                     const CollectiveModel &comms,
+                     const graph::ModelConfig &config,
+                     const gpusim::GpuSpec &gpu, int num_nodes,
+                     const MultiNodeConfig &cfg);
+
+} // namespace neusight::dist
+
+#endif // NEUSIGHT_DIST_PARALLEL_HPP

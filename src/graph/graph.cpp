@@ -68,4 +68,14 @@ KernelGraph::computeNodeCount() const
     return count;
 }
 
+double
+KernelGraph::totalCommBytes() const
+{
+    double total = 0.0;
+    for (const auto &node : nodes)
+        if (node.kind != NodeKind::Compute)
+            total += node.commBytes;
+    return total;
+}
+
 } // namespace neusight::graph

@@ -65,6 +65,9 @@ struct KernelGraph
 
     /** Number of compute nodes. */
     size_t computeNodeCount() const;
+
+    /** Total payload bytes over communication nodes. */
+    double totalCommBytes() const;
 };
 
 } // namespace neusight::graph

@@ -222,28 +222,60 @@ appendBackwardPass(KernelGraph &g)
 }
 
 double
-ModelConfig::parameterCount() const
+blockParameterCount(const ModelConfig &config, uint64_t layer)
 {
-    const double h = static_cast<double>(hidden);
-    const double ff = static_cast<double>(ffWidth());
-    const double v = static_cast<double>(vocab);
-    const double s = static_cast<double>(seq);
-    double total = v * h + s * h; // Token + positional embeddings.
-    for (uint64_t l = 0; l < numLayers; ++l) {
-        total += 4.0 * h * h + 4.0 * h; // QKV + output projection.
-        total += 4.0 * h;               // Two layer norms.
-        if (numExperts > 1 && (l % 2 == 1)) {
-            total += h * static_cast<double>(numExperts); // Router.
-            total += static_cast<double>(numExperts) *
-                     (2.0 * h * ff + ff + h);
-        } else {
-            total += 2.0 * h * ff + ff + h;
-        }
+    const double h = static_cast<double>(config.hidden);
+    const double ff = static_cast<double>(config.ffWidth());
+    double total = 4.0 * h * h + 4.0 * h; // QKV + output projection.
+    total += 4.0 * h;                     // Two layer norms.
+    if (isMoeLayer(config, layer)) {
+        const double e = static_cast<double>(config.numExperts);
+        total += h * e;                      // Router.
+        total += e * (2.0 * h * ff + ff + h); // Experts.
+    } else {
+        total += 2.0 * h * ff + ff + h;
     }
-    total += 2.0 * h; // Final layer norm.
-    if (encoderOnly)
+    return total;
+}
+
+double
+embeddingParameterCount(const ModelConfig &config)
+{
+    const double h = static_cast<double>(config.hidden);
+    return static_cast<double>(config.vocab) * h +
+           static_cast<double>(config.seq) * h;
+}
+
+double
+headParameterCount(const ModelConfig &config)
+{
+    const double h = static_cast<double>(config.hidden);
+    double total = 2.0 * h; // Final layer norm.
+    if (config.encoderOnly)
         total += h * h + h + 2.0 * h + 2.0; // Pooler + classifier.
     // LM head is tied with the token embedding.
+    return total;
+}
+
+double
+savedActivationBytesPerLayer(const ModelConfig &config, uint64_t batch)
+{
+    const double h = static_cast<double>(config.hidden);
+    const double s = static_cast<double>(config.seq);
+    const double a = static_cast<double>(config.heads);
+    const double b = static_cast<double>(batch);
+    const double rows_h = b * s * h * 4.0;   // One (B*S, H) activation.
+    const double attn = b * a * s * s * 4.0; // One (B,A,S,S) score tensor.
+    return 14.0 * rows_h + 3.0 * attn;
+}
+
+double
+ModelConfig::parameterCount() const
+{
+    double total = embeddingParameterCount(*this);
+    for (uint64_t l = 0; l < numLayers; ++l)
+        total += blockParameterCount(*this, l);
+    total += headParameterCount(*this);
     return total;
 }
 
@@ -392,7 +424,7 @@ modelMemoryBytes(const ModelConfig &config, uint64_t batch, bool training)
         total += p * 12.0; // Gradients + AdamW moments.
         // Saved activations per layer for the backward pass.
         total += static_cast<double>(config.numLayers) *
-                 (14.0 * rows_h + 3.0 * attn);
+                 savedActivationBytesPerLayer(config, batch);
     } else {
         // Live working set only: a few activation tensors deep.
         total += 6.0 * rows_h + 2.0 * attn;

@@ -117,6 +117,26 @@ KernelGraph buildLayerRangeGraph(const ModelConfig &config, uint64_t batch,
 double modelMemoryBytes(const ModelConfig &config, uint64_t batch,
                         bool training);
 
+/// @name Decomposed accounting used by the distributed forecaster.
+/// parameterCount() and modelMemoryBytes() are sums over these, so the
+/// sharded/staged memory screens in dist/ stay consistent with the
+/// single-GPU ones by construction.
+/// @{
+
+/** Trainable parameters of transformer block @p layer. */
+double blockParameterCount(const ModelConfig &config, uint64_t layer);
+
+/** Token + positional embedding parameters (the LM head is tied). */
+double embeddingParameterCount(const ModelConfig &config);
+
+/** Final-norm (+ BERT pooler/classifier) parameters. */
+double headParameterCount(const ModelConfig &config);
+
+/** Activations one layer saves for the backward pass, in bytes. */
+double savedActivationBytesPerLayer(const ModelConfig &config,
+                                    uint64_t batch);
+/// @}
+
 } // namespace neusight::graph
 
 #endif // NEUSIGHT_GRAPH_MODELS_HPP

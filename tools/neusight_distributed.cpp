@@ -32,6 +32,10 @@ run(int argc, const char *const *argv)
     args.addInt("num-gpus", 4, "GPUs in the server");
     args.addInt("global-batch", 4, "global batch size");
     args.addString("strategy", "all", "data | tensor | pipeline | all");
+    args.addInt("micro-batches", 1,
+                "pipeline micro-batches per iteration");
+    args.addString("schedule", "gpipe",
+                   "pipeline schedule: gpipe | 1f1b");
     args.addDouble("link-gbps", 0.0,
                    "peak GPU-to-GPU bandwidth GB/s (0 = GPU spec value)");
     args.addString("reference-system", "A100-NVLink",
@@ -66,6 +70,23 @@ run(int argc, const char *const *argv)
     if (strategies.empty())
         fatal("--strategy must be data, tensor, pipeline, or all");
 
+    dist::PipelineConfig pipeline;
+    pipeline.numMicroBatches =
+        static_cast<int>(args.getInt("micro-batches"));
+    if (pipeline.numMicroBatches < 1)
+        fatal("--micro-batches must be at least 1");
+    const std::string schedule = args.getString("schedule");
+    if (schedule == "gpipe")
+        pipeline.schedule = dist::PipelineSchedule::GPipe;
+    else if (schedule == "1f1b")
+        pipeline.schedule = dist::PipelineSchedule::OneFOneB;
+    else
+        fatal("--schedule must be gpipe or 1f1b");
+
+    if (args.getInt("global-batch") < 1)
+        fatal("--global-batch must be at least 1");
+    const uint64_t global_batch =
+        static_cast<uint64_t>(args.getInt("global-batch"));
     const core::NeuSight neusight = tools::loadOrTrainPredictor(
         args.getString("predictor"), gpusim::nvidiaTrainingSet());
     const dist::EstimatedCollectives comms(
@@ -76,14 +97,43 @@ run(int argc, const char *const *argv)
                         std::to_string(server.numGpus) + "x " + gpu.name +
                         " (global batch " +
                         std::to_string(args.getInt("global-batch")) + ")",
-                    {"strategy", "predicted (ms)", "note"});
+                    {"strategy", "predicted (ms)", "comm GB", "note"});
+    // Pre-validate each strategy's preconditions so a bad combination
+    // reports cleanly instead of reaching the library's abort/throw
+    // paths: skip the row under --strategy all, reject an explicit ask.
     for (dist::Parallelism strategy : strategies) {
-        const auto result = dist::distributedTrainingMs(
-            neusight, comms, server, model,
-            static_cast<uint64_t>(args.getInt("global-batch")), strategy);
+        const std::string reject = dist::validateStrategy(
+            model, server, global_batch, strategy, pipeline);
+        if (!reject.empty()) {
+            if (choice != "all")
+                fatal(std::string(dist::parallelismName(strategy)) +
+                      ": " + reject);
+            table.addRow({dist::parallelismName(strategy), "-", "-",
+                          reject});
+            continue;
+        }
+
+        dist::DistributedResult result;
+        std::string note;
+        if (strategy == dist::Parallelism::Pipeline) {
+            result = dist::pipelineTrainingMs(neusight, comms, server,
+                                              model, global_batch,
+                                              pipeline);
+            if (pipeline.numMicroBatches > 1)
+                note = std::to_string(pipeline.numMicroBatches) +
+                       " micro-batches, " +
+                       dist::pipelineScheduleName(pipeline.schedule);
+        } else {
+            result = dist::distributedTrainingMs(neusight, comms, server,
+                                                 model, global_batch,
+                                                 strategy);
+        }
         table.addRow({dist::parallelismName(strategy),
                       result.oom ? "-" : TextTable::num(result.latencyMs, 1),
-                      result.oom ? "out of memory" : ""});
+                      result.oom
+                          ? "-"
+                          : TextTable::num(result.commBytes / 1e9, 2),
+                      result.oom ? "out of memory" : note});
     }
     table.print();
     return 0;
