@@ -13,6 +13,7 @@
 #include "common/table.hpp"
 #include "core/predictor.hpp"
 #include "graph/models.hpp"
+#include "serve/prediction_cache.hpp"
 
 using namespace neusight;
 
@@ -26,9 +27,15 @@ main()
 
     // Trained on the five NVIDIA training GPUs; H100/L4/A100-80GB are
     // held out, exactly the unseen-GPU scenario of the paper.
-    const core::NeuSight neusight = core::NeuSight::trainOrLoad(
+    core::NeuSight neusight = core::NeuSight::trainOrLoad(
         "neusight_nvidia.bin", gpusim::nvidiaTrainingSet(),
         dataset::SamplerConfig{});
+
+    // Serving forecasts repeat kernels heavily — every decode step
+    // shares almost its whole graph with the previous context length —
+    // so route everything through the kernel-prediction cache.
+    const auto cache = std::make_shared<serve::PredictionCache>(16384);
+    neusight.attachCache(cache);
 
     std::printf("Serving %s, batch %llu, prompt %llu tokens, "
                 "generating %llu tokens\n\n",
@@ -75,5 +82,13 @@ main()
                 "memory bandwidth, while prefill tracks peak FLOPS —\n"
                 "the two phases can favor different GPUs, which is why "
                 "both forecasts matter when sizing a deployment.\n");
+
+    const serve::CacheStats stats = cache->stats();
+    std::printf("\nPrediction cache: %llu hits / %llu misses "
+                "(%.1f%% hit rate) — repeated decode-step kernels are "
+                "forecast once per GPU, not once per context length.\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                100.0 * stats.hitRate());
     return 0;
 }

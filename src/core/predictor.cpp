@@ -11,6 +11,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/tile_policy.hpp"
 #include "nn/autograd.hpp"
+#include "serve/prediction_cache.hpp"
 
 namespace neusight::core {
 
@@ -32,14 +33,10 @@ rooflinePerSm(const KernelDesc &desc, const TileInfo &tile,
     return std::min(k * gpu.memBwPerSm(), peak / gpu.numSms);
 }
 
-/**
- * Canonical lookup name of a kernel: fused kernels match their first
- * operator ("add+layernorm" -> "add", Section 4.4) and backward kernels
- * match their forward family ("layernorm_bwd" -> "layernorm"), since the
- * library tiles them identically.
- */
+} // namespace
+
 std::string
-baseOpName(const std::string &op_name)
+canonicalOpName(const std::string &op_name)
 {
     std::string base = op_name;
     const size_t plus = base.find('+');
@@ -51,8 +48,6 @@ baseOpName(const std::string &op_name)
         base = base.substr(0, base.size() - kBwd.size());
     return base;
 }
-
-} // namespace
 
 KernelPredictor::KernelPredictor(OpType type, const PredictorConfig &config_)
     : opType(type), config(config_)
@@ -233,23 +228,39 @@ NeuSight::predictKernelMs(const KernelDesc &desc, const GpuSpec &gpu) const
     return predictKernelDetail(desc, gpu).latencyMs;
 }
 
+void
+NeuSight::attachCache(std::shared_ptr<serve::PredictionCache> cache)
+{
+    cache_ = std::move(cache);
+}
+
 PredictionDetail
 NeuSight::predictKernelDetail(const KernelDesc &desc,
                               const GpuSpec &gpu) const
 {
+    std::string key;
+    PredictionDetail detail;
+    if (cache_) {
+        key = serve::cacheFingerprint(desc, gpu);
+        if (cache_->lookup(key, detail))
+            return detail;
+    }
     const auto it = predictors.find(desc.type);
     if (it == predictors.end()) {
         // Unseen operator family: memory-bound estimate (Section 4.3).
-        PredictionDetail detail;
         detail.memoryFallback = true;
         detail.latencyMs = desc.memBytes / gpu.memBwBytes() * 1e3;
-        return detail;
+    } else {
+        // Fused kernels look up the tile of their first operator
+        // (Section 4.4).
+        KernelDesc lookup = desc;
+        lookup.opName = canonicalOpName(desc.opName);
+        const std::vector<uint64_t> tile = tileDb.lookup(lookup, gpu);
+        detail = it->second->predict(desc, gpu, tile);
     }
-    // Fused kernels look up the tile of their first operator (Section 4.4).
-    KernelDesc lookup = desc;
-    lookup.opName = baseOpName(desc.opName);
-    const std::vector<uint64_t> tile = tileDb.lookup(lookup, gpu);
-    return it->second->predict(desc, gpu, tile);
+    if (cache_)
+        cache_->insert(key, detail);
+    return detail;
 }
 
 double

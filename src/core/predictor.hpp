@@ -23,7 +23,20 @@
 #include "nn/scaler.hpp"
 #include "nn/trainer.hpp"
 
+namespace neusight::serve {
+class PredictionCache;
+} // namespace neusight::serve
+
 namespace neusight::core {
+
+/**
+ * Canonical lookup name of a kernel: fused kernels match their first
+ * operator ("add+layernorm" -> "add", Section 4.4) and backward kernels
+ * match their forward family ("layernorm_bwd" -> "layernorm"), since the
+ * library tiles them identically. Also the op-name canonicalization of
+ * the serving layer's prediction-cache fingerprint.
+ */
+std::string canonicalOpName(const std::string &op_name);
 
 /** Hyper-parameters of one utilization MLP and its training loop. */
 struct PredictorConfig
@@ -161,6 +174,27 @@ class NeuSight : public graph::LatencyPredictor
                                          const gpusim::GpuSpec &gpu) const;
 
     /**
+     * Attach a kernel-prediction cache: predictKernelDetail (and thus
+     * every kernel/graph forecast) first consults the cache by canonical
+     * (kernel, GPU) fingerprint and inserts on a miss, so graph
+     * forecasts skip re-predicting repeated kernels. Pass nullptr to
+     * detach.
+     *
+     * Thread-safety: once trained (or loaded), concurrent predict*()
+     * calls are safe — the forward pass only reads parameters and the
+     * tile database, and the cache is internally synchronized. Attach or
+     * detach the cache, and run train()/load(), only while no
+     * predictions are in flight.
+     */
+    void attachCache(std::shared_ptr<serve::PredictionCache> cache);
+
+    /** The attached prediction cache, or nullptr. */
+    const std::shared_ptr<serve::PredictionCache> &predictionCache() const
+    {
+        return cache_;
+    }
+
+    /**
      * Per-GPU latency of a kernel graph: sum over compute nodes
      * (kernels execute sequentially on the device, Section 5).
      * Communication nodes are ignored here; the dist layer prices them.
@@ -194,6 +228,7 @@ class NeuSight : public graph::LatencyPredictor
     PredictorConfig config;
     std::map<gpusim::OpType, std::unique_ptr<KernelPredictor>> predictors;
     TileDatabase tileDb;
+    std::shared_ptr<serve::PredictionCache> cache_;
 };
 
 } // namespace neusight::core

@@ -1,0 +1,185 @@
+#include "serve/prediction_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+
+#include "common/logging.hpp"
+
+namespace neusight::serve {
+
+using core::PredictionDetail;
+using gpusim::GpuSpec;
+using gpusim::KernelDesc;
+
+std::string
+cacheFingerprint(const KernelDesc &desc, const GpuSpec &gpu,
+                 bool canonical_op)
+{
+    std::string key;
+    key.reserve(192);
+    key += std::to_string(static_cast<int>(desc.type));
+    key += '|';
+    key += canonical_op ? core::canonicalOpName(desc.opName) : desc.opName;
+    key += '|';
+    for (uint64_t d : desc.outDims) {
+        key += std::to_string(d);
+        key += 'x';
+    }
+    char buf[256];
+    // %.17g round-trips doubles: distinct FLOP/byte counts never collide.
+    std::snprintf(buf, sizeof(buf), "|%" PRIu64 "|%.17g|%.17g|%d|%d@",
+                  desc.reduceDim, desc.flops, desc.memBytes,
+                  static_cast<int>(desc.dtype),
+                  desc.usesTensorCore ? 1 : 0);
+    key += buf;
+    key += gpuFeatureFingerprint(gpu);
+    return key;
+}
+
+std::string
+gpuFeatureFingerprint(const GpuSpec &gpu)
+{
+    // Two specs sharing a name but differing in any number must key
+    // apart (hypothetical GPUs can shadow a database name).
+    std::string key = gpu.name;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "|%d|%.17g|%.17g|%.17g|%.17g|%.17g|%d|%.17g|%.17g",
+                  static_cast<int>(gpu.vendor), gpu.peakFp32Tflops,
+                  gpu.matrixFp32Tflops, gpu.fp16TensorTflops,
+                  gpu.memorySizeGB, gpu.memoryBwGBps, gpu.numSms,
+                  gpu.l2CacheMB, gpu.interconnectGBps);
+    key += buf;
+    return key;
+}
+
+PredictionCache::PredictionCache(size_t capacity, size_t num_shards)
+{
+    ensure(capacity > 0, "PredictionCache: capacity must be positive");
+    ensure(num_shards > 0, "PredictionCache: need at least one shard");
+    if (num_shards > capacity)
+        num_shards = capacity;
+    // Floor division so the shards together never exceed the stated
+    // budget (size() <= capacity() always holds); the clamp above
+    // guarantees at least one entry per shard.
+    totalCapacity = capacity;
+    shardCapacity = capacity / num_shards;
+    shards.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i)
+        shards.push_back(std::make_unique<Shard>());
+}
+
+PredictionCache::Shard &
+PredictionCache::shardFor(const std::string &key)
+{
+    return *shards[std::hash<std::string>{}(key) % shards.size()];
+}
+
+bool
+PredictionCache::lookup(const std::string &key, PredictionDetail &out)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    out = it->second->second;
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+PredictionCache::insert(const std::string &key,
+                        const PredictionDetail &detail)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        it->second->second = detail;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    if (shard.lru.size() >= shardCapacity) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.emplace_front(key, detail);
+    shard.index.emplace(shard.lru.front().first, shard.lru.begin());
+    inserts.fetch_add(1, std::memory_order_relaxed);
+}
+
+CacheStats
+PredictionCache::stats() const
+{
+    CacheStats s;
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.inserts = inserts.load(std::memory_order_relaxed);
+    s.capacity = totalCapacity;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        s.size += shard->lru.size();
+    }
+    return s;
+}
+
+void
+PredictionCache::clear()
+{
+    for (auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->lru.clear();
+        shard->index.clear();
+    }
+}
+
+size_t
+PredictionCache::size() const
+{
+    size_t n = 0;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        n += shard->lru.size();
+    }
+    return n;
+}
+
+CachedPredictor::CachedPredictor(const graph::LatencyPredictor &inner_,
+                                 std::shared_ptr<PredictionCache> cache)
+    : inner(inner_), cachePtr(std::move(cache))
+{
+    ensure(cachePtr != nullptr, "CachedPredictor: null cache");
+}
+
+std::string
+CachedPredictor::name() const
+{
+    return inner.name() + "+cache";
+}
+
+double
+CachedPredictor::predictKernelMs(const KernelDesc &desc,
+                                 const GpuSpec &gpu) const
+{
+    // Raw op name: the inner predictor may tell kernels apart that the
+    // NeuSight canonicalization deliberately merges (the simulator's
+    // ground truth does, via its per-kernel-name behaviour).
+    const std::string key =
+        cacheFingerprint(desc, gpu, /*canonical_op=*/false);
+    PredictionDetail detail;
+    if (cachePtr->lookup(key, detail))
+        return detail.latencyMs;
+    detail = PredictionDetail{};
+    detail.latencyMs = inner.predictKernelMs(desc, gpu);
+    cachePtr->insert(key, detail);
+    return detail.latencyMs;
+}
+
+} // namespace neusight::serve

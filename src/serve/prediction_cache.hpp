@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Kernel-prediction cache for the forecast-serving subsystem. The same
+ * (kernel, GPU) pairs recur across nearly every model graph — all layers
+ * of a transformer dispatch identically-shaped kernels — and a
+ * PredictionDetail is tiny and immutable once the predictor is trained,
+ * so memoizing per-kernel forecasts turns repeated graph predictions
+ * into hash lookups. The cache is sharded (one mutex + LRU list per
+ * shard) so concurrent server workers do not serialize on one lock.
+ */
+
+#ifndef NEUSIGHT_SERVE_PREDICTION_CACHE_HPP
+#define NEUSIGHT_SERVE_PREDICTION_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "graph/latency_predictor.hpp"
+
+namespace neusight::serve {
+
+/**
+ * Canonical fingerprint of a (kernel, GPU) prediction: two kernels with
+ * the same fingerprint are guaranteed the same forecast. With
+ * @p canonical_op (the NeuSight wiring) the kernel side canonicalizes
+ * the op name through core::canonicalOpName — fused and backward
+ * kernels predict through their base operator's tile entry, so they
+ * share an entry. Generic backends (CachedPredictor) key on the raw op
+ * name instead: an arbitrary inner predictor may distinguish kernels
+ * the NeuSight feature set does not. The GPU side covers every public
+ * feature the predictor reads, so hypothetical JSON-defined GPUs key
+ * correctly even when they share a name with a database entry.
+ */
+std::string cacheFingerprint(const gpusim::KernelDesc &desc,
+                             const gpusim::GpuSpec &gpu,
+                             bool canonical_op = true);
+
+/**
+ * The GPU half of every serving-layer key: name plus each public
+ * feature (Table 4). Shared by cacheFingerprint and
+ * ForecastRequest::fingerprint so the two keys cannot silently diverge
+ * when GpuSpec grows a field.
+ */
+std::string gpuFeatureFingerprint(const gpusim::GpuSpec &gpu);
+
+/** Monotonic counters of one cache (or a point-in-time snapshot). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+
+    /** Fraction of lookups served from the cache (0 when none yet). */
+    double hitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * Sharded LRU cache from fingerprint to PredictionDetail. All operations
+ * are thread-safe; lookups promote the entry to most-recently-used
+ * within its shard, and inserts evict the shard's least-recently-used
+ * entry once the shard is full.
+ */
+class PredictionCache
+{
+  public:
+    /**
+     * @param capacity   total entry budget, split evenly across shards.
+     * @param num_shards lock granularity; 1 gives a single global LRU
+     *                   order (deterministic eviction, used by tests).
+     */
+    explicit PredictionCache(size_t capacity, size_t num_shards = 16);
+
+    /**
+     * Find @p key; on a hit copy the entry into @p out, promote it, and
+     * return true. Counts one hit or one miss.
+     */
+    bool lookup(const std::string &key, core::PredictionDetail &out);
+
+    /**
+     * Insert (or refresh) @p key. Evicts the shard's LRU entry when the
+     * shard is at capacity.
+     */
+    void insert(const std::string &key,
+                const core::PredictionDetail &detail);
+
+    /** Point-in-time counters (consistent enough for reporting). */
+    CacheStats stats() const;
+
+    /** Drop every entry; counters keep accumulating. */
+    void clear();
+
+    /** Current number of cached entries. */
+    size_t size() const;
+
+    /** Total entry budget. */
+    size_t capacity() const { return totalCapacity; }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Front = most recently used. */
+        std::list<std::pair<std::string, core::PredictionDetail>> lru;
+        std::unordered_map<
+            std::string,
+            std::list<std::pair<std::string,
+                                core::PredictionDetail>>::iterator>
+            index;
+    };
+
+    Shard &shardFor(const std::string &key);
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    size_t totalCapacity;
+    size_t shardCapacity;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> inserts{0};
+};
+
+/**
+ * Caching decorator over any LatencyPredictor: per-kernel forecasts are
+ * served from (and inserted into) a shared PredictionCache. Used to give
+ * the simulator-oracle serving backend the same cached path NeuSight
+ * gets natively through NeuSight::attachCache().
+ */
+class CachedPredictor : public graph::LatencyPredictor
+{
+  public:
+    /** @p inner must outlive this decorator. */
+    CachedPredictor(const graph::LatencyPredictor &inner,
+                    std::shared_ptr<PredictionCache> cache);
+
+    std::string name() const override;
+
+    double predictKernelMs(const gpusim::KernelDesc &desc,
+                           const gpusim::GpuSpec &gpu) const override;
+
+    /** The shared cache (for stats reporting). */
+    const std::shared_ptr<PredictionCache> &cache() const
+    {
+        return cachePtr;
+    }
+
+  private:
+    const graph::LatencyPredictor &inner;
+    std::shared_ptr<PredictionCache> cachePtr;
+};
+
+} // namespace neusight::serve
+
+#endif // NEUSIGHT_SERVE_PREDICTION_CACHE_HPP

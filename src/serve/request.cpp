@@ -1,0 +1,53 @@
+#include "serve/request.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace neusight::serve {
+
+const char *
+requestKindName(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::Inference:
+        return "inference";
+      case RequestKind::DecodeStep:
+        return "decode";
+      case RequestKind::Training:
+        return "training";
+      case RequestKind::Distributed:
+        return "distributed";
+    }
+    panic("requestKindName: bad kind");
+}
+
+std::string
+ForecastRequest::fingerprint() const
+{
+    std::string key;
+    key.reserve(160);
+    key += requestKindName(kind);
+    key += '|';
+    key += model;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "|b%llu|p%llu|d%d",
+                  static_cast<unsigned long long>(batch),
+                  static_cast<unsigned long long>(pastLen),
+                  static_cast<int>(dtype));
+    key += buf;
+    if (kind == RequestKind::Distributed) {
+        std::snprintf(buf, sizeof(buf), "|n%d|g%llu|s%d|m%d|sch%d|l%.17g",
+                      numGpus,
+                      static_cast<unsigned long long>(globalBatch),
+                      static_cast<int>(strategy),
+                      pipeline.numMicroBatches,
+                      static_cast<int>(pipeline.schedule), linkGBps);
+        key += buf;
+    }
+    key += '@';
+    key += gpuFeatureFingerprint(gpu);
+    return key;
+}
+
+} // namespace neusight::serve

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Typed forecast requests and structured results for the serving layer.
+ * A request names a workload (inference prefill, decode step, training
+ * iteration, or a distributed training iteration) plus the target GPU;
+ * the result carries the forecast, per-request service latency, and the
+ * cache statistics observed at completion. Requests have a canonical
+ * fingerprint so the server can coalesce identical in-flight work.
+ */
+
+#ifndef NEUSIGHT_SERVE_REQUEST_HPP
+#define NEUSIGHT_SERVE_REQUEST_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "dist/parallel.hpp"
+#include "gpusim/gpu_spec.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "serve/prediction_cache.hpp"
+
+namespace neusight::serve {
+
+/** The forecast families a ForecastServer accepts. */
+enum class RequestKind
+{
+    /** Inference forward pass (the paper's first-token prefill metric). */
+    Inference,
+    /** One autoregressive decode step against a KV cache. */
+    DecodeStep,
+    /** One single-GPU training iteration (forward + backward). */
+    Training,
+    /** One distributed training iteration on a multi-GPU server. */
+    Distributed,
+};
+
+/** Display name, e.g. "inference". */
+const char *requestKindName(RequestKind kind);
+
+/** One forecast request. */
+struct ForecastRequest
+{
+    RequestKind kind = RequestKind::Inference;
+    /** Table-5 model name (resolved through graph::findModel). */
+    std::string model = "GPT2-Large";
+    /** Batch size (per-GPU for single-device kinds). */
+    uint64_t batch = 1;
+    /** KV-cache length for DecodeStep. */
+    uint64_t pastLen = 0;
+    /** Fully resolved target GPU (database entry or JSON-defined). */
+    gpusim::GpuSpec gpu;
+    gpusim::DataType dtype = gpusim::DataType::Fp32;
+
+    /// @name Distributed-only fields.
+    /// @{
+    int numGpus = 4;
+    /** Global batch across the server. */
+    uint64_t globalBatch = 4;
+    dist::Parallelism strategy = dist::Parallelism::Data;
+    dist::PipelineConfig pipeline;
+    /** Peak GPU-to-GPU bandwidth GB/s; 0 = the GPU spec's value. */
+    double linkGBps = 0.0;
+    /// @}
+
+    /** Client-supplied id echoed in the response (never coalesced on). */
+    std::string tag;
+
+    /**
+     * Canonical identity of the forecast this request asks for: two
+     * requests with equal fingerprints are guaranteed equal results, so
+     * the server answers both with one computation. The tag is excluded.
+     */
+    std::string fingerprint() const;
+};
+
+/** Structured outcome of one request. */
+struct ForecastResult
+{
+    /** Echoed request tag. */
+    std::string tag;
+    /** False when the request was rejected or failed; see error. */
+    bool ok = true;
+    std::string error;
+
+    /** The forecast. */
+    double latencyMs = 0.0;
+    /** Distributed OOM screening verdict. */
+    bool oom = false;
+    /** Priced communication payload (distributed kinds). */
+    double commBytes = 0.0;
+    /** Compute nodes in the forecasted graph. */
+    size_t kernelCount = 0;
+
+    /** Wall-clock service time in the worker, microseconds. */
+    double serviceMicros = 0.0;
+    /** True when answered by piggybacking on an identical request. */
+    bool coalesced = false;
+    /** Server-wide cache counters observed at completion. */
+    CacheStats cache;
+};
+
+} // namespace neusight::serve
+
+#endif // NEUSIGHT_SERVE_REQUEST_HPP

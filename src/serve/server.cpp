@@ -1,0 +1,261 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "graph/models.hpp"
+
+namespace neusight::serve {
+
+namespace {
+
+/** Fill the bookkeeping shared by every waiter of one computation. */
+void
+finishResult(ForecastResult &result, double service_micros,
+             const std::shared_ptr<PredictionCache> &cache)
+{
+    result.serviceMicros = service_micros;
+    if (cache)
+        result.cache = cache->stats();
+}
+
+} // namespace
+
+ForecastServer::ForecastServer(const graph::LatencyPredictor &predictor_,
+                               ServerOptions options_)
+    : predictor(predictor_), options(std::move(options_))
+{
+    ensure(options.workers > 0, "ForecastServer: need at least one worker");
+    ensure(options.queueCapacity > 0,
+           "ForecastServer: queue capacity must be positive");
+    comms = options.comms;
+    if (!comms)
+        comms = std::make_shared<dist::EstimatedCollectives>("A100-NVLink",
+                                                             600.0);
+    threads.reserve(options.workers);
+    for (size_t i = 0; i < options.workers; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ForecastServer::~ForecastServer()
+{
+    stop();
+}
+
+std::future<ForecastResult>
+ForecastServer::submit(ForecastRequest request)
+{
+    std::promise<ForecastResult> promise;
+    std::future<ForecastResult> future = promise.get_future();
+    const std::string key = request.fingerprint();
+
+    std::unique_lock<std::mutex> lock(mutex);
+    ++submitted;
+    auto it = inFlight.find(key);
+    if (it != inFlight.end()) {
+        // Identical request already queued or executing: piggyback.
+        ++coalescedCount;
+        it->second->waiters.emplace_back(std::move(promise),
+                                         std::move(request.tag));
+        return future;
+    }
+    notFull.wait(lock, [this] {
+        return queue.size() < options.queueCapacity || stopping;
+    });
+    // The wait released the mutex: an identical request may have been
+    // published meanwhile — re-check, or two Pending entries for one
+    // fingerprint would race on the inFlight mapping.
+    it = inFlight.find(key);
+    if (it != inFlight.end()) {
+        ++coalescedCount;
+        it->second->waiters.emplace_back(std::move(promise),
+                                         std::move(request.tag));
+        return future;
+    }
+    if (stopping) {
+        ++rejectedCount;
+        lock.unlock();
+        ForecastResult rejected;
+        rejected.tag = request.tag;
+        rejected.ok = false;
+        rejected.error = "server is shutting down";
+        promise.set_value(std::move(rejected));
+        return future;
+    }
+    auto pending = std::make_shared<Pending>();
+    std::string tag = request.tag;
+    pending->request = std::move(request);
+    pending->waiters.emplace_back(std::move(promise), std::move(tag));
+    inFlight.emplace(key, pending);
+    queue.push_back(std::move(pending));
+    lock.unlock();
+    notEmpty.notify_one();
+    return future;
+}
+
+void
+ForecastServer::workerLoop()
+{
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex);
+        notEmpty.wait(lock, [this] { return !queue.empty() || stopping; });
+        if (queue.empty()) {
+            if (stopping)
+                return;
+            continue;
+        }
+        std::shared_ptr<Pending> pending = std::move(queue.front());
+        queue.pop_front();
+        ++executing;
+        lock.unlock();
+        notFull.notify_one();
+
+        const auto start = std::chrono::steady_clock::now();
+        ForecastResult result = execute(pending->request);
+        const double micros =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        finishResult(result, micros, options.cache);
+
+        lock.lock();
+        // Unpublish first: submits from here on start a fresh
+        // computation, while everyone who piggybacked meanwhile is in
+        // waiters and gets this result. The promises are fulfilled
+        // before executing is decremented (still under the lock —
+        // set_value only stores, it runs no user code), so drain()'s
+        // "every accepted request answered" contract is exact: its
+        // predicate cannot come true while any future is unready.
+        inFlight.erase(pending->request.fingerprint());
+        auto waiters = std::move(pending->waiters);
+        completed += waiters.size();
+        for (size_t i = 0; i < waiters.size(); ++i) {
+            ForecastResult copy = result;
+            copy.tag = std::move(waiters[i].second);
+            copy.coalesced = i > 0;
+            waiters[i].first.set_value(std::move(copy));
+        }
+        --executing;
+        const bool drained = queue.empty() && executing == 0;
+        lock.unlock();
+        if (drained)
+            idle.notify_all();
+    }
+}
+
+ForecastResult
+ForecastServer::execute(const ForecastRequest &req) const
+{
+    ForecastResult result;
+    result.tag = req.tag;
+    try {
+        switch (req.kind) {
+          case RequestKind::Inference:
+          case RequestKind::DecodeStep:
+          case RequestKind::Training: {
+            const graph::ModelConfig &model = graph::findModel(req.model);
+            graph::KernelGraph g;
+            if (req.kind == RequestKind::Inference)
+                g = graph::buildInferenceGraph(model, req.batch, req.dtype);
+            else if (req.kind == RequestKind::DecodeStep)
+                g = graph::buildDecodeGraph(model, req.batch, req.pastLen,
+                                            req.dtype);
+            else
+                g = graph::buildTrainingGraph(model, req.batch, req.dtype);
+            result.kernelCount = g.computeNodeCount();
+            result.latencyMs = predictor.predictGraphMs(g, req.gpu);
+            break;
+          }
+          case RequestKind::Distributed: {
+            const graph::ModelConfig &model = graph::findModel(req.model);
+            dist::ServerConfig server;
+            server.systemName = req.gpu.name + "-server";
+            server.numGpus = req.numGpus;
+            server.linkGBps = req.linkGBps;
+            server.setGpu(req.gpu);
+            const std::string reject = dist::validateStrategy(
+                model, server, req.globalBatch, req.strategy,
+                req.pipeline);
+            if (!reject.empty()) {
+                result.ok = false;
+                result.error = reject;
+                break;
+            }
+            dist::DistributedResult dr;
+            if (req.strategy == dist::Parallelism::Pipeline)
+                dr = dist::pipelineTrainingMs(predictor, *comms, server,
+                                              model, req.globalBatch,
+                                              req.pipeline);
+            else
+                dr = dist::distributedTrainingMs(predictor, *comms, server,
+                                                 model, req.globalBatch,
+                                                 req.strategy);
+            result.latencyMs = dr.latencyMs;
+            result.oom = dr.oom;
+            result.commBytes = dr.commBytes;
+            break;
+          }
+        }
+    } catch (const std::exception &e) {
+        result.ok = false;
+        result.error = e.what();
+    }
+    return result;
+}
+
+void
+ForecastServer::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    idle.wait(lock, [this] { return queue.empty() && executing == 0; });
+}
+
+void
+ForecastServer::stop()
+{
+    // Claim the thread handles under the lock so concurrent stop()
+    // callers never join the same std::thread twice; whoever loses the
+    // claim blocks until the winner has joined every worker.
+    std::vector<std::thread> claimed;
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        stopping = true;
+        claimed.swap(threads);
+        if (claimed.empty()) {
+            idle.wait(lock, [this] { return workersJoined; });
+            return;
+        }
+    }
+    // Workers keep popping until the queue is empty (drain-on-shutdown);
+    // blocked submitters wake and reject.
+    notEmpty.notify_all();
+    notFull.notify_all();
+    for (std::thread &t : claimed)
+        t.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        workersJoined = true;
+    }
+    idle.notify_all();
+}
+
+ServerStats
+ForecastServer::stats() const
+{
+    ServerStats s;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        s.submitted = submitted;
+        s.completed = completed;
+        s.coalesced = coalescedCount;
+        s.rejected = rejectedCount;
+        s.queueDepth = queue.size();
+        s.workers = options.workers;
+    }
+    if (options.cache)
+        s.cache = options.cache->stats();
+    return s;
+}
+
+} // namespace neusight::serve

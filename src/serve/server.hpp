@@ -1,0 +1,142 @@
+/**
+ * @file
+ * In-process concurrent forecast server: a bounded MPMC request queue
+ * feeding a worker-thread pool, with coalescing of identical in-flight
+ * requests (two clients asking for the same forecast share one
+ * computation) on top of the kernel-prediction cache (repeated kernels
+ * across *different* requests skip the predictor). Shutdown drains: every
+ * accepted request is answered before the workers exit.
+ */
+
+#ifndef NEUSIGHT_SERVE_SERVER_HPP
+#define NEUSIGHT_SERVE_SERVER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/collective.hpp"
+#include "graph/latency_predictor.hpp"
+#include "serve/request.hpp"
+
+namespace neusight::serve {
+
+/** Construction-time configuration of a ForecastServer. */
+struct ServerOptions
+{
+    /** Worker threads executing forecasts. */
+    size_t workers = 4;
+    /** Bound on queued (not yet executing) requests; submit() blocks
+     *  when full. Coalesced requests never occupy a slot. */
+    size_t queueCapacity = 256;
+    /**
+     * Shared kernel-prediction cache, reported in every result. The
+     * server does not wire it into the predictor — attach it via
+     * core::NeuSight::attachCache or wrap the predictor in a
+     * CachedPredictor; passing the same cache here only adds its
+     * counters to results and stats.
+     */
+    std::shared_ptr<PredictionCache> cache;
+    /**
+     * Collective cost model for Distributed requests; the server
+     * constructs the default estimator (calibrated on A100-NVLink,
+     * Section 5.1) when unset.
+     */
+    std::shared_ptr<const dist::CollectiveModel> comms;
+};
+
+/** Point-in-time server counters. */
+struct ServerStats
+{
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    /** Requests answered by piggybacking on identical in-flight work. */
+    uint64_t coalesced = 0;
+    /** Requests refused because the server was stopping. */
+    uint64_t rejected = 0;
+    size_t queueDepth = 0;
+    size_t workers = 0;
+    CacheStats cache;
+};
+
+/**
+ * Concurrent forecast server over any LatencyPredictor. The predictor
+ * must be safe for concurrent const use (NeuSight and the simulator
+ * oracle are, once trained) and must outlive the server.
+ */
+class ForecastServer
+{
+  public:
+    explicit ForecastServer(const graph::LatencyPredictor &predictor,
+                            ServerOptions options = ServerOptions());
+
+    /** Drains and joins (equivalent to stop()). */
+    ~ForecastServer();
+
+    ForecastServer(const ForecastServer &) = delete;
+    ForecastServer &operator=(const ForecastServer &) = delete;
+
+    /**
+     * Enqueue a request; blocks while the queue is full. Identical
+     * in-flight requests (equal fingerprint()) coalesce onto one
+     * computation. After stop() the returned future resolves
+     * immediately to a rejection result.
+     */
+    std::future<ForecastResult> submit(ForecastRequest request);
+
+    /** Block until every accepted request has been answered. */
+    void drain();
+
+    /**
+     * Stop accepting, drain the queue, and join the workers. Every
+     * request accepted before the call is answered. Idempotent.
+     */
+    void stop();
+
+    ServerStats stats() const;
+
+  private:
+    struct Pending
+    {
+        ForecastRequest request;
+        /** (promise, tag) per coalesced submitter; front = first. */
+        std::vector<std::pair<std::promise<ForecastResult>, std::string>>
+            waiters;
+    };
+
+    void workerLoop();
+    ForecastResult execute(const ForecastRequest &request) const;
+
+    const graph::LatencyPredictor &predictor;
+    ServerOptions options;
+    std::shared_ptr<const dist::CollectiveModel> comms;
+
+    mutable std::mutex mutex;
+    std::condition_variable notEmpty;
+    std::condition_variable notFull;
+    std::condition_variable idle;
+    std::deque<std::shared_ptr<Pending>> queue;
+    std::unordered_map<std::string, std::shared_ptr<Pending>> inFlight;
+    size_t executing = 0;
+    bool stopping = false;
+    /** Set once the winning stop() has joined every worker. */
+    bool workersJoined = false;
+
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t coalescedCount = 0;
+    uint64_t rejectedCount = 0;
+
+    std::vector<std::thread> threads;
+};
+
+} // namespace neusight::serve
+
+#endif // NEUSIGHT_SERVE_SERVER_HPP

@@ -1,0 +1,204 @@
+#include "serve/wire.hpp"
+
+#include <istream>
+
+#include "common/logging.hpp"
+#include "gpusim/spec_io.hpp"
+
+namespace neusight::serve {
+
+using common::Json;
+
+namespace {
+
+RequestKind
+kindFromString(const std::string &op)
+{
+    if (op == "inference")
+        return RequestKind::Inference;
+    if (op == "decode")
+        return RequestKind::DecodeStep;
+    if (op == "training")
+        return RequestKind::Training;
+    if (op == "distributed")
+        return RequestKind::Distributed;
+    fatal("wire: unknown op '" + op +
+          "' (expected inference|decode|training|distributed)");
+}
+
+gpusim::DataType
+dtypeFromString(const std::string &name)
+{
+    if (name == "fp32")
+        return gpusim::DataType::Fp32;
+    if (name == "fp16")
+        return gpusim::DataType::Fp16;
+    fatal("wire: unknown dtype '" + name + "' (expected fp32|fp16)");
+}
+
+dist::Parallelism
+strategyFromString(const std::string &name)
+{
+    if (name == "data")
+        return dist::Parallelism::Data;
+    if (name == "tensor")
+        return dist::Parallelism::Tensor;
+    if (name == "pipeline")
+        return dist::Parallelism::Pipeline;
+    fatal("wire: unknown strategy '" + name +
+          "' (expected data|tensor|pipeline)");
+}
+
+const char *
+strategyToString(dist::Parallelism strategy)
+{
+    switch (strategy) {
+      case dist::Parallelism::Data:
+        return "data";
+      case dist::Parallelism::Tensor:
+        return "tensor";
+      case dist::Parallelism::Pipeline:
+        return "pipeline";
+    }
+    panic("wire: bad strategy");
+}
+
+uint64_t
+positiveField(const Json &json, const std::string &key, uint64_t fallback)
+{
+    const double value =
+        json.numberOr(key, static_cast<double>(fallback));
+    if (value < 1.0)
+        fatal("wire: '" + key + "' must be at least 1");
+    return static_cast<uint64_t>(value);
+}
+
+} // namespace
+
+ForecastRequest
+requestFromJson(const Json &json)
+{
+    if (!json.isObject())
+        fatal("wire: request must be a JSON object");
+    ForecastRequest req;
+    req.kind = kindFromString(json.at("op").asString());
+    req.model = json.at("model").asString();
+    req.gpu = gpusim::resolveGpu(json.at("gpu").asString());
+    req.batch = positiveField(json, "batch", 1);
+    req.dtype = dtypeFromString(json.stringOr("dtype", "fp32"));
+    req.tag = json.stringOr("tag", "");
+    if (req.kind == RequestKind::DecodeStep) {
+        if (!json.has("past"))
+            fatal("wire: decode requests need 'past' (KV-cache length)");
+        req.pastLen = positiveField(json, "past", 1);
+    }
+    if (req.kind == RequestKind::Distributed) {
+        req.numGpus =
+            static_cast<int>(positiveField(json, "num_gpus", 4));
+        req.globalBatch = positiveField(json, "global_batch", 4);
+        req.strategy =
+            strategyFromString(json.stringOr("strategy", "data"));
+        req.pipeline.numMicroBatches =
+            static_cast<int>(positiveField(json, "micro_batches", 1));
+        const std::string schedule = json.stringOr("schedule", "gpipe");
+        if (schedule == "gpipe")
+            req.pipeline.schedule = dist::PipelineSchedule::GPipe;
+        else if (schedule == "1f1b")
+            req.pipeline.schedule = dist::PipelineSchedule::OneFOneB;
+        else
+            fatal("wire: unknown schedule '" + schedule +
+                  "' (expected gpipe|1f1b)");
+        req.linkGBps = json.numberOr("link_gbps", 0.0);
+        if (req.linkGBps < 0.0)
+            fatal("wire: 'link_gbps' must be non-negative");
+    }
+    return req;
+}
+
+Json
+requestToJson(const ForecastRequest &req)
+{
+    Json json;
+    json.set("op", requestKindName(req.kind));
+    json.set("model", req.model);
+    json.set("gpu", req.gpu.name);
+    json.set("batch", req.batch);
+    if (req.kind == RequestKind::DecodeStep)
+        json.set("past", req.pastLen);
+    if (req.dtype != gpusim::DataType::Fp32)
+        json.set("dtype", "fp16");
+    if (req.kind == RequestKind::Distributed) {
+        json.set("num_gpus", req.numGpus);
+        json.set("global_batch", req.globalBatch);
+        json.set("strategy", strategyToString(req.strategy));
+        if (req.pipeline.numMicroBatches != 1)
+            json.set("micro_batches", req.pipeline.numMicroBatches);
+        if (req.pipeline.schedule == dist::PipelineSchedule::OneFOneB)
+            json.set("schedule", "1f1b");
+        if (req.linkGBps > 0.0)
+            json.set("link_gbps", req.linkGBps);
+    }
+    if (!req.tag.empty())
+        json.set("tag", req.tag);
+    return json;
+}
+
+Json
+resultToJson(const ForecastResult &result)
+{
+    Json json;
+    if (!result.tag.empty())
+        json.set("tag", result.tag);
+    json.set("ok", result.ok);
+    if (!result.ok) {
+        json.set("error", result.error);
+        return json;
+    }
+    if (result.oom) {
+        json.set("oom", true);
+    } else {
+        json.set("latency_ms", result.latencyMs);
+        if (result.commBytes > 0.0)
+            json.set("comm_bytes", result.commBytes);
+        if (result.kernelCount > 0)
+            json.set("kernels", static_cast<uint64_t>(result.kernelCount));
+    }
+    json.set("service_us", result.serviceMicros);
+    if (result.coalesced)
+        json.set("coalesced", true);
+    if (result.cache.hits + result.cache.misses > 0) {
+        json.set("cache_hits", result.cache.hits);
+        json.set("cache_misses", result.cache.misses);
+        json.set("cache_hit_rate", result.cache.hitRate());
+    }
+    return json;
+}
+
+bool
+isSkippableRequestLine(const std::string &line)
+{
+    const size_t first = line.find_first_not_of(" \t\r");
+    return first == std::string::npos || line[first] == '#';
+}
+
+std::vector<ForecastRequest>
+readRequestScript(std::istream &in)
+{
+    std::vector<ForecastRequest> requests;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (isSkippableRequestLine(line))
+            continue;
+        try {
+            requests.push_back(requestFromJson(Json::parse(line)));
+        } catch (const std::exception &e) {
+            fatal("wire: request script line " + std::to_string(line_no) +
+                  ": " + e.what());
+        }
+    }
+    return requests;
+}
+
+} // namespace neusight::serve

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * JSON line protocol for the forecast server: one request object per
+ * line in, one result object per line out, so forecast workloads can be
+ * scripted from files or pipes (and later from sockets) without any new
+ * dependency — the reader/writer is common/json.
+ *
+ * Request lines:
+ *   {"op":"inference","model":"GPT3-XL","batch":4,"gpu":"H100"}
+ *   {"op":"decode","model":"GPT3-XL","batch":4,"past":2048,"gpu":"H100"}
+ *   {"op":"training","model":"GPT2-Large","batch":8,"gpu":"A100-40GB"}
+ *   {"op":"distributed","model":"GPT2-Large","gpu":"H100","num_gpus":4,
+ *    "global_batch":8,"strategy":"tensor"}
+ * Optional fields: "tag" (echoed), "dtype" ("fp32"|"fp16"), and for
+ * distributed requests "micro_batches", "schedule" ("gpipe"|"1f1b"),
+ * "link_gbps". "gpu" accepts a Table-4 name or a spec-JSON path
+ * (gpusim::resolveGpu).
+ */
+
+#ifndef NEUSIGHT_SERVE_WIRE_HPP
+#define NEUSIGHT_SERVE_WIRE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/request.hpp"
+
+namespace neusight::serve {
+
+/**
+ * Decode one request object. fatal() (throws) on unknown ops, missing
+ * fields, or unresolvable GPUs — callers reading untrusted scripts
+ * should catch and report per line.
+ */
+ForecastRequest requestFromJson(const common::Json &json);
+
+/** Encode a request back to its wire object (round-trips through
+ *  requestFromJson up to GPU resolution). */
+common::Json requestToJson(const ForecastRequest &request);
+
+/** Encode a result as its wire object. */
+common::Json resultToJson(const ForecastResult &result);
+
+/**
+ * True for lines a request stream ignores: blank, or first
+ * non-whitespace character '#'. One definition shared by
+ * readRequestScript and the neusight-serve REPL so script and REPL
+ * mode always parse the same input identically.
+ */
+bool isSkippableRequestLine(const std::string &line);
+
+/**
+ * Read a JSON-lines request script: one object per line; skippable
+ * lines (see isSkippableRequestLine) are ignored. fatal() with the
+ * offending line number on parse errors.
+ */
+std::vector<ForecastRequest> readRequestScript(std::istream &in);
+
+} // namespace neusight::serve
+
+#endif // NEUSIGHT_SERVE_WIRE_HPP

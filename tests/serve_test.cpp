@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Tests for the forecast-serving subsystem: cache-key canonicalization,
+ * LRU eviction order, concurrent hit/miss accounting under a thread
+ * hammer, the cached NeuSight path, request coalescing, server
+ * drain-on-shutdown, and the JSON wire protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "core/predictor.hpp"
+#include "eval/oracle.hpp"
+#include "serve/prediction_cache.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace neusight::serve {
+namespace {
+
+using gpusim::findGpu;
+using gpusim::KernelDesc;
+using gpusim::makeLayerNorm;
+using gpusim::makeLinear;
+
+TEST(CacheKey, BackwardAndFusedKernelsCanonicalize)
+{
+    // Backward and fused kernels predict through their base operator's
+    // tile entry; with equal numbers they must share one cache entry.
+    const auto &gpu = findGpu("A100-40GB");
+    const KernelDesc fwd = makeLayerNorm(4096, 1024);
+    KernelDesc bwd = fwd;
+    bwd.opName = "layernorm_bwd";
+    KernelDesc fused = fwd;
+    fused.opName = "layernorm+add";
+    EXPECT_EQ(cacheFingerprint(fwd, gpu), cacheFingerprint(bwd, gpu));
+    EXPECT_EQ(cacheFingerprint(fwd, gpu), cacheFingerprint(fused, gpu));
+    EXPECT_EQ(core::canonicalOpName("layernorm_bwd"), "layernorm");
+    EXPECT_EQ(core::canonicalOpName("add+layernorm"), "add");
+}
+
+TEST(CacheKey, DiscriminatesShapesAndGpus)
+{
+    const auto &a100 = findGpu("A100-40GB");
+    const auto &h100 = findGpu("H100");
+    const KernelDesc a = makeLinear(1024, 768, 768);
+    const KernelDesc b = makeLinear(1024, 768, 1024);
+    EXPECT_NE(cacheFingerprint(a, a100), cacheFingerprint(b, a100));
+    EXPECT_NE(cacheFingerprint(a, a100), cacheFingerprint(a, h100));
+
+    // Hypothetical GPUs can shadow a database name: every public
+    // feature is part of the key, so they still key apart.
+    gpusim::GpuSpec custom = h100;
+    custom.numSms += 12;
+    EXPECT_NE(cacheFingerprint(a, h100), cacheFingerprint(a, custom));
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    PredictionCache cache(2, 1); // One shard: global LRU order.
+    core::PredictionDetail d;
+    d.latencyMs = 1.0;
+    cache.insert("a", d);
+    cache.insert("b", d);
+    core::PredictionDetail out;
+    ASSERT_TRUE(cache.lookup("a", out)); // Promote "a"; "b" is now LRU.
+    cache.insert("c", d);
+    EXPECT_FALSE(cache.lookup("b", out));
+    EXPECT_TRUE(cache.lookup("a", out));
+    EXPECT_TRUE(cache.lookup("c", out));
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.size, 2u);
+    EXPECT_EQ(stats.inserts, 3u);
+}
+
+TEST(Cache, ReinsertRefreshesInsteadOfEvicting)
+{
+    PredictionCache cache(2, 1);
+    core::PredictionDetail d;
+    d.latencyMs = 1.0;
+    cache.insert("a", d);
+    d.latencyMs = 2.0;
+    cache.insert("a", d);
+    core::PredictionDetail out;
+    ASSERT_TRUE(cache.lookup("a", out));
+    EXPECT_DOUBLE_EQ(out.latencyMs, 2.0);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, ConcurrentHammerKeepsCountersConsistent)
+{
+    PredictionCache cache(128, 8);
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 4000;
+    constexpr int kKeySpace = 300; // > capacity: forces evictions.
+    std::atomic<uint64_t> local_hits{0};
+    std::atomic<uint64_t> local_lookups{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &local_hits, &local_lookups, t] {
+            core::PredictionDetail detail;
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                const std::string key =
+                    "k" + std::to_string((i * 31 + t * 7) % kKeySpace);
+                local_lookups.fetch_add(1);
+                if (cache.lookup(key, detail)) {
+                    local_hits.fetch_add(1);
+                } else {
+                    detail.latencyMs = static_cast<double>(i);
+                    cache.insert(key, detail);
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const CacheStats stats = cache.stats();
+    // Every lookup is exactly one hit or one miss, across all threads.
+    EXPECT_EQ(stats.hits + stats.misses, local_lookups.load());
+    EXPECT_EQ(stats.hits, local_hits.load());
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LE(stats.size, stats.capacity);
+    // Entries live in lockstep with the LRU lists: inserts minus
+    // evictions is exactly the resident count.
+    EXPECT_EQ(stats.inserts - stats.evictions, stats.size);
+}
+
+TEST(CachedPredictorTest, MatchesInnerAndCounts)
+{
+    const eval::SimulatorOracle oracle;
+    auto cache = std::make_shared<PredictionCache>(64);
+    const CachedPredictor cached(oracle, cache);
+    EXPECT_EQ(cached.name(), "Measured+cache");
+
+    const auto &gpu = findGpu("V100");
+    const KernelDesc desc = makeLinear(2048, 1024, 1024);
+    const double truth = oracle.predictKernelMs(desc, gpu);
+    EXPECT_DOUBLE_EQ(cached.predictKernelMs(desc, gpu), truth); // Miss.
+    EXPECT_DOUBLE_EQ(cached.predictKernelMs(desc, gpu), truth); // Hit.
+    const CacheStats stats = cache->stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(CachedPredictorTest, DoesNotMergeKernelsTheBackendDistinguishes)
+{
+    // The simulator's ground truth differs between a forward kernel and
+    // its numerically identical _bwd twin (per-kernel-name behaviour),
+    // so the generic decorator must key on the raw op name — only the
+    // NeuSight wiring may canonicalize.
+    const eval::SimulatorOracle oracle;
+    auto cache = std::make_shared<PredictionCache>(64);
+    const CachedPredictor cached(oracle, cache);
+    const auto &gpu = findGpu("A100-40GB");
+    const KernelDesc fwd = gpusim::makeSoftmax(8192, 1024);
+    KernelDesc bwd = fwd;
+    bwd.opName = "softmax_bwd";
+    EXPECT_DOUBLE_EQ(cached.predictKernelMs(fwd, gpu),
+                     oracle.predictKernelMs(fwd, gpu));
+    EXPECT_DOUBLE_EQ(cached.predictKernelMs(bwd, gpu),
+                     oracle.predictKernelMs(bwd, gpu));
+    EXPECT_EQ(cache->stats().misses, 2u); // Two entries, no merging.
+}
+
+/** Scaled-down trained framework shared by the cached-path tests. */
+class CachedNeuSight : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setQuiet(true);
+        dataset::SamplerConfig sampler;
+        sampler.bmmSamples = 150;
+        sampler.fcSamples = 120;
+        sampler.elementwiseSamples = 80;
+        sampler.softmaxSamples = 60;
+        sampler.layernormSamples = 60;
+        core::PredictorConfig cfg;
+        cfg.hiddenDim = 16;
+        cfg.hiddenLayers = 2;
+        cfg.train.epochs = 3;
+        framework = new core::NeuSight(cfg);
+        framework->train(dataset::generateOperatorData(
+            gpusim::nvidiaTrainingSet(), sampler));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete framework;
+        framework = nullptr;
+    }
+
+    static graph::KernelGraph
+    repeatedKernelGraph()
+    {
+        // Three distinct shapes, each dispatched four times — the
+        // transformer pattern the cache exploits.
+        graph::KernelGraph g;
+        for (int layer = 0; layer < 4; ++layer) {
+            const std::string base = "l" + std::to_string(layer);
+            g.add(makeLinear(512, 768, 768), base + ".fc");
+            g.add(makeLayerNorm(512, 768), base + ".ln");
+            g.add(gpusim::makeElementwise("add", 512 * 768), base + ".add");
+        }
+        return g;
+    }
+
+    static core::NeuSight *framework;
+};
+
+core::NeuSight *CachedNeuSight::framework = nullptr;
+
+TEST_F(CachedNeuSight, CachedPathIsExactAndHits)
+{
+    const auto &gpu = findGpu("A100-40GB");
+    const graph::KernelGraph g = repeatedKernelGraph();
+    const double uncached = framework->predictGraphMs(g, gpu);
+
+    auto cache = std::make_shared<PredictionCache>(256);
+    framework->attachCache(cache);
+    EXPECT_DOUBLE_EQ(framework->predictGraphMs(g, gpu), uncached);
+    // 12 kernels, 3 distinct shapes: 3 misses, 9 intra-graph hits.
+    CacheStats stats = cache->stats();
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.hits, 9u);
+    EXPECT_DOUBLE_EQ(framework->predictGraphMs(g, gpu), uncached);
+    stats = cache->stats();
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.hits, 21u);
+    framework->attachCache(nullptr);
+    EXPECT_EQ(framework->predictionCache(), nullptr);
+}
+
+TEST_F(CachedNeuSight, ConcurrentGraphForecastsAgree)
+{
+    // The serving scenario: many workers forecasting through one shared
+    // framework + cache must all see the single-threaded answer.
+    const auto &gpu = findGpu("H100");
+    const graph::KernelGraph g = repeatedKernelGraph();
+    const double expected = framework->predictGraphMs(g, gpu);
+    auto cache = std::make_shared<PredictionCache>(256);
+    framework->attachCache(cache);
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 50; ++i)
+                if (framework->predictGraphMs(g, gpu) != expected)
+                    mismatches.fetch_add(1);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    framework->attachCache(nullptr);
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(RequestFingerprint, IgnoresTagDiscriminatesSemantics)
+{
+    ForecastRequest a;
+    a.kind = RequestKind::Inference;
+    a.model = "GPT3-XL";
+    a.batch = 4;
+    a.gpu = findGpu("H100");
+    a.tag = "first";
+    ForecastRequest b = a;
+    b.tag = "second";
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.batch = 8;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    b = a;
+    b.kind = RequestKind::Training;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+/** Deterministic predictor that counts graph forecasts and stalls. */
+class SlowCountingPredictor : public graph::LatencyPredictor
+{
+  public:
+    explicit SlowCountingPredictor(int delay_ms) : delayMs(delay_ms) {}
+
+    std::string name() const override { return "SlowCounting"; }
+
+    double
+    predictKernelMs(const gpusim::KernelDesc &,
+                    const gpusim::GpuSpec &) const override
+    {
+        return 0.5;
+    }
+
+    double
+    predictGraphMs(const graph::KernelGraph &g,
+                   const gpusim::GpuSpec &gpu) const override
+    {
+        calls.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+        return graph::LatencyPredictor::predictGraphMs(g, gpu);
+    }
+
+    mutable std::atomic<int> calls{0};
+
+  private:
+    int delayMs;
+};
+
+ForecastRequest
+smallInferenceRequest(uint64_t batch, const std::string &tag)
+{
+    ForecastRequest req;
+    req.kind = RequestKind::Inference;
+    req.model = "BERT-Large";
+    req.batch = batch;
+    req.gpu = findGpu("A100-40GB");
+    req.tag = tag;
+    return req;
+}
+
+TEST(Server, CoalescesIdenticalInFlightRequests)
+{
+    const SlowCountingPredictor predictor(40);
+    ServerOptions options;
+    options.workers = 2;
+    ForecastServer server(predictor, options);
+
+    constexpr int kClients = 12;
+    std::vector<std::future<ForecastResult>> futures;
+    for (int i = 0; i < kClients; ++i)
+        futures.push_back(server.submit(
+            smallInferenceRequest(4, "c" + std::to_string(i))));
+    int coalesced = 0;
+    double latency = -1.0;
+    for (int i = 0; i < kClients; ++i) {
+        const ForecastResult result = futures[i].get();
+        ASSERT_TRUE(result.ok) << result.error;
+        EXPECT_EQ(result.tag, "c" + std::to_string(i));
+        if (latency < 0.0)
+            latency = result.latencyMs;
+        EXPECT_DOUBLE_EQ(result.latencyMs, latency);
+        coalesced += result.coalesced ? 1 : 0;
+    }
+    server.stop();
+    // Every client got the answer, but the predictor ran far fewer
+    // times than kClients; the exact split depends on scheduling.
+    EXPECT_EQ(predictor.calls.load() + coalesced, kClients);
+    EXPECT_LE(predictor.calls.load(), 3);
+    EXPECT_EQ(server.stats().coalesced, static_cast<uint64_t>(coalesced));
+}
+
+TEST(Server, DrainsEveryAcceptedRequestOnShutdown)
+{
+    const SlowCountingPredictor predictor(5);
+    ServerOptions options;
+    options.workers = 2;
+    ForecastServer server(predictor, options);
+
+    constexpr int kRequests = 24;
+    std::vector<std::future<ForecastResult>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(server.submit(smallInferenceRequest(
+            static_cast<uint64_t>(i + 1), "d" + std::to_string(i))));
+    server.stop(); // Immediately: must still answer all 24.
+    for (auto &future : futures) {
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        const ForecastResult result = future.get();
+        EXPECT_TRUE(result.ok) << result.error;
+        EXPECT_GT(result.latencyMs, 0.0);
+    }
+    EXPECT_EQ(server.stats().completed,
+              static_cast<uint64_t>(kRequests));
+
+    // After shutdown new submissions resolve immediately as rejected.
+    const ForecastResult rejected =
+        server.submit(smallInferenceRequest(1, "late")).get();
+    EXPECT_FALSE(rejected.ok);
+    EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(Server, ReportsFailuresWithoutDying)
+{
+    const SlowCountingPredictor predictor(0);
+    ForecastServer server(predictor, ServerOptions{});
+    ForecastRequest bad = smallInferenceRequest(1, "bad");
+    bad.model = "NoSuchModel";
+    const ForecastResult result = server.submit(bad).get();
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("NoSuchModel"), std::string::npos);
+    // The server stays serviceable after a failed request.
+    EXPECT_TRUE(server.submit(smallInferenceRequest(1, "ok")).get().ok);
+}
+
+TEST(Server, DistributedRequestsMatchDirectForecast)
+{
+    const eval::SimulatorOracle oracle;
+    ForecastRequest req;
+    req.kind = RequestKind::Distributed;
+    req.model = "GPT2-Large";
+    req.gpu = findGpu("H100");
+    req.numGpus = 4;
+    req.globalBatch = 8;
+    req.strategy = dist::Parallelism::Tensor;
+
+    ForecastServer server(oracle, ServerOptions{});
+    const ForecastResult result = server.submit(req).get();
+    ASSERT_TRUE(result.ok) << result.error;
+
+    // Same forecast as calling the dist layer directly with the
+    // server's default collective estimator.
+    const dist::EstimatedCollectives comms("A100-NVLink", 600.0);
+    dist::ServerConfig config;
+    config.setGpu(req.gpu);
+    config.numGpus = req.numGpus;
+    const dist::DistributedResult direct = dist::distributedTrainingMs(
+        oracle, comms, config, graph::findModel(req.model),
+        req.globalBatch, req.strategy);
+    EXPECT_DOUBLE_EQ(result.latencyMs, direct.latencyMs);
+    EXPECT_DOUBLE_EQ(result.commBytes, direct.commBytes);
+    EXPECT_FALSE(result.oom);
+}
+
+TEST(Server, DistributedValidationRejectsCleanly)
+{
+    const eval::SimulatorOracle oracle;
+    ForecastRequest req;
+    req.kind = RequestKind::Distributed;
+    req.model = "GPT2-Large"; // 20 heads: indivisible by 3.
+    req.gpu = findGpu("H100");
+    req.numGpus = 3;
+    req.globalBatch = 6;
+    req.strategy = dist::Parallelism::Tensor;
+    ForecastServer server(oracle, ServerOptions{});
+    const ForecastResult result = server.submit(req).get();
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("divisible"), std::string::npos);
+}
+
+TEST(Wire, RequestRoundTrip)
+{
+    const std::string line =
+        "{\"op\":\"distributed\",\"model\":\"GPT2-Large\","
+        "\"gpu\":\"H100\",\"num_gpus\":4,\"global_batch\":16,"
+        "\"strategy\":\"pipeline\",\"micro_batches\":4,"
+        "\"schedule\":\"1f1b\",\"tag\":\"t1\"}";
+    const ForecastRequest req =
+        requestFromJson(common::Json::parse(line));
+    EXPECT_EQ(req.kind, RequestKind::Distributed);
+    EXPECT_EQ(req.model, "GPT2-Large");
+    EXPECT_EQ(req.gpu.name, "H100");
+    EXPECT_EQ(req.numGpus, 4);
+    EXPECT_EQ(req.globalBatch, 16u);
+    EXPECT_EQ(req.strategy, dist::Parallelism::Pipeline);
+    EXPECT_EQ(req.pipeline.numMicroBatches, 4);
+    EXPECT_EQ(req.pipeline.schedule, dist::PipelineSchedule::OneFOneB);
+    EXPECT_EQ(req.tag, "t1");
+
+    // Encode → decode is identity on the request's semantics.
+    const ForecastRequest again = requestFromJson(requestToJson(req));
+    EXPECT_EQ(again.fingerprint(), req.fingerprint());
+}
+
+TEST(Wire, DecodeNeedsPastAndRejectsUnknownOp)
+{
+    EXPECT_THROW(requestFromJson(common::Json::parse(
+                     "{\"op\":\"decode\",\"model\":\"GPT3-XL\","
+                     "\"gpu\":\"H100\"}")),
+                 std::runtime_error);
+    EXPECT_THROW(requestFromJson(common::Json::parse(
+                     "{\"op\":\"explode\",\"model\":\"GPT3-XL\","
+                     "\"gpu\":\"H100\"}")),
+                 std::runtime_error);
+}
+
+TEST(Wire, ResultSerializesForecastAndCacheCounters)
+{
+    ForecastResult result;
+    result.tag = "t9";
+    result.latencyMs = 12.5;
+    result.kernelCount = 42;
+    result.serviceMicros = 310.0;
+    result.cache.hits = 30;
+    result.cache.misses = 12;
+    const common::Json json = resultToJson(result);
+    EXPECT_TRUE(json.at("ok").asBool());
+    EXPECT_DOUBLE_EQ(json.at("latency_ms").asDouble(), 12.5);
+    EXPECT_EQ(json.at("kernels").asInt(), 42);
+    EXPECT_DOUBLE_EQ(json.at("cache_hit_rate").asDouble(), 30.0 / 42.0);
+    EXPECT_EQ(json.at("tag").asString(), "t9");
+
+    ForecastResult error;
+    error.ok = false;
+    error.error = "boom";
+    const common::Json ejson = resultToJson(error);
+    EXPECT_FALSE(ejson.at("ok").asBool());
+    EXPECT_EQ(ejson.at("error").asString(), "boom");
+}
+
+TEST(Wire, ScriptReaderSkipsBlanksAndComments)
+{
+    std::istringstream script(
+        "# warmup\n"
+        "\n"
+        "{\"op\":\"inference\",\"model\":\"GPT3-XL\",\"batch\":4,"
+        "\"gpu\":\"H100\"}\n"
+        "  {\"op\":\"training\",\"model\":\"BERT-Large\",\"batch\":8,"
+        "\"gpu\":\"V100\"}\n");
+    const auto requests = readRequestScript(script);
+    ASSERT_EQ(requests.size(), 2u);
+    EXPECT_EQ(requests[0].kind, RequestKind::Inference);
+    EXPECT_EQ(requests[1].kind, RequestKind::Training);
+    EXPECT_EQ(requests[1].gpu.name, "V100");
+}
+
+} // namespace
+} // namespace neusight::serve

@@ -29,6 +29,9 @@ run(int argc, const char *const *argv)
     args.addString("model", "GPT2-Large",
                    "Table-5 name or model JSON path");
     args.addString("gpu", "H100", "GPU name or spec JSON path");
+    args.addString("gpu-json", "",
+                   "path to a GPU spec JSON file (overrides --gpu; "
+                   "forecast a hypothetical GPU from its public numbers)");
     args.addInt("num-gpus", 4, "GPUs in the server");
     args.addInt("global-batch", 4, "global batch size");
     args.addString("strategy", "all", "data | tensor | pipeline | all");
@@ -49,11 +52,18 @@ run(int argc, const char *const *argv)
 
     const graph::ModelConfig model =
         graph::resolveModel(args.getString("model"));
-    const gpusim::GpuSpec gpu = gpusim::resolveGpu(args.getString("gpu"));
+    // --gpu already accepts a spec path; --gpu-json forces file
+    // resolution (a hypothetical GPU can shadow a database name).
+    const std::string gpu_json = args.getString("gpu-json");
+    const gpusim::GpuSpec gpu =
+        gpu_json.empty() ? gpusim::resolveGpu(args.getString("gpu"))
+                         : gpusim::loadGpuSpecs(gpu_json).front();
 
     dist::ServerConfig server;
     server.systemName = gpu.name + "-server";
-    server.gpuName = gpu.name;
+    // Pin the resolved spec so JSON-defined GPUs work in the library's
+    // distributed forecasts (no findGpu round-trip on the name).
+    server.setGpu(gpu);
     server.numGpus = static_cast<int>(args.getInt("num-gpus"));
     server.linkGBps = args.getDouble("link-gbps");
     if (server.numGpus < 2)

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * neusight-serve: the forecast server as a command-line service. Reads
+ * JSON request lines (see serve/wire.hpp) from stdin (REPL: one answer
+ * per line as it arrives) or from a script file (batch: submitted all at
+ * once through the worker pool), prints one JSON result line per
+ * request, and reports throughput and cache statistics on exit.
+ *
+ *   echo '{"op":"inference","model":"GPT3-XL","batch":4,"gpu":"H100"}' \
+ *       | neusight-serve --workers 2
+ *   neusight-serve --script requests.jsonl --workers 8 --repeat 16
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/argparse.hpp"
+#include "eval/oracle.hpp"
+#include "serve/prediction_cache.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "tool_common.hpp"
+
+namespace {
+
+using namespace neusight;
+
+void
+printResult(const serve::ForecastResult &result)
+{
+    std::printf("%s\n", serve::resultToJson(result).dump(0).c_str());
+    std::fflush(stdout);
+}
+
+int
+run(int argc, const char *const *argv)
+{
+    common::ArgParser args(
+        "neusight-serve",
+        "serve latency forecasts over a JSON line protocol");
+    args.addString("script", "",
+                   "request script path (JSON lines); empty reads stdin");
+    args.addInt("workers", 4, "worker threads");
+    args.addInt("queue", 256, "request queue capacity");
+    args.addInt("repeat", 1, "replay the script N times (batch mode)");
+    args.addString("backend", "neusight",
+                   "forecast backend: neusight | oracle (simulator "
+                   "ground truth; no training, used by smoke tests)");
+    args.addString("predictor", "neusight_nvidia.bin",
+                   "trained predictor cache path (neusight backend)");
+    args.addInt("cache-capacity", 65536,
+                "kernel-prediction cache entries");
+    args.addFlag("no-cache", "disable the kernel-prediction cache");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const int64_t workers = args.getInt("workers");
+    const int64_t queue = args.getInt("queue");
+    const int64_t repeat = args.getInt("repeat");
+    const int64_t capacity = args.getInt("cache-capacity");
+    if (workers < 1 || queue < 1 || repeat < 1 || capacity < 1)
+        fatal("--workers, --queue, --repeat and --cache-capacity must "
+              "be at least 1");
+
+    std::shared_ptr<serve::PredictionCache> cache;
+    if (!args.getFlag("no-cache"))
+        cache = std::make_shared<serve::PredictionCache>(
+            static_cast<size_t>(capacity));
+
+    // Keep whichever backend we build alive for the server's lifetime.
+    std::optional<core::NeuSight> neusight;
+    eval::SimulatorOracle oracle;
+    std::optional<serve::CachedPredictor> cachedOracle;
+    const graph::LatencyPredictor *backend = nullptr;
+    const std::string backend_name = args.getString("backend");
+    if (backend_name == "neusight") {
+        neusight = tools::loadOrTrainPredictor(
+            args.getString("predictor"), gpusim::nvidiaTrainingSet());
+        neusight->attachCache(cache);
+        backend = &*neusight;
+    } else if (backend_name == "oracle") {
+        if (cache) {
+            cachedOracle.emplace(oracle, cache);
+            backend = &*cachedOracle;
+        } else {
+            backend = &oracle;
+        }
+    } else {
+        fatal("--backend must be neusight or oracle");
+    }
+
+    serve::ServerOptions options;
+    options.workers = static_cast<size_t>(workers);
+    options.queueCapacity = static_cast<size_t>(queue);
+    options.cache = cache;
+    serve::ForecastServer server(*backend, options);
+
+    const auto start = std::chrono::steady_clock::now();
+    uint64_t answered = 0;
+    uint64_t failed = 0;
+
+    const std::string script = args.getString("script");
+    if (script.empty()) {
+        if (repeat != 1)
+            fatal("--repeat needs --script (stdin is answered line by "
+                  "line as it arrives)");
+        // REPL: answer each line as it arrives (pipes still stream).
+        std::string line;
+        size_t line_no = 0;
+        while (std::getline(std::cin, line)) {
+            ++line_no;
+            if (serve::isSkippableRequestLine(line))
+                continue;
+            serve::ForecastResult result;
+            try {
+                result = server
+                             .submit(serve::requestFromJson(
+                                 common::Json::parse(line)))
+                             .get();
+            } catch (const std::exception &e) {
+                result.ok = false;
+                result.error = "line " + std::to_string(line_no) + ": " +
+                               e.what();
+            }
+            ++answered;
+            if (!result.ok)
+                ++failed;
+            printResult(result);
+        }
+    } else {
+        std::ifstream in(script);
+        if (!in)
+            fatal("cannot open request script '" + script + "'");
+        const std::vector<serve::ForecastRequest> requests =
+            serve::readRequestScript(in);
+        if (requests.empty())
+            fatal("request script '" + script + "' holds no requests");
+        std::vector<std::future<serve::ForecastResult>> futures;
+        futures.reserve(requests.size() * static_cast<size_t>(repeat));
+        for (int64_t r = 0; r < repeat; ++r)
+            for (const serve::ForecastRequest &req : requests)
+                futures.push_back(server.submit(req));
+        for (auto &future : futures) {
+            serve::ForecastResult result = future.get();
+            ++answered;
+            if (!result.ok)
+                ++failed;
+            printResult(result);
+        }
+    }
+    server.stop();
+
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const serve::ServerStats stats = server.stats();
+    std::fprintf(stderr,
+                 "neusight-serve: %llu requests (%llu failed, %llu "
+                 "coalesced) in %.1f ms (%.0f req/s, %zu workers)\n",
+                 static_cast<unsigned long long>(answered),
+                 static_cast<unsigned long long>(failed),
+                 static_cast<unsigned long long>(stats.coalesced), wall_ms,
+                 answered > 0 ? answered * 1e3 / wall_ms : 0.0,
+                 stats.workers);
+    if (cache) {
+        const serve::CacheStats cs = cache->stats();
+        std::fprintf(stderr,
+                     "neusight-serve: cache %zu/%zu entries, %llu hits / "
+                     "%llu misses (%.1f%% hit rate), %llu evictions\n",
+                     cs.size, cs.capacity,
+                     static_cast<unsigned long long>(cs.hits),
+                     static_cast<unsigned long long>(cs.misses),
+                     100.0 * cs.hitRate(),
+                     static_cast<unsigned long long>(cs.evictions));
+    }
+    return failed == 0 ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
