@@ -1,0 +1,55 @@
+#include "core/kernel_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/predictor.hpp"
+
+namespace neusight::core {
+
+using gpusim::GpuSpec;
+using gpusim::KernelDesc;
+
+std::string
+cacheFingerprint(const KernelDesc &desc, const GpuSpec &gpu,
+                 bool canonical_op)
+{
+    std::string key;
+    key.reserve(192);
+    key += std::to_string(static_cast<int>(desc.type));
+    key += '|';
+    key += canonical_op ? canonicalOpName(desc.opName) : desc.opName;
+    key += '|';
+    for (uint64_t d : desc.outDims) {
+        key += std::to_string(d);
+        key += 'x';
+    }
+    char buf[256];
+    // %.17g round-trips doubles: distinct FLOP/byte counts never collide.
+    std::snprintf(buf, sizeof(buf), "|%" PRIu64 "|%.17g|%.17g|%d|%d@",
+                  desc.reduceDim, desc.flops, desc.memBytes,
+                  static_cast<int>(desc.dtype),
+                  desc.usesTensorCore ? 1 : 0);
+    key += buf;
+    key += gpuFeatureFingerprint(gpu);
+    return key;
+}
+
+std::string
+gpuFeatureFingerprint(const GpuSpec &gpu)
+{
+    // Two specs sharing a name but differing in any number must key
+    // apart (hypothetical GPUs can shadow a database name).
+    std::string key = gpu.name;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "|%d|%.17g|%.17g|%.17g|%.17g|%.17g|%d|%.17g|%.17g",
+                  static_cast<int>(gpu.vendor), gpu.peakFp32Tflops,
+                  gpu.matrixFp32Tflops, gpu.fp16TensorTflops,
+                  gpu.memorySizeGB, gpu.memoryBwGBps, gpu.numSms,
+                  gpu.l2CacheMB, gpu.interconnectGBps);
+    key += buf;
+    return key;
+}
+
+} // namespace neusight::core

@@ -11,7 +11,6 @@
 #include "gpusim/device.hpp"
 #include "gpusim/tile_policy.hpp"
 #include "nn/autograd.hpp"
-#include "serve/prediction_cache.hpp"
 
 namespace neusight::core {
 
@@ -229,7 +228,7 @@ NeuSight::predictKernelMs(const KernelDesc &desc, const GpuSpec &gpu) const
 }
 
 void
-NeuSight::attachCache(std::shared_ptr<serve::PredictionCache> cache)
+NeuSight::attachCache(std::shared_ptr<KernelPredictionCache> cache)
 {
     cache_ = std::move(cache);
 }
@@ -241,7 +240,7 @@ NeuSight::predictKernelDetail(const KernelDesc &desc,
     std::string key;
     PredictionDetail detail;
     if (cache_) {
-        key = serve::cacheFingerprint(desc, gpu);
+        key = cacheFingerprint(desc, gpu);
         if (cache_->lookup(key, detail))
             return detail;
     }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "core/kernel_cache.hpp"
 #include "core/tile_db.hpp"
 #include "dataset/dataset.hpp"
 #include "graph/graph.hpp"
@@ -22,10 +23,6 @@
 #include "nn/module.hpp"
 #include "nn/scaler.hpp"
 #include "nn/trainer.hpp"
-
-namespace neusight::serve {
-class PredictionCache;
-} // namespace neusight::serve
 
 namespace neusight::core {
 
@@ -182,14 +179,14 @@ class NeuSight : public graph::LatencyPredictor
      *
      * Thread-safety: once trained (or loaded), concurrent predict*()
      * calls are safe — the forward pass only reads parameters and the
-     * tile database, and the cache is internally synchronized. Attach or
-     * detach the cache, and run train()/load(), only while no
-     * predictions are in flight.
+     * tile database, and the cache must be internally synchronized
+     * (see KernelPredictionCache). Attach or detach the cache, and run
+     * train()/load(), only while no predictions are in flight.
      */
-    void attachCache(std::shared_ptr<serve::PredictionCache> cache);
+    void attachCache(std::shared_ptr<KernelPredictionCache> cache);
 
     /** The attached prediction cache, or nullptr. */
-    const std::shared_ptr<serve::PredictionCache> &predictionCache() const
+    const std::shared_ptr<KernelPredictionCache> &predictionCache() const
     {
         return cache_;
     }
@@ -228,7 +225,7 @@ class NeuSight : public graph::LatencyPredictor
     PredictorConfig config;
     std::map<gpusim::OpType, std::unique_ptr<KernelPredictor>> predictors;
     TileDatabase tileDb;
-    std::shared_ptr<serve::PredictionCache> cache_;
+    std::shared_ptr<KernelPredictionCache> cache_;
 };
 
 } // namespace neusight::core

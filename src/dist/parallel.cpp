@@ -197,6 +197,137 @@ appendTensorParallelLayer(KernelGraph &g, const ModelConfig &config,
           base + ".ff.residual");
 }
 
+/**
+ * TP-sharded kernel graph of layers [begin, end): the shared core of
+ * buildTensorParallelGraph (full range) and buildHybridStageGraph (one
+ * pipeline stage), so the pure-TP and hybrid forecasts price identical
+ * graphs by construction.
+ */
+KernelGraph
+buildTensorParallelRange(const ModelConfig &config, uint64_t batch,
+                         int tp_degree, uint64_t begin, uint64_t end,
+                         bool include_embedding, bool include_head,
+                         bool training, DataType dtype)
+{
+    if (tp_degree < 1)
+        fatal("buildTensorParallelRange: bad tensor-parallel degree");
+    if (batch == 0)
+        fatal("buildTensorParallelRange: batch must be positive");
+    const uint64_t tp = static_cast<uint64_t>(tp_degree);
+    // Death-tested precondition (dist_test): must abort, not throw —
+    // callers with user-supplied degrees validate before calling.
+    ensure(config.heads % tp == 0,
+           "buildTensorParallelGraph: attention heads must divide "
+           "evenly across the tensor-parallel degree (" +
+               std::to_string(config.heads) + " heads, degree " +
+               std::to_string(tp_degree) + ")");
+    if (config.ffWidth() % tp != 0 || config.hidden % tp != 0)
+        fatal("buildTensorParallelGraph: hidden and feed-forward widths "
+              "must divide evenly across the tensor-parallel degree");
+    ensure(config.hidden % config.heads == 0,
+           "buildTensorParallelGraph: hidden must divide heads for " +
+               config.name);
+
+    KernelGraph g;
+    const uint64_t h = config.hidden;
+    const uint64_t rows = batch * config.seq;
+    const double bytes = static_cast<double>(dtypeBytes(dtype));
+    const double act_bytes = static_cast<double>(rows * h) * bytes;
+
+    // Embedding prologue (replicated).
+    if (include_embedding) {
+        g.add(makeMemoryOp("embedding",
+                           static_cast<double>(rows * h) * bytes, dtype),
+              "embed.tokens");
+        g.add(makeElementwise("add", rows * h, 2, 1.0, dtype),
+              "embed.pos_add");
+    }
+
+    for (uint64_t l = begin; l < end; ++l)
+        appendTensorParallelLayer(g, config, l, batch, tp_degree, dtype,
+                                  training);
+
+    // Head epilogue (replicated).
+    if (include_head) {
+        g.add(makeLayerNorm(rows, h, dtype), "final.ln");
+        if (config.encoderOnly) {
+            g.add(makeLinear(batch, h, h, dtype), "head.pooler");
+            g.add(makeElementwise("tanh", batch * h, 1, 4.0, dtype),
+                  "head.pooler_act");
+            g.add(makeLinear(batch, h, 2, dtype), "head.classifier");
+        } else {
+            g.add(makeLinear(rows, h, config.vocab, dtype), "head.lm");
+        }
+    }
+
+    if (training) {
+        graph::appendBackwardPass(g);
+        // The backward pass mirrors each forward all-reduce with an
+        // input-gradient all-reduce (Megatron's g/f conjugates).
+        if (tp > 1)
+            for (uint64_t l = end; l-- > begin;) {
+                const std::string base = "layer" + std::to_string(l);
+                g.nodes.push_back(
+                    KernelNode::comm(NodeKind::AllReduce, act_bytes,
+                                     base + ".ff.bwd.allreduce"));
+                g.nodes.push_back(
+                    KernelNode::comm(NodeKind::AllReduce, act_bytes,
+                                     base + ".attn.bwd.allreduce"));
+            }
+    }
+    return g;
+}
+
+/**
+ * Activation stash charged per layer, in micro-batches: how many
+ * micro-batches of saved activations a stage holds at the schedule's
+ * peak. GPipe stashes everything; 1F1B drains early and caps at the
+ * stage count; interleaving keeps up to (2 - 1/v) chunks' worth of
+ * extra in-flight work per GPU (Megatron Section 2.2) — more than plain
+ * 1F1B, never more than all M micro-batches.
+ */
+double
+scheduleStashMicroBatches(PipelineSchedule schedule, int num_micro,
+                          int pp_degree, int virtual_stages)
+{
+    const double m = static_cast<double>(num_micro);
+    const double s = static_cast<double>(pp_degree);
+    switch (schedule) {
+      case PipelineSchedule::GPipe:
+        return m;
+      case PipelineSchedule::OneFOneB:
+        return std::min(m, s);
+      case PipelineSchedule::Interleaved1F1B: {
+        const double v =
+            static_cast<double>(std::max(virtual_stages, 1));
+        return std::min(m, s * (2.0 - 1.0 / v));
+      }
+    }
+    panic("scheduleStashMicroBatches: bad schedule");
+}
+
+/** Bucketed ring all-reduce: total cost and the trailing bucket's. */
+struct BucketedAllReduce
+{
+    double totalMs = 0.0;
+    double lastBucketMs = 0.0;
+};
+
+BucketedAllReduce
+bucketedAllReduceMs(const CollectiveModel &comms, double bytes,
+                    double bucket_bytes, int group, double link_gbps)
+{
+    BucketedAllReduce cost;
+    double rest = bytes;
+    while (rest > 0.0) {
+        const double chunk = std::min(bucket_bytes, rest);
+        cost.lastBucketMs = comms.allReduceMs(chunk, group, link_gbps);
+        cost.totalMs += cost.lastBucketMs;
+        rest -= chunk;
+    }
+    return cost;
+}
+
 } // namespace
 
 void
@@ -245,8 +376,17 @@ pipelineScheduleName(PipelineSchedule schedule)
         return "GPipe";
       case PipelineSchedule::OneFOneB:
         return "1F1B";
+      case PipelineSchedule::Interleaved1F1B:
+        return "Interleaved-1F1B";
     }
     panic("pipelineScheduleName: bad schedule");
+}
+
+std::string
+HybridConfig::describe() const
+{
+    return "tp" + std::to_string(tpDegree) + " x pp" +
+           std::to_string(ppDegree) + " x dp" + std::to_string(dpDegree);
 }
 
 KernelGraph
@@ -275,69 +415,29 @@ KernelGraph
 buildTensorParallelGraph(const ModelConfig &config, uint64_t batch,
                          int tp_degree, bool training, DataType dtype)
 {
-    if (tp_degree < 1)
-        fatal("buildTensorParallelGraph: bad tensor-parallel degree");
-    if (batch == 0)
-        fatal("buildTensorParallelGraph: batch must be positive");
-    const uint64_t tp = static_cast<uint64_t>(tp_degree);
-    // Death-tested precondition (dist_test): must abort, not throw —
-    // callers with user-supplied degrees validate before calling.
-    ensure(config.heads % tp == 0,
-           "buildTensorParallelGraph: attention heads must divide "
-           "evenly across the tensor-parallel degree (" +
-               std::to_string(config.heads) + " heads, degree " +
-               std::to_string(tp_degree) + ")");
-    if (config.ffWidth() % tp != 0 || config.hidden % tp != 0)
-        fatal("buildTensorParallelGraph: hidden and feed-forward widths "
-              "must divide evenly across the tensor-parallel degree");
-    ensure(config.hidden % config.heads == 0,
-           "buildTensorParallelGraph: hidden must divide heads for " +
-               config.name);
+    return buildTensorParallelRange(config, batch, tp_degree, 0,
+                                    config.numLayers,
+                                    /*include_embedding=*/true,
+                                    /*include_head=*/true, training, dtype);
+}
 
-    KernelGraph g;
-    const uint64_t h = config.hidden;
-    const uint64_t rows = batch * config.seq;
-    const double bytes = static_cast<double>(dtypeBytes(dtype));
-    const double act_bytes = static_cast<double>(rows * h) * bytes;
-
-    // Embedding prologue (replicated).
-    g.add(makeMemoryOp("embedding", static_cast<double>(rows * h) * bytes,
-                       dtype),
-          "embed.tokens");
-    g.add(makeElementwise("add", rows * h, 2, 1.0, dtype),
-          "embed.pos_add");
-
-    for (uint64_t l = 0; l < config.numLayers; ++l)
-        appendTensorParallelLayer(g, config, l, batch, tp_degree, dtype,
-                                  training);
-
-    // Head epilogue (replicated).
-    g.add(makeLayerNorm(rows, h, dtype), "final.ln");
-    if (config.encoderOnly) {
-        g.add(makeLinear(batch, h, h, dtype), "head.pooler");
-        g.add(makeElementwise("tanh", batch * h, 1, 4.0, dtype),
-              "head.pooler_act");
-        g.add(makeLinear(batch, h, 2, dtype), "head.classifier");
-    } else {
-        g.add(makeLinear(rows, h, config.vocab, dtype), "head.lm");
-    }
-
-    if (training) {
-        graph::appendBackwardPass(g);
-        // The backward pass mirrors each forward all-reduce with an
-        // input-gradient all-reduce (Megatron's g/f conjugates).
-        if (tp > 1)
-            for (uint64_t l = config.numLayers; l-- > 0;) {
-                const std::string base = "layer" + std::to_string(l);
-                g.nodes.push_back(
-                    KernelNode::comm(NodeKind::AllReduce, act_bytes,
-                                     base + ".ff.bwd.allreduce"));
-                g.nodes.push_back(
-                    KernelNode::comm(NodeKind::AllReduce, act_bytes,
-                                     base + ".attn.bwd.allreduce"));
-            }
-    }
-    return g;
+KernelGraph
+buildHybridStageGraph(const ModelConfig &config, uint64_t micro_batch,
+                      int tp_degree, int stage, int num_stages,
+                      bool training, DataType dtype)
+{
+    if (num_stages < 1 || stage < 0 || stage >= num_stages)
+        fatal("buildHybridStageGraph: bad stage index");
+    if (static_cast<uint64_t>(num_stages) > config.numLayers)
+        fatal("buildHybridStageGraph: more stages than layers");
+    const auto [begin, end] =
+        stageLayerRange(config.numLayers, stage, num_stages);
+    return buildTensorParallelRange(config, micro_batch, tp_degree, begin,
+                                    end,
+                                    /*include_embedding=*/stage == 0,
+                                    /*include_head=*/stage ==
+                                        num_stages - 1,
+                                    training, dtype);
 }
 
 KernelGraph
@@ -390,6 +490,10 @@ validateStrategy(const ModelConfig &config, const ServerConfig &server,
                    std::to_string(config.numLayers) + ")";
         if (pipeline.numMicroBatches < 1)
             return "micro-batch count must be positive";
+        if (pipeline.schedule == PipelineSchedule::Interleaved1F1B)
+            return "interleaved 1F1B is modeled by the hybrid "
+                   "forecaster only (use --pp/--sweep, or "
+                   "hybridTrainingMs)";
         const uint64_t micro =
             static_cast<uint64_t>(pipeline.numMicroBatches);
         if (global_batch == 0 || global_batch % micro != 0)
@@ -400,6 +504,356 @@ validateStrategy(const ModelConfig &config, const ServerConfig &server,
       }
     }
     panic("validateStrategy: bad strategy");
+}
+
+double
+hybridStageParameterCount(const ModelConfig &config, int stage,
+                          int pp_degree, int tp_degree)
+{
+    if (pp_degree < 1 || stage < 0 || stage >= pp_degree)
+        fatal("hybridStageParameterCount: bad stage index");
+    if (tp_degree < 1)
+        fatal("hybridStageParameterCount: bad tensor-parallel degree");
+    const auto [begin, end] =
+        stageLayerRange(config.numLayers, stage, pp_degree);
+    double blocks = 0.0;
+    for (uint64_t l = begin; l < end; ++l)
+        blocks += graph::blockParameterCount(config, l);
+    double total = blocks / static_cast<double>(tp_degree);
+    if (stage == 0)
+        total += graph::embeddingParameterCount(config);
+    if (stage == pp_degree - 1)
+        total += graph::headParameterCount(config);
+    return total;
+}
+
+double
+hybridStageMemoryBytes(const ModelConfig &config, uint64_t micro_batch,
+                       int stage, const HybridConfig &hybrid)
+{
+    const double tp = static_cast<double>(hybrid.tpDegree);
+    const auto [begin, end] =
+        stageLayerRange(config.numLayers, stage, hybrid.ppDegree);
+    const double layers = static_cast<double>(end - begin);
+    const double h = static_cast<double>(config.hidden);
+    const double s = static_cast<double>(config.seq);
+    const double a = static_cast<double>(config.heads);
+    const double b = static_cast<double>(micro_batch);
+    const double rows_h = b * s * h * 4.0;
+    const double attn = b * a * s * s * 4.0;
+    // TP split of graph::savedActivationBytesPerLayer — the same 6/8/3
+    // decomposition as the pure-TP screen (tensorParallelMemoryBytes):
+    // 8 block-internal tensors and the attention scores shard, the 6
+    // layer-boundary tensors replicate. Recomputation stashes only the
+    // layer-input checkpoint (plus its norm) and replays the rest.
+    double act_per_layer = hybrid.recomputeActivations
+                               ? 2.0 * rows_h
+                               : 6.0 * rows_h + 8.0 * rows_h / tp +
+                                     3.0 * attn / tp;
+    const double stash = scheduleStashMicroBatches(
+        hybrid.schedule, hybrid.numMicroBatches, hybrid.ppDegree,
+        hybrid.virtualStagesPerGpu);
+    double mem =
+        optimizerStateBytes(hybridStageParameterCount(
+            config, stage, hybrid.ppDegree, hybrid.tpDegree)) +
+        stash * layers * act_per_layer;
+    // DDP keeps a flattened bucket plus its reduction scratch live.
+    if (hybrid.dpDegree > 1)
+        mem += 2.0 * hybrid.ddp.bucketBytes;
+    return mem;
+}
+
+std::string
+validateHybrid(const ModelConfig &config, const ServerConfig &server,
+               uint64_t global_batch, const HybridConfig &hybrid)
+{
+    if (server.numGpus < 1)
+        return "need at least one GPU";
+    if (hybrid.tpDegree < 1 || hybrid.ppDegree < 1 || hybrid.dpDegree < 1)
+        return "parallel degrees must be positive";
+    if (hybrid.totalGpus() != server.numGpus)
+        return "tp x pp x dp = " + std::to_string(hybrid.totalGpus()) +
+               " does not match the server's " +
+               std::to_string(server.numGpus) + " GPUs";
+    const uint64_t tp = static_cast<uint64_t>(hybrid.tpDegree);
+    if (config.heads % tp != 0 || config.hidden % tp != 0 ||
+        config.ffWidth() % tp != 0)
+        return "model dimensions (" + std::to_string(config.heads) +
+               " heads, " + std::to_string(config.hidden) + " hidden, " +
+               std::to_string(config.ffWidth()) +
+               " ff) not all divisible by tensor degree " +
+               std::to_string(hybrid.tpDegree);
+    if (static_cast<uint64_t>(hybrid.ppDegree) > config.numLayers)
+        return "more pipeline stages than layers (" +
+               std::to_string(config.numLayers) + ")";
+    if (hybrid.numMicroBatches < 1)
+        return "micro-batch count must be positive";
+    if (hybrid.schedule == PipelineSchedule::Interleaved1F1B) {
+        if (hybrid.ppDegree < 2)
+            return "interleaved schedule needs at least two pipeline "
+                   "stages";
+        if (hybrid.virtualStagesPerGpu < 2)
+            return "interleaved schedule needs at least two virtual "
+                   "stages per GPU";
+        if (static_cast<uint64_t>(hybrid.ppDegree) *
+                static_cast<uint64_t>(hybrid.virtualStagesPerGpu) >
+            config.numLayers)
+            return "more virtual stages than layers (" +
+                   std::to_string(config.numLayers) + ")";
+    }
+    if (hybrid.dpDegree > 1) {
+        if (hybrid.ddp.bucketBytes <= 0.0)
+            return "DDP bucket size must be positive";
+        if (hybrid.ddp.overlapEfficiency < 0.0 ||
+            hybrid.ddp.overlapEfficiency > 1.0)
+            return "DDP overlap efficiency must be in [0, 1]";
+    }
+    const uint64_t dp = static_cast<uint64_t>(hybrid.dpDegree);
+    if (global_batch == 0 || global_batch % dp != 0)
+        return "global batch " + std::to_string(global_batch) +
+               " not divisible across " + std::to_string(hybrid.dpDegree) +
+               " data-parallel replicas";
+    const uint64_t per_replica = global_batch / dp;
+    const uint64_t m = static_cast<uint64_t>(hybrid.numMicroBatches);
+    if (per_replica % m != 0)
+        return "per-replica batch " + std::to_string(per_replica) +
+               " not divisible into " + std::to_string(m) +
+               " micro-batches";
+    return "";
+}
+
+HybridResult
+hybridTrainingMs(const graph::LatencyPredictor &predictor,
+                 const CollectiveModel &comms, const ServerConfig &server,
+                 const ModelConfig &config, uint64_t global_batch,
+                 const HybridConfig &hybrid)
+{
+    // Death-testable precondition: callers with user-supplied
+    // configurations screen through validateHybrid() first.
+    const std::string reject =
+        validateHybrid(config, server, global_batch, hybrid);
+    ensure(reject.empty(), "hybridTrainingMs: " + reject);
+
+    const gpusim::GpuSpec &gpu = server.resolvedGpu();
+    const double link = server.effectiveLinkGBps();
+    const int pp = hybrid.ppDegree;
+    const uint64_t m = static_cast<uint64_t>(hybrid.numMicroBatches);
+    const uint64_t micro =
+        global_batch / (static_cast<uint64_t>(hybrid.dpDegree) * m);
+
+    HybridResult result;
+    // OOM screen first: the memory model is closed-form, so a
+    // non-fitting configuration never pays for graph prediction.
+    for (int s = 0; s < pp; ++s) {
+        const double mem =
+            hybridStageMemoryBytes(config, micro, s, hybrid);
+        result.memoryBytes = std::max(result.memoryBytes, mem);
+        if (mem > gpu.memBytes())
+            result.oom = true;
+    }
+    if (result.oom)
+        return result;
+
+    // Per-stage slot time: TP-sharded compute plus the stage's TP
+    // collectives, plus one forward replay per micro-batch when
+    // recomputing.
+    std::vector<double> stage_ms(pp, 0.0);
+    double sum_ms = 0.0;
+    double max_ms = 0.0;
+    double tp_payload = 0.0; // Per pipeline line, per micro-batch.
+    double recompute_ms = 0.0;
+    for (int s = 0; s < pp; ++s) {
+        const KernelGraph g = buildHybridStageGraph(
+            config, micro, hybrid.tpDegree, s, pp, /*training=*/true);
+        double ms = predictor.predictGraphMs(g, gpu) +
+                    commCostMs(g, comms, hybrid.tpDegree, link);
+        tp_payload += g.totalCommBytes();
+        if (hybrid.recomputeActivations) {
+            // Checkpointing replays the stage's forward (including its
+            // activation all-reduces) before each backward.
+            const KernelGraph fwd = buildHybridStageGraph(
+                config, micro, hybrid.tpDegree, s, pp,
+                /*training=*/false);
+            const double replay =
+                predictor.predictGraphMs(fwd, gpu) +
+                commCostMs(fwd, comms, hybrid.tpDegree, link);
+            ms += replay;
+            recompute_ms += replay;
+            tp_payload += fwd.totalCommBytes();
+        }
+        stage_ms[s] = ms;
+        sum_ms += ms;
+        max_ms = std::max(max_ms, ms);
+    }
+    result.recomputeMs = static_cast<double>(m) * recompute_ms;
+    result.commBytes += static_cast<double>(m) * tp_payload;
+
+    // Pipeline latency: M turns of the slowest stage in steady state,
+    // plus the fill/drain bubble — one pass over the other stages,
+    // divided by the virtual-stage count when interleaved (Megatron:
+    // bubble fraction (S-1)/(vM) of the iteration).
+    const int v = hybrid.schedule == PipelineSchedule::Interleaved1F1B
+                      ? hybrid.virtualStagesPerGpu
+                      : 1;
+    result.bubbleMs = (sum_ms - max_ms) / static_cast<double>(v);
+    double latency = static_cast<double>(m) * max_ms + result.bubbleMs;
+
+    // Stage-boundary transfers: each micro-batch crosses every chunk
+    // boundary once forward (activations) and once backward (their
+    // gradients); interleaving multiplies the chunk count by v.
+    if (pp > 1) {
+        const double boundary_bytes =
+            static_cast<double>(micro * config.seq * config.hidden) *
+            static_cast<double>(dtypeBytes(DataType::Fp32));
+        const double crossings =
+            static_cast<double>(m) *
+            static_cast<double>(pp * v - 1) * 2.0;
+        latency += crossings * comms.sendRecvMs(boundary_bytes, link);
+        result.commBytes += crossings * boundary_bytes;
+    }
+
+    // DP gradient all-reduce: buckets released through the last
+    // micro-batch's backward pass overlap with it (backward is ~2/3 of
+    // training compute); the trailing bucket is only ready at the end,
+    // so it is always exposed. The stage groups reduce concurrently —
+    // the iteration waits for the slowest.
+    if (hybrid.dpDegree > 1) {
+        double exposed_max = 0.0;
+        double payload = 0.0;
+        for (int s = 0; s < pp; ++s) {
+            const double grad_bytes =
+                hybridStageParameterCount(config, s, pp,
+                                          hybrid.tpDegree) *
+                4.0;
+            payload += grad_bytes;
+            const BucketedAllReduce cost = bucketedAllReduceMs(
+                comms, grad_bytes, hybrid.ddp.bucketBytes,
+                hybrid.dpDegree, link);
+            const double window = hybrid.ddp.overlapEfficiency *
+                                  (2.0 / 3.0) * stage_ms[s];
+            const double exposed =
+                cost.lastBucketMs +
+                std::max(0.0,
+                         cost.totalMs - cost.lastBucketMs - window);
+            exposed_max = std::max(exposed_max, exposed);
+        }
+        latency += exposed_max;
+        result.exposedDdpMs = exposed_max;
+        result.commBytes += payload;
+    }
+
+    result.latencyMs = latency;
+    return result;
+}
+
+std::vector<SweepEntry>
+sweepStrategies(const graph::LatencyPredictor &predictor,
+                const CollectiveModel &comms, const ServerConfig &server,
+                const ModelConfig &config, uint64_t global_batch,
+                const SweepOptions &options)
+{
+    if (server.numGpus < 1)
+        fatal("sweepStrategies: need at least one GPU");
+    std::vector<SweepEntry> out;
+    const int n = server.numGpus;
+    for (int tp = 1; tp <= n; ++tp) {
+        if (n % tp != 0)
+            continue;
+        for (int pp = 1; pp <= n / tp; ++pp) {
+            if ((n / tp) % pp != 0)
+                continue;
+            const int dp = n / (tp * pp);
+
+            std::vector<PipelineSchedule> schedules;
+            std::vector<int> micro_counts;
+            if (pp == 1) {
+                // Without a pipeline, micro-batching is gradient
+                // accumulation: no bubble to amortize, but the 1F1B
+                // stash (one micro-batch in flight) still shrinks the
+                // activation footprint m-fold, so larger m can admit
+                // configurations the full batch cannot fit. Only the
+                // GPipe/1F1B distinction is moot — accumulation frees
+                // each micro-batch's activations after its backward.
+                schedules = {PipelineSchedule::OneFOneB};
+                micro_counts = options.microBatchCandidates;
+            } else {
+                schedules = {PipelineSchedule::GPipe,
+                             PipelineSchedule::OneFOneB};
+                if (options.tryInterleaved &&
+                    options.virtualStagesPerGpu >= 2 &&
+                    static_cast<uint64_t>(pp) *
+                            static_cast<uint64_t>(
+                                options.virtualStagesPerGpu) <=
+                        config.numLayers)
+                    schedules.push_back(
+                        PipelineSchedule::Interleaved1F1B);
+                micro_counts = options.microBatchCandidates;
+            }
+
+            for (int micro_count : micro_counts) {
+                for (PipelineSchedule schedule : schedules) {
+                    for (int rec = 0; rec < (options.tryRecompute ? 2 : 1);
+                         ++rec) {
+                        HybridConfig hy;
+                        hy.tpDegree = tp;
+                        hy.ppDegree = pp;
+                        hy.dpDegree = dp;
+                        hy.numMicroBatches = micro_count;
+                        hy.schedule = schedule;
+                        hy.virtualStagesPerGpu =
+                            options.virtualStagesPerGpu;
+                        hy.recomputeActivations = rec == 1;
+                        hy.ddp = options.ddp;
+                        if (!validateHybrid(config, server, global_batch,
+                                            hy)
+                                 .empty())
+                            continue;
+                        const HybridResult res = hybridTrainingMs(
+                            predictor, comms, server, config,
+                            global_batch, hy);
+                        if (res.oom)
+                            continue;
+                        out.push_back({hy, res});
+                    }
+                }
+            }
+        }
+    }
+    std::stable_sort(
+        out.begin(), out.end(),
+        [](const SweepEntry &a, const SweepEntry &b) {
+            if (a.result.latencyMs != b.result.latencyMs)
+                return a.result.latencyMs < b.result.latencyMs;
+            // Ties break toward simpler configurations: fewer active
+            // axes, no recompute, then the smaller degree tuple.
+            const int aa = a.config.activeAxes();
+            const int bb = b.config.activeAxes();
+            if (aa != bb)
+                return aa < bb;
+            if (a.config.recomputeActivations !=
+                b.config.recomputeActivations)
+                return !a.config.recomputeActivations;
+            if (a.config.tpDegree != b.config.tpDegree)
+                return a.config.tpDegree < b.config.tpDegree;
+            if (a.config.ppDegree != b.config.ppDegree)
+                return a.config.ppDegree < b.config.ppDegree;
+            if (a.config.numMicroBatches != b.config.numMicroBatches)
+                return a.config.numMicroBatches <
+                       b.config.numMicroBatches;
+            return static_cast<int>(a.config.schedule) <
+                   static_cast<int>(b.config.schedule);
+        });
+    return out;
+}
+
+const SweepEntry *
+bestSingleAxisEntry(const std::vector<SweepEntry> &entries)
+{
+    // Entries are ranked fastest-first: the first single-axis hit wins.
+    for (const SweepEntry &e : entries)
+        if (e.config.activeAxes() <= 1)
+            return &e;
+    return nullptr;
 }
 
 DistributedResult
@@ -460,6 +914,12 @@ pipelineTrainingMs(const graph::LatencyPredictor &predictor,
     // Death-tested precondition (dist_test): must abort, not throw.
     ensure(pipeline.numMicroBatches >= 1,
            "pipelineTrainingMs: micro-batch count must be positive");
+    // This legacy Table-8 path models GPipe and plain 1F1B; the
+    // interleaved schedule (bubble / v, virtual-stage stash) lives in
+    // hybridTrainingMs. validateStrategy screens this for callers.
+    ensure(pipeline.schedule != PipelineSchedule::Interleaved1F1B,
+           "pipelineTrainingMs: interleaved 1F1B is modeled by the "
+           "hybrid forecaster only");
     if (server.numGpus < 1)
         fatal("pipelineTrainingMs: need at least one GPU");
     const uint64_t m = static_cast<uint64_t>(pipeline.numMicroBatches);
@@ -476,11 +936,9 @@ pipelineTrainingMs(const graph::LatencyPredictor &predictor,
     // stage holds at once: GPipe stashes all M before the first backward;
     // non-interleaved 1F1B drains early and caps the stash at the stage
     // count.
-    const double stash =
-        pipeline.schedule == PipelineSchedule::GPipe
-            ? static_cast<double>(m)
-            : static_cast<double>(std::min<uint64_t>(
-                  m, static_cast<uint64_t>(stages)));
+    const double stash = scheduleStashMicroBatches(
+        pipeline.schedule, pipeline.numMicroBatches, stages,
+        /*virtual_stages=*/1);
 
     double sum_ms = 0.0;
     double max_ms = 0.0;

@@ -13,6 +13,7 @@
 #define NEUSIGHT_DIST_PARALLEL_HPP
 
 #include <string>
+#include <vector>
 
 #include "dist/collective.hpp"
 #include "graph/latency_predictor.hpp"
@@ -70,6 +71,13 @@ enum class PipelineSchedule
     GPipe,
     /** One-forward-one-backward: stash capped at the stage count. */
     OneFOneB,
+    /**
+     * Megatron-style interleaved 1F1B: each GPU owns several
+     * non-contiguous virtual stages (model chunks), shrinking the
+     * fill/drain bubble by the chunk count at the price of a larger
+     * activation stash and more stage-boundary transfers.
+     */
+    Interleaved1F1B,
 };
 
 /** Display name, e.g. "GPipe". */
@@ -174,6 +182,196 @@ pipelineTrainingMs(const graph::LatencyPredictor &predictor,
                    const CollectiveModel &comms, const ServerConfig &server,
                    const graph::ModelConfig &config, uint64_t global_batch,
                    const PipelineConfig &pipeline);
+
+/**
+ * Bucketed data-parallel gradient all-reduce (PyTorch-DDP style): the
+ * backward pass releases gradients bucket by bucket, so all but the
+ * trailing bucket can overlap with backward compute.
+ */
+struct DdpOverlapConfig
+{
+    /** Gradient bucket size in bytes (PyTorch's default is 25 MiB). */
+    double bucketBytes = 25.0 * 1024.0 * 1024.0;
+    /**
+     * Fraction of the backward-compute window usable to hide collective
+     * traffic: below 1 because the all-reduce steals link/SM bandwidth
+     * from the very kernels it hides behind.
+     */
+    double overlapEfficiency = 0.75;
+};
+
+/**
+ * A composed TP x PP x DP execution of one training iteration
+ * (Megatron-LM-style hybrid sharding): the kernel graph shards by
+ * tpDegree first, the TP-sharded layers cut into ppDegree pipeline
+ * stages, and dpDegree replicas of that grid each take 1/dp of the
+ * global batch, all-reducing gradients with bucketed overlap. The three
+ * degrees must multiply to the server's GPU count.
+ */
+struct HybridConfig
+{
+    int tpDegree = 1;
+    int ppDegree = 1;
+    int dpDegree = 1;
+    /** Micro-batches per data-parallel replica (pipeline interleaving). */
+    int numMicroBatches = 1;
+    PipelineSchedule schedule = PipelineSchedule::OneFOneB;
+    /** Model chunks per GPU; honored when schedule is Interleaved1F1B. */
+    int virtualStagesPerGpu = 2;
+    /**
+     * Activation recomputation (gradient checkpointing): stash only each
+     * layer's input and replay the forward during backward, trading
+     * recompute FLOPs for stash memory in the OOM screen.
+     */
+    bool recomputeActivations = false;
+    DdpOverlapConfig ddp;
+
+    /** GPUs the strategy occupies: the product of the three degrees. */
+    int totalGpus() const { return tpDegree * ppDegree * dpDegree; }
+
+    /** Number of axes with degree > 1 (2+ means genuinely hybrid). */
+    int activeAxes() const
+    {
+        return (tpDegree > 1) + (ppDegree > 1) + (dpDegree > 1);
+    }
+
+    /** Compact display form, e.g. "tp2 x pp2 x dp2". */
+    std::string describe() const;
+};
+
+/** Outcome of a hybrid forecast, with the screened per-GPU footprint. */
+struct HybridResult
+{
+    double latencyMs = 0.0;
+    bool oom = false;
+    /**
+     * Summed payload bytes priced per iteration: TP activation
+     * all-reduces of every micro-batch, pipeline boundary transfers, and
+     * the bucketed DP gradient all-reduce.
+     */
+    double commBytes = 0.0;
+    /** Peak resident bytes per GPU (the max over pipeline stages). */
+    double memoryBytes = 0.0;
+    /** Pipeline fill/drain cost in excess of the steady state. */
+    double bubbleMs = 0.0;
+    /** DP gradient all-reduce time not hidden under backward compute. */
+    double exposedDdpMs = 0.0;
+    /** Forward-replay time added by activation recomputation. */
+    double recomputeMs = 0.0;
+};
+
+/**
+ * Kernel graph of pipeline stage @p stage of @p num_stages with every
+ * layer sharded at @p tp_degree: the TP transform of the stage's layer
+ * range, embedding prologue on the first stage, head epilogue on the
+ * last. With one stage this is exactly buildTensorParallelGraph().
+ */
+graph::KernelGraph
+buildHybridStageGraph(const graph::ModelConfig &config,
+                      uint64_t micro_batch, int tp_degree, int stage,
+                      int num_stages, bool training = true,
+                      gpusim::DataType dtype = gpusim::DataType::Fp32);
+
+/**
+ * Trainable parameters resident on one GPU of the (stage, tp-rank)
+ * grid: the stage's block parameters shard by @p tp_degree; embedding
+ * (first stage) and head (last stage) replicate across TP ranks. DP
+ * replicates whole grids, so the per-GPU count is independent of the DP
+ * degree. Summing tp * count over the stages recovers the model's total
+ * parameter count plus (tp - 1) extra copies of the replicated tensors.
+ */
+double hybridStageParameterCount(const graph::ModelConfig &config,
+                                 int stage, int pp_degree, int tp_degree);
+
+/**
+ * Peak resident bytes on one GPU of stage @p stage under @p hybrid at
+ * per-replica micro-batch size @p micro_batch: optimizer state for the
+ * stage's TP-sharded parameters, the schedule's activation stash
+ * (GPipe: all M micro-batches; 1F1B: min(M, stages); interleaved:
+ * larger than 1F1B by the virtual-stage factor, never beyond M), and
+ * DDP bucket buffers. Recomputation shrinks the per-layer stash to the
+ * layer-input checkpoint.
+ */
+double hybridStageMemoryBytes(const graph::ModelConfig &config,
+                              uint64_t micro_batch, int stage,
+                              const HybridConfig &hybrid);
+
+/**
+ * Structural preconditions of running @p config at @p global_batch on
+ * @p server under @p hybrid: degrees multiply to the GPU count, TP
+ * divides the model widths, stages fit the layers (times the virtual
+ * factor when interleaved), and the batch splits evenly into replicas
+ * and micro-batches. Empty string when valid, else the reason. The
+ * forecast entry point aborts on the same conditions.
+ */
+std::string validateHybrid(const graph::ModelConfig &config,
+                           const ServerConfig &server,
+                           uint64_t global_batch,
+                           const HybridConfig &hybrid);
+
+/**
+ * Forecast one training iteration of @p config at @p global_batch on
+ * @p server under the composed strategy @p hybrid: per-GPU stage
+ * latency through @p predictor (TP collectives priced per micro-batch),
+ * the pipeline bubble of the schedule, boundary send-recvs, and the DP
+ * gradient all-reduce overlapped bucket-by-bucket against the last
+ * micro-batch's backward pass — with the per-stage OOM screen of
+ * hybridStageMemoryBytes(). Degenerate degrees recover the single-axis
+ * forecasts (tp = N: buildTensorParallelGraph's latency exactly).
+ */
+HybridResult
+hybridTrainingMs(const graph::LatencyPredictor &predictor,
+                 const CollectiveModel &comms, const ServerConfig &server,
+                 const graph::ModelConfig &config, uint64_t global_batch,
+                 const HybridConfig &hybrid);
+
+/** Search space of sweepStrategies(). */
+struct SweepOptions
+{
+    /** Micro-batch counts to try for pipelined strategies. */
+    std::vector<int> microBatchCandidates = {1, 2, 4, 8, 16, 32};
+    /** Also try each configuration with activation recomputation. */
+    bool tryRecompute = true;
+    /** Include the interleaved schedule (when stages permit). */
+    bool tryInterleaved = true;
+    /** Virtual stages per GPU for interleaved candidates. */
+    int virtualStagesPerGpu = 2;
+    DdpOverlapConfig ddp;
+};
+
+/** One surviving point of the strategy sweep. */
+struct SweepEntry
+{
+    HybridConfig config;
+    HybridResult result;
+};
+
+/**
+ * Exhaustive strategy search: every (tp, pp, dp) factorization of the
+ * server's GPU count, crossed with the micro-batch counts, schedules,
+ * and recomputation settings of @p options, screened through
+ * validateHybrid() and the OOM check, and ranked by forecast iteration
+ * time (ties broken toward simpler configurations). Entries that fail
+ * validation or do not fit are dropped — the returned list contains
+ * only runnable configurations, fastest first. Micro-batching is swept
+ * for non-pipelined splits too (gradient accumulation: the in-flight
+ * stash shrinks m-fold, which can admit plans the full batch cannot
+ * fit), with the schedule pinned to 1F1B since GPipe-vs-1F1B only
+ * distinguishes pipeline stash behaviour.
+ */
+std::vector<SweepEntry>
+sweepStrategies(const graph::LatencyPredictor &predictor,
+                const CollectiveModel &comms, const ServerConfig &server,
+                const graph::ModelConfig &config, uint64_t global_batch,
+                const SweepOptions &options = SweepOptions{});
+
+/**
+ * The fastest single-axis (pure TP, pure PP, or pure DP) entry of a
+ * ranked sweep, or nullptr when every runnable plan is hybrid. The
+ * pointer aliases @p entries.
+ */
+const SweepEntry *
+bestSingleAxisEntry(const std::vector<SweepEntry> &entries);
 
 /** The Table-9 cluster hierarchy: TP inside a node, DP across nodes. */
 struct MultiNodeConfig

@@ -1,7 +1,5 @@
 #include "serve/prediction_cache.hpp"
 
-#include <cinttypes>
-#include <cstdio>
 #include <functional>
 
 #include "common/logging.hpp"
@@ -11,48 +9,6 @@ namespace neusight::serve {
 using core::PredictionDetail;
 using gpusim::GpuSpec;
 using gpusim::KernelDesc;
-
-std::string
-cacheFingerprint(const KernelDesc &desc, const GpuSpec &gpu,
-                 bool canonical_op)
-{
-    std::string key;
-    key.reserve(192);
-    key += std::to_string(static_cast<int>(desc.type));
-    key += '|';
-    key += canonical_op ? core::canonicalOpName(desc.opName) : desc.opName;
-    key += '|';
-    for (uint64_t d : desc.outDims) {
-        key += std::to_string(d);
-        key += 'x';
-    }
-    char buf[256];
-    // %.17g round-trips doubles: distinct FLOP/byte counts never collide.
-    std::snprintf(buf, sizeof(buf), "|%" PRIu64 "|%.17g|%.17g|%d|%d@",
-                  desc.reduceDim, desc.flops, desc.memBytes,
-                  static_cast<int>(desc.dtype),
-                  desc.usesTensorCore ? 1 : 0);
-    key += buf;
-    key += gpuFeatureFingerprint(gpu);
-    return key;
-}
-
-std::string
-gpuFeatureFingerprint(const GpuSpec &gpu)
-{
-    // Two specs sharing a name but differing in any number must key
-    // apart (hypothetical GPUs can shadow a database name).
-    std::string key = gpu.name;
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "|%d|%.17g|%.17g|%.17g|%.17g|%.17g|%d|%.17g|%.17g",
-                  static_cast<int>(gpu.vendor), gpu.peakFp32Tflops,
-                  gpu.matrixFp32Tflops, gpu.fp16TensorTflops,
-                  gpu.memorySizeGB, gpu.memoryBwGBps, gpu.numSms,
-                  gpu.l2CacheMB, gpu.interconnectGBps);
-    key += buf;
-    return key;
-}
 
 PredictionCache::PredictionCache(size_t capacity, size_t num_shards)
 {

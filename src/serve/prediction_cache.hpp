@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/kernel_cache.hpp"
 #include "core/predictor.hpp"
 #include "gpusim/gpu_spec.hpp"
 #include "gpusim/kernel_desc.hpp"
@@ -29,28 +30,13 @@
 namespace neusight::serve {
 
 /**
- * Canonical fingerprint of a (kernel, GPU) prediction: two kernels with
- * the same fingerprint are guaranteed the same forecast. With
- * @p canonical_op (the NeuSight wiring) the kernel side canonicalizes
- * the op name through core::canonicalOpName — fused and backward
- * kernels predict through their base operator's tile entry, so they
- * share an entry. Generic backends (CachedPredictor) key on the raw op
- * name instead: an arbitrary inner predictor may distinguish kernels
- * the NeuSight feature set does not. The GPU side covers every public
- * feature the predictor reads, so hypothetical JSON-defined GPUs key
- * correctly even when they share a name with a database entry.
+ * The canonical (kernel, GPU) fingerprints live in core/kernel_cache.hpp
+ * next to the cache seam they key (core::NeuSight consults them too);
+ * re-exported here because they are part of the serving layer's wire
+ * vocabulary (ForecastRequest::fingerprint builds on the GPU half).
  */
-std::string cacheFingerprint(const gpusim::KernelDesc &desc,
-                             const gpusim::GpuSpec &gpu,
-                             bool canonical_op = true);
-
-/**
- * The GPU half of every serving-layer key: name plus each public
- * feature (Table 4). Shared by cacheFingerprint and
- * ForecastRequest::fingerprint so the two keys cannot silently diverge
- * when GpuSpec grows a field.
- */
-std::string gpuFeatureFingerprint(const gpusim::GpuSpec &gpu);
+using core::cacheFingerprint;
+using core::gpuFeatureFingerprint;
 
 /** Monotonic counters of one cache (or a point-in-time snapshot). */
 struct CacheStats
@@ -76,9 +62,10 @@ struct CacheStats
  * Sharded LRU cache from fingerprint to PredictionDetail. All operations
  * are thread-safe; lookups promote the entry to most-recently-used
  * within its shard, and inserts evict the shard's least-recently-used
- * entry once the shard is full.
+ * entry once the shard is full. Implements the core predictor's cache
+ * seam, so it plugs into core::NeuSight::attachCache directly.
  */
-class PredictionCache
+class PredictionCache : public core::KernelPredictionCache
 {
   public:
     /**
@@ -92,14 +79,15 @@ class PredictionCache
      * Find @p key; on a hit copy the entry into @p out, promote it, and
      * return true. Counts one hit or one miss.
      */
-    bool lookup(const std::string &key, core::PredictionDetail &out);
+    bool lookup(const std::string &key,
+                core::PredictionDetail &out) override;
 
     /**
      * Insert (or refresh) @p key. Evicts the shard's LRU entry when the
      * shard is at capacity.
      */
     void insert(const std::string &key,
-                const core::PredictionDetail &detail);
+                const core::PredictionDetail &detail) override;
 
     /** Point-in-time counters (consistent enough for reporting). */
     CacheStats stats() const;

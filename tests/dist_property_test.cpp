@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Property tests for the distributed layer: invariants that must hold
+ * across randomized (tp, pp, dp, micro-batch, schedule, recompute)
+ * configurations, not just the hand-picked points of dist_test. Every
+ * stream is seeded, so failures reproduce deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "dist/parallel.hpp"
+#include "eval/oracle.hpp"
+
+namespace neusight::dist {
+namespace {
+
+using graph::ModelConfig;
+
+/** Models whose head/hidden/ff widths all divide by 1, 2, and 4. */
+const ModelConfig &
+randomModel(Rng &rng)
+{
+    static const char *names[] = {"GPT2-Large", "GPT3-XL", "GPT3-2.7B"};
+    return graph::findModel(
+        names[rng.uniformInt(0, 2)]);
+}
+
+/** A random structurally-valid hybrid strategy for @p model. */
+HybridConfig
+randomHybrid(Rng &rng, const ModelConfig &model)
+{
+    static const int degrees[] = {1, 2, 4};
+    HybridConfig hy;
+    hy.tpDegree = degrees[rng.uniformInt(0, 2)];
+    hy.ppDegree = degrees[rng.uniformInt(0, 2)];
+    hy.dpDegree = degrees[rng.uniformInt(0, 1)];
+    hy.numMicroBatches =
+        hy.ppDegree > 1 ? static_cast<int>(rng.uniformInt(1, 4)) : 1;
+    switch (rng.uniformInt(0, 2)) {
+      case 0:
+        hy.schedule = PipelineSchedule::GPipe;
+        break;
+      case 1:
+        hy.schedule = PipelineSchedule::OneFOneB;
+        break;
+      default:
+        hy.schedule = hy.ppDegree > 1
+                          ? PipelineSchedule::Interleaved1F1B
+                          : PipelineSchedule::OneFOneB;
+        break;
+    }
+    (void)model;
+    return hy;
+}
+
+/** A server sized for @p hy with plenty of memory headroom. */
+ServerConfig
+serverFor(const HybridConfig &hy, const char *gpu = "H100")
+{
+    ServerConfig server;
+    server.gpuName = gpu;
+    server.numGpus = hy.totalGpus();
+    return server;
+}
+
+TEST(DistProperty, ParameterBytesConservedUnderAnySplit)
+{
+    // Summing the per-GPU parameter count over the (stage, tp-rank)
+    // grid must recover the model's total parameters exactly, plus one
+    // extra copy of the replicated embedding/head tensors per
+    // additional TP rank. DP replicates whole grids and never changes
+    // the per-GPU count.
+    Rng rng(2025);
+    for (int trial = 0; trial < 50; ++trial) {
+        const ModelConfig &m = randomModel(rng);
+        const int tp = static_cast<int>(rng.uniformInt(1, 4));
+        if (m.heads % static_cast<uint64_t>(tp) != 0 ||
+            m.hidden % static_cast<uint64_t>(tp) != 0 ||
+            m.ffWidth() % static_cast<uint64_t>(tp) != 0)
+            continue;
+        const int pp = static_cast<int>(rng.uniformInt(
+            1, static_cast<int64_t>(std::min<uint64_t>(8, m.numLayers))));
+        double grid_total = 0.0;
+        for (int s = 0; s < pp; ++s)
+            grid_total +=
+                static_cast<double>(tp) *
+                hybridStageParameterCount(m, s, pp, tp);
+        const double replicated = graph::embeddingParameterCount(m) +
+                                  graph::headParameterCount(m);
+        const double expected =
+            m.parameterCount() + static_cast<double>(tp - 1) * replicated;
+        EXPECT_NEAR(grid_total, expected, expected * 1e-12)
+            << m.name << " tp" << tp << " pp" << pp;
+    }
+}
+
+TEST(DistProperty, CommVolumeMonotoneInDpDegree)
+{
+    // At a fixed per-replica batch and micro-batch split, raising the
+    // data-parallel degree can only add communication: the TP and
+    // pipeline payloads are unchanged and the gradient all-reduce
+    // appears (and never shrinks) once dp > 1.
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("H100-DGX");
+    Rng rng(77);
+    for (int trial = 0; trial < 12; ++trial) {
+        const ModelConfig &m = graph::findModel(
+            trial % 2 ? "GPT2-Large" : "GPT3-XL");
+        HybridConfig hy;
+        hy.tpDegree = static_cast<int>(rng.uniformInt(1, 2));
+        hy.ppDegree = static_cast<int>(rng.uniformInt(1, 2));
+        // Checkpointing keeps every point of the ladder inside the OOM
+        // screen; it adds only replayed forward all-reduces, which are
+        // as dp-independent as the rest of the TP payload.
+        hy.recomputeActivations = true;
+        hy.numMicroBatches =
+            hy.ppDegree > 1 ? static_cast<int>(rng.uniformInt(1, 2)) : 1;
+        const uint64_t per_replica =
+            static_cast<uint64_t>(hy.numMicroBatches) *
+            static_cast<uint64_t>(rng.uniformInt(1, 2));
+        double prev = -1.0;
+        for (int dp : {1, 2, 4}) {
+            hy.dpDegree = dp;
+            const ServerConfig server = serverFor(hy);
+            const uint64_t global = per_replica * dp;
+            ASSERT_EQ(validateHybrid(m, server, global, hy), "");
+            const auto r =
+                hybridTrainingMs(oracle, comms, server, m, global, hy);
+            ASSERT_FALSE(r.oom) << m.name << " dp" << dp;
+            EXPECT_GE(r.commBytes, prev)
+                << m.name << " " << hy.describe();
+            prev = r.commBytes;
+        }
+    }
+}
+
+TEST(DistProperty, BubbleOrderingAcrossSchedules)
+{
+    // At equal micro-batching, the pipeline bubble obeys
+    // interleaved-1F1B <= plain 1F1B <= GPipe: interleaving divides the
+    // fill/drain cost by the virtual-stage count, and GPipe/1F1B fill
+    // the same slots (they differ in memory, not time).
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("H100-DGX");
+    Rng rng(4242);
+    int compared = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+        const ModelConfig &m = randomModel(rng);
+        HybridConfig hy;
+        hy.tpDegree = static_cast<int>(rng.uniformInt(1, 2));
+        hy.ppDegree = 2 * static_cast<int>(rng.uniformInt(1, 2));
+        hy.numMicroBatches = static_cast<int>(rng.uniformInt(1, 8));
+        // Checkpointing keeps GPipe's full stash inside the screen, so
+        // no schedule drops out of the three-way comparison.
+        hy.recomputeActivations = true;
+        const ServerConfig server = serverFor(hy);
+        const uint64_t global =
+            static_cast<uint64_t>(hy.numMicroBatches) * 2;
+
+        hy.schedule = PipelineSchedule::GPipe;
+        const auto gpipe =
+            hybridTrainingMs(oracle, comms, server, m, global, hy);
+        hy.schedule = PipelineSchedule::OneFOneB;
+        const auto plain =
+            hybridTrainingMs(oracle, comms, server, m, global, hy);
+        hy.schedule = PipelineSchedule::Interleaved1F1B;
+        const auto il =
+            hybridTrainingMs(oracle, comms, server, m, global, hy);
+        if (gpipe.oom || plain.oom || il.oom)
+            continue;
+        ++compared;
+        EXPECT_LE(il.bubbleMs, plain.bubbleMs * (1.0 + 1e-12))
+            << m.name << " " << hy.describe();
+        EXPECT_LE(plain.bubbleMs, gpipe.bubbleMs * (1.0 + 1e-12))
+            << m.name << " " << hy.describe();
+    }
+    EXPECT_GT(compared, 0) << "every trial fell out of the OOM screen";
+}
+
+TEST(DistProperty, RecomputationNeverIncreasesForecastMemory)
+{
+    // Checkpointing stashes strictly less per layer than full
+    // activation retention, for every stage, schedule, and TP degree —
+    // and it always costs latency when both variants fit.
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("H100-DGX");
+    Rng rng(99);
+    for (int trial = 0; trial < 25; ++trial) {
+        const ModelConfig &m = randomModel(rng);
+        HybridConfig plain = randomHybrid(rng, m);
+        if (!validateHybrid(m, serverFor(plain),
+                            static_cast<uint64_t>(plain.dpDegree) *
+                                plain.numMicroBatches * 2,
+                            plain)
+                 .empty())
+            continue;
+        HybridConfig rec = plain;
+        rec.recomputeActivations = true;
+        const uint64_t micro = 2;
+        for (int s = 0; s < plain.ppDegree; ++s)
+            EXPECT_LE(hybridStageMemoryBytes(m, micro, s, rec),
+                      hybridStageMemoryBytes(m, micro, s, plain))
+                << m.name << " " << plain.describe() << " stage " << s;
+
+        const ServerConfig server = serverFor(plain);
+        const uint64_t global = static_cast<uint64_t>(plain.dpDegree) *
+                                plain.numMicroBatches * micro;
+        const auto a =
+            hybridTrainingMs(oracle, comms, server, m, global, plain);
+        const auto b =
+            hybridTrainingMs(oracle, comms, server, m, global, rec);
+        EXPECT_LE(b.memoryBytes, a.memoryBytes);
+        if (!a.oom && !b.oom)
+            EXPECT_GE(b.latencyMs, a.latencyMs);
+    }
+}
+
+TEST(DistProperty, OomScreenMonotoneInGpuMemory)
+{
+    // A configuration that fits on a GPU always fits on an otherwise
+    // identical GPU with more memory.
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("H100-DGX");
+    Rng rng(1313);
+    for (int trial = 0; trial < 20; ++trial) {
+        const ModelConfig &m = randomModel(rng);
+        const HybridConfig hy = randomHybrid(rng, m);
+        const uint64_t global = static_cast<uint64_t>(hy.dpDegree) *
+                                static_cast<uint64_t>(hy.numMicroBatches);
+        gpusim::GpuSpec small = gpusim::findGpu("H100");
+        small.name = "H100-quarter-mem";
+        small.memorySizeGB /= 4.0;
+        ServerConfig small_server = serverFor(hy);
+        small_server.setGpu(small);
+        ServerConfig big_server = serverFor(hy);
+        if (!validateHybrid(m, big_server, global, hy).empty())
+            continue;
+        const auto on_small =
+            hybridTrainingMs(oracle, comms, small_server, m, global, hy);
+        const auto on_big =
+            hybridTrainingMs(oracle, comms, big_server, m, global, hy);
+        if (!on_small.oom)
+            EXPECT_FALSE(on_big.oom)
+                << m.name << " " << hy.describe();
+        // The footprint model itself is independent of the GPU.
+        EXPECT_DOUBLE_EQ(on_small.memoryBytes, on_big.memoryBytes);
+    }
+}
+
+TEST(DistProperty, SweepWinnerBeatsEverySingleAxisBaseline)
+{
+    // The acceptance case: GPT3-2.7B on 8x A100-40GB is memory-bound
+    // (pure DP cannot hold replicated optimizer state in 40 GB) and
+    // comm-heavy at tp8 (replicated embedding/head plus 8-way per-layer
+    // all-reduces), so the sweep must surface a genuinely hybrid winner
+    // that beats every single-axis plan it was compared against — and
+    // the ranking must be sorted. (On 4 GPUs pure TP with gradient
+    // accumulation runs the hybrids to a near-tie; the structural
+    // hybrid advantage — small-group collectives plus overlapped DP —
+    // compounds with the GPU count.)
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("A100-NVLink");
+    ServerConfig server;
+    server.systemName = "A100-NVLink";
+    server.gpuName = "A100-40GB";
+    server.numGpus = 8;
+    const ModelConfig &m = graph::findModel("GPT3-2.7B");
+    const auto entries = sweepStrategies(oracle, comms, server, m, 32);
+    ASSERT_FALSE(entries.empty());
+    for (size_t i = 1; i < entries.size(); ++i)
+        EXPECT_GE(entries[i].result.latencyMs,
+                  entries[i - 1].result.latencyMs);
+
+    const auto &winner = entries.front();
+    EXPECT_GE(winner.config.activeAxes(), 2)
+        << "expected a hybrid winner, got " << winner.config.describe();
+    bool saw_single_axis = false;
+    for (const auto &e : entries) {
+        if (e.config.activeAxes() > 1)
+            continue;
+        saw_single_axis = true;
+        EXPECT_LT(winner.result.latencyMs, e.result.latencyMs)
+            << "single-axis " << e.config.describe() << " beats hybrid "
+            << winner.config.describe();
+    }
+    EXPECT_TRUE(saw_single_axis)
+        << "sweep produced no single-axis baseline to compare against";
+    // Pure data parallelism must have been screened out by memory: 16
+    // bytes of optimizer state per parameter cannot replicate onto a
+    // 40 GB card, with or without recomputation.
+    for (const auto &e : entries)
+        EXPECT_FALSE(e.config.tpDegree == 1 && e.config.ppDegree == 1)
+            << "pure DP should not fit: " << e.config.describe();
+}
+
+} // namespace
+} // namespace neusight::dist

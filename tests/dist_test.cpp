@@ -331,6 +331,153 @@ TEST(MultiNode, StrategyNamesAreStable)
                  "Pipeline Parallel");
     EXPECT_STREQ(pipelineScheduleName(PipelineSchedule::GPipe), "GPipe");
     EXPECT_STREQ(pipelineScheduleName(PipelineSchedule::OneFOneB), "1F1B");
+    EXPECT_STREQ(pipelineScheduleName(PipelineSchedule::Interleaved1F1B),
+                 "Interleaved-1F1B");
+}
+
+TEST(Hybrid, ValidateRejectsStructuralMismatches)
+{
+    const ModelConfig &m = graph::findModel("GPT2-Large");
+    ServerConfig server;
+    server.gpuName = "A100-40GB";
+    server.numGpus = 8;
+
+    HybridConfig hy;
+    hy.tpDegree = 2;
+    hy.ppDegree = 2;
+    hy.dpDegree = 1; // 2*2*1 != 8.
+    EXPECT_NE(validateHybrid(m, server, 16, hy), "");
+
+    hy.dpDegree = 2;
+    EXPECT_EQ(validateHybrid(m, server, 16, hy), "");
+
+    // 20 heads do not split 8 ways.
+    HybridConfig tp8 = hy;
+    tp8.tpDegree = 8;
+    tp8.ppDegree = 1;
+    tp8.dpDegree = 1;
+    EXPECT_NE(validateHybrid(m, server, 16, tp8), "");
+
+    // Batch 6 does not split across 4 replicas.
+    HybridConfig dp4 = hy;
+    dp4.tpDegree = 2;
+    dp4.ppDegree = 1;
+    dp4.dpDegree = 4;
+    EXPECT_NE(validateHybrid(m, server, 6, dp4), "");
+
+    // Interleaving needs a pipeline and enough layers for the chunks.
+    HybridConfig il = hy;
+    il.schedule = PipelineSchedule::Interleaved1F1B;
+    il.ppDegree = 1;
+    il.tpDegree = 4;
+    EXPECT_NE(validateHybrid(m, server, 16, il), "");
+
+    EXPECT_DEATH(hybridTrainingMs(eval::SimulatorOracle{},
+                                  SimCollectives{"x"}, server, m, 6, dp4),
+                 "not divisible");
+}
+
+TEST(Hybrid, PureTensorDegreeMatchesSingleAxisPath)
+{
+    // tp = N, pp = dp = 1 must price exactly the graph of the pure
+    // tensor-parallel forecast (the stage builder degenerates to
+    // buildTensorParallelGraph by construction).
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("H100-DGX");
+    ServerConfig server;
+    server.systemName = "H100-DGX";
+    server.gpuName = "H100";
+    server.numGpus = 4;
+    const ModelConfig &m = graph::findModel("GPT2-Large");
+    const auto pure = distributedTrainingMs(oracle, comms, server, m, 4,
+                                            Parallelism::Tensor);
+    HybridConfig hy;
+    hy.tpDegree = 4;
+    const auto hybrid = hybridTrainingMs(oracle, comms, server, m, 4, hy);
+    ASSERT_FALSE(pure.oom);
+    ASSERT_FALSE(hybrid.oom);
+    EXPECT_DOUBLE_EQ(hybrid.latencyMs, pure.latencyMs);
+}
+
+TEST(Hybrid, InterleavingShrinksBubbleAndGrowsStash)
+{
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("H100-DGX");
+    ServerConfig server;
+    server.systemName = "H100-DGX";
+    server.gpuName = "H100";
+    server.numGpus = 4;
+    const ModelConfig &m = graph::findModel("GPT2-Large");
+    HybridConfig plain;
+    plain.ppDegree = 4;
+    plain.numMicroBatches = 8;
+    plain.schedule = PipelineSchedule::OneFOneB;
+    HybridConfig il = plain;
+    il.schedule = PipelineSchedule::Interleaved1F1B;
+    const auto a = hybridTrainingMs(oracle, comms, server, m, 8, plain);
+    const auto b = hybridTrainingMs(oracle, comms, server, m, 8, il);
+    ASSERT_FALSE(a.oom);
+    ASSERT_FALSE(b.oom);
+    EXPECT_LT(b.bubbleMs, a.bubbleMs);
+    // The virtual stages stash more activations...
+    EXPECT_GT(b.memoryBytes, a.memoryBytes);
+    // ...and cross more chunk boundaries.
+    EXPECT_GT(b.commBytes, a.commBytes);
+}
+
+TEST(Hybrid, GoldenPinsTp2Pp2Dp2)
+{
+    // Regression pin for the hybrid forecast: GPT2-Large at global
+    // batch 16 on 8x A100-40GB under tp2 x pp2 x dp2, 4 micro-batches,
+    // 1F1B — with and without activation recomputation. Ground-truth
+    // oracle + SimCollectives, so any drift here is a deliberate
+    // calibration change, not predictor noise. Update both constants
+    // together when the cost model is retuned on purpose.
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("A100-NVLink");
+    ServerConfig server;
+    server.systemName = "A100-NVLink";
+    server.gpuName = "A100-40GB";
+    server.numGpus = 8;
+    const ModelConfig &m = graph::findModel("GPT2-Large");
+    HybridConfig hy;
+    hy.tpDegree = 2;
+    hy.ppDegree = 2;
+    hy.dpDegree = 2;
+    hy.numMicroBatches = 4;
+    hy.schedule = PipelineSchedule::OneFOneB;
+    const auto plain = hybridTrainingMs(oracle, comms, server, m, 16, hy);
+    hy.recomputeActivations = true;
+    const auto rec = hybridTrainingMs(oracle, comms, server, m, 16, hy);
+    ASSERT_FALSE(plain.oom);
+    ASSERT_FALSE(rec.oom);
+    EXPECT_NEAR(plain.latencyMs, 1474.292, 1474.292 * 0.002);
+    EXPECT_NEAR(rec.latencyMs, 1958.671, 1958.671 * 0.002);
+    // Recomputation buys memory with latency.
+    EXPECT_GT(rec.latencyMs, plain.latencyMs);
+    EXPECT_LT(rec.memoryBytes, plain.memoryBytes);
+}
+
+TEST(Hybrid, SweepRanksRunnableStrategies)
+{
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("H100-DGX");
+    ServerConfig server;
+    server.systemName = "H100-DGX";
+    server.gpuName = "H100";
+    server.numGpus = 4;
+    const ModelConfig &m = graph::findModel("GPT2-Large");
+    const auto entries = sweepStrategies(oracle, comms, server, m, 16);
+    ASSERT_FALSE(entries.empty());
+    const auto &gpu = gpusim::findGpu("H100");
+    for (size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_FALSE(entries[i].result.oom);
+        EXPECT_LE(entries[i].result.memoryBytes, gpu.memBytes());
+        EXPECT_EQ(validateHybrid(m, server, 16, entries[i].config), "");
+        if (i > 0)
+            EXPECT_GE(entries[i].result.latencyMs,
+                      entries[i - 1].result.latencyMs);
+    }
 }
 
 TEST(PipelineSchedule, SingleMicroBatchMatchesLegacyPath)
@@ -431,6 +578,26 @@ TEST(PipelineSchedule, OneFOneBAdmitsConfigurationsGPipeCannot)
     }
     EXPECT_TRUE(found_split)
         << "expected some micro-batch count where only 1F1B fits";
+}
+
+TEST(PipelineSchedule, LegacyPathRejectsInterleaved)
+{
+    // The Table-8 single-axis path models GPipe and plain 1F1B; the
+    // interleaved schedule must be screened toward the hybrid
+    // forecaster instead of silently pricing as plain 1F1B.
+    const ModelConfig &m = graph::findModel("GPT2-Large");
+    ServerConfig server;
+    server.gpuName = "H100";
+    server.numGpus = 4;
+    PipelineConfig il;
+    il.numMicroBatches = 4;
+    il.schedule = PipelineSchedule::Interleaved1F1B;
+    EXPECT_NE(validateStrategy(m, server, 8, Parallelism::Pipeline, il),
+              "");
+    const eval::SimulatorOracle oracle;
+    const SimCollectives comms("H100-DGX");
+    EXPECT_DEATH(pipelineTrainingMs(oracle, comms, server, m, 8, il),
+                 "interleaved");
 }
 
 TEST(PipelineSchedule, RejectsBadConfig)

@@ -2,23 +2,126 @@
  * @file
  * neusight-distributed: forecast the training-iteration latency of a
  * model distributed over a multi-GPU server (Section 5.1) under data,
- * tensor, or pipeline parallelism — or all three side by side.
+ * tensor, or pipeline parallelism — single-axis side by side, one
+ * composed TP x PP x DP strategy, or a full strategy sweep.
  *
  *   neusight-distributed --model GPT2-Large --gpu H100 --num-gpus 4
  *   neusight-distributed --model GPT3-XL --strategy tensor \
  *                        --global-batch 16
+ *   neusight-distributed --model GPT3-2.7B --gpu A100-40GB \
+ *                        --global-batch 16 --tp 2 --dp 2 --recompute
+ *   neusight-distributed --model GPT3-2.7B --gpu A100-40GB \
+ *                        --global-batch 16 --sweep --sweep-json plan.json
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "common/argparse.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "dist/parallel.hpp"
+#include "serve/prediction_cache.hpp"
 #include "tool_common.hpp"
 
 namespace {
 
 using namespace neusight;
+
+common::Json
+sweepEntryJson(int rank, const dist::SweepEntry &entry)
+{
+    common::Json row;
+    row.set("rank", rank);
+    row.set("tp", entry.config.tpDegree);
+    row.set("pp", entry.config.ppDegree);
+    row.set("dp", entry.config.dpDegree);
+    row.set("micro_batches", entry.config.numMicroBatches);
+    row.set("schedule",
+            dist::pipelineScheduleName(entry.config.schedule));
+    row.set("recompute", entry.config.recomputeActivations);
+    row.set("latency_ms", entry.result.latencyMs);
+    row.set("bubble_ms", entry.result.bubbleMs);
+    row.set("exposed_ddp_ms", entry.result.exposedDdpMs);
+    row.set("recompute_ms", entry.result.recomputeMs);
+    row.set("memory_gb_per_gpu", entry.result.memoryBytes / 1e9);
+    row.set("comm_gb", entry.result.commBytes / 1e9);
+    return row;
+}
+
+/** The --sweep mode: ranked strategy search with optional JSON report. */
+int
+runSweep(const graph::LatencyPredictor &predictor,
+         const dist::CollectiveModel &comms,
+         const dist::ServerConfig &server, const graph::ModelConfig &model,
+         uint64_t global_batch, const dist::SweepOptions &options,
+         int top, const std::string &json_path)
+{
+    const auto entries = dist::sweepStrategies(predictor, comms, server,
+                                               model, global_batch,
+                                               options);
+    if (entries.empty())
+        fatal("no runnable strategy found: every (tp, pp, dp) "
+              "factorization failed validation or the memory screen");
+
+    TextTable table(
+        model.name + " strategy sweep on " +
+            std::to_string(server.numGpus) + "x " + server.gpuName +
+            " (global batch " + std::to_string(global_batch) + ", " +
+            std::to_string(entries.size()) + " runnable strategies)",
+        {"rank", "strategy", "micro", "schedule", "recompute",
+         "predicted (ms)", "mem GB/GPU", "comm GB"});
+    const size_t shown =
+        top > 0 ? std::min<size_t>(entries.size(),
+                                   static_cast<size_t>(top))
+                : entries.size();
+    for (size_t i = 0; i < shown; ++i) {
+        const auto &e = entries[i];
+        table.addRow({std::to_string(i + 1), e.config.describe(),
+                      std::to_string(e.config.numMicroBatches),
+                      e.config.ppDegree > 1
+                          ? dist::pipelineScheduleName(e.config.schedule)
+                          : "-",
+                      e.config.recomputeActivations ? "yes" : "no",
+                      TextTable::num(e.result.latencyMs, 1),
+                      TextTable::num(e.result.memoryBytes / 1e9, 1),
+                      TextTable::num(e.result.commBytes / 1e9, 2)});
+    }
+    table.print();
+
+    // Winner vs the best single-axis plan: the sweep's value statement.
+    const dist::SweepEntry &winner = entries.front();
+    const dist::SweepEntry *best_single =
+        dist::bestSingleAxisEntry(entries);
+    if (winner.config.activeAxes() >= 2 && best_single != nullptr)
+        std::printf("\nBest hybrid %s is %.1fx faster than the best "
+                    "single-axis plan (%s, %.1f ms).\n",
+                    winner.config.describe().c_str(),
+                    best_single->result.latencyMs /
+                        winner.result.latencyMs,
+                    best_single->config.describe().c_str(),
+                    best_single->result.latencyMs);
+
+    if (!json_path.empty()) {
+        common::Json report;
+        report.set("model", model.name);
+        report.set("gpu", server.gpuName);
+        report.set("num_gpus", server.numGpus);
+        report.set("global_batch", static_cast<uint64_t>(global_batch));
+        common::Json::Array rows;
+        for (size_t i = 0; i < entries.size(); ++i)
+            rows.push_back(
+                sweepEntryJson(static_cast<int>(i + 1), entries[i]));
+        report.set("strategies", common::Json(std::move(rows)));
+        std::ofstream out(json_path);
+        if (!out)
+            fatal("cannot write " + json_path);
+        out << report.dump() << "\n";
+        inform("wrote " + std::to_string(entries.size()) +
+               " ranked strategies to " + json_path);
+    }
+    return 0;
+}
 
 int
 run(int argc, const char *const *argv)
@@ -38,7 +141,21 @@ run(int argc, const char *const *argv)
     args.addInt("micro-batches", 1,
                 "pipeline micro-batches per iteration");
     args.addString("schedule", "gpipe",
-                   "pipeline schedule: gpipe | 1f1b");
+                   "pipeline schedule: gpipe | 1f1b | interleaved");
+    args.addInt("tp", 0, "tensor-parallel degree of a hybrid forecast "
+                         "(with --pp/--dp; unset degrees default to 1)");
+    args.addInt("pp", 0, "pipeline-parallel degree of a hybrid forecast");
+    args.addInt("dp", 0, "data-parallel degree of a hybrid forecast");
+    args.addFlag("recompute", "recompute activations in the backward "
+                              "pass (trades FLOPs for stash memory)");
+    args.addInt("virtual-stages", 2,
+                "model chunks per GPU for the interleaved schedule");
+    args.addFlag("sweep", "search every (tp, pp, dp, micro-batch, "
+                          "schedule, recompute) combination and rank the "
+                          "runnable ones by forecast iteration time");
+    args.addInt("top", 10, "sweep rows to print (0 = all)");
+    args.addString("sweep-json", "",
+                   "also write the full ranked sweep as JSON");
     args.addDouble("link-gbps", 0.0,
                    "peak GPU-to-GPU bandwidth GB/s (0 = GPU spec value)");
     args.addString("reference-system", "A100-NVLink",
@@ -90,18 +207,93 @@ run(int argc, const char *const *argv)
         pipeline.schedule = dist::PipelineSchedule::GPipe;
     else if (schedule == "1f1b")
         pipeline.schedule = dist::PipelineSchedule::OneFOneB;
+    else if (schedule == "interleaved")
+        pipeline.schedule = dist::PipelineSchedule::Interleaved1F1B;
     else
-        fatal("--schedule must be gpipe or 1f1b");
+        fatal("--schedule must be gpipe, 1f1b, or interleaved");
 
     if (args.getInt("global-batch") < 1)
         fatal("--global-batch must be at least 1");
     const uint64_t global_batch =
         static_cast<uint64_t>(args.getInt("global-batch"));
-    const core::NeuSight neusight = tools::loadOrTrainPredictor(
+    core::NeuSight neusight = tools::loadOrTrainPredictor(
         args.getString("predictor"), gpusim::nvidiaTrainingSet());
+    // Sweeps forecast hundreds of graph variants that share almost all
+    // kernel shapes; the prediction cache turns the repeats into hash
+    // lookups.
+    neusight.attachCache(
+        std::make_shared<serve::PredictionCache>(1 << 16));
     const dist::EstimatedCollectives comms(
         args.getString("reference-system"),
         args.getDouble("reference-link-gbps"));
+
+    if (args.getFlag("sweep")) {
+        dist::SweepOptions options;
+        options.tryRecompute = true;
+        options.virtualStagesPerGpu =
+            static_cast<int>(args.getInt("virtual-stages"));
+        return runSweep(neusight, comms, server, model, global_batch,
+                        options, static_cast<int>(args.getInt("top")),
+                        args.getString("sweep-json"));
+    }
+
+    // A composed TP x PP x DP forecast: any of --tp/--pp/--dp selects
+    // the hybrid path; unset degrees default to 1.
+    if (args.given("tp") || args.given("pp") || args.given("dp")) {
+        dist::HybridConfig hybrid;
+        hybrid.tpDegree =
+            args.given("tp") ? static_cast<int>(args.getInt("tp")) : 1;
+        hybrid.ppDegree =
+            args.given("pp") ? static_cast<int>(args.getInt("pp")) : 1;
+        hybrid.dpDegree =
+            args.given("dp") ? static_cast<int>(args.getInt("dp")) : 1;
+        hybrid.numMicroBatches = pipeline.numMicroBatches;
+        hybrid.schedule = pipeline.schedule;
+        hybrid.virtualStagesPerGpu =
+            static_cast<int>(args.getInt("virtual-stages"));
+        hybrid.recomputeActivations = args.getFlag("recompute");
+        const std::string reject =
+            dist::validateHybrid(model, server, global_batch, hybrid);
+        if (!reject.empty())
+            fatal("hybrid strategy: " + reject);
+        const dist::HybridResult result = dist::hybridTrainingMs(
+            neusight, comms, server, model, global_batch, hybrid);
+        TextTable table(model.name + " hybrid training forecast on " +
+                            std::to_string(server.numGpus) + "x " +
+                            gpu.name + " (global batch " +
+                            std::to_string(global_batch) + ")",
+                        {"metric", "value"});
+        table.addRow({"strategy", hybrid.describe()});
+        table.addRow({"micro-batches",
+                      std::to_string(hybrid.numMicroBatches)});
+        table.addRow({"schedule",
+                      hybrid.ppDegree > 1
+                          ? dist::pipelineScheduleName(hybrid.schedule)
+                          : "-"});
+        table.addRow({"recompute",
+                      hybrid.recomputeActivations ? "yes" : "no"});
+        if (result.oom) {
+            table.addRow({"predicted", "out of memory"});
+            table.addRow({"mem GB/GPU",
+                          TextTable::num(result.memoryBytes / 1e9, 1)});
+            table.print();
+            return 1;
+        }
+        table.addRow({"predicted (ms)",
+                      TextTable::num(result.latencyMs, 1)});
+        table.addRow({"pipeline bubble (ms)",
+                      TextTable::num(result.bubbleMs, 1)});
+        table.addRow({"exposed DDP comm (ms)",
+                      TextTable::num(result.exposedDdpMs, 1)});
+        table.addRow({"recompute overhead (ms)",
+                      TextTable::num(result.recomputeMs, 1)});
+        table.addRow({"mem GB/GPU",
+                      TextTable::num(result.memoryBytes / 1e9, 1)});
+        table.addRow({"comm GB",
+                      TextTable::num(result.commBytes / 1e9, 2)});
+        table.print();
+        return 0;
+    }
 
     TextTable table(model.name + " training on " +
                         std::to_string(server.numGpus) + "x " + gpu.name +
