@@ -68,8 +68,14 @@ main()
             const bool flagship = server.numGpus == 8;
             if (flagship != (model_name == "GPT3-2.7B" && batch == 32))
                 continue;
+            // This bench audits (and archives as CSV) the complete
+            // ranked space, so it opts out of branch-and-bound pruning;
+            // the cross-point stage-price memo and the thread pool
+            // still apply.
+            dist::SweepOptions options;
+            options.exhaustive = true;
             const auto entries = dist::sweepStrategies(
-                neusight, estimator, server, model, batch);
+                neusight, estimator, server, model, batch, options);
             if (entries.empty()) {
                 std::fprintf(stderr,
                              "no runnable strategy for %s on %s\n",

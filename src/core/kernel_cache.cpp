@@ -14,6 +14,14 @@ std::string
 cacheFingerprint(const KernelDesc &desc, const GpuSpec &gpu,
                  bool canonical_op)
 {
+    std::string key = kernelFingerprintPart(desc, canonical_op);
+    key += gpuFeatureFingerprint(gpu);
+    return key;
+}
+
+std::string
+kernelFingerprintPart(const KernelDesc &desc, bool canonical_op)
+{
     std::string key;
     key.reserve(192);
     key += std::to_string(static_cast<int>(desc.type));
@@ -31,7 +39,6 @@ cacheFingerprint(const KernelDesc &desc, const GpuSpec &gpu,
                   static_cast<int>(desc.dtype),
                   desc.usesTensorCore ? 1 : 0);
     key += buf;
-    key += gpuFeatureFingerprint(gpu);
     return key;
 }
 

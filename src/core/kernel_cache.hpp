@@ -57,6 +57,17 @@ std::string cacheFingerprint(const gpusim::KernelDesc &desc,
                              bool canonical_op = true);
 
 /**
+ * The kernel half of cacheFingerprint: everything the key derives from
+ * the descriptor, without the GPU suffix. Batched prediction dedups
+ * graph nodes against a fixed GPU, so it hashes this half per node and
+ * appends gpuFeatureFingerprint once per unique kernel —
+ * kernelFingerprintPart(d, c) + gpuFeatureFingerprint(g) ==
+ * cacheFingerprint(d, g, c) by construction.
+ */
+std::string kernelFingerprintPart(const gpusim::KernelDesc &desc,
+                                  bool canonical_op = true);
+
+/**
  * The GPU half of every cache key: name plus each public feature
  * (Table 4). Shared with the serving layer's request fingerprints so
  * the two keys cannot silently diverge when GpuSpec grows a field.

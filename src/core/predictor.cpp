@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "core/features.hpp"
@@ -142,38 +144,63 @@ PredictionDetail
 KernelPredictor::predict(const KernelDesc &desc, const GpuSpec &gpu,
                          const std::vector<uint64_t> &tile_dims) const
 {
-    ensure(scaler.fitted(), "KernelPredictor::predict before train/load");
-    PredictionDetail detail;
-    const TileInfo tile = TilePolicy::tileCosts(desc, tile_dims);
-    detail.tileDims = tile_dims;
-    detail.numTiles = TilePolicy::numTiles(desc, tile_dims);
-    detail.numWaves = TilePolicy::numWaves(detail.numTiles, gpu.numSms);
+    return predictBatch({desc}, gpu, {tile_dims}).front();
+}
 
-    Matrix features(1, kNumFeatures);
-    const std::vector<double> f =
-        buildFeatures(desc, tile, detail.numWaves, gpu);
-    for (size_t c = 0; c < kNumFeatures; ++c)
-        features.at(0, c) = f[c];
+std::vector<PredictionDetail>
+KernelPredictor::predictBatch(
+    const std::vector<KernelDesc> &descs, const GpuSpec &gpu,
+    const std::vector<std::vector<uint64_t>> &tile_dims) const
+{
+    ensure(scaler.fitted(),
+           "KernelPredictor::predictBatch before train/load");
+    ensure(descs.size() == tile_dims.size(),
+           "KernelPredictor::predictBatch: one tile vector per kernel");
+    const size_t n = descs.size();
+    std::vector<PredictionDetail> details(n);
+    if (n == 0)
+        return details;
 
-    nn::Var x = nn::constant(scaler.transform(features));
-    nn::Var alpha_beta = mlp->forward(x);
+    std::vector<TileInfo> tiles(n);
+    Matrix features(n, kNumFeatures);
+    for (size_t i = 0; i < n; ++i) {
+        PredictionDetail &detail = details[i];
+        tiles[i] = TilePolicy::tileCosts(descs[i], tile_dims[i]);
+        detail.tileDims = tile_dims[i];
+        detail.numTiles = TilePolicy::numTiles(descs[i], tile_dims[i]);
+        detail.numWaves = TilePolicy::numWaves(detail.numTiles, gpu.numSms);
+        const std::vector<double> f =
+            buildFeatures(descs[i], tiles[i], detail.numWaves, gpu);
+        for (size_t c = 0; c < kNumFeatures; ++c)
+            features.at(i, c) = f[c];
+    }
+
+    // One scale + one tape-free MLP pass for the whole batch. Each output
+    // row only depends on its own input row, so this is bit-identical to
+    // N single-row forwards (see Mlp::inferRows).
+    Matrix alpha_beta = mlp->inferRows(scaler.transform(features));
     if (config.sigmoidBound)
-        alpha_beta = nn::sigmoidAv(alpha_beta);
-    detail.alpha = alpha_beta.value().at(0, 0);
-    detail.beta = alpha_beta.value().at(0, 1);
-    const double wave_div =
-        config.waveTerm ? static_cast<double>(detail.numWaves) : 1e12;
-    double util = detail.alpha - detail.beta / wave_div;
-    // The sigmoid already bounds util below 1; without it (ablation) the
-    // only remaining bound is positivity.
-    detail.utilization = config.sigmoidBound
-                             ? std::clamp(util, utilFloor, 1.0)
-                             : std::max(util, kMinUtil);
-    detail.rooflinePerSm = rooflinePerSm(desc, tile, gpu);
-    detail.latencyMs = tile.flopsPerTile /
-                       (detail.rooflinePerSm * detail.utilization) *
-                       static_cast<double>(detail.numWaves) * 1e3;
-    return detail;
+        alpha_beta.apply(
+            [](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+
+    for (size_t i = 0; i < n; ++i) {
+        PredictionDetail &detail = details[i];
+        detail.alpha = alpha_beta.at(i, 0);
+        detail.beta = alpha_beta.at(i, 1);
+        const double wave_div =
+            config.waveTerm ? static_cast<double>(detail.numWaves) : 1e12;
+        const double util = detail.alpha - detail.beta / wave_div;
+        // The sigmoid already bounds util below 1; without it (ablation)
+        // the only remaining bound is positivity.
+        detail.utilization = config.sigmoidBound
+                                 ? std::clamp(util, utilFloor, 1.0)
+                                 : std::max(util, kMinUtil);
+        detail.rooflinePerSm = rooflinePerSm(descs[i], tiles[i], gpu);
+        detail.latencyMs = tiles[i].flopsPerTile /
+                           (detail.rooflinePerSm * detail.utilization) *
+                           static_cast<double>(detail.numWaves) * 1e3;
+    }
+    return details;
 }
 
 void
@@ -262,15 +289,91 @@ NeuSight::predictKernelDetail(const KernelDesc &desc,
     return detail;
 }
 
-double
-NeuSight::predictGraphMs(const graph::KernelGraph &g,
-                         const GpuSpec &gpu) const
+std::vector<double>
+NeuSight::predictKernelsMs(const std::vector<KernelDesc> &descs,
+                           const GpuSpec &gpu) const
 {
-    double total = 0.0;
-    for (const auto &node : g.nodes)
-        if (node.kind == graph::NodeKind::Compute)
-            total += predictKernelMs(node.kernel, gpu);
-    return total;
+    const size_t n = descs.size();
+    std::vector<double> out(n, 0.0);
+    if (n == 0)
+        return out;
+
+    // 1. Dedup: transformer graphs dispatch the same few dozen kernel
+    // shapes across every layer, so group by the canonical fingerprint
+    // (equal fingerprint guarantees an equal forecast). The GPU is
+    // fixed across the batch, so nodes hash only the kernel half of
+    // the key; the GPU suffix is appended once per unique kernel when
+    // talking to the cache.
+    struct Unique
+    {
+        const KernelDesc *desc = nullptr;
+        std::string key;
+        PredictionDetail detail;
+        bool resolved = false;
+    };
+    std::vector<Unique> uniques;
+    std::unordered_map<std::string, size_t> slot_of;
+    std::vector<size_t> slot(n);
+    for (size_t i = 0; i < n; ++i) {
+        std::string key = kernelFingerprintPart(descs[i]);
+        const auto [it, inserted] =
+            slot_of.emplace(std::move(key), uniques.size());
+        if (inserted)
+            uniques.push_back({&descs[i], it->first, {}, false});
+        slot[i] = it->second;
+    }
+
+    // 2. Resolve from the attached prediction cache first.
+    if (cache_) {
+        const std::string gpu_part = gpuFeatureFingerprint(gpu);
+        for (Unique &u : uniques) {
+            u.key += gpu_part;
+            u.resolved = cache_->lookup(u.key, u.detail);
+        }
+    }
+
+    // 3. Batch the remaining misses: one matrix pass per operator
+    // family, memory fallback for families without a learned predictor.
+    std::map<OpType, std::vector<size_t>> families;
+    for (size_t u = 0; u < uniques.size(); ++u)
+        if (!uniques[u].resolved)
+            families[uniques[u].desc->type].push_back(u);
+    for (const auto &[type, members] : families) {
+        const auto it = predictors.find(type);
+        if (it == predictors.end()) {
+            // Unseen operator family: memory-bound estimate (Section 4.3).
+            for (size_t u : members) {
+                uniques[u].detail.memoryFallback = true;
+                uniques[u].detail.latencyMs =
+                    uniques[u].desc->memBytes / gpu.memBwBytes() * 1e3;
+            }
+        } else {
+            std::vector<KernelDesc> batch;
+            std::vector<std::vector<uint64_t>> tiles;
+            batch.reserve(members.size());
+            tiles.reserve(members.size());
+            for (size_t u : members) {
+                // Fused kernels look up the tile of their first operator
+                // (Section 4.4).
+                KernelDesc lookup = *uniques[u].desc;
+                lookup.opName = canonicalOpName(lookup.opName);
+                tiles.push_back(tileDb.lookup(lookup, gpu));
+                batch.push_back(*uniques[u].desc);
+            }
+            std::vector<PredictionDetail> predicted =
+                it->second->predictBatch(batch, gpu, tiles);
+            for (size_t m = 0; m < members.size(); ++m)
+                uniques[members[m]].detail = std::move(predicted[m]);
+        }
+        if (cache_)
+            for (size_t u : members)
+                cache_->insert(uniques[u].key, uniques[u].detail);
+    }
+
+    // 4. Fan the unique forecasts back out to the request order.
+    for (size_t i = 0; i < n; ++i)
+        out[i] = uniques[slot[i]].detail.latencyMs;
+    return out;
 }
 
 namespace {

@@ -112,11 +112,26 @@ class KernelPredictor
 
     /**
      * Predict the latency of @p desc on @p gpu given the tile dims the
-     * database matched (Eq. 1-8).
+     * database matched (Eq. 1-8). Routes through predictBatch() with a
+     * single row, so the two paths cannot diverge.
      */
     PredictionDetail predict(const gpusim::KernelDesc &desc,
                              const gpusim::GpuSpec &gpu,
                              const std::vector<uint64_t> &tile_dims) const;
+
+    /**
+     * Predict N kernels of this family in one pass: the feature matrix
+     * is built, scaled, and pushed through the MLP as a single (N, F)
+     * batch with the tape-free Mlp::inferRows, so the per-kernel cost
+     * collapses to feature construction plus one row of a batched GEMM.
+     * @p tile_dims holds one tile-dimension vector per kernel (the tile
+     * database match). Results are bit-identical to calling predict()
+     * per kernel.
+     */
+    std::vector<PredictionDetail>
+    predictBatch(const std::vector<gpusim::KernelDesc> &descs,
+                 const gpusim::GpuSpec &gpu,
+                 const std::vector<std::vector<uint64_t>> &tile_dims) const;
 
     /** The operator family this predictor serves. */
     gpusim::OpType type() const { return opType; }
@@ -192,12 +207,20 @@ class NeuSight : public graph::LatencyPredictor
     }
 
     /**
-     * Per-GPU latency of a kernel graph: sum over compute nodes
-     * (kernels execute sequentially on the device, Section 5).
-     * Communication nodes are ignored here; the dist layer prices them.
+     * Batched kernel prediction with graph-level dedup: the descriptors
+     * group by canonical (kernel, GPU) fingerprint — transformer graphs
+     * repeat the same few dozen shapes across every layer — each unique
+     * fingerprint is resolved once (attached cache first, then one
+     * predictBatch call per operator family for the misses, memory
+     * fallback for families without a learned predictor), and the
+     * per-descriptor latencies fan back out. The base-class
+     * predictGraphMs() routes through this, so graph forecasts pay one
+     * batched MLP pass per op family instead of one taped forward per
+     * node. Thread-safe once trained (see attachCache).
      */
-    double predictGraphMs(const graph::KernelGraph &g,
-                          const gpusim::GpuSpec &gpu) const override;
+    std::vector<double>
+    predictKernelsMs(const std::vector<gpusim::KernelDesc> &descs,
+                     const gpusim::GpuSpec &gpu) const override;
 
     /** The tile database (populated by train / load). */
     const TileDatabase &tileDatabase() const { return tileDb; }

@@ -1,7 +1,12 @@
 #include "dist/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <thread>
 
 #include "common/logging.hpp"
 #include "gpusim/gpu_spec.hpp"
@@ -622,11 +627,215 @@ validateHybrid(const ModelConfig &config, const ServerConfig &server,
     return "";
 }
 
+bool
+StagePriceMemo::lookup(const std::string &key, Price &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = entries.find(key);
+    if (it == entries.end()) {
+        ++missCount;
+        return false;
+    }
+    ++hitCount;
+    out = it->second;
+    return true;
+}
+
+void
+StagePriceMemo::insert(const std::string &key, const Price &price)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    entries[key] = price;
+}
+
+uint64_t
+StagePriceMemo::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return hitCount;
+}
+
+uint64_t
+StagePriceMemo::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return missCount;
+}
+
+namespace {
+
+/** Price of one already-built graph: predicted compute + collectives. */
+StagePriceMemo::Price
+pricedGraph(const graph::LatencyPredictor &predictor,
+            const CollectiveModel &comms, const gpusim::GpuSpec &gpu,
+            double link, int tp, const KernelGraph &g)
+{
+    StagePriceMemo::Price price;
+    price.totalMs =
+        predictor.predictGraphMs(g, gpu) + commCostMs(g, comms, tp, link);
+    price.commBytes = g.totalCommBytes();
+    return price;
+}
+
+/**
+ * Price one pipeline-stage graph (predicted compute plus its TP
+ * collectives). Without a memo this builds and prices the stage graph
+ * directly — bit-identical to what hybridTrainingMs always did, so the
+ * degenerate-degree guarantees stay exact. With a memo (the sweep
+ * path) stages are priced by component — embedding prologue, one
+ * representative layer per MoE parity times the stage's layer count,
+ * head epilogue — instead of building the whole stage graph: the graph
+ * price is additive over nodes, appendBackwardPass mirrors each
+ * forward node independently, and appendTensorParallelLayer depends on
+ * the layer index only through the MoE parity, so the component sum
+ * prices the exact node multiset of the full stage graph at O(1) graph
+ * builds per stage (equal up to floating-point re-association). The
+ * components also share across stage counts and pipeline positions —
+ * the pLUTo move: predict each unique structure once, look the rest up.
+ */
+StagePriceMemo::Price
+pricedStage(const graph::LatencyPredictor &predictor,
+            const CollectiveModel &comms, const gpusim::GpuSpec &gpu,
+            double link, const ModelConfig &config, uint64_t micro,
+            int tp, int stage, int num_stages, bool training,
+            StagePriceMemo *memo)
+{
+    const char train_tag = training ? 't' : 'f';
+    if (!memo)
+        return pricedGraph(predictor, comms, gpu, link, tp,
+                           buildHybridStageGraph(config, micro, tp, stage,
+                                                 num_stages, training));
+    std::string key = std::to_string(tp) + '|' +
+                      std::to_string(num_stages) + '|' +
+                      std::to_string(stage) + '|' +
+                      std::to_string(micro) + '|' + train_tag;
+    {
+        StagePriceMemo::Price hit;
+        if (memo->lookup(key, hit))
+            return hit;
+    }
+
+    // One component through the memo: a tiny graph priced at most once
+    // per (kind, tp, micro, training, parity).
+    const auto component = [&](char kind, int tp_used,
+                               uint64_t parity) -> StagePriceMemo::Price {
+        const std::string ckey =
+            std::string("c|") + kind + '|' + std::to_string(tp_used) +
+            '|' + std::to_string(micro) + '|' + train_tag + '|' +
+            std::to_string(parity);
+        StagePriceMemo::Price hit;
+        if (memo->lookup(ckey, hit))
+            return hit;
+        KernelGraph g;
+        if (kind == 'l')
+            g = buildTensorParallelRange(config, micro, tp_used, parity,
+                                         parity + 1, false, false,
+                                         training, DataType::Fp32);
+        else
+            g = buildTensorParallelRange(config, micro, tp_used, 0, 0,
+                                         /*include_embedding=*/kind == 'e',
+                                         /*include_head=*/kind == 'h',
+                                         training, DataType::Fp32);
+        const StagePriceMemo::Price price =
+            pricedGraph(predictor, comms, gpu, link, tp_used, g);
+        memo->insert(ckey, price);
+        return price;
+    };
+
+    const auto [begin, end] =
+        stageLayerRange(config.numLayers, stage, num_stages);
+    StagePriceMemo::Price price;
+    // Layers, one representative build per MoE parity (plain models
+    // collapse to a single component).
+    uint64_t plain_layers = 0;
+    uint64_t moe_layers = 0;
+    for (uint64_t l = begin; l < end; ++l)
+        (isMoeLayer(config, l) ? moe_layers : plain_layers) += 1;
+    if (plain_layers > 0) {
+        const StagePriceMemo::Price layer = component('l', tp, 0);
+        price.totalMs += static_cast<double>(plain_layers) * layer.totalMs;
+        price.commBytes +=
+            static_cast<double>(plain_layers) * layer.commBytes;
+    }
+    if (moe_layers > 0) {
+        const StagePriceMemo::Price layer = component('l', tp, 1);
+        price.totalMs += static_cast<double>(moe_layers) * layer.totalMs;
+        price.commBytes +=
+            static_cast<double>(moe_layers) * layer.commBytes;
+    }
+    // Embedding and head replicate across TP ranks (their graphs hold
+    // no sharded kernels and no collectives), so they are priced at
+    // tp = 1 and shared across every tensor degree.
+    if (stage == 0) {
+        const StagePriceMemo::Price embed = component('e', 1, 0);
+        price.totalMs += embed.totalMs;
+        price.commBytes += embed.commBytes;
+    }
+    if (stage == num_stages - 1) {
+        const StagePriceMemo::Price head = component('h', 1, 0);
+        price.totalMs += head.totalMs;
+        price.commBytes += head.commBytes;
+    }
+    memo->insert(key, price);
+    return price;
+}
+
+/**
+ * Run fn(0..count-1) on @p threads workers (0 = hardware concurrency).
+ * The first exception thrown by any index is re-thrown on the caller
+ * after every worker has stopped.
+ */
+void
+parallelFor(size_t count, int threads, const std::function<void(size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    size_t workers =
+        threads > 0 ? static_cast<size_t>(threads)
+                    : static_cast<size_t>(std::max(
+                          1u, std::thread::hardware_concurrency()));
+    workers = std::min(workers, count);
+    if (workers <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    const auto body = [&] {
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                return;
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (size_t t = 1; t < workers; ++t)
+        pool.emplace_back(body);
+    body();
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace
+
 HybridResult
 hybridTrainingMs(const graph::LatencyPredictor &predictor,
                  const CollectiveModel &comms, const ServerConfig &server,
                  const ModelConfig &config, uint64_t global_batch,
-                 const HybridConfig &hybrid)
+                 const HybridConfig &hybrid, StagePriceMemo *memo)
 {
     // Death-testable precondition: callers with user-supplied
     // configurations screen through validateHybrid() first.
@@ -663,23 +872,20 @@ hybridTrainingMs(const graph::LatencyPredictor &predictor,
     double tp_payload = 0.0; // Per pipeline line, per micro-batch.
     double recompute_ms = 0.0;
     for (int s = 0; s < pp; ++s) {
-        const KernelGraph g = buildHybridStageGraph(
-            config, micro, hybrid.tpDegree, s, pp, /*training=*/true);
-        double ms = predictor.predictGraphMs(g, gpu) +
-                    commCostMs(g, comms, hybrid.tpDegree, link);
-        tp_payload += g.totalCommBytes();
+        const StagePriceMemo::Price train = pricedStage(
+            predictor, comms, gpu, link, config, micro, hybrid.tpDegree,
+            s, pp, /*training=*/true, memo);
+        double ms = train.totalMs;
+        tp_payload += train.commBytes;
         if (hybrid.recomputeActivations) {
             // Checkpointing replays the stage's forward (including its
             // activation all-reduces) before each backward.
-            const KernelGraph fwd = buildHybridStageGraph(
-                config, micro, hybrid.tpDegree, s, pp,
-                /*training=*/false);
-            const double replay =
-                predictor.predictGraphMs(fwd, gpu) +
-                commCostMs(fwd, comms, hybrid.tpDegree, link);
-            ms += replay;
-            recompute_ms += replay;
-            tp_payload += fwd.totalCommBytes();
+            const StagePriceMemo::Price replay = pricedStage(
+                predictor, comms, gpu, link, config, micro,
+                hybrid.tpDegree, s, pp, /*training=*/false, memo);
+            ms += replay.totalMs;
+            recompute_ms += replay.totalMs;
+            tp_payload += replay.commBytes;
         }
         stage_ms[s] = ms;
         sum_ms += ms;
@@ -746,16 +952,53 @@ hybridTrainingMs(const graph::LatencyPredictor &predictor,
     return result;
 }
 
+namespace {
+
+/** One (tp, pp, dp) factorization of the sweep with its bound. */
+struct SweepFactor
+{
+    int tp = 1;
+    int pp = 1;
+    int dp = 1;
+    double boundMs = 0.0;
+};
+
+} // namespace
+
 std::vector<SweepEntry>
 sweepStrategies(const graph::LatencyPredictor &predictor,
                 const CollectiveModel &comms, const ServerConfig &server,
                 const ModelConfig &config, uint64_t global_batch,
-                const SweepOptions &options)
+                const SweepOptions &options, SweepStats *stats)
 {
     if (server.numGpus < 1)
         fatal("sweepStrategies: need at least one GPU");
-    std::vector<SweepEntry> out;
     const int n = server.numGpus;
+    const gpusim::GpuSpec &gpu = server.resolvedGpu();
+    const double link = server.effectiveLinkGBps();
+
+    StagePriceMemo memo_storage;
+    StagePriceMemo *memo =
+        options.reuseStagePrices ? &memo_storage : nullptr;
+    SweepStats accounting;
+
+    // Every (tp, pp, dp) factorization of the GPU count whose structure
+    // can work at all, screened through validateHybrid itself on the
+    // least-constrained grid point (one micro-batch, 1F1B, no
+    // recompute) so this pre-filter can never drift stricter or looser
+    // than the per-point validation.
+    const auto viable = [&](int tp, int pp, int dp) {
+        HybridConfig probe;
+        probe.tpDegree = tp;
+        probe.ppDegree = pp;
+        probe.dpDegree = dp;
+        probe.numMicroBatches = 1;
+        probe.schedule = PipelineSchedule::OneFOneB;
+        probe.ddp = options.ddp;
+        return validateHybrid(config, server, global_batch, probe)
+            .empty();
+    };
+    std::vector<SweepFactor> factors;
     for (int tp = 1; tp <= n; ++tp) {
         if (n % tp != 0)
             continue;
@@ -763,61 +1006,200 @@ sweepStrategies(const graph::LatencyPredictor &predictor,
             if ((n / tp) % pp != 0)
                 continue;
             const int dp = n / (tp * pp);
+            if (viable(tp, pp, dp))
+                factors.push_back({tp, pp, dp, 0.0});
+        }
+    }
+    accounting.factorizations = factors.size();
 
-            std::vector<PipelineSchedule> schedules;
-            std::vector<int> micro_counts;
-            if (pp == 1) {
-                // Without a pipeline, micro-batching is gradient
-                // accumulation: no bubble to amortize, but the 1F1B
-                // stash (one micro-batch in flight) still shrinks the
-                // activation footprint m-fold, so larger m can admit
-                // configurations the full batch cannot fit. Only the
-                // GPipe/1F1B distinction is moot — accumulation frees
-                // each micro-batch's activations after its backward.
-                schedules = {PipelineSchedule::OneFOneB};
-                micro_counts = options.microBatchCandidates;
-            } else {
-                schedules = {PipelineSchedule::GPipe,
-                             PipelineSchedule::OneFOneB};
-                if (options.tryInterleaved &&
-                    options.virtualStagesPerGpu >= 2 &&
-                    static_cast<uint64_t>(pp) *
-                            static_cast<uint64_t>(
-                                options.virtualStagesPerGpu) <=
-                        config.numLayers)
-                    schedules.push_back(
-                        PipelineSchedule::Interleaved1F1B);
-                micro_counts = options.microBatchCandidates;
-            }
-
-            for (int micro_count : micro_counts) {
-                for (PipelineSchedule schedule : schedules) {
-                    for (int rec = 0; rec < (options.tryRecompute ? 2 : 1);
-                         ++rec) {
-                        HybridConfig hy;
-                        hy.tpDegree = tp;
-                        hy.ppDegree = pp;
-                        hy.dpDegree = dp;
-                        hy.numMicroBatches = micro_count;
-                        hy.schedule = schedule;
-                        hy.virtualStagesPerGpu =
-                            options.virtualStagesPerGpu;
-                        hy.recomputeActivations = rec == 1;
-                        hy.ddp = options.ddp;
-                        if (!validateHybrid(config, server, global_batch,
-                                            hy)
-                                 .empty())
-                            continue;
-                        const HybridResult res = hybridTrainingMs(
-                            predictor, comms, server, config,
-                            global_batch, hy);
-                        if (res.oom)
-                            continue;
-                        out.push_back({hy, res});
-                    }
+    // The candidate grid of one factorization, pre-screened through
+    // validateHybrid().
+    const auto gridFor = [&](const SweepFactor &f) {
+        std::vector<PipelineSchedule> schedules;
+        if (f.pp == 1) {
+            // Without a pipeline, micro-batching is gradient
+            // accumulation: no bubble to amortize, but the 1F1B
+            // stash (one micro-batch in flight) still shrinks the
+            // activation footprint m-fold, so larger m can admit
+            // configurations the full batch cannot fit. Only the
+            // GPipe/1F1B distinction is moot — accumulation frees
+            // each micro-batch's activations after its backward.
+            schedules = {PipelineSchedule::OneFOneB};
+        } else {
+            schedules = {PipelineSchedule::GPipe,
+                         PipelineSchedule::OneFOneB};
+            if (options.tryInterleaved &&
+                options.virtualStagesPerGpu >= 2 &&
+                static_cast<uint64_t>(f.pp) *
+                        static_cast<uint64_t>(
+                            options.virtualStagesPerGpu) <=
+                    config.numLayers)
+                schedules.push_back(PipelineSchedule::Interleaved1F1B);
+        }
+        std::vector<HybridConfig> grid;
+        for (int micro_count : options.microBatchCandidates) {
+            for (PipelineSchedule schedule : schedules) {
+                for (int rec = 0; rec < (options.tryRecompute ? 2 : 1);
+                     ++rec) {
+                    HybridConfig hy;
+                    hy.tpDegree = f.tp;
+                    hy.ppDegree = f.pp;
+                    hy.dpDegree = f.dp;
+                    hy.numMicroBatches = micro_count;
+                    hy.schedule = schedule;
+                    hy.virtualStagesPerGpu = options.virtualStagesPerGpu;
+                    hy.recomputeActivations = rec == 1;
+                    hy.ddp = options.ddp;
+                    if (validateHybrid(config, server, global_batch, hy)
+                            .empty())
+                        grid.push_back(hy);
                 }
             }
         }
+        return grid;
+    };
+
+    const bool pruning = !options.exhaustive;
+    if (pruning) {
+        // Branch-and-bound lower bound per factorization: the full
+        // per-replica batch must flow through the slowest stage M
+        // times, and stage compute (plus the mandatory TP collectives)
+        // is subadditive in the micro-batch size — splitting a batch
+        // never makes its total cheaper — so no micro-batch count,
+        // schedule, or recompute setting beats the whole TP-sharded
+        // model priced at the full per-replica batch, divided by the
+        // stage count. The one-stage graph here both bounds the grid
+        // and seeds the memo (it is the m = 1 stage of tp x dp plans).
+        for (SweepFactor &f : factors) {
+            const uint64_t per_replica =
+                global_batch / static_cast<uint64_t>(f.dp);
+            f.boundMs = pricedStage(predictor, comms, gpu, link, config,
+                                    per_replica, f.tp, /*stage=*/0,
+                                    /*num_stages=*/1, /*training=*/true,
+                                    memo)
+                            .totalMs /
+                        static_cast<double>(f.pp);
+        }
+        // Most promising first: tight thresholds arrive early.
+        std::stable_sort(factors.begin(), factors.end(),
+                         [](const SweepFactor &a, const SweepFactor &b) {
+                             return a.boundMs < b.boundMs;
+                         });
+    }
+
+    const size_t keep_top =
+        static_cast<size_t>(std::max(1, options.keepTop));
+    std::vector<SweepEntry> out;
+    // The keepTop-th best latency found so far: the prune threshold.
+    const auto pruneThresholdMs = [&] {
+        if (out.size() < keep_top)
+            return std::numeric_limits<double>::infinity();
+        std::vector<double> lat;
+        lat.reserve(out.size());
+        for (const SweepEntry &e : out)
+            lat.push_back(e.result.latencyMs);
+        std::nth_element(lat.begin(), lat.begin() + (keep_top - 1),
+                         lat.end());
+        return lat[keep_top - 1];
+    };
+
+    for (const SweepFactor &f : factors) {
+        const std::vector<HybridConfig> grid = gridFor(f);
+        if (grid.empty())
+            continue;
+        const bool baseline =
+            options.keepSingleAxisBaselines &&
+            (f.tp > 1) + (f.pp > 1) + (f.dp > 1) <= 1;
+        const double cutoff =
+            pruneThresholdMs() * (1.0 + options.boundSlack);
+        if (pruning && !baseline && f.boundMs > cutoff) {
+            ++accounting.prunedFactorizations;
+            accounting.skippedPoints += grid.size();
+            continue;
+        }
+
+        // Second cut level, per micro-batch row: the iteration runs the
+        // slowest stage m times and the stage graphs partition the full
+        // model's nodes, so latency >= m x price(model at the row's
+        // micro size) / pp by arithmetic alone (no subadditivity
+        // assumption). Wave quantization makes small micro-batches
+        // expensive, so this is the bound that bites on deep grids.
+        std::vector<HybridConfig> surviving;
+        surviving.reserve(grid.size());
+        if (pruning && !baseline) {
+            const uint64_t per_replica =
+                global_batch / static_cast<uint64_t>(f.dp);
+            for (size_t i = 0; i < grid.size();) {
+                size_t row_end = i;
+                while (row_end < grid.size() &&
+                       grid[row_end].numMicroBatches ==
+                           grid[i].numMicroBatches)
+                    ++row_end;
+                const uint64_t m =
+                    static_cast<uint64_t>(grid[i].numMicroBatches);
+                const double row_bound =
+                    pricedStage(predictor, comms, gpu, link, config,
+                                per_replica / m, f.tp, /*stage=*/0,
+                                /*num_stages=*/1, /*training=*/true,
+                                memo)
+                        .totalMs *
+                    static_cast<double>(m) / static_cast<double>(f.pp);
+                if (row_bound > cutoff) {
+                    ++accounting.prunedMicroRows;
+                    accounting.skippedPoints += row_end - i;
+                    i = row_end;
+                    continue;
+                }
+                // Recompute points additionally pay the mandatory
+                // forward replay of every micro-batch.
+                double replay_bound = -1.0;
+                for (size_t p = i; p < row_end; ++p) {
+                    if (grid[p].recomputeActivations) {
+                        if (replay_bound < 0.0)
+                            replay_bound =
+                                pricedStage(predictor, comms, gpu, link,
+                                            config, per_replica / m,
+                                            f.tp, /*stage=*/0,
+                                            /*num_stages=*/1,
+                                            /*training=*/false, memo)
+                                    .totalMs *
+                                static_cast<double>(m) /
+                                static_cast<double>(f.pp);
+                        if (row_bound + replay_bound > cutoff) {
+                            ++accounting.skippedPoints;
+                            continue;
+                        }
+                    }
+                    surviving.push_back(grid[p]);
+                }
+                i = row_end;
+            }
+        } else {
+            surviving = grid;
+        }
+        if (surviving.empty())
+            continue;
+
+        // Evaluate the surviving points on the thread pool; the memo
+        // and an attached kernel-prediction cache are both thread-safe,
+        // and results land in per-index slots so the outcome does not
+        // depend on scheduling.
+        std::vector<HybridResult> results(surviving.size());
+        parallelFor(surviving.size(), options.threads, [&](size_t i) {
+            results[i] = hybridTrainingMs(predictor, comms, server,
+                                          config, global_batch,
+                                          surviving[i], memo);
+        });
+        accounting.evaluatedPoints += surviving.size();
+        for (size_t i = 0; i < surviving.size(); ++i)
+            if (!results[i].oom)
+                out.push_back({surviving[i], results[i]});
+    }
+
+    if (stats != nullptr) {
+        accounting.stagePriceHits = memo_storage.hits();
+        accounting.stagePriceMisses = memo_storage.misses();
+        *stats = accounting;
     }
     std::stable_sort(
         out.begin(), out.end(),

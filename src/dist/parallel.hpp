@@ -12,7 +12,10 @@
 #ifndef NEUSIGHT_DIST_PARALLEL_HPP
 #define NEUSIGHT_DIST_PARALLEL_HPP
 
+#include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dist/collective.hpp"
@@ -310,6 +313,47 @@ std::string validateHybrid(const graph::ModelConfig &config,
                            const HybridConfig &hybrid);
 
 /**
+ * Thread-safe memo of priced pipeline-stage graphs, shared across the
+ * forecasts of one strategy sweep. A stage's predicted latency (compute
+ * plus its TP collectives) depends only on (tp, stages, stage index,
+ * micro-batch size, training-vs-forward) — not on the DP degree, the
+ * schedule, or the recompute flag — so the dozens of sweep points that
+ * share a (tp, pp) split re-price the same handful of graphs. One memo
+ * is valid for a single (predictor, collective model, server, model
+ * config) tuple; sweepStrategies() owns one internally.
+ */
+class StagePriceMemo
+{
+  public:
+    /** Price of one stage graph. */
+    struct Price
+    {
+        /** Predicted compute + TP-collective latency, milliseconds. */
+        double totalMs = 0.0;
+        /** TP-collective payload bytes of the graph. */
+        double commBytes = 0.0;
+    };
+
+    /** Find @p key; on a hit copy the entry to @p out, return true. */
+    bool lookup(const std::string &key, Price &out) const;
+
+    /** Insert (or refresh) @p key. */
+    void insert(const std::string &key, const Price &price);
+
+    /** Lookups served from the memo. */
+    uint64_t hits() const;
+
+    /** Lookups that had to price a graph. */
+    uint64_t misses() const;
+
+  private:
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Price> entries;
+    mutable uint64_t hitCount = 0;
+    mutable uint64_t missCount = 0;
+};
+
+/**
  * Forecast one training iteration of @p config at @p global_batch on
  * @p server under the composed strategy @p hybrid: per-GPU stage
  * latency through @p predictor (TP collectives priced per micro-batch),
@@ -318,14 +362,18 @@ std::string validateHybrid(const graph::ModelConfig &config,
  * micro-batch's backward pass — with the per-stage OOM screen of
  * hybridStageMemoryBytes(). Degenerate degrees recover the single-axis
  * forecasts (tp = N: buildTensorParallelGraph's latency exactly).
+ * With @p memo, stage-graph prices are read from (and inserted into)
+ * the memo instead of re-predicted — the cross-point reuse of the
+ * strategy sweep.
  */
 HybridResult
 hybridTrainingMs(const graph::LatencyPredictor &predictor,
                  const CollectiveModel &comms, const ServerConfig &server,
                  const graph::ModelConfig &config, uint64_t global_batch,
-                 const HybridConfig &hybrid);
+                 const HybridConfig &hybrid,
+                 StagePriceMemo *memo = nullptr);
 
-/** Search space of sweepStrategies(). */
+/** Search space and execution policy of sweepStrategies(). */
 struct SweepOptions
 {
     /** Micro-batch counts to try for pipelined strategies. */
@@ -337,6 +385,52 @@ struct SweepOptions
     /** Virtual stages per GPU for interleaved candidates. */
     int virtualStagesPerGpu = 2;
     DdpOverlapConfig ddp;
+
+    /**
+     * Evaluate every runnable grid point, disabling branch-and-bound
+     * pruning — the escape hatch for auditing the full space (it is
+     * what `neusight-distributed --sweep --exhaustive` sets). The
+     * pruned default returns the identical winner and the identical
+     * top-@ref keepTop ranking prefix, just without the entries that
+     * provably cannot reach that prefix.
+     */
+    bool exhaustive = false;
+
+    /**
+     * Depth of the ranking prefix the pruned sweep preserves exactly: a
+     * factorization is pruned only when its lower bound exceeds the
+     * keepTop-th best latency found so far, so any pruned point is
+     * strictly slower than keepTop surviving plans.
+     */
+    int keepTop = 10;
+
+    /**
+     * Safety slack on the branch-and-bound cut: prune only when the
+     * bound exceeds the threshold by this fraction. The compute bound
+     * assumes stage latency is subadditive in the micro-batch size
+     * (splitting a batch never makes the total cheaper), which the
+     * learned predictor honors almost everywhere; the slack absorbs
+     * the residual nonlinearity.
+     */
+    double boundSlack = 0.05;
+
+    /**
+     * Never prune the pure-TP / pure-PP / pure-DP factorizations, so
+     * the ranked result always carries the single-axis baselines that
+     * bestSingleAxisEntry() and the Table-8 benches compare against.
+     */
+    bool keepSingleAxisBaselines = true;
+
+    /**
+     * Worker threads evaluating surviving grid points (0 = one per
+     * hardware thread, 1 = serial). The predictor must be safe for
+     * concurrent const use — trained NeuSight and the simulator oracle
+     * both are.
+     */
+    int threads = 0;
+
+    /** Share priced stage graphs across sweep points (StagePriceMemo). */
+    bool reuseStagePrices = true;
 };
 
 /** One surviving point of the strategy sweep. */
@@ -346,10 +440,29 @@ struct SweepEntry
     HybridResult result;
 };
 
+/** Work accounting of one sweepStrategies() call. */
+struct SweepStats
+{
+    /** (tp, pp, dp) factorizations of the GPU count. */
+    size_t factorizations = 0;
+    /** Factorizations whose whole grid the bound eliminated. */
+    size_t prunedFactorizations = 0;
+    /** Micro-batch rows the per-m bound eliminated inside survivors. */
+    size_t prunedMicroRows = 0;
+    /** Grid points priced through hybridTrainingMs. */
+    size_t evaluatedPoints = 0;
+    /** Valid grid points skipped by either pruning level. */
+    size_t skippedPoints = 0;
+    /** Stage-graph prices served from the cross-point memo. */
+    uint64_t stagePriceHits = 0;
+    /** Stage-graph prices computed through the predictor. */
+    uint64_t stagePriceMisses = 0;
+};
+
 /**
- * Exhaustive strategy search: every (tp, pp, dp) factorization of the
- * server's GPU count, crossed with the micro-batch counts, schedules,
- * and recomputation settings of @p options, screened through
+ * Strategy search: every (tp, pp, dp) factorization of the server's
+ * GPU count, crossed with the micro-batch counts, schedules, and
+ * recomputation settings of @p options, screened through
  * validateHybrid() and the OOM check, and ranked by forecast iteration
  * time (ties broken toward simpler configurations). Entries that fail
  * validation or do not fit are dropped — the returned list contains
@@ -358,12 +471,30 @@ struct SweepEntry
  * stash shrinks m-fold, which can admit plans the full batch cannot
  * fit), with the schedule pinned to 1F1B since GPipe-vs-1F1B only
  * distinguishes pipeline stash behaviour.
+ *
+ * By default the search is branch-and-bound with two cut levels. Per
+ * (tp, pp, dp) factorization: a compute-plus-TP-collective lower bound
+ * — the full per-replica batch through the whole TP-sharded model,
+ * divided by the stage count, which no micro-batch count, schedule, or
+ * recompute setting can beat — skips whole grids (bounds are processed
+ * most-promising first). Inside surviving grids, each micro-batch row
+ * gets the tighter bound m x price(model at the row's micro size) / pp:
+ * the iteration runs the slowest stage m times and the stage graphs
+ * partition the model's nodes exactly, so the bound holds by
+ * arithmetic alone — this is the cut that bites on deep micro-batch
+ * grids, where wave quantization makes small micro-batches expensive.
+ * Both levels prune against the keepTop-th best latency found so far.
+ * Surviving points evaluate on a thread pool with stage-graph prices
+ * shared through a StagePriceMemo. Set options.exhaustive to audit the
+ * full space; @p stats, when given, reports how much work the bounds
+ * and the memo saved.
  */
 std::vector<SweepEntry>
 sweepStrategies(const graph::LatencyPredictor &predictor,
                 const CollectiveModel &comms, const ServerConfig &server,
                 const graph::ModelConfig &config, uint64_t global_batch,
-                const SweepOptions &options = SweepOptions{});
+                const SweepOptions &options = SweepOptions{},
+                SweepStats *stats = nullptr);
 
 /**
  * The fastest single-axis (pure TP, pure PP, or pure DP) entry of a

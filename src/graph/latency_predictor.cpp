@@ -2,14 +2,30 @@
 
 namespace neusight::graph {
 
+std::vector<double>
+LatencyPredictor::predictKernelsMs(
+    const std::vector<gpusim::KernelDesc> &descs,
+    const gpusim::GpuSpec &gpu) const
+{
+    std::vector<double> out;
+    out.reserve(descs.size());
+    for (const auto &desc : descs)
+        out.push_back(predictKernelMs(desc, gpu));
+    return out;
+}
+
 double
 LatencyPredictor::predictGraphMs(const KernelGraph &g,
                                  const gpusim::GpuSpec &gpu) const
 {
-    double total = 0.0;
+    std::vector<gpusim::KernelDesc> descs;
+    descs.reserve(g.nodes.size());
     for (const auto &node : g.nodes)
         if (node.kind == NodeKind::Compute)
-            total += predictKernelMs(node.kernel, gpu);
+            descs.push_back(node.kernel);
+    double total = 0.0;
+    for (double ms : predictKernelsMs(descs, gpu))
+        total += ms;
     return total;
 }
 

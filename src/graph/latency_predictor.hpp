@@ -9,6 +9,7 @@
 #define NEUSIGHT_GRAPH_LATENCY_PREDICTOR_HPP
 
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "gpusim/gpu_spec.hpp"
@@ -29,8 +30,21 @@ class LatencyPredictor
                                    const gpusim::GpuSpec &gpu) const = 0;
 
     /**
+     * Latencies of @p descs on @p gpu, in order. The batched seam of the
+     * interface: the default loops predictKernelMs, and backends that
+     * can amortize work across kernels (NeuSight dedups repeated
+     * fingerprints and evaluates each operator family's MLP in one
+     * matrix pass) override this once and every graph forecast
+     * inherits the speedup.
+     */
+    virtual std::vector<double>
+    predictKernelsMs(const std::vector<gpusim::KernelDesc> &descs,
+                     const gpusim::GpuSpec &gpu) const;
+
+    /**
      * Per-GPU latency of a kernel graph: kernels execute sequentially on
-     * the device (Section 5), so the default sums over compute nodes.
+     * the device (Section 5), so the default sums the compute nodes'
+     * predictKernelsMs latencies.
      */
     virtual double predictGraphMs(const KernelGraph &g,
                                   const gpusim::GpuSpec &gpu) const;

@@ -1,5 +1,6 @@
 #include "nn/module.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <istream>
@@ -134,6 +135,24 @@ Mlp::forward(const Var &x)
     for (size_t l = 0; l + 1 < layers.size(); ++l)
         h = reluAv(layers[l].forward(h));
     return layers.back().forward(h);
+}
+
+Matrix
+Mlp::inferRows(const Matrix &x) const
+{
+    ensure(x.cols() == config.inputDim,
+           "Mlp::inferRows: feature width mismatch");
+    // Mirror forward() kernel-for-kernel (matmul, row-broadcast bias,
+    // max(0, .)) so the two paths stay bit-identical.
+    Matrix h = x;
+    for (size_t l = 0; l < layers.size(); ++l) {
+        h = addRowBroadcast(matmul(h, layers[l].weight.value()),
+                            layers[l].bias.value());
+        if (l + 1 < layers.size())
+            for (size_t i = 0; i < h.size(); ++i)
+                h.raw()[i] = std::max(h.raw()[i], 0.0);
+    }
+    return h;
 }
 
 TransformerRegressor::TransformerRegressor(const TransformerConfig &config_)

@@ -106,6 +106,16 @@ class Mlp : public Module
 
     Var forward(const Var &x) override;
 
+    /**
+     * Inference-mode forward: maps a (B, inputDim) feature batch to the
+     * (B, outputDim) prediction without allocating any autograd tape
+     * nodes. Runs the exact same kernels in the same order as the taped
+     * forward(), so the result is bit-identical — the hot path for
+     * batched kernel prediction (KernelPredictor::predictBatch), where
+     * the per-row tape bookkeeping would dominate the math.
+     */
+    Matrix inferRows(const Matrix &x) const;
+
     size_t inputDim() const override { return config.inputDim; }
 
     /** The construction configuration. */

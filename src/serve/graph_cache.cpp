@@ -1,0 +1,90 @@
+#include "serve/graph_cache.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace neusight::serve {
+
+ModelGraphCache::ModelGraphCache(size_t capacity) : maxEntries(capacity)
+{
+    ensure(capacity >= 1, "ModelGraphCache: capacity must be at least 1");
+}
+
+std::shared_ptr<const graph::KernelGraph>
+ModelGraphCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = index.find(key);
+    if (it == index.end()) {
+        ++missCount;
+        return nullptr;
+    }
+    ++hitCount;
+    lru.splice(lru.begin(), lru, it->second);
+    return it->second->second;
+}
+
+void
+ModelGraphCache::insert(const std::string &key,
+                        std::shared_ptr<const graph::KernelGraph> graph)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    ++insertCount;
+    const auto it = index.find(key);
+    if (it != index.end()) {
+        it->second->second = std::move(graph);
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    if (lru.size() >= maxEntries) {
+        index.erase(lru.back().first);
+        lru.pop_back();
+        ++evictionCount;
+    }
+    lru.emplace_front(key, std::move(graph));
+    index[key] = lru.begin();
+}
+
+std::shared_ptr<const graph::KernelGraph>
+ModelGraphCache::getOrBuild(
+    const std::string &key,
+    const std::function<graph::KernelGraph()> &build)
+{
+    if (auto hit = lookup(key))
+        return hit;
+    auto built = std::make_shared<const graph::KernelGraph>(build());
+    insert(key, built);
+    return built;
+}
+
+CacheStats
+ModelGraphCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    CacheStats s;
+    s.hits = hitCount;
+    s.misses = missCount;
+    s.evictions = evictionCount;
+    s.inserts = insertCount;
+    s.size = lru.size();
+    s.capacity = maxEntries;
+    return s;
+}
+
+void
+ModelGraphCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    lru.clear();
+    index.clear();
+}
+
+size_t
+ModelGraphCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return lru.size();
+}
+
+} // namespace neusight::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Model-graph cache for the forecast-serving subsystem. At high
+ * kernel-prediction-cache hit rates the residual per-request cost is
+ * constructing the KernelGraph itself (thousands of KernelDesc nodes for
+ * a large transformer), and production traffic asks about the same few
+ * (model, batch, context) points over and over — so the server memoizes
+ * built graphs behind a canonical request fingerprint. Graphs are
+ * GPU-independent (the builders take only model/batch/dtype), shared as
+ * immutable shared_ptr snapshots, and evicted LRU.
+ */
+
+#ifndef NEUSIGHT_SERVE_GRAPH_CACHE_HPP
+#define NEUSIGHT_SERVE_GRAPH_CACHE_HPP
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "serve/prediction_cache.hpp"
+
+namespace neusight::serve {
+
+/**
+ * Thread-safe LRU cache from a graph fingerprint to an immutable built
+ * KernelGraph. A single mutex guards the map: entries are two orders of
+ * magnitude fewer (and three heavier) than kernel predictions, so shard
+ * contention is not the bottleneck the prediction cache has to dodge.
+ */
+class ModelGraphCache
+{
+  public:
+    /** @param capacity maximum cached graphs (>= 1). */
+    explicit ModelGraphCache(size_t capacity = 128);
+
+    /**
+     * Find @p key; on a hit promote the entry and return it, else
+     * nullptr. Counts one hit or one miss.
+     */
+    std::shared_ptr<const graph::KernelGraph>
+    lookup(const std::string &key);
+
+    /** Insert (or refresh) @p key, evicting the LRU entry when full. */
+    void insert(const std::string &key,
+                std::shared_ptr<const graph::KernelGraph> graph);
+
+    /**
+     * lookup(), falling back to @p build + insert on a miss. The
+     * builder runs outside the lock; two threads racing on the same
+     * cold key may both build (construction is idempotent) and the
+     * later insert wins.
+     */
+    std::shared_ptr<const graph::KernelGraph>
+    getOrBuild(const std::string &key,
+               const std::function<graph::KernelGraph()> &build);
+
+    /** Point-in-time counters. */
+    CacheStats stats() const;
+
+    /** Drop every entry; counters keep accumulating. */
+    void clear();
+
+    /** Current number of cached graphs. */
+    size_t size() const;
+
+    /** Maximum cached graphs. */
+    size_t capacity() const { return maxEntries; }
+
+  private:
+    using Entry =
+        std::pair<std::string, std::shared_ptr<const graph::KernelGraph>>;
+
+    mutable std::mutex mutex;
+    /** Front = most recently used. */
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t maxEntries;
+    uint64_t hitCount = 0;
+    uint64_t missCount = 0;
+    uint64_t evictionCount = 0;
+    uint64_t insertCount = 0;
+};
+
+} // namespace neusight::serve
+
+#endif // NEUSIGHT_SERVE_GRAPH_CACHE_HPP

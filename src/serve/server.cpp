@@ -33,6 +33,10 @@ ForecastServer::ForecastServer(const graph::LatencyPredictor &predictor_,
     if (!comms)
         comms = std::make_shared<dist::EstimatedCollectives>("A100-NVLink",
                                                              600.0);
+    graphCache = options.graphCache;
+    if (!graphCache && options.graphCacheCapacity > 0)
+        graphCache =
+            std::make_shared<ModelGraphCache>(options.graphCacheCapacity);
     threads.reserve(options.workers);
     for (size_t i = 0; i < options.workers; ++i)
         threads.emplace_back([this] { workerLoop(); });
@@ -155,16 +159,32 @@ ForecastServer::execute(const ForecastRequest &req) const
           case RequestKind::DecodeStep:
           case RequestKind::Training: {
             const graph::ModelConfig &model = graph::findModel(req.model);
-            graph::KernelGraph g;
-            if (req.kind == RequestKind::Inference)
-                g = graph::buildInferenceGraph(model, req.batch, req.dtype);
-            else if (req.kind == RequestKind::DecodeStep)
-                g = graph::buildDecodeGraph(model, req.batch, req.pastLen,
-                                            req.dtype);
-            else
-                g = graph::buildTrainingGraph(model, req.batch, req.dtype);
-            result.kernelCount = g.computeNodeCount();
-            result.latencyMs = predictor.predictGraphMs(g, req.gpu);
+            const auto build = [&] {
+                if (req.kind == RequestKind::Inference)
+                    return graph::buildInferenceGraph(model, req.batch,
+                                                      req.dtype);
+                if (req.kind == RequestKind::DecodeStep)
+                    return graph::buildDecodeGraph(model, req.batch,
+                                                   req.pastLen, req.dtype);
+                return graph::buildTrainingGraph(model, req.batch,
+                                                 req.dtype);
+            };
+            // The graph is GPU-independent, so the cache key deliberately
+            // omits the target GPU: requests differing only in GPU share
+            // one built graph.
+            std::shared_ptr<const graph::KernelGraph> g;
+            if (graphCache) {
+                const std::string key =
+                    std::string(requestKindName(req.kind)) + '|' +
+                    req.model + '|' + std::to_string(req.batch) + '|' +
+                    std::to_string(req.pastLen) + '|' +
+                    std::to_string(static_cast<int>(req.dtype));
+                g = graphCache->getOrBuild(key, build);
+            } else {
+                g = std::make_shared<const graph::KernelGraph>(build());
+            }
+            result.kernelCount = g->computeNodeCount();
+            result.latencyMs = predictor.predictGraphMs(*g, req.gpu);
             break;
           }
           case RequestKind::Distributed: {
@@ -255,6 +275,8 @@ ForecastServer::stats() const
     }
     if (options.cache)
         s.cache = options.cache->stats();
+    if (graphCache)
+        s.graphCache = graphCache->stats();
     return s;
 }
 

@@ -24,6 +24,7 @@
 
 #include "dist/collective.hpp"
 #include "graph/latency_predictor.hpp"
+#include "serve/graph_cache.hpp"
 #include "serve/request.hpp"
 
 namespace neusight::serve {
@@ -50,6 +51,17 @@ struct ServerOptions
      * Section 5.1) when unset.
      */
     std::shared_ptr<const dist::CollectiveModel> comms;
+    /**
+     * Model-graph cache: single-GPU requests (inference / decode /
+     * training) reuse constructed KernelGraphs keyed on the request's
+     * (kind, model, batch, context, dtype) fingerprint — graph
+     * construction is the residual per-request cost once the kernel-
+     * prediction cache is hot. Unset, the server creates a private one
+     * of graphCacheCapacity entries; share one here across servers.
+     */
+    std::shared_ptr<ModelGraphCache> graphCache;
+    /** Capacity of the private graph cache; 0 disables graph caching. */
+    size_t graphCacheCapacity = 128;
 };
 
 /** Point-in-time server counters. */
@@ -64,6 +76,8 @@ struct ServerStats
     size_t queueDepth = 0;
     size_t workers = 0;
     CacheStats cache;
+    /** Counters of the model-graph cache (zero when disabled). */
+    CacheStats graphCache;
 };
 
 /**
@@ -102,6 +116,12 @@ class ForecastServer
 
     ServerStats stats() const;
 
+    /** The active model-graph cache, or nullptr when disabled. */
+    const std::shared_ptr<ModelGraphCache> &modelGraphCache() const
+    {
+        return graphCache;
+    }
+
   private:
     struct Pending
     {
@@ -117,6 +137,7 @@ class ForecastServer
     const graph::LatencyPredictor &predictor;
     ServerOptions options;
     std::shared_ptr<const dist::CollectiveModel> comms;
+    std::shared_ptr<ModelGraphCache> graphCache;
 
     mutable std::mutex mutex;
     std::condition_variable notEmpty;

@@ -124,12 +124,16 @@ matmulTN(const Matrix &a, const Matrix &b)
     const size_t m = a.cols();
     const size_t k = a.rows();
     const size_t n = b.cols();
+    // A is consumed column-wise here; an O(m*k) transposed copy makes
+    // every access of the O(m*k*n) accumulation unit-stride.
+    const Matrix at = transpose(a);
     Matrix c(m, n);
 #pragma omp parallel for schedule(static) if (m * n * k > 1 << 16)
     for (size_t i = 0; i < m; ++i) {
         double *crow = c.raw() + i * n;
+        const double *atrow = at.raw() + i * k;
         for (size_t p = 0; p < k; ++p) {
-            const double aval = a.at(p, i);
+            const double aval = atrow[p];
             if (aval == 0.0)
                 continue;
             const double *brow = b.raw() + p * n;

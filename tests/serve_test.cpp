@@ -231,14 +231,17 @@ TEST_F(CachedNeuSight, CachedPathIsExactAndHits)
     auto cache = std::make_shared<PredictionCache>(256);
     framework->attachCache(cache);
     EXPECT_DOUBLE_EQ(framework->predictGraphMs(g, gpu), uncached);
-    // 12 kernels, 3 distinct shapes: 3 misses, 9 intra-graph hits.
+    // 12 kernels, 3 distinct shapes: graph-level dedup folds the 9
+    // intra-graph repeats before the cache is consulted, so the first
+    // forecast is 3 misses and no hits...
     CacheStats stats = cache->stats();
     EXPECT_EQ(stats.misses, 3u);
-    EXPECT_EQ(stats.hits, 9u);
+    EXPECT_EQ(stats.hits, 0u);
     EXPECT_DOUBLE_EQ(framework->predictGraphMs(g, gpu), uncached);
+    // ...and a repeated forecast hits once per distinct shape.
     stats = cache->stats();
     EXPECT_EQ(stats.misses, 3u);
-    EXPECT_EQ(stats.hits, 21u);
+    EXPECT_EQ(stats.hits, 3u);
     framework->attachCache(nullptr);
     EXPECT_EQ(framework->predictionCache(), nullptr);
 }
@@ -503,6 +506,85 @@ TEST(Wire, ResultSerializesForecastAndCacheCounters)
     const common::Json ejson = resultToJson(error);
     EXPECT_FALSE(ejson.at("ok").asBool());
     EXPECT_EQ(ejson.at("error").asString(), "boom");
+}
+
+TEST(GraphCache, LruEvictionAndPromotion)
+{
+    ModelGraphCache cache(2);
+    const auto make = [](size_t nodes) {
+        graph::KernelGraph g;
+        for (size_t i = 0; i < nodes; ++i)
+            g.add(makeLinear(64, 64, 64), "n" + std::to_string(i));
+        return std::make_shared<const graph::KernelGraph>(std::move(g));
+    };
+    EXPECT_EQ(cache.lookup("a"), nullptr);
+    cache.insert("a", make(1));
+    cache.insert("b", make(2));
+    // Promote "a", insert "c": "b" is now the LRU victim.
+    ASSERT_NE(cache.lookup("a"), nullptr);
+    cache.insert("c", make(3));
+    EXPECT_EQ(cache.lookup("b"), nullptr);
+    ASSERT_NE(cache.lookup("a"), nullptr);
+    EXPECT_EQ(cache.lookup("a")->computeNodeCount(), 1u);
+    ASSERT_NE(cache.lookup("c"), nullptr);
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.size, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.inserts, 3u);
+}
+
+TEST(GraphCache, GetOrBuildBuildsOncePerKey)
+{
+    ModelGraphCache cache(8);
+    int builds = 0;
+    const auto build = [&] {
+        ++builds;
+        graph::KernelGraph g;
+        g.add(makeLinear(8, 8, 8), "n");
+        return g;
+    };
+    const auto first = cache.getOrBuild("k", build);
+    const auto second = cache.getOrBuild("k", build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(Server, ModelGraphCacheServesRepeatedRequests)
+{
+    const eval::SimulatorOracle oracle;
+    ForecastServer server(oracle, ServerOptions{});
+    ASSERT_NE(server.modelGraphCache(), nullptr);
+
+    // Two distinct requests sharing (kind, model, batch, dtype) but
+    // differing in tag and GPU: the graph is GPU-independent, so the
+    // second is a graph-cache hit — and the forecasts still differ.
+    ForecastRequest a = smallInferenceRequest(4, "a100");
+    ForecastRequest b = smallInferenceRequest(4, "h100");
+    b.gpu = findGpu("H100");
+    const ForecastResult ra = server.submit(a).get();
+    const ForecastResult rb = server.submit(b).get();
+    ASSERT_TRUE(ra.ok);
+    ASSERT_TRUE(rb.ok);
+    EXPECT_NE(ra.latencyMs, rb.latencyMs);
+    EXPECT_EQ(ra.kernelCount, rb.kernelCount);
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.graphCache.misses, 1u);
+    EXPECT_GE(stats.graphCache.hits, 1u);
+
+    // A different batch is a different graph.
+    ASSERT_TRUE(server.submit(smallInferenceRequest(8, "b8")).get().ok);
+    EXPECT_EQ(server.stats().graphCache.misses, 2u);
+}
+
+TEST(Server, GraphCacheCanBeDisabled)
+{
+    const eval::SimulatorOracle oracle;
+    ServerOptions options;
+    options.graphCacheCapacity = 0;
+    ForecastServer server(oracle, options);
+    EXPECT_EQ(server.modelGraphCache(), nullptr);
+    EXPECT_TRUE(server.submit(smallInferenceRequest(2, "x")).get().ok);
+    EXPECT_EQ(server.stats().graphCache.hits, 0u);
 }
 
 TEST(Wire, ScriptReaderSkipsBlanksAndComments)

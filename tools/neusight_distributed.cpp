@@ -14,6 +14,7 @@
  *                        --global-batch 16 --sweep --sweep-json plan.json
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -57,9 +58,10 @@ runSweep(const graph::LatencyPredictor &predictor,
          uint64_t global_batch, const dist::SweepOptions &options,
          int top, const std::string &json_path)
 {
+    dist::SweepStats stats;
     const auto entries = dist::sweepStrategies(predictor, comms, server,
                                                model, global_batch,
-                                               options);
+                                               options, &stats);
     if (entries.empty())
         fatal("no runnable strategy found: every (tp, pp, dp) "
               "factorization failed validation or the memory screen");
@@ -88,6 +90,15 @@ runSweep(const graph::LatencyPredictor &predictor,
                       TextTable::num(e.result.commBytes / 1e9, 2)});
     }
     table.print();
+    std::printf("\nsweep: %zu points priced across %zu factorizations; "
+                "%zu points pruned by the bound (%zu whole "
+                "factorizations, %zu micro rows); stage-price memo "
+                "%llu hits / %llu misses\n",
+                stats.evaluatedPoints, stats.factorizations,
+                stats.skippedPoints, stats.prunedFactorizations,
+                stats.prunedMicroRows,
+                static_cast<unsigned long long>(stats.stagePriceHits),
+                static_cast<unsigned long long>(stats.stagePriceMisses));
 
     // Winner vs the best single-axis plan: the sweep's value statement.
     const dist::SweepEntry &winner = entries.front();
@@ -102,12 +113,22 @@ runSweep(const graph::LatencyPredictor &predictor,
                     best_single->config.describe().c_str(),
                     best_single->result.latencyMs);
 
+    if (!options.exhaustive && stats.skippedPoints > 0 &&
+        (top <= 0 || !json_path.empty()))
+        inform("the bound pruned " +
+               std::to_string(stats.skippedPoints) +
+               " provably-slower points; pass --exhaustive for the "
+               "complete ranked space");
+
     if (!json_path.empty()) {
         common::Json report;
         report.set("model", model.name);
         report.set("gpu", server.gpuName);
         report.set("num_gpus", server.numGpus);
         report.set("global_batch", static_cast<uint64_t>(global_batch));
+        report.set("exhaustive", options.exhaustive);
+        report.set("pruned_points",
+                   static_cast<uint64_t>(stats.skippedPoints));
         common::Json::Array rows;
         for (size_t i = 0; i < entries.size(); ++i)
             rows.push_back(
@@ -153,9 +174,18 @@ run(int argc, const char *const *argv)
     args.addFlag("sweep", "search every (tp, pp, dp, micro-batch, "
                           "schedule, recompute) combination and rank the "
                           "runnable ones by forecast iteration time");
-    args.addInt("top", 10, "sweep rows to print (0 = all)");
+    args.addFlag("exhaustive",
+                 "with --sweep: evaluate every runnable point instead "
+                 "of branch-and-bound pruning (same winner and top "
+                 "ranks, audits the full space)");
+    args.addInt("sweep-threads", 0,
+                "with --sweep: worker threads pricing sweep points "
+                "(0 = one per hardware thread)");
+    args.addInt("top", 10, "sweep rows to print (0 = all surviving)");
     args.addString("sweep-json", "",
-                   "also write the full ranked sweep as JSON");
+                   "also write the ranked sweep as JSON (every runnable "
+                   "point with --exhaustive; otherwise the prune "
+                   "survivors, exact through the top keepTop ranks)");
     args.addDouble("link-gbps", 0.0,
                    "peak GPU-to-GPU bandwidth GB/s (0 = GPU spec value)");
     args.addString("reference-system", "A100-NVLink",
@@ -232,6 +262,13 @@ run(int argc, const char *const *argv)
         options.tryRecompute = true;
         options.virtualStagesPerGpu =
             static_cast<int>(args.getInt("virtual-stages"));
+        options.exhaustive = args.getFlag("exhaustive");
+        options.threads =
+            static_cast<int>(args.getInt("sweep-threads"));
+        // Keep at least the printed prefix exact under pruning.
+        if (args.getInt("top") > 0)
+            options.keepTop = std::max(
+                options.keepTop, static_cast<int>(args.getInt("top")));
         return runSweep(neusight, comms, server, model, global_batch,
                         options, static_cast<int>(args.getInt("top")),
                         args.getString("sweep-json"));

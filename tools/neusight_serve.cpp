@@ -8,15 +8,19 @@
  *
  *   echo '{"op":"inference","model":"GPT3-XL","batch":4,"gpu":"H100"}' \
  *       | neusight-serve --workers 2
+ *   cat requests.jsonl | neusight-serve --async --workers 8
  *   neusight-serve --script requests.jsonl --workers 8 --repeat 16
  */
 
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/argparse.hpp"
@@ -56,6 +60,14 @@ run(int argc, const char *const *argv)
     args.addInt("cache-capacity", 65536,
                 "kernel-prediction cache entries");
     args.addFlag("no-cache", "disable the kernel-prediction cache");
+    args.addInt("graph-cache-capacity", 128,
+                "model-graph cache entries (constructed KernelGraphs "
+                "memoized per request fingerprint)");
+    args.addFlag("no-graph-cache", "disable the model-graph cache");
+    args.addFlag("async",
+                 "pipeline stdin with execution: submit every line as "
+                 "it arrives and print results in submission order, so "
+                 "one piped client saturates the worker pool");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -98,6 +110,13 @@ run(int argc, const char *const *argv)
     options.workers = static_cast<size_t>(workers);
     options.queueCapacity = static_cast<size_t>(queue);
     options.cache = cache;
+    const int64_t graph_capacity = args.getInt("graph-cache-capacity");
+    if (graph_capacity < 1)
+        fatal("--graph-cache-capacity must be at least 1");
+    options.graphCacheCapacity =
+        args.getFlag("no-graph-cache")
+            ? 0
+            : static_cast<size_t>(graph_capacity);
     serve::ForecastServer server(*backend, options);
 
     const auto start = std::chrono::steady_clock::now();
@@ -105,7 +124,62 @@ run(int argc, const char *const *argv)
     uint64_t failed = 0;
 
     const std::string script = args.getString("script");
-    if (script.empty()) {
+    if (!script.empty() && args.getFlag("async"))
+        fatal("--async applies to stdin; --script already submits the "
+              "whole script through the worker pool");
+    if (script.empty() && args.getFlag("async")) {
+        if (repeat != 1)
+            fatal("--repeat needs --script (stdin is answered line by "
+                  "line as it arrives)");
+        // Async stdin: submit each line the moment it parses and print
+        // completed results in submission order, so execution overlaps
+        // with reading and one piped client keeps every worker busy.
+        std::deque<std::future<serve::ForecastResult>> inflight;
+        const auto emit = [&](serve::ForecastResult result) {
+            ++answered;
+            if (!result.ok)
+                ++failed;
+            printResult(result);
+        };
+        // Print the leading results that are ready (blocking = drain
+        // everything, e.g. at EOF); order is submission order.
+        const auto drain = [&](bool blocking) {
+            while (!inflight.empty() &&
+                   (blocking ||
+                    inflight.front().wait_for(std::chrono::seconds(0)) ==
+                        std::future_status::ready)) {
+                emit(inflight.front().get());
+                inflight.pop_front();
+            }
+        };
+        std::string line;
+        size_t line_no = 0;
+        while (std::getline(std::cin, line)) {
+            ++line_no;
+            if (serve::isSkippableRequestLine(line))
+                continue;
+            try {
+                inflight.push_back(server.submit(serve::requestFromJson(
+                    common::Json::parse(line))));
+            } catch (const std::exception &e) {
+                serve::ForecastResult result;
+                result.ok = false;
+                result.error = "line " + std::to_string(line_no) + ": " +
+                               e.what();
+                std::promise<serve::ForecastResult> immediate;
+                immediate.set_value(std::move(result));
+                inflight.push_back(immediate.get_future());
+            }
+            drain(/*blocking=*/false);
+            // Bound the completed-but-unprinted backlog behind a slow
+            // head-of-line request.
+            while (inflight.size() > 4096) {
+                emit(inflight.front().get());
+                inflight.pop_front();
+            }
+        }
+        drain(/*blocking=*/true);
+    } else if (script.empty()) {
         if (repeat != 1)
             fatal("--repeat needs --script (stdin is answered line by "
                   "line as it arrives)");
@@ -178,6 +252,16 @@ run(int argc, const char *const *argv)
                      static_cast<unsigned long long>(cs.misses),
                      100.0 * cs.hitRate(),
                      static_cast<unsigned long long>(cs.evictions));
+    }
+    if (server.modelGraphCache()) {
+        const serve::CacheStats gs = server.modelGraphCache()->stats();
+        std::fprintf(stderr,
+                     "neusight-serve: graph cache %zu/%zu graphs, %llu "
+                     "hits / %llu misses (%.1f%% hit rate)\n",
+                     gs.size, gs.capacity,
+                     static_cast<unsigned long long>(gs.hits),
+                     static_cast<unsigned long long>(gs.misses),
+                     100.0 * gs.hitRate());
     }
     return failed == 0 ? 0 : 2;
 }
