@@ -4,18 +4,35 @@
  * this example extends the forecast to the full serving picture —
  * prefill latency plus per-token decode latency against a growing KV
  * cache — and compares GPUs on time-to-first-token and steady-state
- * tokens/second without running on any of them.
+ * tokens/second without running on any of them. Everything flows
+ * through one api::ForecastEngine: typed inference/decode requests,
+ * the kernel-prediction cache, and the model-graph cache, exactly the
+ * path the forecast server runs in production.
  */
 
 #include <cstdio>
 
+#include "api/engine.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
-#include "core/predictor.hpp"
 #include "graph/models.hpp"
-#include "serve/prediction_cache.hpp"
 
 using namespace neusight;
+
+namespace {
+
+/** Forecast or die loudly — a silent zero would poison every row. */
+double
+forecastMs(const api::ForecastEngine &engine,
+           const api::ForecastRequest &request)
+{
+    const api::ForecastResult result = engine.forecast(request);
+    if (!result.ok)
+        fatal("forecast failed: " + result.error);
+    return result.latencyMs;
+}
+
+} // namespace
 
 int
 main()
@@ -26,16 +43,16 @@ main()
     const uint64_t generate_tokens = 128;
 
     // Trained on the five NVIDIA training GPUs; H100/L4/A100-80GB are
-    // held out, exactly the unseen-GPU scenario of the paper.
-    core::NeuSight neusight = core::NeuSight::trainOrLoad(
-        "neusight_nvidia.bin", gpusim::nvidiaTrainingSet(),
-        dataset::SamplerConfig{});
+    // held out, exactly the unseen-GPU scenario of the paper. Serving
+    // forecasts repeat kernels heavily — every decode step shares
+    // almost its whole graph with the previous context length — so the
+    // engine's kernel-prediction cache does the heavy lifting.
+    const api::ForecastEngine engine(
+        api::EngineConfig().cache(16384));
 
-    // Serving forecasts repeat kernels heavily — every decode step
-    // shares almost its whole graph with the previous context length —
-    // so route everything through the kernel-prediction cache.
-    const auto cache = std::make_shared<serve::PredictionCache>(16384);
-    neusight.attachCache(cache);
+    api::ForecastRequest request;
+    request.model = model.name;
+    request.batch = batch;
 
     std::printf("Serving %s, batch %llu, prompt %llu tokens, "
                 "generating %llu tokens\n\n",
@@ -49,21 +66,21 @@ main()
         {"gpu", "prefill (ms)", "ms/token @ctx", "tokens/s", "KV cache"});
     for (const char *name : {"V100", "A100-40GB", "A100-80GB", "L4",
                              "H100"}) {
-        const gpusim::GpuSpec &gpu = gpusim::findGpu(name);
+        request.gpu = api::ForecastEngine::resolveGpu(name);
 
         // Time to first token: the paper's prefill latency metric.
-        const double prefill_ms = neusight.predictGraphMs(
-            graph::buildInferenceGraph(model, batch), gpu);
+        request.kind = api::RequestKind::Inference;
+        const double prefill_ms = forecastMs(engine, request);
 
         // Steady-state decode: average the per-token forecast over the
-        // generation window (the cache grows every step).
+        // generation window (the KV cache grows every step).
+        request.kind = api::RequestKind::DecodeStep;
         double decode_total_ms = 0.0;
         for (uint64_t t = 0; t < generate_tokens; t += 16) {
-            const auto g = graph::buildDecodeGraph(model, batch,
-                                                   model.seq + t);
-            decode_total_ms +=
-                16.0 * neusight.predictGraphMs(g, gpu);
+            request.pastLen = model.seq + t;
+            decode_total_ms += 16.0 * forecastMs(engine, request);
         }
+        request.pastLen = 0;
         const double ms_per_token =
             decode_total_ms / static_cast<double>(generate_tokens);
         const double kv_gb =
@@ -83,7 +100,7 @@ main()
                 "the two phases can favor different GPUs, which is why "
                 "both forecasts matter when sizing a deployment.\n");
 
-    const serve::CacheStats stats = cache->stats();
+    const api::CacheStats stats = engine.cacheStats();
     std::printf("\nPrediction cache: %llu hits / %llu misses "
                 "(%.1f%% hit rate) — repeated decode-step kernels are "
                 "forecast once per GPU, not once per context length.\n",

@@ -2,7 +2,10 @@
  * @file
  * Quickstart: forecast the inference latency of GPT3-XL on an H100 —
  * a GPU the predictor was never trained on. Mirrors the paper artifact's
- * basic test (scripts/example/gpt3_inference_h100.sh).
+ * basic test (scripts/example/gpt3_inference_h100.sh), driven through
+ * the library's one entry point: api::ForecastEngine answers the same
+ * typed request twice, once with the trained NeuSight backend and once
+ * with the simulator ground truth ("oracle"), selected per request.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -11,40 +14,47 @@
 
 #include <cstdio>
 
-#include "core/predictor.hpp"
-#include "dataset/dataset.hpp"
-#include "eval/oracle.hpp"
-#include "graph/models.hpp"
+#include "api/engine.hpp"
+#include "common/logging.hpp"
 
 int
 main()
 {
     using namespace neusight;
 
-    // 1. Train NeuSight on the five older-generation NVIDIA GPUs
-    //    (P4, P100, V100, T4, A100-40GB), or load a cached model.
-    //    H100 data is never used.
-    core::NeuSight neusight = core::NeuSight::trainOrLoad(
-        "neusight_nvidia.bin", gpusim::nvidiaTrainingSet(),
-        dataset::SamplerConfig{});
+    // 1. The engine hosts the predictor registry: the "neusight"
+    //    backend trains on the five older-generation NVIDIA GPUs (P4,
+    //    P100, V100, T4, A100-40GB) — or loads the cached file — on
+    //    first use. H100 data is never used.
+    const api::ForecastEngine engine;
 
-    // 2. Describe the workload: GPT3-XL, batch 2, first-token inference.
-    const graph::ModelConfig &model = graph::findModel("GPT3-XL");
-    const graph::KernelGraph g = graph::buildInferenceGraph(model, 2);
-    std::printf("GPT3-XL inference graph: %zu kernels, %.1f GFLOP\n",
-                g.computeNodeCount(), g.totalFlops() / 1e9);
+    // 2. Describe the workload as a typed request: GPT3-XL, batch 2,
+    //    first-token inference on the unseen GPU.
+    api::ForecastRequest request;
+    request.kind = api::RequestKind::Inference;
+    request.model = "GPT3-XL";
+    request.batch = 2;
+    request.gpu = api::ForecastEngine::resolveGpu("H100");
 
     // 3. Forecast on the unseen GPU.
-    const gpusim::GpuSpec &h100 = gpusim::findGpu("H100");
-    const double predicted_ms = neusight.predictGraphMs(g, h100);
-    std::printf("Predicted latency on H100:  %8.1f ms\n", predicted_ms);
+    const api::ForecastResult predicted = engine.forecast(request);
+    if (!predicted.ok)
+        fatal("forecast failed: " + predicted.error);
+    std::printf("GPT3-XL inference graph: %zu kernels\n",
+                predicted.kernelCount);
+    std::printf("Predicted latency on H100:  %8.1f ms\n",
+                predicted.latencyMs);
 
-    // 4. Compare against the measurement substrate (in a real deployment
-    //    this is the number you do not have).
-    const eval::SimulatorOracle oracle;
-    const double measured_ms = oracle.predictGraphMs(g, h100);
+    // 4. Compare against the measurement substrate by re-asking the
+    //    same request from the simulator-oracle backend (in a real
+    //    deployment this is the number you do not have).
+    request.backend = "oracle";
+    const api::ForecastResult measured = engine.forecast(request);
+    if (!measured.ok)
+        fatal("forecast failed: " + measured.error);
     std::printf("Measured latency on H100:   %8.1f ms  (error %.1f%%)\n",
-                measured_ms,
-                (predicted_ms - measured_ms) / measured_ms * 100.0);
+                measured.latencyMs,
+                (predicted.latencyMs - measured.latencyMs) /
+                    measured.latencyMs * 100.0);
     return 0;
 }

@@ -1,0 +1,293 @@
+#include "api/engine.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+#include "core/predictor.hpp"
+#include "graph/cnn.hpp"
+#include "graph/model_io.hpp"
+#include "graph/models.hpp"
+#include "gpusim/spec_io.hpp"
+
+namespace neusight::api {
+
+namespace {
+
+/** The multi-GPU server a Distributed/Hybrid/Sweep request targets. */
+dist::ServerConfig
+serverFromRequest(const ForecastRequest &req)
+{
+    dist::ServerConfig server;
+    server.systemName = req.gpu.name + "-server";
+    server.numGpus = req.numGpus;
+    server.linkGBps = req.linkGBps;
+    server.setGpu(req.gpu);
+    return server;
+}
+
+} // namespace
+
+ForecastEngine::ForecastEngine(EngineConfig config_)
+    : config(std::move(config_))
+{
+    reg = config.registry;
+    if (!reg)
+        reg = PredictorRegistry::withBuiltins(config.neusightPath,
+                                              config.trainingGpus);
+    cache = config.sharedCache;
+    if (!cache && config.cacheCapacity > 0)
+        cache = std::make_shared<serve::PredictionCache>(
+            config.cacheCapacity);
+    graphCache = config.sharedGraphCache;
+    if (!graphCache && config.graphCacheCapacity > 0)
+        graphCache = std::make_shared<serve::ModelGraphCache>(
+            config.graphCacheCapacity);
+    comms = config.comms;
+    if (!comms)
+        comms = std::make_shared<dist::EstimatedCollectives>(
+            config.referenceSystem, config.referenceLinkGBps);
+    if (!config.cacheLoadPath.empty())
+        loadPredictionCache(config.cacheLoadPath);
+}
+
+const ForecastEngine::WiredBackend &
+ForecastEngine::wire(const std::string &name) const
+{
+    {
+        // Fast path: already-wired backends must never wait behind a
+        // cold backend's construction (training a NeuSight framework
+        // can take minutes; stalling every server worker on the wire
+        // lock meanwhile would freeze the whole pool).
+        std::lock_guard<std::mutex> lock(wireMutex);
+        const auto it = wired.find(name);
+        if (it != wired.end())
+            return it->second;
+    }
+
+    // Construct outside the wire lock. The registry serializes
+    // construction internally, so a name builds exactly once even when
+    // several workers race on it.
+    const graph::LatencyPredictor &raw = reg->get(name);
+
+    std::lock_guard<std::mutex> lock(wireMutex);
+    const auto it = wired.find(name);
+    if (it != wired.end()) // Another worker wired it meanwhile.
+        return it->second;
+
+    WiredBackend backend;
+    auto *neusight =
+        cache ? dynamic_cast<core::NeuSight *>(reg->getOwned(name))
+              : nullptr;
+    if (!cache) {
+        backend.predictor = &raw;
+    } else if (neusight && neusight->predictionCache() == nullptr) {
+        // Registry-owned NeuSight with no cache yet: attach the engine
+        // cache natively (keeps the batched dedup path) under a
+        // per-backend key scope. The instance has not been handed out
+        // by this engine yet, so none of our workers predict through
+        // it before the attach.
+        neusight->attachCache(std::make_shared<serve::ScopedKernelCache>(
+            cache, name));
+        backend.predictor = neusight;
+    } else if (neusight) {
+        // Already carries a cache (the registry is shared and another
+        // engine attached first, or the user attached one): leave it
+        // untouched — re-attaching would clobber that wiring and race
+        // with in-flight predictions. Forecasts stay correct (entries
+        // are deterministic per fingerprint); the hits simply land in
+        // the first attacher's cache.
+        backend.predictor = neusight;
+    } else {
+        // Generic (or externally-owned) backend: decorate with the
+        // shared cache, scoped so two backends never trade entries.
+        backend.wrapper = std::make_unique<serve::CachedPredictor>(
+            raw, cache, name);
+        backend.predictor = backend.wrapper.get();
+    }
+    return wired.emplace(name, std::move(backend)).first->second;
+}
+
+const graph::LatencyPredictor &
+ForecastEngine::backend(const std::string &name) const
+{
+    return *wire(name.empty() ? config.defaultBackend : name).predictor;
+}
+
+gpusim::GpuSpec
+ForecastEngine::resolveGpu(const std::string &name_or_path,
+                           const std::string &json_override)
+{
+    if (!json_override.empty())
+        return gpusim::loadGpuSpecs(json_override).front();
+    return gpusim::resolveGpu(name_or_path);
+}
+
+ForecastResult
+ForecastEngine::forecast(const ForecastRequest &req) const
+{
+    ForecastResult result;
+    result.tag = req.tag;
+    try {
+        const graph::LatencyPredictor &predictor = backend(req.backend);
+        switch (req.kind) {
+          case RequestKind::Inference:
+          case RequestKind::DecodeStep:
+          case RequestKind::Training: {
+            // Model resolution stays inside the build closure: on a
+            // graph-cache hit the request skips it entirely, which
+            // matters when req.model is a JSON path (resolveModel
+            // reads and parses the file per call).
+            const auto build = [&] {
+                const graph::ModelConfig model =
+                    graph::resolveModel(req.model);
+                if (req.kind == RequestKind::Inference)
+                    return graph::buildInferenceGraph(model, req.batch,
+                                                      req.dtype);
+                if (req.kind == RequestKind::DecodeStep)
+                    return graph::buildDecodeGraph(model, req.batch,
+                                                   req.pastLen, req.dtype);
+                return graph::buildTrainingGraph(model, req.batch,
+                                                 req.dtype);
+            };
+            // The graph is GPU-independent, so the cache key deliberately
+            // omits the target GPU (and the backend): requests differing
+            // only there share one built graph.
+            std::shared_ptr<const graph::KernelGraph> g;
+            if (graphCache) {
+                const std::string key =
+                    std::string(requestKindName(req.kind)) + '|' +
+                    req.model + '|' + std::to_string(req.batch) + '|' +
+                    std::to_string(req.pastLen) + '|' +
+                    std::to_string(static_cast<int>(req.dtype));
+                g = graphCache->getOrBuild(key, build);
+            } else {
+                g = std::make_shared<const graph::KernelGraph>(build());
+            }
+            result.kernelCount = g->computeNodeCount();
+            result.latencyMs = predictor.predictGraphMs(*g, req.gpu);
+            break;
+          }
+          case RequestKind::Distributed: {
+            const graph::ModelConfig model =
+                graph::resolveModel(req.model);
+            const dist::ServerConfig server = serverFromRequest(req);
+            const std::string reject = dist::validateStrategy(
+                model, server, req.globalBatch, req.strategy,
+                req.pipeline);
+            if (!reject.empty()) {
+                result.ok = false;
+                result.error = reject;
+                break;
+            }
+            dist::DistributedResult dr;
+            if (req.strategy == dist::Parallelism::Pipeline)
+                dr = dist::pipelineTrainingMs(predictor, *comms, server,
+                                              model, req.globalBatch,
+                                              req.pipeline);
+            else
+                dr = dist::distributedTrainingMs(predictor, *comms,
+                                                 server, model,
+                                                 req.globalBatch,
+                                                 req.strategy);
+            result.latencyMs = dr.latencyMs;
+            result.oom = dr.oom;
+            result.commBytes = dr.commBytes;
+            break;
+          }
+          case RequestKind::Hybrid: {
+            const graph::ModelConfig model =
+                graph::resolveModel(req.model);
+            const dist::ServerConfig server = serverFromRequest(req);
+            const std::string reject = dist::validateHybrid(
+                model, server, req.globalBatch, req.hybrid);
+            if (!reject.empty()) {
+                result.ok = false;
+                result.error = reject;
+                break;
+            }
+            const dist::HybridResult hr = dist::hybridTrainingMs(
+                predictor, *comms, server, model, req.globalBatch,
+                req.hybrid);
+            result.latencyMs = hr.latencyMs;
+            result.oom = hr.oom;
+            result.commBytes = hr.commBytes;
+            result.strategy = req.hybrid.describe();
+            break;
+          }
+          case RequestKind::HybridSweep: {
+            const graph::ModelConfig model =
+                graph::resolveModel(req.model);
+            const dist::ServerConfig server = serverFromRequest(req);
+            const std::vector<dist::SweepEntry> entries =
+                dist::sweepStrategies(predictor, *comms, server, model,
+                                      req.globalBatch, config.sweep);
+            if (entries.empty()) {
+                result.ok = false;
+                result.error =
+                    "no runnable strategy: every (tp, pp, dp) "
+                    "factorization failed validation or the memory "
+                    "screen";
+                break;
+            }
+            const dist::SweepEntry &winner = entries.front();
+            result.latencyMs = winner.result.latencyMs;
+            result.commBytes = winner.result.commBytes;
+            result.strategy = winner.config.describe();
+            break;
+          }
+        }
+    } catch (const std::exception &e) {
+        result.ok = false;
+        result.error = e.what();
+    }
+    if (cache)
+        result.cache = cache->stats();
+    return result;
+}
+
+CacheStats
+ForecastEngine::cacheStats() const
+{
+    return cache ? cache->stats() : CacheStats{};
+}
+
+size_t
+ForecastEngine::savePredictionCache(const std::string &path) const
+{
+    const std::string &target =
+        path.empty() ? config.cacheSavePath : path;
+    if (target.empty())
+        fatal("ForecastEngine: no cache snapshot path configured "
+              "(EngineConfig::saveCacheTo)");
+    if (!cache)
+        fatal("ForecastEngine: cannot snapshot a disabled cache");
+    return cache->saveTo(target);
+}
+
+size_t
+ForecastEngine::loadPredictionCache(const std::string &path)
+{
+    if (!cache)
+        fatal("ForecastEngine: cannot load a snapshot into a disabled "
+              "cache");
+    return cache->loadFrom(path);
+}
+
+graph::KernelGraph
+buildWorkloadGraph(const std::string &model, uint64_t batch, bool training,
+                   gpusim::DataType dtype)
+{
+    if (model == "ResNet-50")
+        return training ? graph::buildResNet50TrainingGraph(batch, dtype)
+                        : graph::buildResNet50Graph(batch, dtype);
+    if (model == "VGG-16") {
+        if (training)
+            fatal("VGG-16 training graph not provided; use inference");
+        return graph::buildVgg16Graph(batch, dtype);
+    }
+    const graph::ModelConfig config = graph::resolveModel(model);
+    return training ? graph::buildTrainingGraph(config, batch, dtype)
+                    : graph::buildInferenceGraph(config, batch, dtype);
+}
+
+} // namespace neusight::api

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * ForecastEngine: the one entry point of the forecasting library. An
+ * engine owns the predictor registry (named backends, selected per
+ * request), the kernel-prediction cache, the model-graph cache, the
+ * collective cost model, and GPU resolution — everything the tools,
+ * the serving layer, and the examples previously wired by hand through
+ * tools/tool_common.hpp. The typed request/result vocabulary is the
+ * serving layer's (serve::ForecastRequest / serve::ForecastResult),
+ * re-exported here as the public API; ForecastServer is a thin
+ * concurrency shell (queue + workers + coalescing) over an engine.
+ *
+ *   api::ForecastEngine engine(api::EngineConfig()
+ *                                  .predictor("neusight_nvidia.bin")
+ *                                  .cache(1 << 16));
+ *   api::ForecastRequest req;
+ *   req.model = "GPT3-XL";
+ *   req.gpu = api::ForecastEngine::resolveGpu("H100");
+ *   api::ForecastResult r = engine.forecast(req);       // NeuSight
+ *   req.backend = "oracle";
+ *   api::ForecastResult truth = engine.forecast(req);   // simulator
+ */
+
+#ifndef NEUSIGHT_API_ENGINE_HPP
+#define NEUSIGHT_API_ENGINE_HPP
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "dist/collective.hpp"
+#include "dist/parallel.hpp"
+#include "graph/graph.hpp"
+#include "serve/graph_cache.hpp"
+#include "serve/prediction_cache.hpp"
+#include "serve/request.hpp"
+
+namespace neusight::api {
+
+/// @name The public request/result vocabulary (defined with the wire
+/// protocol in serve/, re-exported as the library API).
+/// @{
+using serve::CacheStats;
+using serve::ForecastRequest;
+using serve::ForecastResult;
+using serve::RequestKind;
+/// @}
+
+/** Builder-style configuration of a ForecastEngine. */
+struct EngineConfig
+{
+    /** Backend answering requests whose backend field is empty. */
+    std::string defaultBackend = "neusight";
+    /** Trained-predictor file of the built-in "neusight" backend. */
+    std::string neusightPath = "neusight_nvidia.bin";
+    /** Training GPUs of that backend; empty = nvidiaTrainingSet(). */
+    std::vector<gpusim::GpuSpec> trainingGpus;
+    /** Kernel-prediction cache entries, shared (key-scoped) across
+     *  every backend; 0 disables caching. */
+    size_t cacheCapacity = 1 << 16;
+    /** Model-graph cache entries; 0 disables graph caching. */
+    size_t graphCacheCapacity = 128;
+    /** Warm-start snapshot loaded into the cache at construction. */
+    std::string cacheLoadPath;
+    /** Default path of savePredictionCache(). */
+    std::string cacheSavePath;
+    /** Reference system calibrating the collective cost model. */
+    std::string referenceSystem = "A100-NVLink";
+    double referenceLinkGBps = 600.0;
+    /** Search policy of HybridSweep requests. */
+    dist::SweepOptions sweep;
+
+    /** Custom registry; null = PredictorRegistry::withBuiltins(). */
+    std::shared_ptr<PredictorRegistry> registry;
+    /** Share an existing cache (overrides cacheCapacity). */
+    std::shared_ptr<serve::PredictionCache> sharedCache;
+    /** Share an existing graph cache (overrides graphCacheCapacity). */
+    std::shared_ptr<serve::ModelGraphCache> sharedGraphCache;
+    /** Custom collective model (overrides reference*). */
+    std::shared_ptr<const dist::CollectiveModel> comms;
+
+    /// @name Builder-style setters.
+    /// @{
+    EngineConfig &backend(std::string name)
+    {
+        defaultBackend = std::move(name);
+        return *this;
+    }
+    EngineConfig &predictor(std::string path)
+    {
+        neusightPath = std::move(path);
+        return *this;
+    }
+    EngineConfig &gpus(std::vector<gpusim::GpuSpec> set)
+    {
+        trainingGpus = std::move(set);
+        return *this;
+    }
+    EngineConfig &cache(size_t capacity)
+    {
+        cacheCapacity = capacity;
+        return *this;
+    }
+    EngineConfig &graphCache(size_t capacity)
+    {
+        graphCacheCapacity = capacity;
+        return *this;
+    }
+    EngineConfig &loadCacheFrom(std::string path)
+    {
+        cacheLoadPath = std::move(path);
+        return *this;
+    }
+    EngineConfig &saveCacheTo(std::string path)
+    {
+        cacheSavePath = std::move(path);
+        return *this;
+    }
+    EngineConfig &collectives(std::string system, double link_gbps)
+    {
+        referenceSystem = std::move(system);
+        referenceLinkGBps = link_gbps;
+        return *this;
+    }
+    EngineConfig &withRegistry(std::shared_ptr<PredictorRegistry> r)
+    {
+        registry = std::move(r);
+        return *this;
+    }
+    EngineConfig &sweepOptions(dist::SweepOptions options)
+    {
+        sweep = std::move(options);
+        return *this;
+    }
+    /// @}
+};
+
+/**
+ * The forecasting facade. Thread-safe: forecast() may be called
+ * concurrently (it is the ForecastServer worker body); backends are
+ * wired lazily under an internal lock, and every predictor the engine
+ * hands out is safe for concurrent const use once constructed.
+ */
+class ForecastEngine
+{
+  public:
+    explicit ForecastEngine(EngineConfig config = EngineConfig());
+
+    ForecastEngine(const ForecastEngine &) = delete;
+    ForecastEngine &operator=(const ForecastEngine &) = delete;
+
+    /**
+     * Execute one typed request synchronously: resolve the backend
+     * (request.backend, or the configured default), build or fetch the
+     * kernel graph, and price it. Failures (unknown backend/model,
+     * invalid strategy) come back as ok = false results, never as
+     * exceptions.
+     */
+    ForecastResult forecast(const ForecastRequest &request) const;
+
+    /**
+     * The wired predictor of @p name ("" = the default backend):
+     * the registry instance with this engine's kernel-prediction cache
+     * attached (NeuSight natively, others through a key-scoped
+     * CachedPredictor decorator; raw when caching is disabled).
+     * Constructed on first use; fatal() (throws) on unknown names,
+     * listing the registered backends. The reference lives as long as
+     * the engine.
+     */
+    const graph::LatencyPredictor &
+    backend(const std::string &name = std::string()) const;
+
+    /**
+     * Resolve a GPU: a Table-4 database name or a spec-JSON path; a
+     * non-empty @p json_override forces file resolution (hypothetical
+     * GPUs may shadow database names — the tools' --gpu-json flag).
+     */
+    static gpusim::GpuSpec
+    resolveGpu(const std::string &name_or_path,
+               const std::string &json_override = std::string());
+
+    /** The backend registry (register more backends before use). */
+    PredictorRegistry &registry() { return *reg; }
+    const PredictorRegistry &registry() const { return *reg; }
+
+    /** The engine-wide kernel-prediction cache; null when disabled. */
+    const std::shared_ptr<serve::PredictionCache> &predictionCache() const
+    {
+        return cache;
+    }
+
+    /** The model-graph cache; null when disabled. */
+    const std::shared_ptr<serve::ModelGraphCache> &modelGraphCache() const
+    {
+        return graphCache;
+    }
+
+    /** The collective cost model of Distributed/Hybrid forecasts. */
+    const dist::CollectiveModel &collectives() const { return *comms; }
+
+    /** Kernel-prediction cache counters (zero-valued when disabled). */
+    CacheStats cacheStats() const;
+
+    /**
+     * Snapshot the prediction cache to @p path ("" = the configured
+     * cacheSavePath); returns entries written. fatal() when no path is
+     * configured or the cache is disabled.
+     */
+    size_t savePredictionCache(const std::string &path = std::string()) const;
+
+    /** Load a snapshot into the cache; returns entries loaded. */
+    size_t loadPredictionCache(const std::string &path);
+
+    /** The configured default backend name. */
+    const std::string &defaultBackendName() const
+    {
+        return config.defaultBackend;
+    }
+
+  private:
+    struct WiredBackend
+    {
+        /** The predictor consumers call; points into the registry or
+         *  at the engine-owned wrapper below. */
+        const graph::LatencyPredictor *predictor = nullptr;
+        std::unique_ptr<serve::CachedPredictor> wrapper;
+    };
+
+    const WiredBackend &wire(const std::string &name) const;
+
+    EngineConfig config;
+    std::shared_ptr<PredictorRegistry> reg;
+    std::shared_ptr<serve::PredictionCache> cache;
+    std::shared_ptr<serve::ModelGraphCache> graphCache;
+    std::shared_ptr<const dist::CollectiveModel> comms;
+
+    mutable std::mutex wireMutex;
+    mutable std::unordered_map<std::string, WiredBackend> wired;
+};
+
+/**
+ * Build the kernel graph for a workload name: a Table-5 transformer
+ * (or JSON model file) at the given batch, or the built-in CNN
+ * workloads "ResNet-50" / "VGG-16". The workload-resolution half of
+ * the old tools/tool_common.hpp, now part of the public API.
+ */
+graph::KernelGraph
+buildWorkloadGraph(const std::string &model, uint64_t batch, bool training,
+                   gpusim::DataType dtype = gpusim::DataType::Fp32);
+
+} // namespace neusight::api
+
+#endif // NEUSIGHT_API_ENGINE_HPP

@@ -1,0 +1,209 @@
+#include "api/registry.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "baselines/habitat.hpp"
+#include "baselines/li.hpp"
+#include "baselines/roofline.hpp"
+#include "common/logging.hpp"
+#include "core/predictor.hpp"
+#include "dataset/dataset.hpp"
+#include "eval/oracle.hpp"
+
+namespace neusight::api {
+
+namespace {
+
+/**
+ * Lazily-built operator corpus shared by the Habitat and Li factories:
+ * both baselines train quickly but on the same Section-6.1 corpus, so
+ * generating it twice would double the (dominant) sampling cost when a
+ * study sweeps both.
+ */
+struct CorpusMemo
+{
+    std::mutex mutex;
+    bool built = false;
+    std::map<gpusim::OpType, dataset::OperatorDataset> corpus;
+
+    const std::map<gpusim::OpType, dataset::OperatorDataset> &
+    get(const std::vector<gpusim::GpuSpec> &gpus)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!built) {
+            corpus =
+                dataset::generateOperatorData(gpus,
+                                              dataset::SamplerConfig{});
+            built = true;
+        }
+        return corpus;
+    }
+};
+
+} // namespace
+
+std::shared_ptr<PredictorRegistry>
+PredictorRegistry::withBuiltins(const std::string &neusight_path,
+                                std::vector<gpusim::GpuSpec> training_gpus)
+{
+    auto registry = std::make_shared<PredictorRegistry>();
+    if (training_gpus.empty())
+        training_gpus = gpusim::nvidiaTrainingSet();
+    registry->addNeuSight("neusight", neusight_path, training_gpus);
+    registry->add("oracle", [] {
+        return std::make_unique<eval::SimulatorOracle>();
+    });
+    registry->add("roofline", [] {
+        return std::make_unique<baselines::RooflinePredictor>();
+    });
+    auto memo = std::make_shared<CorpusMemo>();
+    registry->add("habitat", [memo, training_gpus] {
+        auto habitat = std::make_unique<baselines::HabitatPredictor>(
+            baselines::HabitatConfig{});
+        habitat->train(memo->get(training_gpus));
+        return habitat;
+    });
+    registry->add("li", [memo, training_gpus] {
+        auto li = std::make_unique<baselines::LiPredictor>();
+        li->train(memo->get(training_gpus));
+        return li;
+    });
+    return registry;
+}
+
+void
+PredictorRegistry::checkFresh(const std::string &name) const
+{
+    ensure(!name.empty(), "PredictorRegistry: backend name is empty");
+    if (entries.count(name))
+        fatal("PredictorRegistry: backend '" + name +
+              "' already registered");
+}
+
+void
+PredictorRegistry::add(const std::string &name, Factory factory)
+{
+    ensure(factory != nullptr,
+           "PredictorRegistry: null factory for '" + name + "'");
+    std::lock_guard<std::mutex> lock(mutex);
+    checkFresh(name);
+    entries[name].factory = std::move(factory);
+}
+
+void
+PredictorRegistry::addExternal(const std::string &name,
+                               const graph::LatencyPredictor &predictor)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    checkFresh(name);
+    Entry &entry = entries[name];
+    entry.external = &predictor;
+    entry.ready.store(true, std::memory_order_release);
+}
+
+void
+PredictorRegistry::addNeuSight(const std::string &name,
+                               const std::string &path,
+                               std::vector<gpusim::GpuSpec> training_gpus)
+{
+    add(name, [path, gpus = std::move(training_gpus)]() mutable {
+        if (gpus.empty())
+            gpus = gpusim::nvidiaTrainingSet();
+        if (!std::filesystem::exists(path))
+            inform("predictor cache '" + path +
+                   "' not found; training from scratch (one-time cost)");
+        return std::make_unique<core::NeuSight>(core::NeuSight::trainOrLoad(
+            path, gpus, dataset::SamplerConfig{}));
+    });
+}
+
+bool
+PredictorRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.count(name) > 0;
+}
+
+bool
+PredictorRegistry::loaded(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = entries.find(name);
+    return it != entries.end() &&
+           it->second.ready.load(std::memory_order_acquire);
+}
+
+std::vector<std::string>
+PredictorRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &[name, entry] : entries)
+        out.push_back(name);
+    return out;
+}
+
+std::string
+PredictorRegistry::namesJoined(const std::string &separator) const
+{
+    std::string out;
+    for (const std::string &name : names()) {
+        if (!out.empty())
+            out += separator;
+        out += name;
+    }
+    return out;
+}
+
+PredictorRegistry::Entry &
+PredictorRegistry::resolve(const std::string &name)
+{
+    Entry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = entries.find(name);
+        if (it == entries.end()) {
+            std::string known;
+            for (const auto &[known_name, unused] : entries) {
+                (void)unused;
+                if (!known.empty())
+                    known += " | ";
+                known += known_name;
+            }
+            fatal("unknown predictor backend '" + name +
+                  "' (registered: " + known + ")");
+        }
+        entry = &it->second;
+    }
+    // Construct outside the registry lock, under the entry's own
+    // once-flag: a backend builds exactly once even when workers race
+    // on a cold name, and a minutes-long training run never blocks
+    // first use of a different backend (or names()/has() lookups).
+    std::call_once(entry->once, [entry] {
+        if (!entry->external) {
+            entry->owned = entry->factory();
+            // The closure can pin heavy state (e.g. the baselines'
+            // training-corpus memo) and can never run again: drop it.
+            entry->factory = nullptr;
+        }
+        entry->ready.store(true, std::memory_order_release);
+    });
+    return *entry;
+}
+
+const graph::LatencyPredictor &
+PredictorRegistry::get(const std::string &name)
+{
+    Entry &entry = resolve(name);
+    return entry.external ? *entry.external : *entry.owned;
+}
+
+graph::LatencyPredictor *
+PredictorRegistry::getOwned(const std::string &name)
+{
+    return resolve(name).owned.get();
+}
+
+} // namespace neusight::api

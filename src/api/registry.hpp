@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Named predictor-backend registry: the producer side of the public
+ * forecasting API. Backends are registered as factories and constructed
+ * lazily on first use — training or deserializing a predictor is
+ * expensive, and most consumers only ever touch one or two of them —
+ * then cached for the registry's lifetime. The built-in set mirrors the
+ * predictors of the paper's evaluation: trained NeuSight frameworks
+ * (one per predictor file, e.g. NVIDIA- and AMD-trained side by side),
+ * the simulator oracle, and the three baselines (roofline, Habitat,
+ * Li et al.). Consumers (ForecastEngine, the tools' --backend flags)
+ * derive their accepted-backend lists from names(), so help text,
+ * error messages, and reality cannot drift.
+ */
+
+#ifndef NEUSIGHT_API_REGISTRY_HPP
+#define NEUSIGHT_API_REGISTRY_HPP
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gpusim/gpu_spec.hpp"
+#include "graph/latency_predictor.hpp"
+
+namespace neusight::api {
+
+/**
+ * Thread-safe registry of named, lazily-constructed latency-predictor
+ * backends. References returned by get() stay valid for the registry's
+ * lifetime. One registry typically serves one ForecastEngine (the
+ * engine wires caches into the instances it hands out). Sharing a
+ * registry across several cache-enabled engines works — an owned
+ * NeuSight backend keeps whichever engine's cache was attached first,
+ * and later engines leave it untouched — but the *first* use of such a
+ * backend must not race across engines; wire it once (e.g. via
+ * ForecastEngine::backend()) before fanning out, or share one
+ * prediction cache between the engines.
+ */
+class PredictorRegistry
+{
+  public:
+    /** Builds one backend; runs once, on first get() of the name. */
+    using Factory =
+        std::function<std::unique_ptr<graph::LatencyPredictor>()>;
+
+    /** An empty registry (add backends before use). */
+    PredictorRegistry() = default;
+
+    PredictorRegistry(const PredictorRegistry &) = delete;
+    PredictorRegistry &operator=(const PredictorRegistry &) = delete;
+
+    /**
+     * A registry pre-populated with the built-in backends:
+     *   - "neusight": core::NeuSight::trainOrLoad at @p neusight_path
+     *     on @p training_gpus (empty = the five NVIDIA training GPUs);
+     *   - "oracle": the simulator ground truth (eval::SimulatorOracle);
+     *   - "roofline", "habitat", "li": the paper's baselines — Habitat
+     *     and Li train on a freshly generated operator corpus shared
+     *     between the two (they define no cache format of their own).
+     * Registration is cheap; nothing trains until a backend is used.
+     */
+    static std::shared_ptr<PredictorRegistry>
+    withBuiltins(const std::string &neusight_path = "neusight_nvidia.bin",
+                 std::vector<gpusim::GpuSpec> training_gpus = {});
+
+    /** Register @p factory under @p name; fatal() on a duplicate. */
+    void add(const std::string &name, Factory factory);
+
+    /**
+     * Register an externally-owned predictor (must outlive the
+     * registry). External entries are handed out as-is: the engine
+     * never mutates them (no cache attach), only wraps them.
+     */
+    void addExternal(const std::string &name,
+                     const graph::LatencyPredictor &predictor);
+
+    /**
+     * Register a trained-NeuSight backend: trainOrLoad of @p path on
+     * @p training_gpus (empty = nvidiaTrainingSet()) at first use.
+     * This is how AMD-trained predictor files serve next to NVIDIA
+     * ones: one entry per file, selected per request by name.
+     */
+    void addNeuSight(const std::string &name, const std::string &path,
+                     std::vector<gpusim::GpuSpec> training_gpus = {});
+
+    /** True when @p name is registered (loaded or not). */
+    bool has(const std::string &name) const;
+
+    /** True when @p name has already been constructed. */
+    bool loaded(const std::string &name) const;
+
+    /** Every registered name, sorted. */
+    std::vector<std::string> names() const;
+
+    /** The sorted names joined by @p separator (help/error text). */
+    std::string namesJoined(const std::string &separator = " | ") const;
+
+    /**
+     * The backend named @p name, constructing it on first use. fatal()
+     * (throws) on unknown names, listing every registered name.
+     */
+    const graph::LatencyPredictor &get(const std::string &name);
+
+    /**
+     * Mutable access to a registry-owned backend (constructing it like
+     * get()), or nullptr when the entry was registered with
+     * addExternal(). The ForecastEngine uses this to attach its
+     * kernel-prediction cache to owned NeuSight instances at wiring
+     * time, before the backend is ever shared.
+     */
+    graph::LatencyPredictor *getOwned(const std::string &name);
+
+  private:
+    struct Entry
+    {
+        /** Released after the build (closures can hold heavy state,
+         *  e.g. the Habitat/Li training corpus memo). */
+        Factory factory;
+        std::unique_ptr<graph::LatencyPredictor> owned;
+        const graph::LatencyPredictor *external = nullptr;
+        /** Serializes this entry's one-time construction. */
+        std::once_flag once;
+        /** True once owned/external is safe to read without the flag. */
+        std::atomic<bool> ready{false};
+    };
+
+    /**
+     * Find @p name (registry lock held only for the map lookup) and
+     * run its one-time construction under the entry's own once-flag,
+     * so a minutes-long predictor training never blocks first use of
+     * a *different* backend. fatal() on unknown names.
+     */
+    Entry &resolve(const std::string &name);
+
+    void checkFresh(const std::string &name) const;
+
+    mutable std::mutex mutex;
+    /** Ordered so names() is sorted for free; node addresses are
+     *  stable, so resolve() may construct outside the map lock. */
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace neusight::api
+
+#endif // NEUSIGHT_API_REGISTRY_HPP

@@ -1,7 +1,11 @@
 #include "serve/prediction_cache.hpp"
 
+#include <fstream>
 #include <functional>
+#include <sstream>
+#include <utility>
 
+#include "common/json.hpp"
 #include "common/logging.hpp"
 
 namespace neusight::serve {
@@ -70,6 +74,119 @@ PredictionCache::insert(const std::string &key,
     inserts.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+/** One snapshot line: the key plus every PredictionDetail field. */
+common::Json
+entryToJson(const std::string &key, const PredictionDetail &detail)
+{
+    common::Json json;
+    json.set("key", key);
+    common::Json::Array tiles;
+    tiles.reserve(detail.tileDims.size());
+    for (const uint64_t dim : detail.tileDims)
+        tiles.push_back(common::Json(dim));
+    json.set("tile_dims", common::Json(std::move(tiles)));
+    json.set("num_tiles", detail.numTiles);
+    json.set("num_waves", detail.numWaves);
+    json.set("alpha", detail.alpha);
+    json.set("beta", detail.beta);
+    json.set("utilization", detail.utilization);
+    json.set("roofline_per_sm", detail.rooflinePerSm);
+    json.set("latency_ms", detail.latencyMs);
+    json.set("memory_fallback", detail.memoryFallback);
+    return json;
+}
+
+PredictionDetail
+entryFromJson(const common::Json &json, std::string &key_out)
+{
+    key_out = json.at("key").asString();
+    PredictionDetail detail;
+    for (const common::Json &dim : json.at("tile_dims").asArray())
+        detail.tileDims.push_back(static_cast<uint64_t>(dim.asInt()));
+    detail.numTiles =
+        static_cast<uint64_t>(json.at("num_tiles").asInt());
+    detail.numWaves =
+        static_cast<uint64_t>(json.at("num_waves").asInt());
+    detail.alpha = json.at("alpha").asDouble();
+    detail.beta = json.at("beta").asDouble();
+    detail.utilization = json.at("utilization").asDouble();
+    detail.rooflinePerSm = json.at("roofline_per_sm").asDouble();
+    detail.latencyMs = json.at("latency_ms").asDouble();
+    detail.memoryFallback = json.at("memory_fallback").asBool();
+    return detail;
+}
+
+} // namespace
+
+size_t
+PredictionCache::saveTo(std::ostream &out) const
+{
+    size_t written = 0;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        // Back-to-front = least recently used first, so loadFrom's
+        // in-order inserts leave the most recent entries most recent.
+        for (auto it = shard->lru.rbegin(); it != shard->lru.rend();
+             ++it) {
+            out << entryToJson(it->first, it->second).dump(0) << '\n';
+            ++written;
+        }
+    }
+    return written;
+}
+
+size_t
+PredictionCache::saveTo(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("PredictionCache: cannot write snapshot '" + path + "'");
+    const size_t written = saveTo(static_cast<std::ostream &>(out));
+    // Flush before the state check: buffered write failures (disk
+    // full) would otherwise surface only in the destructor, silently.
+    out.flush();
+    if (!out)
+        fatal("PredictionCache: I/O error writing snapshot '" + path +
+              "'");
+    return written;
+}
+
+size_t
+PredictionCache::loadFrom(std::istream &in)
+{
+    size_t loaded = 0;
+    size_t line_no = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::string key;
+        PredictionDetail detail;
+        try {
+            detail = entryFromJson(common::Json::parse(line), key);
+        } catch (const std::exception &e) {
+            fatal("PredictionCache: snapshot line " +
+                  std::to_string(line_no) + ": " + e.what());
+        }
+        insert(key, detail);
+        ++loaded;
+    }
+    return loaded;
+}
+
+size_t
+PredictionCache::loadFrom(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("PredictionCache: cannot read snapshot '" + path + "'");
+    return loadFrom(static_cast<std::istream &>(in));
+}
+
 CacheStats
 PredictionCache::stats() const
 {
@@ -107,11 +224,35 @@ PredictionCache::size() const
     return n;
 }
 
+ScopedKernelCache::ScopedKernelCache(
+    std::shared_ptr<PredictionCache> cache, std::string scope)
+    : cachePtr(std::move(cache)),
+      prefix(std::move(scope) + kCacheScopeSeparator)
+{
+    ensure(cachePtr != nullptr, "ScopedKernelCache: null cache");
+}
+
+bool
+ScopedKernelCache::lookup(const std::string &key, PredictionDetail &out)
+{
+    return cachePtr->lookup(prefix + key, out);
+}
+
+void
+ScopedKernelCache::insert(const std::string &key,
+                          const PredictionDetail &detail)
+{
+    cachePtr->insert(prefix + key, detail);
+}
+
 CachedPredictor::CachedPredictor(const graph::LatencyPredictor &inner_,
-                                 std::shared_ptr<PredictionCache> cache)
+                                 std::shared_ptr<PredictionCache> cache,
+                                 std::string key_scope)
     : inner(inner_), cachePtr(std::move(cache))
 {
     ensure(cachePtr != nullptr, "CachedPredictor: null cache");
+    if (!key_scope.empty())
+        prefix = std::move(key_scope) + kCacheScopeSeparator;
 }
 
 std::string
@@ -128,7 +269,7 @@ CachedPredictor::predictKernelMs(const KernelDesc &desc,
     // NeuSight canonicalization deliberately merges (the simulator's
     // ground truth does, via its per-kernel-name behaviour).
     const std::string key =
-        cacheFingerprint(desc, gpu, /*canonical_op=*/false);
+        prefix + cacheFingerprint(desc, gpu, /*canonical_op=*/false);
     PredictionDetail detail;
     if (cachePtr->lookup(key, detail))
         return detail.latencyMs;

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -92,6 +93,33 @@ class PredictionCache : public core::KernelPredictionCache
     /** Point-in-time counters (consistent enough for reporting). */
     CacheStats stats() const;
 
+    /// @name Persistence: JSON-lines snapshots keyed on the stable
+    /// fingerprints, so a warm cache survives server restarts (the
+    /// ROADMAP's cache-persistence item). Entries are written least-
+    /// recently-used first, so re-inserting them in file order restores
+    /// each shard's recency order.
+    /// @{
+
+    /** Write every entry as one JSON object per line; returns the
+     *  number of entries written. */
+    size_t saveTo(std::ostream &out) const;
+
+    /** saveTo() the file at @p path; fatal() on I/O error. */
+    size_t saveTo(const std::string &path) const;
+
+    /**
+     * Insert every snapshot line (blank lines and '#' comments are
+     * skipped); returns the number of entries loaded. Counts as
+     * ordinary inserts: loading more entries than the capacity evicts.
+     * fatal() with the line number on malformed lines.
+     */
+    size_t loadFrom(std::istream &in);
+
+    /** loadFrom() the file at @p path; fatal() when unreadable. */
+    size_t loadFrom(const std::string &path);
+
+    /// @}
+
     /** Drop every entry; counters keep accumulating. */
     void clear();
 
@@ -126,17 +154,50 @@ class PredictionCache : public core::KernelPredictionCache
 };
 
 /**
+ * Key-scoping adapter over a shared PredictionCache: every lookup and
+ * insert is prefixed with an opaque scope, so several predictor
+ * backends can share one cache (one capacity budget, one stats line,
+ * one persistence snapshot) without their entries ever colliding —
+ * NeuSight's canonical fingerprints and a generic backend's raw-name
+ * fingerprints can otherwise produce the same key for different
+ * forecasts. The ForecastEngine attaches one scope per backend.
+ */
+class ScopedKernelCache : public core::KernelPredictionCache
+{
+  public:
+    /** @p scope is typically the backend's registry name. */
+    ScopedKernelCache(std::shared_ptr<PredictionCache> cache,
+                      std::string scope);
+
+    bool lookup(const std::string &key,
+                core::PredictionDetail &out) override;
+
+    void insert(const std::string &key,
+                const core::PredictionDetail &detail) override;
+
+  private:
+    std::shared_ptr<PredictionCache> cachePtr;
+    /** The scope plus the separator, ready to prepend. */
+    std::string prefix;
+};
+
+/**
  * Caching decorator over any LatencyPredictor: per-kernel forecasts are
  * served from (and inserted into) a shared PredictionCache. Used to give
- * the simulator-oracle serving backend the same cached path NeuSight
- * gets natively through NeuSight::attachCache().
+ * the non-NeuSight serving backends (simulator oracle, baselines) the
+ * same cached path NeuSight gets natively through NeuSight::attachCache().
  */
 class CachedPredictor : public graph::LatencyPredictor
 {
   public:
-    /** @p inner must outlive this decorator. */
+    /**
+     * @p inner must outlive this decorator. A non-empty @p key_scope
+     * namespaces this decorator's entries inside a cache shared with
+     * other backends (see ScopedKernelCache).
+     */
     CachedPredictor(const graph::LatencyPredictor &inner,
-                    std::shared_ptr<PredictionCache> cache);
+                    std::shared_ptr<PredictionCache> cache,
+                    std::string key_scope = "");
 
     std::string name() const override;
 
@@ -152,7 +213,12 @@ class CachedPredictor : public graph::LatencyPredictor
   private:
     const graph::LatencyPredictor &inner;
     std::shared_ptr<PredictionCache> cachePtr;
+    /** Key prefix (scope + separator), empty when unscoped. */
+    std::string prefix;
 };
+
+/** The scope/key separator of ScopedKernelCache and CachedPredictor. */
+inline constexpr char kCacheScopeSeparator = '\x1f';
 
 } // namespace neusight::serve
 

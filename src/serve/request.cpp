@@ -18,6 +18,10 @@ requestKindName(RequestKind kind)
         return "training";
       case RequestKind::Distributed:
         return "distributed";
+      case RequestKind::Hybrid:
+        return "hybrid";
+      case RequestKind::HybridSweep:
+        return "sweep";
     }
     panic("requestKindName: bad kind");
 }
@@ -27,6 +31,12 @@ ForecastRequest::fingerprint() const
 {
     std::string key;
     key.reserve(160);
+    // The backend leads the key: the same workload through two different
+    // predictors is two different forecasts, so they must never coalesce.
+    // Fingerprints are process-local (coalescing/dedup only), so the
+    // format change relative to the pre-backend layout is free.
+    key += backend;
+    key += '!';
     key += requestKindName(kind);
     key += '|';
     key += model;
@@ -43,6 +53,24 @@ ForecastRequest::fingerprint() const
                       static_cast<int>(strategy),
                       pipeline.numMicroBatches,
                       static_cast<int>(pipeline.schedule), linkGBps);
+        key += buf;
+    }
+    if (kind == RequestKind::Hybrid) {
+        std::snprintf(buf, sizeof(buf),
+                      "|n%d|g%llu|tp%d|pp%d|dp%d|m%d|sch%d|v%d|r%d|l%.17g",
+                      numGpus,
+                      static_cast<unsigned long long>(globalBatch),
+                      hybrid.tpDegree, hybrid.ppDegree, hybrid.dpDegree,
+                      hybrid.numMicroBatches,
+                      static_cast<int>(hybrid.schedule),
+                      hybrid.virtualStagesPerGpu,
+                      hybrid.recomputeActivations ? 1 : 0, linkGBps);
+        key += buf;
+    }
+    if (kind == RequestKind::HybridSweep) {
+        std::snprintf(buf, sizeof(buf), "|n%d|g%llu|l%.17g", numGpus,
+                      static_cast<unsigned long long>(globalBatch),
+                      linkGBps);
         key += buf;
     }
     key += '@';

@@ -21,7 +21,7 @@
 
 namespace neusight::serve {
 
-/** The forecast families a ForecastServer accepts. */
+/** The forecast families a ForecastEngine / ForecastServer accepts. */
 enum class RequestKind
 {
     /** Inference forward pass (the paper's first-token prefill metric). */
@@ -32,6 +32,10 @@ enum class RequestKind
     Training,
     /** One distributed training iteration on a multi-GPU server. */
     Distributed,
+    /** One composed TP x PP x DP training iteration (Section 5.1). */
+    Hybrid,
+    /** Strategy sweep: answer with the fastest runnable hybrid plan. */
+    HybridSweep,
 };
 
 /** Display name, e.g. "inference". */
@@ -51,16 +55,26 @@ struct ForecastRequest
     gpusim::GpuSpec gpu;
     gpusim::DataType dtype = gpusim::DataType::Fp32;
 
-    /// @name Distributed-only fields.
+    /// @name Multi-GPU fields (Distributed / Hybrid / HybridSweep).
     /// @{
     int numGpus = 4;
     /** Global batch across the server. */
     uint64_t globalBatch = 4;
     dist::Parallelism strategy = dist::Parallelism::Data;
     dist::PipelineConfig pipeline;
+    /** Composed TP x PP x DP strategy of a Hybrid request. */
+    dist::HybridConfig hybrid;
     /** Peak GPU-to-GPU bandwidth GB/s; 0 = the GPU spec's value. */
     double linkGBps = 0.0;
     /// @}
+
+    /**
+     * Registry name of the predictor backend answering this request
+     * (api::PredictorRegistry); empty selects the engine's default, so
+     * one server can answer heterogeneous predictors side by side.
+     * Part of the fingerprint: different backends never coalesce.
+     */
+    std::string backend;
 
     /** Client-supplied id echoed in the response (never coalesced on). */
     std::string tag;
@@ -86,6 +100,11 @@ struct ForecastResult
     double latencyMs = 0.0;
     /** Distributed OOM screening verdict. */
     bool oom = false;
+    /**
+     * Composed strategy of the answer, e.g. "tp2 x pp2 x dp2": the
+     * requested plan for Hybrid, the sweep winner for HybridSweep.
+     */
+    std::string strategy;
     /** Priced communication payload (distributed kinds). */
     double commBytes = 0.0;
     /** Compute nodes in the forecasted graph. */

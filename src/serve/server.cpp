@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "common/logging.hpp"
-#include "graph/models.hpp"
 
 namespace neusight::serve {
 
@@ -20,26 +19,48 @@ finishResult(ForecastResult &result, double service_micros,
         result.cache = cache->stats();
 }
 
+/**
+ * Minimal engine for the predictor-ref constructor: the predictor is
+ * the only backend (registered externally, so the engine never mutates
+ * it), no engine-level kernel-prediction cache (preserving the
+ * documented ServerOptions::cache semantics — counters only), and the
+ * server's collective-model / graph-cache options forwarded.
+ */
+std::shared_ptr<api::ForecastEngine>
+makeDirectEngine(const graph::LatencyPredictor &predictor,
+                 const ServerOptions &options)
+{
+    auto registry = std::make_shared<api::PredictorRegistry>();
+    registry->addExternal("direct", predictor);
+    api::EngineConfig config;
+    config.defaultBackend = "direct";
+    config.registry = std::move(registry);
+    config.cacheCapacity = 0;
+    config.graphCacheCapacity = options.graphCacheCapacity;
+    config.sharedGraphCache = options.graphCache;
+    config.comms = options.comms;
+    return std::make_shared<api::ForecastEngine>(std::move(config));
+}
+
 } // namespace
 
-ForecastServer::ForecastServer(const graph::LatencyPredictor &predictor_,
+ForecastServer::ForecastServer(std::shared_ptr<api::ForecastEngine> engine_,
                                ServerOptions options_)
-    : predictor(predictor_), options(std::move(options_))
+    : engine(std::move(engine_)), options(std::move(options_))
 {
+    ensure(engine != nullptr, "ForecastServer: null engine");
     ensure(options.workers > 0, "ForecastServer: need at least one worker");
     ensure(options.queueCapacity > 0,
            "ForecastServer: queue capacity must be positive");
-    comms = options.comms;
-    if (!comms)
-        comms = std::make_shared<dist::EstimatedCollectives>("A100-NVLink",
-                                                             600.0);
-    graphCache = options.graphCache;
-    if (!graphCache && options.graphCacheCapacity > 0)
-        graphCache =
-            std::make_shared<ModelGraphCache>(options.graphCacheCapacity);
     threads.reserve(options.workers);
     for (size_t i = 0; i < options.workers; ++i)
         threads.emplace_back([this] { workerLoop(); });
+}
+
+ForecastServer::ForecastServer(const graph::LatencyPredictor &predictor,
+                               ServerOptions options_)
+    : ForecastServer(makeDirectEngine(predictor, options_), options_)
+{
 }
 
 ForecastServer::~ForecastServer()
@@ -50,6 +71,11 @@ ForecastServer::~ForecastServer()
 std::future<ForecastResult>
 ForecastServer::submit(ForecastRequest request)
 {
+    // Normalize "use the default backend" to its name before
+    // fingerprinting, so a request naming the default explicitly
+    // coalesces with an identical request that omitted it.
+    if (request.backend.empty())
+        request.backend = engine->defaultBackendName();
     std::promise<ForecastResult> promise;
     std::future<ForecastResult> future = promise.get_future();
     const std::string key = request.fingerprint();
@@ -116,7 +142,7 @@ ForecastServer::workerLoop()
         notFull.notify_one();
 
         const auto start = std::chrono::steady_clock::now();
-        ForecastResult result = execute(pending->request);
+        ForecastResult result = engine->forecast(pending->request);
         const double micros =
             std::chrono::duration<double, std::micro>(
                 std::chrono::steady_clock::now() - start)
@@ -146,82 +172,6 @@ ForecastServer::workerLoop()
         if (drained)
             idle.notify_all();
     }
-}
-
-ForecastResult
-ForecastServer::execute(const ForecastRequest &req) const
-{
-    ForecastResult result;
-    result.tag = req.tag;
-    try {
-        switch (req.kind) {
-          case RequestKind::Inference:
-          case RequestKind::DecodeStep:
-          case RequestKind::Training: {
-            const graph::ModelConfig &model = graph::findModel(req.model);
-            const auto build = [&] {
-                if (req.kind == RequestKind::Inference)
-                    return graph::buildInferenceGraph(model, req.batch,
-                                                      req.dtype);
-                if (req.kind == RequestKind::DecodeStep)
-                    return graph::buildDecodeGraph(model, req.batch,
-                                                   req.pastLen, req.dtype);
-                return graph::buildTrainingGraph(model, req.batch,
-                                                 req.dtype);
-            };
-            // The graph is GPU-independent, so the cache key deliberately
-            // omits the target GPU: requests differing only in GPU share
-            // one built graph.
-            std::shared_ptr<const graph::KernelGraph> g;
-            if (graphCache) {
-                const std::string key =
-                    std::string(requestKindName(req.kind)) + '|' +
-                    req.model + '|' + std::to_string(req.batch) + '|' +
-                    std::to_string(req.pastLen) + '|' +
-                    std::to_string(static_cast<int>(req.dtype));
-                g = graphCache->getOrBuild(key, build);
-            } else {
-                g = std::make_shared<const graph::KernelGraph>(build());
-            }
-            result.kernelCount = g->computeNodeCount();
-            result.latencyMs = predictor.predictGraphMs(*g, req.gpu);
-            break;
-          }
-          case RequestKind::Distributed: {
-            const graph::ModelConfig &model = graph::findModel(req.model);
-            dist::ServerConfig server;
-            server.systemName = req.gpu.name + "-server";
-            server.numGpus = req.numGpus;
-            server.linkGBps = req.linkGBps;
-            server.setGpu(req.gpu);
-            const std::string reject = dist::validateStrategy(
-                model, server, req.globalBatch, req.strategy,
-                req.pipeline);
-            if (!reject.empty()) {
-                result.ok = false;
-                result.error = reject;
-                break;
-            }
-            dist::DistributedResult dr;
-            if (req.strategy == dist::Parallelism::Pipeline)
-                dr = dist::pipelineTrainingMs(predictor, *comms, server,
-                                              model, req.globalBatch,
-                                              req.pipeline);
-            else
-                dr = dist::distributedTrainingMs(predictor, *comms, server,
-                                                 model, req.globalBatch,
-                                                 req.strategy);
-            result.latencyMs = dr.latencyMs;
-            result.oom = dr.oom;
-            result.commBytes = dr.commBytes;
-            break;
-          }
-        }
-    } catch (const std::exception &e) {
-        result.ok = false;
-        result.error = e.what();
-    }
-    return result;
 }
 
 void
@@ -275,8 +225,10 @@ ForecastServer::stats() const
     }
     if (options.cache)
         s.cache = options.cache->stats();
-    if (graphCache)
-        s.graphCache = graphCache->stats();
+    else
+        s.cache = engine->cacheStats();
+    if (engine->modelGraphCache())
+        s.graphCache = engine->modelGraphCache()->stats();
     return s;
 }
 

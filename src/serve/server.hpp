@@ -1,11 +1,13 @@
 /**
  * @file
- * In-process concurrent forecast server: a bounded MPMC request queue
- * feeding a worker-thread pool, with coalescing of identical in-flight
- * requests (two clients asking for the same forecast share one
- * computation) on top of the kernel-prediction cache (repeated kernels
- * across *different* requests skip the predictor). Shutdown drains: every
- * accepted request is answered before the workers exit.
+ * In-process concurrent forecast server: a thin concurrency shell —
+ * bounded MPMC request queue, worker-thread pool, coalescing of
+ * identical in-flight requests (two clients asking for the same
+ * forecast share one computation) — over an api::ForecastEngine, which
+ * owns the predictor backends, the caches, and request execution. One
+ * server answers heterogeneous predictors side by side through the
+ * request's backend field. Shutdown drains: every accepted request is
+ * answered before the workers exit.
  */
 
 #ifndef NEUSIGHT_SERVE_SERVER_HPP
@@ -22,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "dist/collective.hpp"
 #include "graph/latency_predictor.hpp"
 #include "serve/graph_cache.hpp"
@@ -46,9 +49,10 @@ struct ServerOptions
      */
     std::shared_ptr<PredictionCache> cache;
     /**
-     * Collective cost model for Distributed requests; the server
-     * constructs the default estimator (calibrated on A100-NVLink,
-     * Section 5.1) when unset.
+     * Collective cost model for Distributed requests; the default
+     * estimator (calibrated on A100-NVLink, Section 5.1) when unset.
+     * Honored by the predictor-ref constructor only — an explicitly
+     * passed engine already owns its collective model.
      */
     std::shared_ptr<const dist::CollectiveModel> comms;
     /**
@@ -56,8 +60,9 @@ struct ServerOptions
      * training) reuse constructed KernelGraphs keyed on the request's
      * (kind, model, batch, context, dtype) fingerprint — graph
      * construction is the residual per-request cost once the kernel-
-     * prediction cache is hot. Unset, the server creates a private one
-     * of graphCacheCapacity entries; share one here across servers.
+     * prediction cache is hot. Unset, the predictor-ref constructor
+     * creates a private one of graphCacheCapacity entries; an
+     * explicitly passed engine uses its own.
      */
     std::shared_ptr<ModelGraphCache> graphCache;
     /** Capacity of the private graph cache; 0 disables graph caching. */
@@ -81,13 +86,31 @@ struct ServerStats
 };
 
 /**
- * Concurrent forecast server over any LatencyPredictor. The predictor
- * must be safe for concurrent const use (NeuSight and the simulator
- * oracle are, once trained) and must outlive the server.
+ * Concurrent forecast server over a ForecastEngine (or, for the
+ * single-predictor setups of the benches and tests, directly over any
+ * LatencyPredictor — the server then builds a minimal engine around
+ * it). Predictors must be safe for concurrent const use (NeuSight and
+ * the simulator oracle are, once trained) and must outlive the server.
  */
 class ForecastServer
 {
   public:
+    /**
+     * Serve @p engine: requests execute through engine->forecast(),
+     * with per-request backend selection against the engine's
+     * registry. options.comms / graphCache are ignored (the engine
+     * owns both); options.cache still only adds counters to results
+     * and stats — pass engine->predictionCache() to report the
+     * engine's own cache.
+     */
+    explicit ForecastServer(std::shared_ptr<api::ForecastEngine> engine,
+                            ServerOptions options = ServerOptions());
+
+    /**
+     * Serve a single predictor: builds an internal engine whose only
+     * backend is @p predictor (registered externally, no cache wiring
+     * — attach a cache to the predictor itself, exactly as before).
+     */
     explicit ForecastServer(const graph::LatencyPredictor &predictor,
                             ServerOptions options = ServerOptions());
 
@@ -116,10 +139,16 @@ class ForecastServer
 
     ServerStats stats() const;
 
-    /** The active model-graph cache, or nullptr when disabled. */
+    /** The engine executing this server's requests. */
+    const std::shared_ptr<api::ForecastEngine> &forecastEngine() const
+    {
+        return engine;
+    }
+
+    /** The engine's model-graph cache, or nullptr when disabled. */
     const std::shared_ptr<ModelGraphCache> &modelGraphCache() const
     {
-        return graphCache;
+        return engine->modelGraphCache();
     }
 
   private:
@@ -132,12 +161,9 @@ class ForecastServer
     };
 
     void workerLoop();
-    ForecastResult execute(const ForecastRequest &request) const;
 
-    const graph::LatencyPredictor &predictor;
+    std::shared_ptr<api::ForecastEngine> engine;
     ServerOptions options;
-    std::shared_ptr<const dist::CollectiveModel> comms;
-    std::shared_ptr<ModelGraphCache> graphCache;
 
     mutable std::mutex mutex;
     std::condition_variable notEmpty;

@@ -22,8 +22,13 @@ kindFromString(const std::string &op)
         return RequestKind::Training;
     if (op == "distributed")
         return RequestKind::Distributed;
+    if (op == "hybrid")
+        return RequestKind::Hybrid;
+    if (op == "sweep")
+        return RequestKind::HybridSweep;
     fatal("wire: unknown op '" + op +
-          "' (expected inference|decode|training|distributed)");
+          "' (expected inference|decode|training|distributed|hybrid|"
+          "sweep)");
 }
 
 gpusim::DataType
@@ -73,6 +78,42 @@ positiveField(const Json &json, const std::string &key, uint64_t fallback)
     return static_cast<uint64_t>(value);
 }
 
+dist::PipelineSchedule
+scheduleFromString(const std::string &name)
+{
+    if (name == "gpipe")
+        return dist::PipelineSchedule::GPipe;
+    if (name == "1f1b")
+        return dist::PipelineSchedule::OneFOneB;
+    if (name == "interleaved")
+        return dist::PipelineSchedule::Interleaved1F1B;
+    fatal("wire: unknown schedule '" + name +
+          "' (expected gpipe|1f1b|interleaved)");
+}
+
+const char *
+scheduleToString(dist::PipelineSchedule schedule)
+{
+    switch (schedule) {
+      case dist::PipelineSchedule::GPipe:
+        return "gpipe";
+      case dist::PipelineSchedule::OneFOneB:
+        return "1f1b";
+      case dist::PipelineSchedule::Interleaved1F1B:
+        return "interleaved";
+    }
+    panic("wire: bad schedule");
+}
+
+double
+linkField(const Json &json)
+{
+    const double link = json.numberOr("link_gbps", 0.0);
+    if (link < 0.0)
+        fatal("wire: 'link_gbps' must be non-negative");
+    return link;
+}
+
 } // namespace
 
 ForecastRequest
@@ -87,6 +128,14 @@ requestFromJson(const Json &json)
     req.batch = positiveField(json, "batch", 1);
     req.dtype = dtypeFromString(json.stringOr("dtype", "fp32"));
     req.tag = json.stringOr("tag", "");
+    req.backend = json.stringOr("backend", "");
+    const std::string predictor_alias = json.stringOr("predictor", "");
+    if (!predictor_alias.empty()) {
+        if (!req.backend.empty() && req.backend != predictor_alias)
+            fatal("wire: 'backend' and its alias 'predictor' disagree "
+                  "('" + req.backend + "' vs '" + predictor_alias + "')");
+        req.backend = predictor_alias;
+    }
     if (req.kind == RequestKind::DecodeStep) {
         if (!json.has("past"))
             fatal("wire: decode requests need 'past' (KV-cache length)");
@@ -100,17 +149,38 @@ requestFromJson(const Json &json)
             strategyFromString(json.stringOr("strategy", "data"));
         req.pipeline.numMicroBatches =
             static_cast<int>(positiveField(json, "micro_batches", 1));
-        const std::string schedule = json.stringOr("schedule", "gpipe");
-        if (schedule == "gpipe")
-            req.pipeline.schedule = dist::PipelineSchedule::GPipe;
-        else if (schedule == "1f1b")
-            req.pipeline.schedule = dist::PipelineSchedule::OneFOneB;
-        else
-            fatal("wire: unknown schedule '" + schedule +
-                  "' (expected gpipe|1f1b)");
-        req.linkGBps = json.numberOr("link_gbps", 0.0);
-        if (req.linkGBps < 0.0)
-            fatal("wire: 'link_gbps' must be non-negative");
+        req.pipeline.schedule =
+            scheduleFromString(json.stringOr("schedule", "gpipe"));
+        req.linkGBps = linkField(json);
+    }
+    if (req.kind == RequestKind::Hybrid) {
+        req.hybrid.tpDegree =
+            static_cast<int>(positiveField(json, "tp", 1));
+        req.hybrid.ppDegree =
+            static_cast<int>(positiveField(json, "pp", 1));
+        req.hybrid.dpDegree =
+            static_cast<int>(positiveField(json, "dp", 1));
+        // The degrees must multiply to the server's GPU count, so the
+        // product is the natural default when num_gpus is omitted.
+        req.numGpus = static_cast<int>(positiveField(
+            json, "num_gpus",
+            static_cast<uint64_t>(req.hybrid.totalGpus())));
+        req.globalBatch = positiveField(json, "global_batch", 4);
+        req.hybrid.numMicroBatches =
+            static_cast<int>(positiveField(json, "micro_batches", 1));
+        req.hybrid.schedule =
+            scheduleFromString(json.stringOr("schedule", "1f1b"));
+        req.hybrid.virtualStagesPerGpu =
+            static_cast<int>(positiveField(json, "virtual_stages", 2));
+        req.hybrid.recomputeActivations =
+            json.boolOr("recompute", false);
+        req.linkGBps = linkField(json);
+    }
+    if (req.kind == RequestKind::HybridSweep) {
+        req.numGpus =
+            static_cast<int>(positiveField(json, "num_gpus", 4));
+        req.globalBatch = positiveField(json, "global_batch", 4);
+        req.linkGBps = linkField(json);
     }
     return req;
 }
@@ -133,11 +203,35 @@ requestToJson(const ForecastRequest &req)
         json.set("strategy", strategyToString(req.strategy));
         if (req.pipeline.numMicroBatches != 1)
             json.set("micro_batches", req.pipeline.numMicroBatches);
-        if (req.pipeline.schedule == dist::PipelineSchedule::OneFOneB)
-            json.set("schedule", "1f1b");
+        if (req.pipeline.schedule != dist::PipelineSchedule::GPipe)
+            json.set("schedule",
+                     scheduleToString(req.pipeline.schedule));
         if (req.linkGBps > 0.0)
             json.set("link_gbps", req.linkGBps);
     }
+    if (req.kind == RequestKind::Hybrid) {
+        json.set("num_gpus", req.numGpus);
+        json.set("global_batch", req.globalBatch);
+        json.set("tp", req.hybrid.tpDegree);
+        json.set("pp", req.hybrid.ppDegree);
+        json.set("dp", req.hybrid.dpDegree);
+        if (req.hybrid.numMicroBatches != 1)
+            json.set("micro_batches", req.hybrid.numMicroBatches);
+        json.set("schedule", scheduleToString(req.hybrid.schedule));
+        json.set("virtual_stages", req.hybrid.virtualStagesPerGpu);
+        if (req.hybrid.recomputeActivations)
+            json.set("recompute", true);
+        if (req.linkGBps > 0.0)
+            json.set("link_gbps", req.linkGBps);
+    }
+    if (req.kind == RequestKind::HybridSweep) {
+        json.set("num_gpus", req.numGpus);
+        json.set("global_batch", req.globalBatch);
+        if (req.linkGBps > 0.0)
+            json.set("link_gbps", req.linkGBps);
+    }
+    if (!req.backend.empty())
+        json.set("backend", req.backend);
     if (!req.tag.empty())
         json.set("tag", req.tag);
     return json;
@@ -163,6 +257,8 @@ resultToJson(const ForecastResult &result)
         if (result.kernelCount > 0)
             json.set("kernels", static_cast<uint64_t>(result.kernelCount));
     }
+    if (!result.strategy.empty())
+        json.set("strategy", result.strategy);
     json.set("service_us", result.serviceMicros);
     if (result.coalesced)
         json.set("coalesced", true);

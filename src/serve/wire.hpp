@@ -11,8 +11,15 @@
  *   {"op":"training","model":"GPT2-Large","batch":8,"gpu":"A100-40GB"}
  *   {"op":"distributed","model":"GPT2-Large","gpu":"H100","num_gpus":4,
  *    "global_batch":8,"strategy":"tensor"}
- * Optional fields: "tag" (echoed), "dtype" ("fp32"|"fp16"), and for
- * distributed requests "micro_batches", "schedule" ("gpipe"|"1f1b"),
+ *   {"op":"hybrid","model":"GPT2-Large","gpu":"H100","global_batch":8,
+ *    "tp":2,"dp":2,"micro_batches":2,"recompute":true}
+ *   {"op":"sweep","model":"GPT2-Large","gpu":"H100","num_gpus":4,
+ *    "global_batch":8}
+ * Optional fields: "tag" (echoed), "dtype" ("fp32"|"fp16"), "backend"
+ * (alias "predictor": registry name of the predictor answering this
+ * request — one server hosts heterogeneous backends side by side), and
+ * for multi-GPU requests "micro_batches", "schedule"
+ * ("gpipe"|"1f1b"|"interleaved"), "virtual_stages", "recompute",
  * "link_gbps". "gpu" accepts a Table-4 name or a spec-JSON path
  * (gpusim::resolveGpu).
  */

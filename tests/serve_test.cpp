@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "common/logging.hpp"
 #include "core/predictor.hpp"
 #include "eval/oracle.hpp"
@@ -338,9 +339,16 @@ TEST(Server, CoalescesIdenticalInFlightRequests)
 
     constexpr int kClients = 12;
     std::vector<std::future<ForecastResult>> futures;
-    for (int i = 0; i < kClients; ++i)
-        futures.push_back(server.submit(
-            smallInferenceRequest(4, "c" + std::to_string(i))));
+    for (int i = 0; i < kClients; ++i) {
+        ForecastRequest req =
+            smallInferenceRequest(4, "c" + std::to_string(i));
+        // Naming the default backend explicitly must coalesce with
+        // the spelled-out-by-omission requests.
+        if (i % 2 == 1)
+            req.backend =
+                server.forecastEngine()->defaultBackendName();
+        futures.push_back(server.submit(std::move(req)));
+    }
     int coalesced = 0;
     double latency = -1.0;
     for (int i = 0; i < kClients; ++i) {
@@ -585,6 +593,170 @@ TEST(Server, GraphCacheCanBeDisabled)
     EXPECT_EQ(server.modelGraphCache(), nullptr);
     EXPECT_TRUE(server.submit(smallInferenceRequest(2, "x")).get().ok);
     EXPECT_EQ(server.stats().graphCache.hits, 0u);
+}
+
+/** Constant-latency predictor for the multi-backend tests. */
+class ConstantPredictor : public graph::LatencyPredictor
+{
+  public:
+    explicit ConstantPredictor(double kernel_ms) : kernelMs(kernel_ms) {}
+
+    std::string name() const override { return "Constant"; }
+
+    double
+    predictKernelMs(const gpusim::KernelDesc &,
+                    const gpusim::GpuSpec &) const override
+    {
+        return kernelMs;
+    }
+
+  private:
+    double kernelMs;
+};
+
+TEST(Server, ServesTwoBackendsSideBySideInOneProcess)
+{
+    // The acceptance scenario of the API redesign: one ForecastServer
+    // answers wire requests against two distinct registered predictors
+    // in the same process, selected per request by the wire "backend"
+    // field, with per-backend-correct caching inside one shared cache.
+    const ConstantPredictor fast(1.0);
+    const ConstantPredictor slow(3.0);
+    auto registry = std::make_shared<api::PredictorRegistry>();
+    registry->addExternal("fast", fast);
+    registry->addExternal("slow", slow);
+    api::EngineConfig config;
+    config.defaultBackend = "fast";
+    config.registry = registry;
+    config.cacheCapacity = 4096;
+    auto engine = std::make_shared<api::ForecastEngine>(std::move(config));
+
+    ServerOptions options;
+    options.workers = 2;
+    options.cache = engine->predictionCache();
+    ForecastServer server(engine, options);
+
+    // Both arrive over the wire, as a client would send them.
+    const ForecastRequest on_default = requestFromJson(common::Json::parse(
+        "{\"op\":\"inference\",\"model\":\"BERT-Large\",\"batch\":2,"
+        "\"gpu\":\"V100\",\"tag\":\"fast\"}"));
+    const ForecastRequest on_slow = requestFromJson(common::Json::parse(
+        "{\"op\":\"inference\",\"model\":\"BERT-Large\",\"batch\":2,"
+        "\"gpu\":\"V100\",\"backend\":\"slow\",\"tag\":\"slow\"}"));
+    // Same workload, different backend: semantically different
+    // forecasts, so they must never coalesce.
+    EXPECT_NE(on_default.fingerprint(), on_slow.fingerprint());
+
+    const ForecastResult fast_result = server.submit(on_default).get();
+    const ForecastResult slow_result = server.submit(on_slow).get();
+    ASSERT_TRUE(fast_result.ok) << fast_result.error;
+    ASSERT_TRUE(slow_result.ok) << slow_result.error;
+    EXPECT_EQ(fast_result.tag, "fast");
+    EXPECT_EQ(slow_result.tag, "slow");
+    EXPECT_DOUBLE_EQ(slow_result.latencyMs, 3.0 * fast_result.latencyMs);
+    EXPECT_EQ(fast_result.kernelCount, slow_result.kernelCount);
+
+    // Re-asking each backend hits its own scoped cache entries and
+    // still answers its own numbers — the shared cache never crosses
+    // the two backends' forecasts.
+    const serve::CacheStats before = engine->cacheStats();
+    EXPECT_DOUBLE_EQ(server.submit(on_default).get().latencyMs,
+                     fast_result.latencyMs);
+    EXPECT_DOUBLE_EQ(server.submit(on_slow).get().latencyMs,
+                     slow_result.latencyMs);
+    const serve::CacheStats after = engine->cacheStats();
+    EXPECT_GT(after.hits, before.hits);
+    EXPECT_EQ(after.misses, before.misses);
+
+    server.stop();
+    EXPECT_EQ(server.stats().coalesced, 0u);
+    EXPECT_EQ(server.stats().completed, 4u);
+}
+
+TEST(Wire, BackendFieldRoundTripsAndAliases)
+{
+    const ForecastRequest req = requestFromJson(common::Json::parse(
+        "{\"op\":\"inference\",\"model\":\"GPT3-XL\",\"batch\":4,"
+        "\"gpu\":\"H100\",\"backend\":\"oracle\"}"));
+    EXPECT_EQ(req.backend, "oracle");
+    const ForecastRequest again = requestFromJson(requestToJson(req));
+    EXPECT_EQ(again.backend, "oracle");
+    EXPECT_EQ(again.fingerprint(), req.fingerprint());
+
+    // "predictor" is an accepted alias for "backend"...
+    const ForecastRequest aliased = requestFromJson(common::Json::parse(
+        "{\"op\":\"inference\",\"model\":\"GPT3-XL\",\"batch\":4,"
+        "\"gpu\":\"H100\",\"predictor\":\"oracle\"}"));
+    EXPECT_EQ(aliased.fingerprint(), req.fingerprint());
+    // ...but contradicting values are rejected.
+    EXPECT_THROW(requestFromJson(common::Json::parse(
+                     "{\"op\":\"inference\",\"model\":\"GPT3-XL\","
+                     "\"gpu\":\"H100\",\"backend\":\"a\","
+                     "\"predictor\":\"b\"}")),
+                 std::runtime_error);
+
+    // The backend is part of the request's semantics.
+    ForecastRequest plain = req;
+    plain.backend.clear();
+    EXPECT_NE(plain.fingerprint(), req.fingerprint());
+}
+
+TEST(Wire, HybridAndSweepRequestsRoundTrip)
+{
+    const ForecastRequest hybrid = requestFromJson(common::Json::parse(
+        "{\"op\":\"hybrid\",\"model\":\"GPT2-Large\",\"gpu\":\"H100\","
+        "\"global_batch\":16,\"tp\":2,\"dp\":2,\"micro_batches\":2,"
+        "\"recompute\":true}"));
+    EXPECT_EQ(hybrid.kind, RequestKind::Hybrid);
+    EXPECT_EQ(hybrid.hybrid.tpDegree, 2);
+    EXPECT_EQ(hybrid.hybrid.ppDegree, 1);
+    EXPECT_EQ(hybrid.hybrid.dpDegree, 2);
+    // num_gpus defaults to the product of the degrees.
+    EXPECT_EQ(hybrid.numGpus, 4);
+    EXPECT_TRUE(hybrid.hybrid.recomputeActivations);
+    const ForecastRequest hybrid_again =
+        requestFromJson(requestToJson(hybrid));
+    EXPECT_EQ(hybrid_again.fingerprint(), hybrid.fingerprint());
+
+    const ForecastRequest sweep = requestFromJson(common::Json::parse(
+        "{\"op\":\"sweep\",\"model\":\"GPT2-Large\",\"gpu\":\"H100\","
+        "\"num_gpus\":4,\"global_batch\":8}"));
+    EXPECT_EQ(sweep.kind, RequestKind::HybridSweep);
+    EXPECT_EQ(sweep.numGpus, 4);
+    EXPECT_EQ(sweep.globalBatch, 8u);
+    const ForecastRequest sweep_again =
+        requestFromJson(requestToJson(sweep));
+    EXPECT_EQ(sweep_again.fingerprint(), sweep.fingerprint());
+    EXPECT_NE(sweep.fingerprint(), hybrid.fingerprint());
+}
+
+TEST(Server, HybridRequestsMatchDirectForecast)
+{
+    const eval::SimulatorOracle oracle;
+    ForecastRequest req;
+    req.kind = RequestKind::Hybrid;
+    req.model = "GPT2-Large";
+    req.gpu = findGpu("H100");
+    req.numGpus = 4;
+    req.globalBatch = 8;
+    req.hybrid.tpDegree = 2;
+    req.hybrid.dpDegree = 2;
+    req.hybrid.numMicroBatches = 2;
+
+    ForecastServer server(oracle, ServerOptions{});
+    const ForecastResult result = server.submit(req).get();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.strategy, req.hybrid.describe());
+
+    const dist::EstimatedCollectives comms("A100-NVLink", 600.0);
+    dist::ServerConfig config;
+    config.setGpu(req.gpu);
+    config.numGpus = req.numGpus;
+    const dist::HybridResult direct = dist::hybridTrainingMs(
+        oracle, comms, config, graph::findModel(req.model),
+        req.globalBatch, req.hybrid);
+    EXPECT_DOUBLE_EQ(result.latencyMs, direct.latencyMs);
+    EXPECT_DOUBLE_EQ(result.commBytes, direct.commBytes);
 }
 
 TEST(Wire, ScriptReaderSkipsBlanksAndComments)

@@ -10,13 +10,11 @@
 
 #include <cstdio>
 
-#include "baselines/habitat.hpp"
-#include "baselines/li.hpp"
-#include "baselines/roofline.hpp"
+#include "api/engine.hpp"
 #include "common/argparse.hpp"
 #include "common/table.hpp"
 #include "eval/harness.hpp"
-#include "eval/oracle.hpp"
+#include "graph/model_io.hpp"
 #include "tool_common.hpp"
 
 namespace {
@@ -55,20 +53,18 @@ run(int argc, const char *const *argv)
     const std::vector<gpusim::GpuSpec> gpus =
         tools::resolveGpuList(args.getString("gpus"));
 
-    const core::NeuSight neusight = tools::loadOrTrainPredictor(
-        args.getString("predictor"), gpusim::nvidiaTrainingSet());
-    const baselines::RooflinePredictor roofline;
-    // Habitat / Li train quickly on a fresh corpus (they have no cache
-    // format of their own; the paper retrains them per study too).
-    const auto corpus = dataset::generateOperatorData(
-        gpusim::nvidiaTrainingSet(), dataset::SamplerConfig{});
-    baselines::HabitatPredictor habitat{baselines::HabitatConfig{}};
-    habitat.train(corpus);
-    baselines::LiPredictor li;
-    li.train(corpus);
-
+    // Every predictor of the study comes from the engine's registry
+    // (Habitat and Li train lazily on a shared fresh corpus, as the
+    // paper retrains them per study too). Caching is disabled so the
+    // harness sees the raw predictors under their display names.
+    const api::ForecastEngine engine(api::EngineConfig()
+                                         .predictor(args.getString("predictor"))
+                                         .cache(0)
+                                         .graphCache(0));
     const auto results = eval::evaluateCases(
-        cases, gpus, {&neusight, &roofline, &habitat, &li});
+        cases, gpus,
+        {&engine.backend("neusight"), &engine.backend("roofline"),
+         &engine.backend("habitat"), &engine.backend("li")});
 
     TextTable table("Prediction error by cell (" +
                         args.getString("phase") + ", batch " +

@@ -18,11 +18,12 @@
 #include <cstdio>
 #include <fstream>
 
+#include "api/engine.hpp"
 #include "common/argparse.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "dist/parallel.hpp"
-#include "serve/prediction_cache.hpp"
+#include "graph/model_io.hpp"
 #include "tool_common.hpp"
 
 namespace {
@@ -201,10 +202,8 @@ run(int argc, const char *const *argv)
         graph::resolveModel(args.getString("model"));
     // --gpu already accepts a spec path; --gpu-json forces file
     // resolution (a hypothetical GPU can shadow a database name).
-    const std::string gpu_json = args.getString("gpu-json");
-    const gpusim::GpuSpec gpu =
-        gpu_json.empty() ? gpusim::resolveGpu(args.getString("gpu"))
-                         : gpusim::loadGpuSpecs(gpu_json).front();
+    const gpusim::GpuSpec gpu = api::ForecastEngine::resolveGpu(
+        args.getString("gpu"), args.getString("gpu-json"));
 
     dist::ServerConfig server;
     server.systemName = gpu.name + "-server";
@@ -246,16 +245,17 @@ run(int argc, const char *const *argv)
         fatal("--global-batch must be at least 1");
     const uint64_t global_batch =
         static_cast<uint64_t>(args.getInt("global-batch"));
-    core::NeuSight neusight = tools::loadOrTrainPredictor(
-        args.getString("predictor"), gpusim::nvidiaTrainingSet());
-    // Sweeps forecast hundreds of graph variants that share almost all
-    // kernel shapes; the prediction cache turns the repeats into hash
-    // lookups.
-    neusight.attachCache(
-        std::make_shared<serve::PredictionCache>(1 << 16));
-    const dist::EstimatedCollectives comms(
-        args.getString("reference-system"),
-        args.getDouble("reference-link-gbps"));
+    // The engine wires the predictor, the kernel-prediction cache
+    // (sweeps forecast hundreds of graph variants sharing almost all
+    // kernel shapes — the cache turns the repeats into hash lookups),
+    // and the calibrated collective model in one place.
+    const api::ForecastEngine engine(
+        api::EngineConfig()
+            .predictor(args.getString("predictor"))
+            .collectives(args.getString("reference-system"),
+                         args.getDouble("reference-link-gbps")));
+    const graph::LatencyPredictor &neusight = engine.backend();
+    const dist::CollectiveModel &comms = engine.collectives();
 
     if (args.getFlag("sweep")) {
         dist::SweepOptions options;

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <map>
 
+#include "api/engine.hpp"
 #include "common/argparse.hpp"
 #include "common/table.hpp"
 #include "graph/fusion.hpp"
@@ -51,15 +52,17 @@ run(int argc, const char *const *argv)
                                        ? gpusim::DataType::Fp16
                                        : gpusim::DataType::Fp32;
 
-    const gpusim::GpuSpec gpu = gpusim::resolveGpu(args.getString("gpu"));
-    graph::KernelGraph g = tools::buildWorkloadGraph(
+    const gpusim::GpuSpec gpu =
+        api::ForecastEngine::resolveGpu(args.getString("gpu"));
+    graph::KernelGraph g = api::buildWorkloadGraph(
         args.getString("model"), static_cast<uint64_t>(args.getInt("batch")),
         training, dtype);
     if (args.getFlag("fuse"))
         g = graph::fuseGraph(g);
 
-    const core::NeuSight neusight = tools::loadOrTrainPredictor(
-        args.getString("predictor"), gpusim::nvidiaTrainingSet());
+    const api::ForecastEngine engine(
+        api::EngineConfig().predictor(args.getString("predictor")));
+    const graph::LatencyPredictor &neusight = engine.backend();
 
     const double total_ms = neusight.predictGraphMs(g, gpu);
     std::printf("%s %s on %s (batch %lld%s%s): %.2f ms predicted\n",

@@ -18,17 +18,16 @@
 #include <fstream>
 #include <future>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "common/argparse.hpp"
-#include "eval/oracle.hpp"
+#include "common/logging.hpp"
 #include "serve/prediction_cache.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
-#include "tool_common.hpp"
 
 namespace {
 
@@ -44,6 +43,12 @@ printResult(const serve::ForecastResult &result)
 int
 run(int argc, const char *const *argv)
 {
+    // The accepted backend list comes from the registry itself, so the
+    // help text below and the engine's unknown-backend error can never
+    // drift from what is actually registered.
+    const std::string backend_names =
+        api::PredictorRegistry::withBuiltins()->namesJoined();
+
     common::ArgParser args(
         "neusight-serve",
         "serve latency forecasts over a JSON line protocol");
@@ -53,13 +58,20 @@ run(int argc, const char *const *argv)
     args.addInt("queue", 256, "request queue capacity");
     args.addInt("repeat", 1, "replay the script N times (batch mode)");
     args.addString("backend", "neusight",
-                   "forecast backend: neusight | oracle (simulator "
-                   "ground truth; no training, used by smoke tests)");
+                   "default forecast backend: " + backend_names +
+                       " (requests may name any of these per line via "
+                       "\"backend\")");
     args.addString("predictor", "neusight_nvidia.bin",
                    "trained predictor cache path (neusight backend)");
     args.addInt("cache-capacity", 65536,
                 "kernel-prediction cache entries");
     args.addFlag("no-cache", "disable the kernel-prediction cache");
+    args.addString("cache-load", "",
+                   "warm-start: load a kernel-prediction cache snapshot "
+                   "(JSON lines written by --cache-save)");
+    args.addString("cache-save", "",
+                   "snapshot the kernel-prediction cache to this path "
+                   "on exit");
     args.addInt("graph-cache-capacity", 128,
                 "model-graph cache entries (constructed KernelGraphs "
                 "memoized per request fingerprint)");
@@ -78,46 +90,42 @@ run(int argc, const char *const *argv)
     if (workers < 1 || queue < 1 || repeat < 1 || capacity < 1)
         fatal("--workers, --queue, --repeat and --cache-capacity must "
               "be at least 1");
+    const int64_t graph_capacity = args.getInt("graph-cache-capacity");
+    if (graph_capacity < 1)
+        fatal("--graph-cache-capacity must be at least 1");
+    const bool no_cache = args.getFlag("no-cache");
+    if (no_cache && (!args.getString("cache-load").empty() ||
+                     !args.getString("cache-save").empty()))
+        fatal("--cache-load/--cache-save need the kernel-prediction "
+              "cache (drop --no-cache)");
 
-    std::shared_ptr<serve::PredictionCache> cache;
-    if (!args.getFlag("no-cache"))
-        cache = std::make_shared<serve::PredictionCache>(
-            static_cast<size_t>(capacity));
-
-    // Keep whichever backend we build alive for the server's lifetime.
-    std::optional<core::NeuSight> neusight;
-    eval::SimulatorOracle oracle;
-    std::optional<serve::CachedPredictor> cachedOracle;
-    const graph::LatencyPredictor *backend = nullptr;
-    const std::string backend_name = args.getString("backend");
-    if (backend_name == "neusight") {
-        neusight = tools::loadOrTrainPredictor(
-            args.getString("predictor"), gpusim::nvidiaTrainingSet());
-        neusight->attachCache(cache);
-        backend = &*neusight;
-    } else if (backend_name == "oracle") {
-        if (cache) {
-            cachedOracle.emplace(oracle, cache);
-            backend = &*cachedOracle;
-        } else {
-            backend = &oracle;
-        }
-    } else {
-        fatal("--backend must be neusight or oracle");
-    }
+    auto engine = std::make_shared<api::ForecastEngine>(
+        api::EngineConfig()
+            .backend(args.getString("backend"))
+            .predictor(args.getString("predictor"))
+            .cache(no_cache ? 0 : static_cast<size_t>(capacity))
+            .graphCache(args.getFlag("no-graph-cache")
+                            ? 0
+                            : static_cast<size_t>(graph_capacity))
+            .loadCacheFrom(args.getString("cache-load"))
+            .saveCacheTo(args.getString("cache-save")));
+    if (!args.getString("cache-load").empty())
+        std::fprintf(stderr,
+                     "neusight-serve: warmed the prediction cache with "
+                     "%zu entries from %s\n",
+                     engine->predictionCache()->size(),
+                     args.getString("cache-load").c_str());
+    // Load the default backend up front: an unknown --backend fails
+    // here, with the registry-derived list in the error.
+    engine->backend();
+    const std::shared_ptr<serve::PredictionCache> cache =
+        engine->predictionCache();
 
     serve::ServerOptions options;
     options.workers = static_cast<size_t>(workers);
     options.queueCapacity = static_cast<size_t>(queue);
     options.cache = cache;
-    const int64_t graph_capacity = args.getInt("graph-cache-capacity");
-    if (graph_capacity < 1)
-        fatal("--graph-cache-capacity must be at least 1");
-    options.graphCacheCapacity =
-        args.getFlag("no-graph-cache")
-            ? 0
-            : static_cast<size_t>(graph_capacity);
-    serve::ForecastServer server(*backend, options);
+    serve::ForecastServer server(engine, options);
 
     const auto start = std::chrono::steady_clock::now();
     uint64_t answered = 0;
@@ -262,6 +270,12 @@ run(int argc, const char *const *argv)
                      static_cast<unsigned long long>(gs.hits),
                      static_cast<unsigned long long>(gs.misses),
                      100.0 * gs.hitRate());
+    }
+    if (!args.getString("cache-save").empty()) {
+        const size_t saved = engine->savePredictionCache();
+        std::fprintf(stderr,
+                     "neusight-serve: saved %zu cache entries to %s\n",
+                     saved, args.getString("cache-save").c_str());
     }
     return failed == 0 ? 0 : 2;
 }

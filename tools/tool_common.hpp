@@ -1,24 +1,22 @@
 /**
  * @file
- * Shared plumbing for the tools/ command-line binaries: predictor cache
- * handling, comma-separated list parsing, and workload resolution that
- * accepts Table-5 names, the CNN builders, or JSON config files.
+ * Command-line helpers shared by the tools/ binaries: comma-separated
+ * list parsing and GPU-list resolution. Everything heavier that used to
+ * live here — predictor loading/training, workload-graph construction,
+ * cache wiring — moved behind the api::ForecastEngine facade
+ * (src/api/engine.hpp); the tools now drive the same entry point as
+ * the serving layer and the examples.
  */
 
 #ifndef NEUSIGHT_TOOLS_TOOL_COMMON_HPP
 #define NEUSIGHT_TOOLS_TOOL_COMMON_HPP
 
-#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "common/logging.hpp"
-#include "core/predictor.hpp"
-#include "dataset/dataset.hpp"
-#include "graph/cnn.hpp"
-#include "graph/model_io.hpp"
-#include "gpusim/spec_io.hpp"
 
 namespace neusight::tools {
 
@@ -35,53 +33,17 @@ splitList(const std::string &value)
     return items;
 }
 
-/** Resolve every entry of a comma list through resolveGpu(). */
+/** Resolve every entry of a comma list through the engine's resolver
+ *  (database names and spec-JSON paths both work). */
 inline std::vector<gpusim::GpuSpec>
 resolveGpuList(const std::string &value)
 {
     std::vector<gpusim::GpuSpec> gpus;
     for (const std::string &name : splitList(value))
-        gpus.push_back(gpusim::resolveGpu(name));
+        gpus.push_back(api::ForecastEngine::resolveGpu(name));
     if (gpus.empty())
         fatal("no GPUs given");
     return gpus;
-}
-
-/**
- * Load a trained NeuSight framework from @p path, or train one on
- * @p training_gpus and cache it there when the file does not exist yet.
- */
-inline core::NeuSight
-loadOrTrainPredictor(const std::string &path,
-                     const std::vector<gpusim::GpuSpec> &training_gpus)
-{
-    if (!std::filesystem::exists(path))
-        inform("predictor cache '" + path +
-               "' not found; training from scratch (one-time cost)");
-    return core::NeuSight::trainOrLoad(path, training_gpus,
-                                       dataset::SamplerConfig{});
-}
-
-/**
- * Build the kernel graph for a workload name: a Table-5 transformer (or
- * JSON model file) at the given batch, or the built-in CNN workloads
- * "ResNet-50" / "VGG-16".
- */
-inline graph::KernelGraph
-buildWorkloadGraph(const std::string &model, uint64_t batch, bool training,
-                   gpusim::DataType dtype)
-{
-    if (model == "ResNet-50")
-        return training ? graph::buildResNet50TrainingGraph(batch, dtype)
-                        : graph::buildResNet50Graph(batch, dtype);
-    if (model == "VGG-16") {
-        if (training)
-            fatal("VGG-16 training graph not provided; use inference");
-        return graph::buildVgg16Graph(batch, dtype);
-    }
-    const graph::ModelConfig config = graph::resolveModel(model);
-    return training ? graph::buildTrainingGraph(config, batch, dtype)
-                    : graph::buildInferenceGraph(config, batch, dtype);
 }
 
 } // namespace neusight::tools
