@@ -30,6 +30,9 @@ serverFromRequest(const ForecastRequest &req)
 ForecastEngine::ForecastEngine(EngineConfig config_)
     : config(std::move(config_))
 {
+    // Validate eagerly so a typo fails at construction, not inside the
+    // first forecast (where it would surface as an ok=false result).
+    core::parsePrecision(config.precisionLane);
     reg = config.registry;
     if (!reg)
         reg = PredictorRegistry::withBuiltins(config.neusightPath,
@@ -75,9 +78,25 @@ ForecastEngine::wire(const std::string &name) const
         return it->second;
 
     WiredBackend backend;
-    auto *neusight =
-        cache ? dynamic_cast<core::NeuSight *>(reg->getOwned(name))
-              : nullptr;
+    auto *neusight = dynamic_cast<core::NeuSight *>(reg->getOwned(name));
+    const core::KernelPredictor::Precision lane =
+        core::parsePrecision(config.precisionLane);
+    if (neusight && neusight->precision() != lane) {
+        // Apply the configured numeric lane before the backend is ever
+        // handed out by this engine. Wiring happens once per name, ahead
+        // of any prediction through this engine, so the weight snapshot
+        // the switch takes is never concurrent with our own inference.
+        neusight->setPrecision(lane);
+    }
+    // The f32 lane rounds differently from the reference f64 lane, so
+    // its entries get their own key scope: a persisted snapshot reloaded
+    // under the other lane must miss, not serve near-but-not-bit-equal
+    // values. The default lane keeps the bare name — existing snapshots
+    // stay valid.
+    const std::string scope =
+        lane == core::KernelPredictor::Precision::F64
+            ? name
+            : name + "@" + core::precisionName(lane);
     if (!cache) {
         backend.predictor = &raw;
     } else if (neusight && neusight->predictionCache() == nullptr) {
@@ -87,7 +106,7 @@ ForecastEngine::wire(const std::string &name) const
         // by this engine yet, so none of our workers predict through
         // it before the attach.
         neusight->attachCache(std::make_shared<serve::ScopedKernelCache>(
-            cache, name));
+            cache, scope));
         backend.predictor = neusight;
     } else if (neusight) {
         // Already carries a cache (the registry is shared and another

@@ -67,6 +67,14 @@ struct EngineConfig
     std::string cacheLoadPath;
     /** Default path of savePredictionCache(). */
     std::string cacheSavePath;
+    /**
+     * Numeric lane of the built-in NeuSight backend's MLP inference:
+     * "f64" (default, bit-exact with the reference pins) or "f32" (the
+     * SIMD-friendly single-precision lane, ~equal predictions within
+     * 1e-4 relative). Cache entries of the non-default lane are scoped
+     * separately so persisted snapshots never mix lanes.
+     */
+    std::string precisionLane = "f64";
     /** Reference system calibrating the collective cost model. */
     std::string referenceSystem = "A100-NVLink";
     double referenceLinkGBps = 600.0;
@@ -117,6 +125,11 @@ struct EngineConfig
     EngineConfig &saveCacheTo(std::string path)
     {
         cacheSavePath = std::move(path);
+        return *this;
+    }
+    EngineConfig &precision(std::string lane)
+    {
+        precisionLane = std::move(lane);
         return *this;
     }
     EngineConfig &collectives(std::string system, double link_gbps)

@@ -36,6 +36,22 @@ rooflinePerSm(const KernelDesc &desc, const TileInfo &tile,
 
 } // namespace
 
+KernelPredictor::Precision
+parsePrecision(const std::string &name)
+{
+    if (name == "f64")
+        return KernelPredictor::Precision::F64;
+    if (name == "f32")
+        return KernelPredictor::Precision::F32;
+    fatal("unknown precision '" + name + "' (expected f64 or f32)");
+}
+
+const char *
+precisionName(KernelPredictor::Precision precision)
+{
+    return precision == KernelPredictor::Precision::F32 ? "f32" : "f64";
+}
+
 std::string
 canonicalOpName(const std::string &op_name)
 {
@@ -137,7 +153,19 @@ KernelPredictor::train(const dataset::OperatorDataset &data)
             nn::utilizationLawAv(alpha_beta, batch_waves), kMinUtil); // Eq. 7
         return nn::reciprocalScaleAv(util, batch_const); // Eq. 4-6
     };
-    return nn::fit(net, scaled, target_ms, fwd, config.train);
+    nn::TrainHistory history = nn::fit(net, scaled, target_ms, fwd,
+                                       config.train);
+    if (precision_ == Precision::F32)
+        mlp->syncF32(); // Training moved the weights under the snapshot.
+    return history;
+}
+
+void
+KernelPredictor::setPrecision(Precision precision)
+{
+    precision_ = precision;
+    if (precision_ == Precision::F32)
+        mlp->syncF32();
 }
 
 PredictionDetail
@@ -161,24 +189,31 @@ KernelPredictor::predictBatch(
     if (n == 0)
         return details;
 
-    std::vector<TileInfo> tiles(n);
+    const std::vector<gpusim::LaunchGeometry> launches =
+        TilePolicy::launchBatch(descs, tile_dims, gpu);
     Matrix features(n, kNumFeatures);
     for (size_t i = 0; i < n; ++i) {
         PredictionDetail &detail = details[i];
-        tiles[i] = TilePolicy::tileCosts(descs[i], tile_dims[i]);
         detail.tileDims = tile_dims[i];
-        detail.numTiles = TilePolicy::numTiles(descs[i], tile_dims[i]);
-        detail.numWaves = TilePolicy::numWaves(detail.numTiles, gpu.numSms);
-        const std::vector<double> f =
-            buildFeatures(descs[i], tiles[i], detail.numWaves, gpu);
+        detail.numTiles = launches[i].numTiles;
+        detail.numWaves = launches[i].numWaves;
+        const std::vector<double> f = buildFeatures(
+            descs[i], launches[i].tile, detail.numWaves, gpu);
         for (size_t c = 0; c < kNumFeatures; ++c)
             features.at(i, c) = f[c];
     }
 
     // One scale + one tape-free MLP pass for the whole batch. Each output
     // row only depends on its own input row, so this is bit-identical to
-    // N single-row forwards (see Mlp::inferRows).
-    Matrix alpha_beta = mlp->inferRows(scaler.transform(features));
+    // N single-row forwards (see Mlp::inferRows). Feature construction
+    // and scaling always run in double; the F32 lane narrows the scaled
+    // batch once and runs the fused single-precision kernels instead.
+    Matrix alpha_beta =
+        precision_ == Precision::F32
+            ? mlp->inferRowsF32(
+                     MatrixF32::fromMatrix(scaler.transform(features)))
+                  .toMatrix()
+            : mlp->inferRows(scaler.transform(features));
     if (config.sigmoidBound)
         alpha_beta.apply(
             [](double v) { return 1.0 / (1.0 + std::exp(-v)); });
@@ -195,8 +230,9 @@ KernelPredictor::predictBatch(
         detail.utilization = config.sigmoidBound
                                  ? std::clamp(util, utilFloor, 1.0)
                                  : std::max(util, kMinUtil);
-        detail.rooflinePerSm = rooflinePerSm(descs[i], tiles[i], gpu);
-        detail.latencyMs = tiles[i].flopsPerTile /
+        detail.rooflinePerSm =
+            rooflinePerSm(descs[i], launches[i].tile, gpu);
+        detail.latencyMs = launches[i].tile.flopsPerTile /
                            (detail.rooflinePerSm * detail.utilization) *
                            static_cast<double>(detail.numWaves) * 1e3;
     }
@@ -220,6 +256,8 @@ KernelPredictor::load(std::istream &in)
     in.read(reinterpret_cast<char *>(&utilFloor), sizeof(utilFloor));
     if (!in || utilFloor < 0.0 || utilFloor > 1.0)
         fatal("KernelPredictor::load: corrupt utilization floor");
+    if (precision_ == Precision::F32)
+        mlp->syncF32(); // Loading replaced the weights under the snapshot.
 }
 
 NeuSight::NeuSight(const PredictorConfig &config_) : config(config_)
@@ -258,6 +296,14 @@ void
 NeuSight::attachCache(std::shared_ptr<KernelPredictionCache> cache)
 {
     cache_ = std::move(cache);
+}
+
+void
+NeuSight::setPrecision(KernelPredictor::Precision precision)
+{
+    precision_ = precision;
+    for (auto &[type, pred] : predictors)
+        pred->setPrecision(precision);
 }
 
 PredictionDetail
@@ -332,12 +378,31 @@ NeuSight::predictKernelsMs(const std::vector<KernelDesc> &descs,
         }
     }
 
-    // 3. Batch the remaining misses: one matrix pass per operator
-    // family, memory fallback for families without a learned predictor.
+    // 3. Batch the remaining misses. All learned-family misses resolve
+    // their tiles through ONE TileDatabase::lookupBatch pass (the
+    // per-record GPU-gap and log-dimension terms are shared across the
+    // whole batch), then each operator family runs one matrix pass;
+    // families without a learned predictor take the memory fallback.
     std::map<OpType, std::vector<size_t>> families;
     for (size_t u = 0; u < uniques.size(); ++u)
         if (!uniques[u].resolved)
             families[uniques[u].desc->type].push_back(u);
+    std::vector<KernelDesc> tile_queries;
+    std::vector<size_t> tile_query_of(uniques.size(), size_t(-1));
+    for (const auto &[type, members] : families) {
+        if (predictors.find(type) == predictors.end())
+            continue;
+        for (size_t u : members) {
+            // Fused kernels look up the tile of their first operator
+            // (Section 4.4).
+            KernelDesc lookup = *uniques[u].desc;
+            lookup.opName = canonicalOpName(lookup.opName);
+            tile_query_of[u] = tile_queries.size();
+            tile_queries.push_back(std::move(lookup));
+        }
+    }
+    const std::vector<std::vector<uint64_t>> resolved_tiles =
+        tileDb.lookupBatch(tile_queries, gpu);
     for (const auto &[type, members] : families) {
         const auto it = predictors.find(type);
         if (it == predictors.end()) {
@@ -353,11 +418,7 @@ NeuSight::predictKernelsMs(const std::vector<KernelDesc> &descs,
             batch.reserve(members.size());
             tiles.reserve(members.size());
             for (size_t u : members) {
-                // Fused kernels look up the tile of their first operator
-                // (Section 4.4).
-                KernelDesc lookup = *uniques[u].desc;
-                lookup.opName = canonicalOpName(lookup.opName);
-                tiles.push_back(tileDb.lookup(lookup, gpu));
+                tiles.push_back(resolved_tiles[tile_query_of[u]]);
                 batch.push_back(*uniques[u].desc);
             }
             std::vector<PredictionDetail> predicted =

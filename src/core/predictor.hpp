@@ -101,6 +101,19 @@ struct PredictionDetail
 class KernelPredictor
 {
   public:
+    /**
+     * Numeric lane for the MLP forward pass. F64 runs the reference
+     * double-precision kernels and stays bit-identical across releases;
+     * F32 runs the fused single-precision SIMD lane
+     * (nn::Mlp::inferRowsF32), which agrees with F64 to ~1e-6 relative
+     * on (alpha, beta) and well within 1e-4 on predicted latency.
+     */
+    enum class Precision
+    {
+        F64,
+        F32,
+    };
+
     /** Construct an untrained predictor for @p type. */
     KernelPredictor(gpusim::OpType type, const PredictorConfig &config);
 
@@ -136,6 +149,17 @@ class KernelPredictor
     /** The operator family this predictor serves. */
     gpusim::OpType type() const { return opType; }
 
+    /**
+     * Select the numeric lane for predict/predictBatch. Switching to F32
+     * snapshots the current MLP weights into float32 (and train/load
+     * refresh the snapshot), so call it only while no predictions are in
+     * flight — the same single-writer rule as NeuSight::attachCache.
+     */
+    void setPrecision(Precision precision);
+
+    /** The active numeric lane (default F64). */
+    Precision precision() const { return precision_; }
+
     /** Serialize MLP weights, scaler and utilization floor (binary). */
     void save(std::ostream &out) const;
 
@@ -159,7 +183,14 @@ class KernelPredictor
     std::unique_ptr<nn::Mlp> mlp;
     nn::FeatureScaler scaler;
     double utilFloor = kMinUtil;
+    Precision precision_ = Precision::F64;
 };
+
+/** Parse "f64"/"f32" (tool --precision flags); anything else is fatal. */
+KernelPredictor::Precision parsePrecision(const std::string &name);
+
+/** Canonical spelling of a precision lane ("f64" / "f32"). */
+const char *precisionName(KernelPredictor::Precision precision);
 
 /** The full NeuSight framework: five predictors + tile database. */
 class NeuSight : public graph::LatencyPredictor
@@ -222,6 +253,18 @@ class NeuSight : public graph::LatencyPredictor
     predictKernelsMs(const std::vector<gpusim::KernelDesc> &descs,
                      const gpusim::GpuSpec &gpu) const override;
 
+    /**
+     * Select the numeric lane of every operator-family predictor (see
+     * KernelPredictor::setPrecision). Apply only while no predictions
+     * are in flight. F64 (the default) keeps all forecasts bit-identical
+     * to prior releases; F32 trades ≤1e-4 relative latency drift for the
+     * vectorized single-precision MLP lane.
+     */
+    void setPrecision(KernelPredictor::Precision precision);
+
+    /** The active numeric lane (default F64). */
+    KernelPredictor::Precision precision() const { return precision_; }
+
     /** The tile database (populated by train / load). */
     const TileDatabase &tileDatabase() const { return tileDb; }
 
@@ -249,6 +292,7 @@ class NeuSight : public graph::LatencyPredictor
     std::map<gpusim::OpType, std::unique_ptr<KernelPredictor>> predictors;
     TileDatabase tileDb;
     std::shared_ptr<KernelPredictionCache> cache_;
+    KernelPredictor::Precision precision_ = KernelPredictor::Precision::F64;
 };
 
 } // namespace neusight::core

@@ -61,7 +61,7 @@ TileDatabase::record(const gpusim::KernelDesc &desc,
     ensure(tile_dims.size() == desc.outDims.size(),
            "TileDatabase::record: rank mismatch");
     TileRecord rec;
-    rec.outDims = desc.outDims;
+    rec.outDims = desc.outDims.toVector();
     rec.tileDims = tile_dims;
     rec.numSms = static_cast<double>(gpu.numSms);
     rec.l2Bytes = gpu.l2Bytes();
@@ -78,58 +78,144 @@ std::vector<uint64_t>
 TileDatabase::lookup(const gpusim::KernelDesc &desc,
                      const gpusim::GpuSpec &gpu) const
 {
-    auto scan = [&](const std::vector<TileRecord> &bucket,
-                    bool require_same_type, double &best_dist,
-                    const TileRecord *&best_rec) {
-        for (const auto &rec : bucket) {
-            if (rec.outDims.size() != desc.outDims.size())
-                continue;
-            if (require_same_type && rec.type != desc.type)
-                continue;
-            double dist = 0.0;
-            for (size_t i = 0; i < rec.outDims.size(); ++i)
-                dist += logGap(static_cast<double>(desc.outDims[i]),
-                               static_cast<double>(rec.outDims[i]));
-            dist += 0.5 * logGap(static_cast<double>(gpu.numSms),
-                                 rec.numSms);
-            dist += 0.5 * logGap(gpu.l2Bytes(), rec.l2Bytes);
-            // Ties break on lexicographically smaller tile so the lookup
-            // is deterministic regardless of hash-map iteration order.
-            if (dist < best_dist ||
-                (dist == best_dist && best_rec != nullptr &&
-                 rec.tileDims < best_rec->tileDims)) {
-                best_dist = dist;
-                best_rec = &rec;
+    return lookupBatch({desc}, gpu).front();
+}
+
+namespace {
+
+/**
+ * Per-record terms of the match distance that do not depend on the
+ * query: log1p of every record dimension and the two (already halved)
+ * GPU-feature gaps. Computed once per batch instead of once per
+ * (record, query) pair; the accumulation below replays the exact
+ * floating-point operation order of the scalar path, so batched results
+ * stay bit-identical.
+ */
+struct RecordSide
+{
+    static constexpr size_t kMaxRank = 4;
+    double logDims[kMaxRank];
+    double smsGapHalf;
+    double l2GapHalf;
+};
+
+} // namespace
+
+std::vector<std::vector<uint64_t>>
+TileDatabase::lookupBatch(const std::vector<gpusim::KernelDesc> &descs,
+                          const gpusim::GpuSpec &gpu) const
+{
+    std::vector<std::vector<uint64_t>> tiles;
+    tiles.reserve(descs.size());
+    if (descs.empty())
+        return tiles;
+
+    const double gpu_sms = static_cast<double>(gpu.numSms);
+    const double gpu_l2 = gpu.l2Bytes();
+    // Query-independent record terms, filled lazily per bucket the first
+    // time any query touches it (the fallback cascades rarely run, so
+    // most batches only ever precompute the buckets they name).
+    std::unordered_map<const std::vector<TileRecord> *,
+                       std::vector<RecordSide>>
+        sides;
+    const auto sideOf =
+        [&](const std::vector<TileRecord> &bucket)
+        -> const std::vector<RecordSide> & {
+        auto [it, inserted] = sides.emplace(&bucket,
+                                            std::vector<RecordSide>());
+        if (inserted) {
+            it->second.reserve(bucket.size());
+            for (const TileRecord &rec : bucket) {
+                RecordSide side;
+                const size_t rank =
+                    std::min(rec.outDims.size(), RecordSide::kMaxRank);
+                for (size_t i = 0; i < rank; ++i)
+                    side.logDims[i] =
+                        std::log1p(static_cast<double>(rec.outDims[i]));
+                side.smsGapHalf = 0.5 * logGap(gpu_sms, rec.numSms);
+                side.l2GapHalf = 0.5 * logGap(gpu_l2, rec.l2Bytes);
+                it->second.push_back(side);
             }
         }
+        return it->second;
     };
 
-    double best_dist = std::numeric_limits<double>::max();
-    const TileRecord *best_rec = nullptr;
-    const auto it = records.find(desc.opName);
-    if (it != records.end())
-        scan(it->second, false, best_dist, best_rec);
-    if (best_rec == nullptr) {
-        // Unseen kernel name: nearest record of the same operator family
-        // (libraries tile a family identically regardless of the exact
-        // pointwise op).
-        for (const auto &[name, recs] : records)
-            scan(recs, true, best_dist, best_rec);
+    double query_log_dims[RecordSide::kMaxRank];
+    for (const gpusim::KernelDesc &desc : descs) {
+        const size_t rank =
+            std::min(desc.outDims.size(), RecordSide::kMaxRank);
+        for (size_t i = 0; i < rank; ++i)
+            query_log_dims[i] =
+                std::log1p(static_cast<double>(desc.outDims[i]));
+
+        auto scan = [&](const std::vector<TileRecord> &bucket,
+                        bool require_same_type, double &best_dist,
+                        const TileRecord *&best_rec) {
+            const std::vector<RecordSide> &side = sideOf(bucket);
+            for (size_t r = 0; r < bucket.size(); ++r) {
+                const TileRecord &rec = bucket[r];
+                if (rec.outDims.size() != desc.outDims.size())
+                    continue;
+                if (require_same_type && rec.type != desc.type)
+                    continue;
+                double dist = 0.0;
+                if (rec.outDims.size() <= RecordSide::kMaxRank) {
+                    for (size_t i = 0; i < rec.outDims.size(); ++i) {
+                        const double d =
+                            query_log_dims[i] - side[r].logDims[i];
+                        dist += d * d;
+                    }
+                } else {
+                    // Ranks beyond the precomputed capacity (none exist
+                    // today) fall back to the scalar arithmetic.
+                    for (size_t i = 0; i < rec.outDims.size(); ++i)
+                        dist +=
+                            logGap(static_cast<double>(desc.outDims[i]),
+                                   static_cast<double>(rec.outDims[i]));
+                }
+                dist += side[r].smsGapHalf;
+                dist += side[r].l2GapHalf;
+                // Ties break on lexicographically smaller tile so the
+                // lookup is deterministic regardless of hash-map
+                // iteration order.
+                if (dist < best_dist ||
+                    (dist == best_dist && best_rec != nullptr &&
+                     rec.tileDims < best_rec->tileDims)) {
+                    best_dist = dist;
+                    best_rec = &rec;
+                }
+            }
+        };
+
+        double best_dist = std::numeric_limits<double>::max();
+        const TileRecord *best_rec = nullptr;
+        const auto it = records.find(desc.opName);
+        if (it != records.end())
+            scan(it->second, false, best_dist, best_rec);
+        if (best_rec == nullptr) {
+            // Unseen kernel name: nearest record of the same operator
+            // family (libraries tile a family identically regardless of
+            // the exact pointwise op).
+            for (const auto &[name, recs] : records)
+                scan(recs, true, best_dist, best_rec);
+        }
+        if (best_rec == nullptr) {
+            // Last resort: nearest rank-compatible record of any family.
+            for (const auto &[name, recs] : records)
+                scan(recs, false, best_dist, best_rec);
+        }
+        if (best_rec == nullptr)
+            fatal("TileDatabase::lookup: no rank-compatible entry for '" +
+                  desc.opName + "'");
+        // Tiles never exceed the output extent of the queried kernel.
+        std::vector<uint64_t> tile = best_rec->tileDims;
+        for (size_t i = 0; i < tile.size(); ++i)
+            tile[i] =
+                std::min<uint64_t>(std::max<uint64_t>(tile[i], 1),
+                                   std::max<uint64_t>(desc.outDims[i], 1));
+        tiles.push_back(std::move(tile));
     }
-    if (best_rec == nullptr) {
-        // Last resort: nearest rank-compatible record of any family.
-        for (const auto &[name, recs] : records)
-            scan(recs, false, best_dist, best_rec);
-    }
-    if (best_rec == nullptr)
-        fatal("TileDatabase::lookup: no rank-compatible entry for '" +
-              desc.opName + "'");
-    // Tiles never exceed the output extent of the queried kernel.
-    std::vector<uint64_t> tile = best_rec->tileDims;
-    for (size_t i = 0; i < tile.size(); ++i)
-        tile[i] = std::min<uint64_t>(std::max<uint64_t>(tile[i], 1),
-                                     std::max<uint64_t>(desc.outDims[i], 1));
-    return tile;
+    return tiles;
 }
 
 size_t

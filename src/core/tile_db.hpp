@@ -51,6 +51,18 @@ class TileDatabase
     std::vector<uint64_t> lookup(const gpusim::KernelDesc &desc,
                                  const gpusim::GpuSpec &gpu) const;
 
+    /**
+     * Resolve the tiles of a whole prediction batch in one pass. The
+     * GPU-feature gap terms and the log-space record dimensions are
+     * computed once per touched record instead of once per (record,
+     * query) pair, so resolving N kernels against a B-record database
+     * costs O(B + N·B) flops instead of O(3·N·B) transcendentals.
+     * Each entry is bit-identical to lookup(descs[i], gpu).
+     */
+    std::vector<std::vector<uint64_t>>
+    lookupBatch(const std::vector<gpusim::KernelDesc> &descs,
+                const gpusim::GpuSpec &gpu) const;
+
     /** Number of stored records. */
     size_t size() const;
 

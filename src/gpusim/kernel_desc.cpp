@@ -186,4 +186,11 @@ makeMemoryOp(const std::string &op_name, double bytes, DataType dtype)
     return d;
 }
 
+void
+DimVector::overflow() const
+{
+    fatal("DimVector: kernel rank exceeds kMaxRank (" +
+          std::to_string(kMaxRank) + ")");
+}
+
 } // namespace neusight::gpusim

@@ -10,11 +10,120 @@
 #ifndef NEUSIGHT_GPUSIM_KERNEL_DESC_HPP
 #define NEUSIGHT_GPUSIM_KERNEL_DESC_HPP
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
 namespace neusight::gpusim {
+
+/**
+ * Inline fixed-capacity dimension vector. Kernel output ranks never
+ * exceed 3 ({batch, m, n} for BMM), so storing the dims inline removes
+ * the per-KernelDesc heap allocation that dominated arena-backed graph
+ * construction (every node carries a KernelDesc). Capacity overflow is
+ * a fatal error, surfaced by the out-of-line grow handler.
+ */
+class DimVector
+{
+  public:
+    static constexpr size_t kMaxRank = 4;
+
+    DimVector() = default;
+
+    DimVector(std::initializer_list<uint64_t> init)
+    {
+        for (uint64_t d : init)
+            push_back(d);
+    }
+
+    /** Number of dimensions. */
+    size_t size() const { return count; }
+
+    /** True when no dimensions are stored. */
+    bool empty() const { return count == 0; }
+
+    /** Dimension access. */
+    uint64_t &operator[](size_t i) { return dims[i]; }
+
+    /** Dimension access, const. */
+    uint64_t operator[](size_t i) const { return dims[i]; }
+
+    uint64_t *begin() { return dims; }
+    uint64_t *end() { return dims + count; }
+    const uint64_t *begin() const { return dims; }
+    const uint64_t *end() const { return dims + count; }
+
+    /** Append a dimension; ranks beyond kMaxRank are fatal. */
+    void push_back(uint64_t d)
+    {
+        if (count == kMaxRank)
+            overflow();
+        dims[count++] = d;
+    }
+
+    /** Drop all dimensions. */
+    void clear() { count = 0; }
+
+    /** Widening copy for std::vector-typed consumers (tile records). */
+    std::vector<uint64_t> toVector() const
+    {
+        return std::vector<uint64_t>(begin(), end());
+    }
+
+  private:
+    [[noreturn]] void overflow() const;
+
+    uint64_t dims[kMaxRank] = {0, 0, 0, 0};
+    size_t count = 0;
+};
+
+inline bool
+operator==(const DimVector &a, const DimVector &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+inline bool
+operator!=(const DimVector &a, const DimVector &b)
+{
+    return !(a == b);
+}
+
+inline bool
+operator==(const DimVector &a, const std::vector<uint64_t> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+inline bool
+operator==(const std::vector<uint64_t> &a, const DimVector &b)
+{
+    return b == a;
+}
+
+inline bool
+operator!=(const DimVector &a, const std::vector<uint64_t> &b)
+{
+    return !(a == b);
+}
+
+inline bool
+operator!=(const std::vector<uint64_t> &a, const DimVector &b)
+{
+    return !(b == a);
+}
 
 /** Operator families with dedicated NeuSight predictors (Section 4.3). */
 enum class OpType
@@ -50,9 +159,11 @@ struct KernelDesc
     /**
      * Output tensor dimensions; the tile decomposition (Eq. 2) runs over
      * these. BMM: {batch, m, n}; FC: {rows, out}; elementwise: {numel};
-     * softmax/layernorm: {rows, cols}; memory ops: {numel}.
+     * softmax/layernorm: {rows, cols}; memory ops: {numel}. Stored
+     * inline (see DimVector) so a KernelDesc costs no heap allocation
+     * beyond its strings.
      */
-    std::vector<uint64_t> outDims;
+    DimVector outDims;
     /**
      * Reduction dimension for GEMM-family ops (K for BMM, input width for
      * fully-connected); 0 for pointwise/memory ops.

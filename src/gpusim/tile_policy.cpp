@@ -206,4 +206,21 @@ TilePolicy::select(const KernelDesc &desc, const GpuSpec &gpu)
     panic("TilePolicy::select: unhandled op type");
 }
 
+std::vector<LaunchGeometry>
+TilePolicy::launchBatch(const std::vector<KernelDesc> &descs,
+                        const std::vector<std::vector<uint64_t>> &tiles,
+                        const GpuSpec &gpu)
+{
+    ensure(descs.size() == tiles.size(),
+           "TilePolicy::launchBatch: one tile per descriptor");
+    std::vector<LaunchGeometry> out(descs.size());
+    for (size_t i = 0; i < descs.size(); ++i) {
+        LaunchGeometry &g = out[i];
+        g.tile = tileCosts(descs[i], tiles[i]);
+        g.numTiles = numTiles(descs[i], tiles[i]);
+        g.numWaves = numWaves(g.numTiles, gpu.numSms);
+    }
+    return out;
+}
+
 } // namespace neusight::gpusim

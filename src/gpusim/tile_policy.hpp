@@ -29,6 +29,14 @@ struct TileInfo
     double memBytesPerTile = 0.0;
 };
 
+/** One kernel's resolved launch geometry: tile costs plus wave math. */
+struct LaunchGeometry
+{
+    TileInfo tile;
+    uint64_t numTiles = 0;
+    uint64_t numWaves = 0;
+};
+
 /** Tile selection and wave arithmetic (Eq. 2 and Eq. 3). */
 class TilePolicy
 {
@@ -58,6 +66,17 @@ class TilePolicy
     /** The (tm, tn) GEMM tile palette available on @p gpu. */
     static std::vector<std::pair<uint64_t, uint64_t>>
     gemmPalette(const GpuSpec &gpu);
+
+    /**
+     * Resolve the launch geometry (tile costs, tile count, wave count)
+     * of a whole prediction batch in one pass — the gpusim half of
+     * KernelPredictor::predictBatch. @p tiles holds one database-matched
+     * tile per descriptor.
+     */
+    static std::vector<LaunchGeometry>
+    launchBatch(const std::vector<KernelDesc> &descs,
+                const std::vector<std::vector<uint64_t>> &tiles,
+                const GpuSpec &gpu);
 };
 
 } // namespace neusight::gpusim

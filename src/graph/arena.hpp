@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Arena-backed node storage for KernelGraph. Model graphs append
+ * thousands of nodes one at a time; a growing std::vector repeatedly
+ * reallocates and move-constructs every node (each carrying strings and
+ * a KernelDesc), which dominates cold-cache graph-construction time. The
+ * ArenaList below bump-allocates nodes into fixed-size chunks owned by
+ * the list: appends never move existing elements, so node pointers and
+ * references stay stable for the lifetime of the owning graph, and the
+ * per-node cost is one placement-new into pre-allocated storage.
+ *
+ * Lifetime rule for consumers: a KernelNode reference or pointer taken
+ * from a graph remains valid until that graph is destroyed, cleared, or
+ * assigned over — NOT merely until the next push_back, unlike a vector.
+ */
+
+#ifndef NEUSIGHT_GRAPH_ARENA_HPP
+#define NEUSIGHT_GRAPH_ARENA_HPP
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace neusight::graph {
+
+/**
+ * Chunked bump-allocated sequence with stable element addresses and the
+ * subset of the std::vector interface the graph layer uses (push_back,
+ * emplace_back, indexing, iteration, size). Elements are constructed in
+ * place inside 64-element chunks; chunks are never relocated. clear()
+ * destroys the elements but keeps the chunks, so rebuilding a graph in
+ * the same arena allocates nothing.
+ */
+template <typename T>
+class ArenaList
+{
+  public:
+    static constexpr size_t kChunkShift = 6;
+    static constexpr size_t kChunkSize = size_t(1) << kChunkShift;
+
+    ArenaList() = default;
+
+    ArenaList(const ArenaList &other)
+    {
+        for (const T &v : other)
+            push_back(v);
+    }
+
+    ArenaList(ArenaList &&other) noexcept
+        : chunks(std::move(other.chunks)), count(other.count)
+    {
+        other.chunks.clear();
+        other.count = 0;
+    }
+
+    ArenaList &operator=(const ArenaList &other)
+    {
+        if (this != &other) {
+            clear();
+            for (const T &v : other)
+                push_back(v);
+        }
+        return *this;
+    }
+
+    ArenaList &operator=(ArenaList &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            chunks = std::move(other.chunks);
+            count = other.count;
+            other.chunks.clear();
+            other.count = 0;
+        }
+        return *this;
+    }
+
+    ~ArenaList() { destroyAll(); }
+
+    /** Number of live elements. */
+    size_t size() const { return count; }
+
+    /** True when no elements are live. */
+    bool empty() const { return count == 0; }
+
+    /** Append a copy. The element address never changes afterwards. */
+    void push_back(const T &value) { emplace_back(value); }
+
+    /** Append by move. The element address never changes afterwards. */
+    void push_back(T &&value) { emplace_back(std::move(value)); }
+
+    /** Construct in place; returns the (stable) element. */
+    template <typename... Args>
+    T &emplace_back(Args &&...args)
+    {
+        T *p = ::new (slotFor(count)) T(std::forward<Args>(args)...);
+        ++count;
+        return *p;
+    }
+
+    /** Element access. */
+    T &operator[](size_t i)
+    {
+        return *std::launder(reinterpret_cast<T *>(
+                                 chunks[i >> kChunkShift]->storage) +
+                             (i & (kChunkSize - 1)));
+    }
+
+    /** Element access, const. */
+    const T &operator[](size_t i) const
+    {
+        return *std::launder(reinterpret_cast<const T *>(
+                                 chunks[i >> kChunkShift]->storage) +
+                             (i & (kChunkSize - 1)));
+    }
+
+    /** First element. */
+    T &front() { return (*this)[0]; }
+
+    /** First element, const. */
+    const T &front() const { return (*this)[0]; }
+
+    /** Last element. */
+    T &back() { return (*this)[count - 1]; }
+
+    /** Last element, const. */
+    const T &back() const { return (*this)[count - 1]; }
+
+    /**
+     * Destroy all elements. Chunk storage is retained, so subsequent
+     * appends reuse the arena without touching the allocator.
+     */
+    void clear()
+    {
+        for (size_t i = 0; i < count; ++i)
+            (*this)[i].~T();
+        count = 0;
+    }
+
+    template <typename ListT, typename ValueT>
+    class Iter
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = std::remove_cv_t<ValueT>;
+        using difference_type = std::ptrdiff_t;
+        using pointer = ValueT *;
+        using reference = ValueT &;
+
+        Iter() = default;
+        Iter(ListT *list, size_t idx) : list(list), idx(idx) {}
+
+        reference operator*() const { return (*list)[idx]; }
+        pointer operator->() const { return &(*list)[idx]; }
+
+        Iter &operator++()
+        {
+            ++idx;
+            return *this;
+        }
+
+        Iter operator++(int)
+        {
+            Iter old = *this;
+            ++idx;
+            return old;
+        }
+
+        bool operator==(const Iter &other) const
+        {
+            return idx == other.idx && list == other.list;
+        }
+
+        bool operator!=(const Iter &other) const
+        {
+            return !(*this == other);
+        }
+
+      private:
+        ListT *list = nullptr;
+        size_t idx = 0;
+    };
+
+    using iterator = Iter<ArenaList, T>;
+    using const_iterator = Iter<const ArenaList, const T>;
+
+    iterator begin() { return iterator(this, 0); }
+    iterator end() { return iterator(this, count); }
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, count); }
+    const_iterator cbegin() const { return begin(); }
+    const_iterator cend() const { return end(); }
+
+  private:
+    struct Chunk
+    {
+        alignas(T) unsigned char storage[sizeof(T) * kChunkSize];
+    };
+
+    /** Raw storage for element @p i, growing the arena when needed. */
+    void *slotFor(size_t i)
+    {
+        if ((i >> kChunkShift) == chunks.size())
+            chunks.push_back(std::make_unique<Chunk>());
+        return chunks[i >> kChunkShift]->storage +
+               sizeof(T) * (i & (kChunkSize - 1));
+    }
+
+    void destroyAll()
+    {
+        clear();
+        chunks.clear();
+    }
+
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    size_t count = 0;
+};
+
+} // namespace neusight::graph
+
+#endif // NEUSIGHT_GRAPH_ARENA_HPP

@@ -12,9 +12,9 @@
 #define NEUSIGHT_GRAPH_GRAPH_HPP
 
 #include <string>
-#include <vector>
 
 #include "gpusim/kernel_desc.hpp"
+#include "graph/arena.hpp"
 
 namespace neusight::graph {
 
@@ -46,10 +46,17 @@ struct KernelNode
     static KernelNode comm(NodeKind kind, double bytes, std::string label);
 };
 
+/**
+ * Node storage: an arena (bump allocator) owned by the graph. Appends
+ * never relocate existing nodes, so node pointers/references stay valid
+ * for the graph's lifetime (see arena.hpp for the exact lifetime rule).
+ */
+using NodeList = ArenaList<KernelNode>;
+
 /** Sequential kernel graph for one device. */
 struct KernelGraph
 {
-    std::vector<KernelNode> nodes;
+    NodeList nodes;
 
     /** Append a compute node. */
     void add(gpusim::KernelDesc kernel, std::string label);

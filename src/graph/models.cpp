@@ -214,10 +214,10 @@ appendBackwardPass(KernelGraph &g)
     for (size_t i = forward_end; i-- > 0;) {
         if (g.nodes[i].kind != NodeKind::Compute)
             continue;
-        // Copy: appendBackwardOf grows g.nodes, which may reallocate and
-        // would invalidate a reference into the vector.
-        const KernelNode fwd = g.nodes[i];
-        appendBackwardOf(g, fwd);
+        // Arena storage keeps node references stable across appends, so
+        // reading g.nodes[i] while appendBackwardOf grows the list is
+        // safe without a copy.
+        appendBackwardOf(g, g.nodes[i]);
     }
 }
 

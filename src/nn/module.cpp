@@ -155,6 +155,32 @@ Mlp::inferRows(const Matrix &x) const
     return h;
 }
 
+void
+Mlp::syncF32()
+{
+    w32.clear();
+    b32.clear();
+    w32.reserve(layers.size());
+    b32.reserve(layers.size());
+    for (const Linear &layer : layers) {
+        w32.push_back(MatrixF32::fromMatrix(layer.weight.value()));
+        b32.push_back(MatrixF32::fromMatrix(layer.bias.value()));
+    }
+}
+
+MatrixF32
+Mlp::inferRowsF32(const MatrixF32 &x) const
+{
+    ensure(x.cols() == config.inputDim,
+           "Mlp::inferRowsF32: feature width mismatch");
+    ensure(f32Ready(), "Mlp::inferRowsF32: call syncF32() first");
+    MatrixF32 h = x;
+    for (size_t l = 0; l < layers.size(); ++l)
+        h = linearF32(h, w32[l], b32[l],
+                      /*applyRelu=*/l + 1 < layers.size());
+    return h;
+}
+
 TransformerRegressor::TransformerRegressor(const TransformerConfig &config_)
     : config(config_)
 {

@@ -116,6 +116,27 @@ class Mlp : public Module
      */
     Matrix inferRows(const Matrix &x) const;
 
+    /**
+     * fp32 inference lane: the same layer stack as inferRows, run on
+     * float32 snapshots of the weights with fused, explicitly
+     * vectorizable linear+bias+ReLU kernels (see linearF32). Results
+     * agree with inferRows to single-precision tolerance, not bit-exact;
+     * callers opt in via KernelPredictor::Precision. Requires syncF32()
+     * after the parameters were trained or loaded.
+     */
+    MatrixF32 inferRowsF32(const MatrixF32 &x) const;
+
+    /**
+     * (Re)build the fp32 weight snapshots from the current parameter
+     * values. Call once after training or loadParameters, before any
+     * inferRowsF32 call, and never concurrently with inference — the
+     * same single-writer rule the rest of the predictor stack follows.
+     */
+    void syncF32();
+
+    /** True once syncF32 has captured the current parameters. */
+    bool f32Ready() const { return !w32.empty(); }
+
     size_t inputDim() const override { return config.inputDim; }
 
     /** The construction configuration. */
@@ -124,6 +145,8 @@ class Mlp : public Module
   private:
     MlpConfig config;
     std::vector<Linear> layers;
+    std::vector<MatrixF32> w32; ///< fp32 weight snapshots (syncF32).
+    std::vector<MatrixF32> b32; ///< fp32 bias snapshots (syncF32).
 };
 
 /** Configuration for TransformerRegressor. */

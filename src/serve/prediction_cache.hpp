@@ -5,8 +5,18 @@
  * of a transformer dispatch identically-shaped kernels — and a
  * PredictionDetail is tiny and immutable once the predictor is trained,
  * so memoizing per-kernel forecasts turns repeated graph predictions
- * into hash lookups. The cache is sharded (one mutex + LRU list per
- * shard) so concurrent server workers do not serialize on one lock.
+ * into hash lookups.
+ *
+ * The read path is lock-light: each stripe is an open-addressing table
+ * of atomically published, immutable entries, so a lookup takes no lock
+ * at all — it registers in a per-stripe reader epoch counter, probes the
+ * slots, copies the entry, and deregisters. Only writers (insert /
+ * evict / clear) serialize, on a per-stripe mutex, and retired entries
+ * are reclaimed only after the reader epoch drains to zero, so a reader
+ * can never dereference freed memory. Because cached values are a
+ * deterministic function of the key, a reader racing a writer can at
+ * worst see a slightly stale value or a spurious miss (recompute) —
+ * both semantically harmless — never a wrong value.
  */
 
 #ifndef NEUSIGHT_SERVE_PREDICTION_CACHE_HPP
@@ -15,11 +25,9 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/kernel_cache.hpp"
@@ -60,21 +68,25 @@ struct CacheStats
 };
 
 /**
- * Sharded LRU cache from fingerprint to PredictionDetail. All operations
- * are thread-safe; lookups promote the entry to most-recently-used
- * within its shard, and inserts evict the shard's least-recently-used
- * entry once the shard is full. Implements the core predictor's cache
- * seam, so it plugs into core::NeuSight::attachCache directly.
+ * Striped LRU cache from fingerprint to PredictionDetail with wait-free
+ * reads. All operations are thread-safe; lookups promote the entry to
+ * most-recently-used within its stripe (a timestamp bump, no lock), and
+ * inserts evict the stripe's least-recently-used entry once the stripe
+ * is full. Implements the core predictor's cache seam, so it plugs into
+ * core::NeuSight::attachCache directly.
  */
 class PredictionCache : public core::KernelPredictionCache
 {
   public:
     /**
-     * @param capacity   total entry budget, split evenly across shards.
-     * @param num_shards lock granularity; 1 gives a single global LRU
-     *                   order (deterministic eviction, used by tests).
+     * @param capacity   total entry budget, split evenly across stripes.
+     * @param num_shards stripe count (write-lock granularity; reads
+     *                   never lock); 1 gives a single global LRU order
+     *                   (deterministic eviction, used by tests).
      */
     explicit PredictionCache(size_t capacity, size_t num_shards = 16);
+
+    ~PredictionCache() override;
 
     /**
      * Find @p key; on a hit copy the entry into @p out, promote it, and
@@ -130,25 +142,38 @@ class PredictionCache : public core::KernelPredictionCache
     size_t capacity() const { return totalCapacity; }
 
   private:
-    struct Shard
-    {
-        mutable std::mutex mutex;
-        /** Front = most recently used. */
-        std::list<std::pair<std::string, core::PredictionDetail>> lru;
-        std::unordered_map<
-            std::string,
-            std::list<std::pair<std::string,
-                                core::PredictionDetail>>::iterator>
-            index;
-    };
+    /**
+     * An immutable published entry. Only lastUsed (the LRU timestamp)
+     * changes after publication, and it is atomic; key/detail/hash are
+     * frozen, which is what makes lock-free readers safe.
+     */
+    struct Entry;
 
-    Shard &shardFor(const std::string &key);
+    /**
+     * One stripe: a power-of-two open-addressing array of atomically
+     * published Entry pointers (null = chain end, tombstone = deleted),
+     * a writer mutex serializing all mutation, a reader-epoch counter
+     * gating reclamation, and the limbo list of retired entries waiting
+     * for in-flight readers to drain.
+     */
+    struct Stripe;
 
-    std::vector<std::unique_ptr<Shard>> shards;
+    Stripe &stripeFor(size_t hash) const;
+    uint64_t nextTick() const;
+    static Entry *tombstone();
+    void evictLru(Stripe &stripe);
+    void compact(Stripe &stripe);
+    void reclaim(Stripe &stripe);
+
+    std::vector<std::unique_ptr<Stripe>> stripes;
     size_t totalCapacity;
-    size_t shardCapacity;
-    std::atomic<uint64_t> hits{0};
-    std::atomic<uint64_t> misses{0};
+    size_t stripeCapacity;
+    size_t slotsPerStripe;
+    size_t slotMask;
+    /** Global LRU clock; every touch gets a unique monotonic tick. */
+    mutable std::atomic<uint64_t> clock{1};
+    mutable std::atomic<uint64_t> hits{0};
+    mutable std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> evictions{0};
     std::atomic<uint64_t> inserts{0};
 };

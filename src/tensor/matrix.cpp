@@ -37,6 +37,79 @@ Matrix::setZero()
 }
 
 void
+Matrix::resize(size_t rows, size_t cols)
+{
+    nRows = rows;
+    nCols = cols;
+    data.resize(rows * cols);
+}
+
+MatrixF32::MatrixF32(size_t rows, size_t cols)
+    : nRows(rows), nCols(cols), data(rows * cols, 0.0f)
+{
+}
+
+MatrixF32
+MatrixF32::fromMatrix(const Matrix &m)
+{
+    MatrixF32 out(m.rows(), m.cols());
+    const double *NEUSIGHT_RESTRICT src = m.raw();
+    float *NEUSIGHT_RESTRICT dst = out.raw();
+    const size_t n = out.size();
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<float>(src[i]);
+    return out;
+}
+
+Matrix
+MatrixF32::toMatrix() const
+{
+    Matrix out(nRows, nCols);
+    const float *NEUSIGHT_RESTRICT src = raw();
+    double *NEUSIGHT_RESTRICT dst = out.raw();
+    const size_t n = size();
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<double>(src[i]);
+    return out;
+}
+
+MatrixF32
+linearF32(const MatrixF32 &x, const MatrixF32 &w, const MatrixF32 &bias,
+          bool applyRelu)
+{
+    ensure(x.cols() == w.rows(), "linearF32: inner dimensions differ");
+    ensure(bias.rows() == 1 && bias.cols() == w.cols(),
+           "linearF32: bias must be 1 x cols");
+    const size_t m = x.rows();
+    const size_t k = x.cols();
+    const size_t n = w.cols();
+    MatrixF32 y(m, n);
+    const float *NEUSIGHT_RESTRICT brow0 = bias.raw();
+    for (size_t i = 0; i < m; ++i) {
+        float *NEUSIGHT_RESTRICT yrow = y.raw() + i * n;
+        const float *NEUSIGHT_RESTRICT xrow = x.raw() + i * k;
+        // Seed the accumulator row with the bias, then stream k
+        // rank-one updates: unit stride on W and Y, no branches, so
+        // each j-loop vectorizes to packed FMAs.
+        for (size_t j = 0; j < n; ++j)
+            yrow[j] = brow0[j];
+        for (size_t p = 0; p < k; ++p) {
+            const float xval = xrow[p];
+            const float *NEUSIGHT_RESTRICT wrow = w.raw() + p * n;
+#pragma omp simd
+            for (size_t j = 0; j < n; ++j)
+                yrow[j] += xval * wrow[j];
+        }
+        if (applyRelu) {
+#pragma omp simd
+            for (size_t j = 0; j < n; ++j)
+                yrow[j] = yrow[j] > 0.0f ? yrow[j] : 0.0f;
+        }
+    }
+    return y;
+}
+
+void
 Matrix::fill(double value)
 {
     std::fill(data.begin(), data.end(), value);
@@ -125,8 +198,12 @@ matmulTN(const Matrix &a, const Matrix &b)
     const size_t k = a.rows();
     const size_t n = b.cols();
     // A is consumed column-wise here; an O(m*k) transposed copy makes
-    // every access of the O(m*k*n) accumulation unit-stride.
-    const Matrix at = transpose(a);
+    // every access of the O(m*k*n) accumulation unit-stride. The copy
+    // lands in a thread-local scratch buffer so steady-state callers
+    // (every Linear backward of every training step) stop paying a
+    // malloc per call.
+    thread_local Matrix at;
+    transposeInto(a, at);
     Matrix c(m, n);
 #pragma omp parallel for schedule(static) if (m * n * k > 1 << 16)
     for (size_t i = 0; i < m; ++i) {
@@ -217,11 +294,18 @@ colSum(const Matrix &a)
 Matrix
 transpose(const Matrix &a)
 {
-    Matrix c(a.cols(), a.rows());
+    Matrix c;
+    transposeInto(a, c);
+    return c;
+}
+
+void
+transposeInto(const Matrix &a, Matrix &out)
+{
+    out.resize(a.cols(), a.rows());
     for (size_t i = 0; i < a.rows(); ++i)
         for (size_t j = 0; j < a.cols(); ++j)
-            c.at(j, i) = a.at(i, j);
-    return c;
+            out.at(j, i) = a.at(i, j);
 }
 
 void

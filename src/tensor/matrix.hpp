@@ -13,6 +13,15 @@
 #include <functional>
 #include <vector>
 
+/** Strict-aliasing hint for hot inner loops (GCC/Clang/MSVC). */
+#if defined(__GNUC__) || defined(__clang__)
+#define NEUSIGHT_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define NEUSIGHT_RESTRICT __restrict
+#else
+#define NEUSIGHT_RESTRICT
+#endif
+
 namespace neusight {
 
 /** Dense row-major matrix. */
@@ -55,6 +64,13 @@ class Matrix
     /** Set every element to zero. */
     void setZero();
 
+    /**
+     * Reshape to (rows, cols), reusing the existing allocation when it is
+     * large enough. Contents are unspecified afterwards; scratch-buffer
+     * helper for kernels that recycle a workspace across calls.
+     */
+    void resize(size_t rows, size_t cols);
+
     /** Set every element to @p value. */
     void fill(double value);
 
@@ -72,6 +88,63 @@ class Matrix
     size_t nCols = 0;
     std::vector<double> data;
 };
+
+/**
+ * Dense row-major matrix of floats: the storage for the fp32 SIMD
+ * inference lane. Carries only what that lane needs — conversion to and
+ * from the double Matrix plus raw contiguous access for the fused
+ * kernels below.
+ */
+class MatrixF32
+{
+  public:
+    /** Empty 0x0 matrix. */
+    MatrixF32() = default;
+
+    /** Zero-initialized matrix of the given shape. */
+    MatrixF32(size_t rows, size_t cols);
+
+    /** Narrowing copy of a double matrix. */
+    static MatrixF32 fromMatrix(const Matrix &m);
+
+    /** Widening copy back to the double world. */
+    Matrix toMatrix() const;
+
+    /** Number of rows. */
+    size_t rows() const { return nRows; }
+
+    /** Number of columns. */
+    size_t cols() const { return nCols; }
+
+    /** Total number of elements. */
+    size_t size() const { return data.size(); }
+
+    /** Element access (row, col). */
+    float &at(size_t r, size_t c) { return data[r * nCols + c]; }
+
+    /** Element access (row, col), const. */
+    float at(size_t r, size_t c) const { return data[r * nCols + c]; }
+
+    /** Raw storage pointer (row major). */
+    float *raw() { return data.data(); }
+
+    /** Raw storage pointer (row major), const. */
+    const float *raw() const { return data.data(); }
+
+  private:
+    size_t nRows = 0;
+    size_t nCols = 0;
+    std::vector<float> data;
+};
+
+/**
+ * Fused fp32 linear layer: Y = X(m,k) * W(k,n) + bias(1,n), optionally
+ * followed by ReLU. The inner loops are written for vectorization —
+ * restrict-qualified contiguous rows, unit stride on W and Y, no
+ * branches — so the compiler can emit packed SIMD at -O2.
+ */
+MatrixF32 linearF32(const MatrixF32 &x, const MatrixF32 &w,
+                    const MatrixF32 &bias, bool applyRelu);
 
 /** C = A(m,k) * B(k,n). */
 Matrix matmul(const Matrix &a, const Matrix &b);
@@ -102,6 +175,9 @@ Matrix colSum(const Matrix &a);
 
 /** Transposed copy. */
 Matrix transpose(const Matrix &a);
+
+/** Transpose @p a into @p out, reusing out's allocation when possible. */
+void transposeInto(const Matrix &a, Matrix &out);
 
 /** a += b (elementwise, shapes must match). */
 void addInPlace(Matrix &a, const Matrix &b);

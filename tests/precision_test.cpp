@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests for the fp32 SIMD inference lane and the lock-free prediction-
+ * cache read path: MatrixF32/linearF32 numeric parity with the double
+ * kernels, Mlp::inferRowsF32 against inferRows, predictor-level f32 vs
+ * f64 forecasts within 1e-4 relative, engine-level parity across
+ * inference/training/hybrid requests, lane round-trip losslessness for
+ * f64, and cache value integrity under a concurrent mixed read/write
+ * hammer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "common/rng.hpp"
+#include "core/predictor.hpp"
+#include "dataset/dataset.hpp"
+#include "graph/models.hpp"
+#include "nn/module.hpp"
+#include "serve/prediction_cache.hpp"
+#include "tensor/matrix.hpp"
+
+namespace neusight::core {
+namespace {
+
+using gpusim::KernelDesc;
+using gpusim::OpType;
+
+/** Relative gap, robust near zero. */
+double
+relGap(double a, double b)
+{
+    return std::abs(a - b) / std::max({std::abs(a), std::abs(b), 1e-12});
+}
+
+TEST(MatrixF32, RoundTripsWithinSinglePrecision)
+{
+    Rng rng(11);
+    Matrix m(13, 7);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.raw()[i] = rng.normal(0.0, 10.0);
+    const MatrixF32 narrow = MatrixF32::fromMatrix(m);
+    const Matrix wide = narrow.toMatrix();
+    ASSERT_EQ(wide.rows(), m.rows());
+    ASSERT_EQ(wide.cols(), m.cols());
+    for (size_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(wide.raw()[i],
+                  static_cast<double>(static_cast<float>(m.raw()[i])));
+}
+
+TEST(MatrixF32, LinearF32MatchesDoubleKernelWithinTolerance)
+{
+    // y = x * w + b (+ relu) in fp32 against the double reference,
+    // elementwise relative 1e-5 — plenty for a 64-wide accumulation.
+    Rng rng(23);
+    const size_t m = 9, k = 64, n = 33;
+    Matrix x(m, k), w(k, n), b(1, n);
+    for (size_t i = 0; i < x.size(); ++i)
+        x.raw()[i] = rng.normal(0.0, 1.0);
+    for (size_t i = 0; i < w.size(); ++i)
+        w.raw()[i] = rng.normal(0.0, 0.5);
+    for (size_t i = 0; i < b.size(); ++i)
+        b.raw()[i] = rng.normal(0.0, 0.2);
+
+    for (bool relu : {false, true}) {
+        const MatrixF32 y32 =
+            linearF32(MatrixF32::fromMatrix(x), MatrixF32::fromMatrix(w),
+                      MatrixF32::fromMatrix(b), relu);
+        ASSERT_EQ(y32.rows(), m);
+        ASSERT_EQ(y32.cols(), n);
+        for (size_t i = 0; i < m; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+                double ref = b.at(0, j);
+                // Error scales with the accumulated magnitude, not the
+                // (possibly cancelled-to-zero) result.
+                double scale = std::abs(b.at(0, j));
+                for (size_t p = 0; p < k; ++p) {
+                    ref += x.at(i, p) * w.at(p, j);
+                    scale += std::abs(x.at(i, p) * w.at(p, j));
+                }
+                if (relu)
+                    ref = ref > 0.0 ? ref : 0.0;
+                EXPECT_LT(std::abs(static_cast<double>(y32.at(i, j)) -
+                                   ref),
+                          1e-5 * std::max(scale, 1.0))
+                    << "relu=" << relu << " (" << i << "," << j << ")";
+            }
+        }
+    }
+}
+
+TEST(MlpF32, InferRowsF32TracksDoubleLane)
+{
+    nn::MlpConfig cfg;
+    cfg.inputDim = 5;
+    cfg.hiddenDim = 48;
+    cfg.hiddenLayers = 6;
+    cfg.outputDim = 2;
+    cfg.seed = 99;
+    nn::Mlp mlp(cfg);
+    EXPECT_FALSE(mlp.f32Ready());
+    mlp.syncF32();
+    ASSERT_TRUE(mlp.f32Ready());
+
+    Rng rng(1234);
+    Matrix x(64, cfg.inputDim);
+    for (size_t i = 0; i < x.size(); ++i)
+        x.raw()[i] = rng.normal(0.0, 2.0);
+    const Matrix ref = mlp.inferRows(x);
+    const Matrix got =
+        mlp.inferRowsF32(MatrixF32::fromMatrix(x)).toMatrix();
+    ASSERT_EQ(got.rows(), ref.rows());
+    ASSERT_EQ(got.cols(), ref.cols());
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_LT(relGap(got.raw()[i], ref.raw()[i]), 1e-4)
+            << "element " << i;
+}
+
+/** Small trained framework shared by the forecast-level tests. */
+class PrecisionLane : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        dataset::SamplerConfig sampler;
+        sampler.bmmSamples = 400;
+        sampler.fcSamples = 300;
+        sampler.elementwiseSamples = 200;
+        sampler.softmaxSamples = 150;
+        sampler.layernormSamples = 150;
+        config = new PredictorConfig;
+        config->hiddenDim = 32;
+        config->hiddenLayers = 4;
+        config->train.epochs = 20;
+        framework = new NeuSight(*config);
+        framework->train(dataset::generateOperatorData(
+            gpusim::nvidiaTrainingSet(), sampler));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete framework;
+        framework = nullptr;
+        delete config;
+        config = nullptr;
+    }
+
+    static std::vector<KernelDesc>
+    sampleKernels()
+    {
+        return {gpusim::makeBmm(4, 512, 512, 256),
+                gpusim::makeLinear(2048, 768, 3072),
+                gpusim::makeElementwise("gelu", 1 << 20),
+                gpusim::makeSoftmax(4096, 512),
+                gpusim::makeLayerNorm(4096, 1024),
+                gpusim::makeMemoryOp("embedding", 1 << 24)};
+    }
+
+    static PredictorConfig *config;
+    static NeuSight *framework;
+};
+
+PredictorConfig *PrecisionLane::config = nullptr;
+NeuSight *PrecisionLane::framework = nullptr;
+
+TEST_F(PrecisionLane, F32ForecastsWithin1e4OfF64)
+{
+    ASSERT_EQ(framework->precision(), KernelPredictor::Precision::F64);
+    for (const char *gpu_name : {"A100-40GB", "H100"}) {
+        const gpusim::GpuSpec &gpu = gpusim::findGpu(gpu_name);
+        for (const KernelDesc &desc : sampleKernels()) {
+            framework->setPrecision(KernelPredictor::Precision::F64);
+            const double f64 = framework->predictKernelMs(desc, gpu);
+            framework->setPrecision(KernelPredictor::Precision::F32);
+            const double f32 = framework->predictKernelMs(desc, gpu);
+            EXPECT_GT(f64, 0.0) << desc.summary();
+            EXPECT_LT(relGap(f32, f64), 1e-4)
+                << gpu_name << " " << desc.summary();
+        }
+    }
+    framework->setPrecision(KernelPredictor::Precision::F64);
+}
+
+TEST_F(PrecisionLane, LaneRoundTripIsLosslessForF64)
+{
+    // Switching to f32 and back must leave the f64 lane bit-identical:
+    // the f32 lane is a derived snapshot, never the master weights.
+    const gpusim::GpuSpec &gpu = gpusim::findGpu("H100");
+    const std::vector<KernelDesc> descs = sampleKernels();
+    std::vector<double> before;
+    for (const KernelDesc &desc : descs)
+        before.push_back(framework->predictKernelMs(desc, gpu));
+    framework->setPrecision(KernelPredictor::Precision::F32);
+    for (const KernelDesc &desc : descs)
+        framework->predictKernelMs(desc, gpu);
+    framework->setPrecision(KernelPredictor::Precision::F64);
+    for (size_t i = 0; i < descs.size(); ++i)
+        EXPECT_EQ(framework->predictKernelMs(descs[i], gpu), before[i])
+            << descs[i].summary();
+}
+
+TEST_F(PrecisionLane, BatchedF32MatchesSingleKernelF32)
+{
+    // The batched dedup path must stay self-consistent inside the f32
+    // lane, exactly as it is in f64.
+    framework->setPrecision(KernelPredictor::Precision::F32);
+    const gpusim::GpuSpec &gpu = gpusim::findGpu("A100-40GB");
+    const std::vector<KernelDesc> descs = sampleKernels();
+    const std::vector<double> batched =
+        framework->predictKernelsMs(descs, gpu);
+    ASSERT_EQ(batched.size(), descs.size());
+    for (size_t i = 0; i < descs.size(); ++i)
+        EXPECT_EQ(batched[i], framework->predictKernelMs(descs[i], gpu))
+            << descs[i].summary();
+    framework->setPrecision(KernelPredictor::Precision::F64);
+}
+
+TEST_F(PrecisionLane, EngineLevelParityAcrossRequestKinds)
+{
+    // Two engines over the same trained weights (via a snapshot file),
+    // one per lane; inference, training, and hybrid forecasts must
+    // agree within 1e-4 relative.
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "neusight_precision_test.bin")
+            .string();
+    framework->save(path);
+    const auto makeEngine = [&](const std::string &lane) {
+        auto registry = std::make_shared<api::PredictorRegistry>();
+        registry->add("neusight", [path = path] {
+            auto p = std::make_unique<NeuSight>(*config);
+            p->load(path);
+            return p;
+        });
+        return std::make_unique<api::ForecastEngine>(
+            api::EngineConfig().withRegistry(registry).precision(lane));
+    };
+    const auto f64_engine = makeEngine("f64");
+    const auto f32_engine = makeEngine("f32");
+
+    std::vector<api::ForecastRequest> requests;
+    api::ForecastRequest req;
+    req.model = "GPT2-Large";
+    req.gpu = gpusim::findGpu("A100-40GB");
+    req.kind = api::RequestKind::Inference;
+    req.batch = 4;
+    requests.push_back(req);
+    req.kind = api::RequestKind::Training;
+    req.batch = 2;
+    requests.push_back(req);
+    req.kind = api::RequestKind::Hybrid;
+    req.numGpus = 4;
+    req.globalBatch = 8;
+    req.hybrid.tpDegree = 2;
+    req.hybrid.ppDegree = 2;
+    req.hybrid.dpDegree = 1;
+    req.hybrid.numMicroBatches = 2;
+    requests.push_back(req);
+
+    for (const api::ForecastRequest &r : requests) {
+        const api::ForecastResult a = f64_engine->forecast(r);
+        const api::ForecastResult b = f32_engine->forecast(r);
+        ASSERT_TRUE(a.ok) << a.error;
+        ASSERT_TRUE(b.ok) << b.error;
+        EXPECT_GT(a.latencyMs, 0.0);
+        EXPECT_LT(relGap(b.latencyMs, a.latencyMs), 1e-4)
+            << "kind " << static_cast<int>(r.kind);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(CacheHammer, MixedReadWriteKeepsValuesAndCountersConsistent)
+{
+    // Readers and writers race on a deliberately small cache (constant
+    // eviction + refresh churn). Every hit must return the exact detail
+    // derived from its key — a torn read, stale pointer, or cross-key
+    // mixup fails the value check — and the global counters must
+    // balance at the end.
+    constexpr size_t kKeys = 256;
+    constexpr size_t kCapacity = 64; // Forces eviction churn.
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 20000;
+
+    const auto detailFor = [](size_t i) {
+        core::PredictionDetail d;
+        d.latencyMs = 1.0 + static_cast<double>(i);
+        d.numWaves = 1 + i;
+        d.alpha = 0.25 + static_cast<double>(i % 10);
+        d.tileDims = {1 + i % 5, 2 + i % 3};
+        return d;
+    };
+
+    serve::PredictionCache cache(kCapacity, 4);
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<bool> torn{false};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            uint64_t local_lookups = 0;
+            core::PredictionDetail out;
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                const size_t k =
+                    (static_cast<size_t>(t) * 7919 + static_cast<size_t>(i)) %
+                    kKeys;
+                const std::string key = "hammer" + std::to_string(k);
+                if (cache.lookup(key, out)) {
+                    const core::PredictionDetail want = detailFor(k);
+                    if (out.latencyMs != want.latencyMs ||
+                        out.numWaves != want.numWaves ||
+                        out.alpha != want.alpha ||
+                        out.tileDims != want.tileDims)
+                        torn.store(true);
+                } else {
+                    cache.insert(key, detailFor(k));
+                }
+                ++local_lookups;
+            }
+            lookups.fetch_add(local_lookups);
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+
+    EXPECT_FALSE(torn.load()) << "a hit returned a wrong/torn detail";
+    const serve::CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+    EXPECT_EQ(stats.inserts - stats.evictions, cache.size());
+    EXPECT_LE(cache.size(), cache.capacity());
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.evictions, 0u);
+}
+
+} // namespace
+} // namespace neusight::core

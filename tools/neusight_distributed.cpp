@@ -195,6 +195,9 @@ run(int argc, const char *const *argv)
                    "peak link bandwidth of the reference system");
     args.addString("predictor", "neusight_nvidia.bin",
                    "trained predictor cache path");
+    args.addString("precision", "f64",
+                   "NeuSight MLP inference lane: f64 (bit-exact "
+                   "reference) or f32 (SIMD single-precision)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -252,6 +255,7 @@ run(int argc, const char *const *argv)
     const api::ForecastEngine engine(
         api::EngineConfig()
             .predictor(args.getString("predictor"))
+            .precision(args.getString("precision"))
             .collectives(args.getString("reference-system"),
                          args.getDouble("reference-link-gbps")));
     const graph::LatencyPredictor &neusight = engine.backend();

@@ -42,6 +42,9 @@ run(int argc, const char *const *argv)
     args.addFlag("breakdown", "print the per-operator-family breakdown");
     args.addString("predictor", "neusight_nvidia.bin",
                    "trained predictor cache path");
+    args.addString("precision", "f64",
+                   "NeuSight MLP inference lane: f64 (bit-exact "
+                   "reference) or f32 (SIMD single-precision)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -61,7 +64,9 @@ run(int argc, const char *const *argv)
         g = graph::fuseGraph(g);
 
     const api::ForecastEngine engine(
-        api::EngineConfig().predictor(args.getString("predictor")));
+        api::EngineConfig()
+            .predictor(args.getString("predictor"))
+            .precision(args.getString("precision")));
     const graph::LatencyPredictor &neusight = engine.backend();
 
     const double total_ms = neusight.predictGraphMs(g, gpu);

@@ -63,6 +63,9 @@ run(int argc, const char *const *argv)
                        "\"backend\")");
     args.addString("predictor", "neusight_nvidia.bin",
                    "trained predictor cache path (neusight backend)");
+    args.addString("precision", "f64",
+                   "NeuSight MLP inference lane: f64 (bit-exact "
+                   "reference) or f32 (SIMD single-precision)");
     args.addInt("cache-capacity", 65536,
                 "kernel-prediction cache entries");
     args.addFlag("no-cache", "disable the kernel-prediction cache");
@@ -103,6 +106,7 @@ run(int argc, const char *const *argv)
         api::EngineConfig()
             .backend(args.getString("backend"))
             .predictor(args.getString("predictor"))
+            .precision(args.getString("precision"))
             .cache(no_cache ? 0 : static_cast<size_t>(capacity))
             .graphCache(args.getFlag("no-graph-cache")
                             ? 0
