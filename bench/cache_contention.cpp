@@ -27,6 +27,7 @@
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "core/predictor.hpp"
+#include "obs/metrics.hpp"
 #include "serve/prediction_cache.hpp"
 
 namespace {
@@ -59,7 +60,8 @@ detailFor(size_t i)
 double
 readerThroughput(serve::PredictionCache &cache,
                  const std::vector<std::string> &keys, int threads,
-                 double seconds, bool with_writer)
+                 double seconds, bool with_writer,
+                 obs::Histogram *lookup_ns = nullptr)
 {
     std::atomic<bool> stop{false};
     std::atomic<uint64_t> total{0};
@@ -70,11 +72,25 @@ readerThroughput(serve::PredictionCache &cache,
             core::PredictionDetail out;
             uint64_t local = 0;
             size_t i = static_cast<size_t>(t) * 7919 % keys.size();
+            // Per-lookup latency is sampled in 1024-lookup chunks (one
+            // clock read per chunk keeps the timing out of the loop),
+            // then recorded as amortized ns/lookup.
+            constexpr uint64_t kChunk = 1024;
+            auto chunk_start = std::chrono::steady_clock::now();
             while (!stop.load(std::memory_order_relaxed)) {
                 if (!cache.lookup(keys[i], out))
                     fatal("cache_contention: unexpected miss");
                 i = (i + 1) % keys.size();
                 ++local;
+                if (lookup_ns != nullptr && local % kChunk == 0) {
+                    const auto now = std::chrono::steady_clock::now();
+                    lookup_ns->record(
+                        std::chrono::duration<double, std::nano>(
+                            now - chunk_start)
+                            .count() /
+                        static_cast<double>(kChunk));
+                    chunk_start = now;
+                }
             }
             total.fetch_add(local, std::memory_order_relaxed);
         });
@@ -141,7 +157,8 @@ run(int argc, const char *const *argv)
     TextTable table("Prediction-cache reader throughput (" +
                         std::to_string(entries) + " warm entries, " +
                         std::to_string(hw) + " hardware threads)",
-                    {"readers", "req/s", "scaling", "req/s +writer"});
+                    {"readers", "req/s", "scaling", "req/s +writer",
+                     "p50 ns", "p99 ns"});
     common::Json report;
     report.set("entries", static_cast<uint64_t>(entries));
     report.set("hardware_threads", static_cast<uint64_t>(hw));
@@ -152,8 +169,9 @@ run(int argc, const char *const *argv)
     double scaling_at_max = 0.0;
     int max_threads = 0;
     for (int threads : thread_counts) {
-        const double rps =
-            readerThroughput(cache, keys, threads, seconds, false);
+        obs::Histogram lookup_ns;
+        const double rps = readerThroughput(cache, keys, threads,
+                                            seconds, false, &lookup_ns);
         const double mixed_rps =
             readerThroughput(cache, keys, threads, seconds, true);
         if (threads == 1)
@@ -165,12 +183,16 @@ run(int argc, const char *const *argv)
         }
         table.addRow({std::to_string(threads), TextTable::num(rps, 0),
                       TextTable::num(scaling, 2) + "x",
-                      TextTable::num(mixed_rps, 0)});
+                      TextTable::num(mixed_rps, 0),
+                      TextTable::num(lookup_ns.quantile(0.50), 0),
+                      TextTable::num(lookup_ns.quantile(0.99), 0)});
         common::Json point;
         point.set("threads", static_cast<uint64_t>(threads));
         point.set("reqs_per_s", rps);
         point.set("scaling_vs_1", scaling);
         point.set("reqs_per_s_with_writer", mixed_rps);
+        point.set("lookup_p50_ns", lookup_ns.quantile(0.50));
+        point.set("lookup_p99_ns", lookup_ns.quantile(0.99));
         points.push_back(std::move(point));
     }
     table.print();

@@ -24,6 +24,8 @@
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "eval/oracle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/prediction_cache.hpp"
 #include "serve/server.hpp"
 
@@ -81,7 +83,31 @@ struct RunResult
 {
     double reqPerSec = 0.0;
     double hitRate = 0.0;
+    /** End-to-end request latency quantiles (serve.e2e_us histogram). */
+    double p50Us = 0.0;
+    double p99Us = 0.0;
 };
+
+/**
+ * Per-span cost of the disabled tracer path, nanoseconds: the overhead
+ * every instrumented hot path pays when tracing is off. Deterministic
+ * (one relaxed load + a branch), so CI gates on it instead of a noisy
+ * req/s A/B comparison.
+ */
+double
+disabledSpanNs(size_t iterations)
+{
+    obs::Tracer tracer; // Never enabled.
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iterations; ++i) {
+        obs::TraceSpan span("bench.disabled", "bench", tracer);
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return ns / static_cast<double>(iterations);
+}
 
 RunResult
 runOnce(const graph::LatencyPredictor &backend, size_t workers,
@@ -115,6 +141,11 @@ runOnce(const graph::LatencyPredictor &backend, size_t workers,
         static_cast<double>(requests.size()) / std::max(seconds, 1e-9);
     if (cache)
         out.hitRate = cache->stats().hitRate();
+    // The server's own end-to-end histogram (each runOnce builds a
+    // fresh internal engine, so the distribution is this run's alone).
+    const auto e2e = server.metrics()->histogram("serve.e2e_us");
+    out.p50Us = e2e->quantile(0.50);
+    out.p99Us = e2e->quantile(0.99);
     return out;
 }
 
@@ -133,6 +164,9 @@ run(int argc, const char *const *argv)
     args.addDouble("min-speedup", 0.0,
                    "fail (exit 3) when the cached/uncached speedup of "
                    "any worker count falls below this; 0 disables");
+    args.addDouble("max-disabled-span-ns", 0.0,
+                   "fail (exit 3) when the disabled-tracer span "
+                   "overhead exceeds this many ns; 0 disables");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -161,7 +195,7 @@ run(int argc, const char *const *argv)
                         " backend (" + std::to_string(count) +
                         " repeated-model requests)",
                     {"workers", "cached req/s", "uncached req/s",
-                     "speedup", "hit rate"});
+                     "speedup", "hit rate", "p50 (us)", "p99 (us)"});
     common::Json runs;
     double min_speedup = 0.0;
     for (const std::string &item : splitList(args.getString("workers"))) {
@@ -192,7 +226,9 @@ run(int argc, const char *const *argv)
                       TextTable::num(cached.reqPerSec, 0),
                       TextTable::num(uncached.reqPerSec, 0),
                       TextTable::num(speedup, 1) + "x",
-                      TextTable::num(100.0 * cached.hitRate, 1) + "%"});
+                      TextTable::num(100.0 * cached.hitRate, 1) + "%",
+                      TextTable::num(cached.p50Us, 0),
+                      TextTable::num(cached.p99Us, 0)});
 
         common::Json entry;
         entry.set("workers", static_cast<uint64_t>(workers));
@@ -200,15 +236,26 @@ run(int argc, const char *const *argv)
         entry.set("uncached_req_per_s", uncached.reqPerSec);
         entry.set("speedup", speedup);
         entry.set("cache_hit_rate", cached.hitRate);
+        entry.set("e2e_p50_us", cached.p50Us);
+        entry.set("e2e_p99_us", cached.p99Us);
+        entry.set("uncached_e2e_p50_us", uncached.p50Us);
+        entry.set("uncached_e2e_p99_us", uncached.p99Us);
         runs.push(std::move(entry));
     }
     table.print();
+
+    // Disabled-path overhead: the cost the observability layer adds to
+    // every instrumented scope when tracing is off.
+    const double span_ns = disabledSpanNs(1u << 20);
+    std::printf("\ndisabled-tracer span overhead: %.1f ns/span\n",
+                span_ns);
 
     common::Json report;
     report.set("backend", backend_name);
     report.set("requests", static_cast<uint64_t>(count));
     report.set("cache_capacity", static_cast<uint64_t>(capacity));
     report.set("min_speedup", min_speedup);
+    report.set("disabled_span_ns", span_ns);
     report.set("runs", std::move(runs));
     const std::string path = args.getString("json");
     std::ofstream out(path);
@@ -223,6 +270,14 @@ run(int argc, const char *const *argv)
                      "serve_throughput: cache speedup %.1fx is below "
                      "the required %.1fx\n",
                      min_speedup, required);
+        return 3;
+    }
+    const double span_budget = args.getDouble("max-disabled-span-ns");
+    if (span_budget > 0.0 && span_ns > span_budget) {
+        std::fprintf(stderr,
+                     "serve_throughput: disabled-span overhead %.1f ns "
+                     "exceeds the %.1f ns budget\n",
+                     span_ns, span_budget);
         return 3;
     }
     return 0;

@@ -1,5 +1,6 @@
 #include "api/engine.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -8,6 +9,7 @@
 #include "graph/model_io.hpp"
 #include "graph/models.hpp"
 #include "gpusim/spec_io.hpp"
+#include "obs/trace.hpp"
 
 namespace neusight::api {
 
@@ -49,6 +51,23 @@ ForecastEngine::ForecastEngine(EngineConfig config_)
     if (!comms)
         comms = std::make_shared<dist::EstimatedCollectives>(
             config.referenceSystem, config.referenceLinkGBps);
+    metricsReg = config.sharedMetrics;
+    if (!metricsReg)
+        metricsReg = std::make_shared<obs::MetricsRegistry>();
+    requestsTotal = metricsReg->counter("engine.requests");
+    failuresTotal = metricsReg->counter("engine.failures");
+    // Sweeps executed through this engine report into its registry
+    // unless the caller already pointed them elsewhere.
+    if (!config.sweep.metrics)
+        config.sweep.metrics = metricsReg;
+    // Adopt the caches' live counters: the registry snapshot and
+    // cacheStats() now read the same atomics and cannot drift.
+    if (cache)
+        serve::PredictionCache::registerMetrics(cache, *metricsReg,
+                                                "cache.prediction");
+    if (graphCache)
+        serve::ModelGraphCache::registerMetrics(graphCache, *metricsReg,
+                                                "cache.graph");
     if (!config.cacheLoadPath.empty())
         loadPredictionCache(config.cacheLoadPath);
 }
@@ -141,11 +160,40 @@ ForecastEngine::resolveGpu(const std::string &name_or_path,
     return gpusim::resolveGpu(name_or_path);
 }
 
+std::shared_ptr<obs::Histogram>
+ForecastEngine::requestHistogram(RequestKind kind,
+                                 const std::string &backend_name) const
+{
+    const std::string name = std::string("engine.request_us.") +
+                             requestKindName(kind) + '.' + backend_name;
+    std::lock_guard<std::mutex> lock(histMutex);
+    auto it = requestHist.find(name);
+    if (it == requestHist.end())
+        it = requestHist.emplace(name, metricsReg->histogram(name, "us"))
+                 .first;
+    return it->second;
+}
+
 ForecastResult
 ForecastEngine::forecast(const ForecastRequest &req) const
 {
+    obs::Tracer &tracer = obs::Tracer::global();
+    obs::TraceSpan span(
+        tracer.enabled() ? std::string("engine.forecast.") +
+                               requestKindName(req.kind)
+                         : std::string(),
+        "engine", tracer);
+    const auto started = std::chrono::steady_clock::now();
     ForecastResult result;
     result.tag = req.tag;
+    if (req.kind == RequestKind::Stats) {
+        // Registry snapshot, shipped as an opaque payload so the wire
+        // layer can embed it without knowing the metric vocabulary.
+        // Counted before snapshotting so the snapshot includes itself.
+        requestsTotal->inc();
+        result.payload = metricsReg->toJson().dump(0);
+        return result;
+    }
     try {
         const graph::LatencyPredictor &predictor = backend(req.backend);
         switch (req.kind) {
@@ -254,6 +302,8 @@ ForecastEngine::forecast(const ForecastRequest &req) const
             result.strategy = winner.config.describe();
             break;
           }
+          case RequestKind::Stats:
+            break; // Handled before the switch.
         }
     } catch (const std::exception &e) {
         result.ok = false;
@@ -261,6 +311,16 @@ ForecastEngine::forecast(const ForecastRequest &req) const
     }
     if (cache)
         result.cache = cache->stats();
+    requestsTotal->inc();
+    if (!result.ok)
+        failuresTotal->inc();
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    requestHistogram(req.kind, req.backend.empty() ? config.defaultBackend
+                                                   : req.backend)
+        ->record(elapsed_us);
     return result;
 }
 

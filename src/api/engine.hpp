@@ -34,6 +34,7 @@
 #include "dist/collective.hpp"
 #include "dist/parallel.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "serve/graph_cache.hpp"
 #include "serve/prediction_cache.hpp"
 #include "serve/request.hpp"
@@ -89,6 +90,9 @@ struct EngineConfig
     std::shared_ptr<serve::ModelGraphCache> sharedGraphCache;
     /** Custom collective model (overrides reference*). */
     std::shared_ptr<const dist::CollectiveModel> comms;
+    /** Share an existing metrics registry (several engines reporting
+     *  into one snapshot); null = the engine creates its own. */
+    std::shared_ptr<obs::MetricsRegistry> sharedMetrics;
 
     /// @name Builder-style setters.
     /// @{
@@ -146,6 +150,11 @@ struct EngineConfig
     EngineConfig &sweepOptions(dist::SweepOptions options)
     {
         sweep = std::move(options);
+        return *this;
+    }
+    EngineConfig &metrics(std::shared_ptr<obs::MetricsRegistry> registry)
+    {
+        sharedMetrics = std::move(registry);
         return *this;
     }
     /// @}
@@ -218,6 +227,18 @@ class ForecastEngine
     CacheStats cacheStats() const;
 
     /**
+     * This engine's metrics registry: request counters, per-kind/
+     * per-backend end-to-end latency histograms (engine.request_us.*),
+     * and the adopted cache counters (cache.prediction.*,
+     * cache.graph.*). Never null. The "stats" wire op and the tools'
+     * --metrics-json flag snapshot it.
+     */
+    const std::shared_ptr<obs::MetricsRegistry> &metrics() const
+    {
+        return metricsReg;
+    }
+
+    /**
      * Snapshot the prediction cache to @p path ("" = the configured
      * cacheSavePath); returns entries written. fatal() when no path is
      * configured or the cache is disabled.
@@ -244,14 +265,25 @@ class ForecastEngine
 
     const WiredBackend &wire(const std::string &name) const;
 
+    /** The engine.request_us.<kind>.<backend> histogram, resolved once
+     *  per (kind, backend) and memoized. */
+    std::shared_ptr<obs::Histogram>
+    requestHistogram(RequestKind kind, const std::string &backend) const;
+
     EngineConfig config;
     std::shared_ptr<PredictorRegistry> reg;
     std::shared_ptr<serve::PredictionCache> cache;
     std::shared_ptr<serve::ModelGraphCache> graphCache;
     std::shared_ptr<const dist::CollectiveModel> comms;
+    std::shared_ptr<obs::MetricsRegistry> metricsReg;
+    std::shared_ptr<obs::Counter> requestsTotal;
+    std::shared_ptr<obs::Counter> failuresTotal;
 
     mutable std::mutex wireMutex;
     mutable std::unordered_map<std::string, WiredBackend> wired;
+    mutable std::mutex histMutex;
+    mutable std::unordered_map<std::string, std::shared_ptr<obs::Histogram>>
+        requestHist;
 };
 
 /**

@@ -1,14 +1,72 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <stdexcept>
 
 namespace neusight {
 
 namespace {
+
 std::atomic<bool> quietFlag{false};
+
+/** -1 = unset (consult the environment on first use), 0/1 = forced. */
+std::atomic<int> timestampsFlag{-1};
+
+bool
+timestampsEnabled()
+{
+    int state = timestampsFlag.load(std::memory_order_relaxed);
+    if (state < 0) {
+        const char *env = std::getenv("NEUSIGHT_LOG_TIMESTAMPS");
+        state = (env != nullptr && env[0] == '1') ? 1 : 0;
+        timestampsFlag.store(state, std::memory_order_relaxed);
+    }
+    return state == 1;
+}
+
+/** "2026-08-08T12:34:56.789Z" (UTC, millisecond resolution). */
+std::string
+isoTimestamp()
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm utc{};
+#if defined(_WIN32)
+    gmtime_s(&utc, &secs);
+#else
+    gmtime_r(&secs, &utc);
+#endif
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
+                  utc.tm_hour, utc.tm_min, utc.tm_sec,
+                  static_cast<int>(ms));
+    return buf;
+}
+
+void
+emit(const char *legacy_prefix, const char *severity,
+     const std::string &message)
+{
+    if (quietFlag.load(std::memory_order_relaxed))
+        return;
+    if (timestampsEnabled())
+        std::cerr << isoTimestamp() << " [" << severity << "] "
+                  << message << std::endl;
+    else
+        std::cerr << legacy_prefix << message << std::endl;
+}
+
 } // namespace
 
 void
@@ -27,21 +85,25 @@ fatal(const std::string &message)
 void
 warn(const std::string &message)
 {
-    if (!quietFlag.load(std::memory_order_relaxed))
-        std::cerr << "warn: " << message << std::endl;
+    emit("warn: ", "WARN", message);
 }
 
 void
 inform(const std::string &message)
 {
-    if (!quietFlag.load(std::memory_order_relaxed))
-        std::cerr << "info: " << message << std::endl;
+    emit("info: ", "INFO", message);
 }
 
 void
 setQuiet(bool quiet)
 {
     quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+void
+setLogTimestamps(bool enable)
+{
+    timestampsFlag.store(enable ? 1 : 0, std::memory_order_relaxed);
 }
 
 } // namespace neusight

@@ -41,6 +41,15 @@ void inform(const std::string &message);
 void setQuiet(bool quiet);
 
 /**
+ * Prefix warn()/inform() lines with an ISO-8601 UTC timestamp and a
+ * severity tag ("2026-08-08T12:34:56.789Z [WARN] ..."), so server logs
+ * correlate with trace spans. Off by default (the bare legacy format);
+ * also enabled by the NEUSIGHT_LOG_TIMESTAMPS=1 environment variable,
+ * read on first use.
+ */
+void setLogTimestamps(bool enable);
+
+/**
  * Assert an invariant that must hold independent of user input.
  * Active in all build types (unlike assert()).
  */

@@ -10,6 +10,7 @@
 
 #include "common/logging.hpp"
 #include "core/features.hpp"
+#include "obs/trace.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/tile_policy.hpp"
 #include "nn/autograd.hpp"
@@ -343,6 +344,8 @@ NeuSight::predictKernelsMs(const std::vector<KernelDesc> &descs,
     std::vector<double> out(n, 0.0);
     if (n == 0)
         return out;
+    obs::Tracer &tracer = obs::Tracer::global();
+    obs::TraceSpan batch_span("neusight.predict_kernels", "core", tracer);
 
     // 1. Dedup: transformer graphs dispatch the same few dozen kernel
     // shapes across every layer, so group by the canonical fingerprint
@@ -360,21 +363,24 @@ NeuSight::predictKernelsMs(const std::vector<KernelDesc> &descs,
     std::vector<Unique> uniques;
     std::unordered_map<std::string, size_t> slot_of;
     std::vector<size_t> slot(n);
-    for (size_t i = 0; i < n; ++i) {
-        std::string key = kernelFingerprintPart(descs[i]);
-        const auto [it, inserted] =
-            slot_of.emplace(std::move(key), uniques.size());
-        if (inserted)
-            uniques.push_back({&descs[i], it->first, {}, false});
-        slot[i] = it->second;
-    }
+    {
+        obs::TraceSpan dedup("neusight.dedup", "core", tracer);
+        for (size_t i = 0; i < n; ++i) {
+            std::string key = kernelFingerprintPart(descs[i]);
+            const auto [it, inserted] =
+                slot_of.emplace(std::move(key), uniques.size());
+            if (inserted)
+                uniques.push_back({&descs[i], it->first, {}, false});
+            slot[i] = it->second;
+        }
 
-    // 2. Resolve from the attached prediction cache first.
-    if (cache_) {
-        const std::string gpu_part = gpuFeatureFingerprint(gpu);
-        for (Unique &u : uniques) {
-            u.key += gpu_part;
-            u.resolved = cache_->lookup(u.key, u.detail);
+        // 2. Resolve from the attached prediction cache first.
+        if (cache_) {
+            const std::string gpu_part = gpuFeatureFingerprint(gpu);
+            for (Unique &u : uniques) {
+                u.key += gpu_part;
+                u.resolved = cache_->lookup(u.key, u.detail);
+            }
         }
     }
 
@@ -384,25 +390,30 @@ NeuSight::predictKernelsMs(const std::vector<KernelDesc> &descs,
     // whole batch), then each operator family runs one matrix pass;
     // families without a learned predictor take the memory fallback.
     std::map<OpType, std::vector<size_t>> families;
-    for (size_t u = 0; u < uniques.size(); ++u)
-        if (!uniques[u].resolved)
-            families[uniques[u].desc->type].push_back(u);
     std::vector<KernelDesc> tile_queries;
-    std::vector<size_t> tile_query_of(uniques.size(), size_t(-1));
-    for (const auto &[type, members] : families) {
-        if (predictors.find(type) == predictors.end())
-            continue;
-        for (size_t u : members) {
-            // Fused kernels look up the tile of their first operator
-            // (Section 4.4).
-            KernelDesc lookup = *uniques[u].desc;
-            lookup.opName = canonicalOpName(lookup.opName);
-            tile_query_of[u] = tile_queries.size();
-            tile_queries.push_back(std::move(lookup));
+    std::vector<size_t> tile_query_of;
+    std::vector<std::vector<uint64_t>> resolved_tiles;
+    {
+        obs::TraceSpan build("neusight.batch_build", "core", tracer);
+        for (size_t u = 0; u < uniques.size(); ++u)
+            if (!uniques[u].resolved)
+                families[uniques[u].desc->type].push_back(u);
+        tile_query_of.assign(uniques.size(), size_t(-1));
+        for (const auto &[type, members] : families) {
+            if (predictors.find(type) == predictors.end())
+                continue;
+            for (size_t u : members) {
+                // Fused kernels look up the tile of their first
+                // operator (Section 4.4).
+                KernelDesc lookup = *uniques[u].desc;
+                lookup.opName = canonicalOpName(lookup.opName);
+                tile_query_of[u] = tile_queries.size();
+                tile_queries.push_back(std::move(lookup));
+            }
         }
+        resolved_tiles = tileDb.lookupBatch(tile_queries, gpu);
     }
-    const std::vector<std::vector<uint64_t>> resolved_tiles =
-        tileDb.lookupBatch(tile_queries, gpu);
+    obs::TraceSpan predict("neusight.predict_batch", "core", tracer);
     for (const auto &[type, members] : families) {
         const auto it = predictors.find(type);
         if (it == predictors.end()) {

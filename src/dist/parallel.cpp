@@ -10,6 +10,7 @@
 
 #include "common/logging.hpp"
 #include "gpusim/gpu_spec.hpp"
+#include "obs/trace.hpp"
 
 namespace neusight::dist {
 
@@ -973,6 +974,8 @@ sweepStrategies(const graph::LatencyPredictor &predictor,
 {
     if (server.numGpus < 1)
         fatal("sweepStrategies: need at least one GPU");
+    obs::Tracer &tracer = obs::Tracer::global();
+    obs::TraceSpan sweep_span("dist.sweep", "dist", tracer);
     const int n = server.numGpus;
     const gpusim::GpuSpec &gpu = server.resolvedGpu();
     const double link = server.effectiveLinkGBps();
@@ -1104,6 +1107,14 @@ sweepStrategies(const graph::LatencyPredictor &predictor,
     };
 
     for (const SweepFactor &f : factors) {
+        // One span per factorization; pruning shows up as a span that
+        // ends right after the bound check.
+        obs::TraceSpan factor_span(
+            tracer.enabled()
+                ? "dist.factor.tp" + std::to_string(f.tp) + ".pp" +
+                      std::to_string(f.pp) + ".dp" + std::to_string(f.dp)
+                : std::string(),
+            "dist", tracer);
         const std::vector<HybridConfig> grid = gridFor(f);
         if (grid.empty())
             continue;
@@ -1115,6 +1126,9 @@ sweepStrategies(const graph::LatencyPredictor &predictor,
         if (pruning && !baseline && f.boundMs > cutoff) {
             ++accounting.prunedFactorizations;
             accounting.skippedPoints += grid.size();
+            if (tracer.enabled())
+                tracer.add("dist.prune.factorization", "dist",
+                           tracer.nowUs(), 0.0, 1);
             continue;
         }
 
@@ -1147,6 +1161,9 @@ sweepStrategies(const graph::LatencyPredictor &predictor,
                 if (row_bound > cutoff) {
                     ++accounting.prunedMicroRows;
                     accounting.skippedPoints += row_end - i;
+                    if (tracer.enabled())
+                        tracer.add("dist.prune.micro_row", "dist",
+                                   tracer.nowUs(), 0.0, 2);
                     i = row_end;
                     continue;
                 }
@@ -1196,10 +1213,29 @@ sweepStrategies(const graph::LatencyPredictor &predictor,
                 out.push_back({surviving[i], results[i]});
     }
 
-    if (stats != nullptr) {
-        accounting.stagePriceHits = memo_storage.hits();
-        accounting.stagePriceMisses = memo_storage.misses();
+    accounting.stagePriceHits = memo_storage.hits();
+    accounting.stagePriceMisses = memo_storage.misses();
+    if (stats != nullptr)
         *stats = accounting;
+    if (options.metrics) {
+        // One increment batch per call: SweepStats stays the per-call
+        // view, the registry accumulates across calls — both fed from
+        // the same accounting, so they cannot drift.
+        obs::MetricsRegistry &reg = *options.metrics;
+        reg.counter("sweep.factorizations")
+            ->inc(accounting.factorizations);
+        reg.counter("sweep.pruned_factorizations")
+            ->inc(accounting.prunedFactorizations);
+        reg.counter("sweep.pruned_micro_rows")
+            ->inc(accounting.prunedMicroRows);
+        reg.counter("sweep.evaluated_points")
+            ->inc(accounting.evaluatedPoints);
+        reg.counter("sweep.skipped_points")
+            ->inc(accounting.skippedPoints);
+        reg.counter("sweep.stage_price_hits")
+            ->inc(accounting.stagePriceHits);
+        reg.counter("sweep.stage_price_misses")
+            ->inc(accounting.stagePriceMisses);
     }
     std::stable_sort(
         out.begin(), out.end(),

@@ -13,12 +13,14 @@
 #define NEUSIGHT_DIST_PARALLEL_HPP
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "dist/collective.hpp"
+#include "obs/metrics.hpp"
 #include "graph/latency_predictor.hpp"
 #include "graph/models.hpp"
 #include "gpusim/gpu_spec.hpp"
@@ -431,6 +433,15 @@ struct SweepOptions
 
     /** Share priced stage graphs across sweep points (StagePriceMemo). */
     bool reuseStagePrices = true;
+
+    /**
+     * Registry receiving the sweep.* counters (factorizations, prune
+     * and memo accounting — the same values SweepStats reports),
+     * incremented once at the end of each sweepStrategies() call.
+     * Null disables registry reporting; the ForecastEngine passes its
+     * own registry here.
+     */
+    std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /** One surviving point of the strategy sweep. */

@@ -1,5 +1,7 @@
 #include "graph/latency_predictor.hpp"
 
+#include "obs/trace.hpp"
+
 namespace neusight::graph {
 
 std::vector<double>
@@ -18,6 +20,7 @@ double
 LatencyPredictor::predictGraphMs(const KernelGraph &g,
                                  const gpusim::GpuSpec &gpu) const
 {
+    obs::TraceSpan span("graph.predict", "graph");
     std::vector<gpusim::KernelDesc> descs;
     descs.reserve(g.nodes.size());
     for (const auto &node : g.nodes)

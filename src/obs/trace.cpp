@@ -1,0 +1,169 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace neusight::obs {
+
+namespace {
+
+/** Per-thread nesting depth (global across tracers: spans of one
+ *  thread nest regardless of which tracer collects them). */
+thread_local int tlDepth = 0;
+
+} // namespace
+
+Tracer::Tracer() : epoch(std::chrono::steady_clock::now()) {}
+
+void
+Tracer::setEnabled(bool enable)
+{
+    on.store(enable, std::memory_order_relaxed);
+}
+
+double
+Tracer::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+void
+Tracer::add(std::string name, const char *category, double start_us,
+            double duration_us, int depth)
+{
+    if (!enabled())
+        return;
+    TraceEvent event;
+    event.name = std::move(name);
+    event.category = category;
+    event.threadId = currentThreadId();
+    event.depth = depth;
+    event.startUs = start_us;
+    event.durationUs = duration_us;
+    std::lock_guard<std::mutex> lock(mutex);
+    buffer.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return buffer;
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return buffer.size();
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    buffer.clear();
+}
+
+common::Json
+Tracer::toChromeJson() const
+{
+    const std::vector<TraceEvent> snapshot = events();
+    common::Json::Array rows;
+    rows.reserve(snapshot.size());
+    for (const TraceEvent &event : snapshot) {
+        common::Json row;
+        row.set("name", event.name);
+        row.set("cat", event.category);
+        row.set("ph", "X");
+        row.set("ts", event.startUs);
+        row.set("dur", event.durationUs);
+        row.set("pid", 1);
+        row.set("tid", static_cast<uint64_t>(event.threadId));
+        common::Json args;
+        args.set("depth", event.depth);
+        row.set("args", std::move(args));
+        rows.push_back(std::move(row));
+    }
+    common::Json doc;
+    doc.set("traceEvents", common::Json(std::move(rows)));
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+size_t
+Tracer::writeChromeTrace(std::ostream &out) const
+{
+    const common::Json doc = toChromeJson();
+    out << doc.dump(0) << "\n";
+    return doc.at("traceEvents").asArray().size();
+}
+
+size_t
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("Tracer: cannot write '" + path + "'");
+    return writeChromeTrace(out);
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+uint32_t
+Tracer::currentThreadId()
+{
+    static std::atomic<uint32_t> nextId{1};
+    thread_local const uint32_t id =
+        nextId.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+TraceSpan::TraceSpan(const char *name, const char *category_,
+                     Tracer &tracer_)
+{
+    if (!tracer_.enabled())
+        return;
+    literalName = name;
+    open(tracer_, category_);
+}
+
+TraceSpan::TraceSpan(std::string name, const char *category_,
+                     Tracer &tracer_)
+{
+    if (!tracer_.enabled())
+        return;
+    dynamicName = std::move(name);
+    open(tracer_, category_);
+}
+
+void
+TraceSpan::open(Tracer &tracer_, const char *category_)
+{
+    tracer = &tracer_;
+    category = category_;
+    depth = tlDepth++;
+    startUs = tracer->nowUs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (tracer == nullptr)
+        return;
+    --tlDepth;
+    const double duration = tracer->nowUs() - startUs;
+    tracer->add(literalName != nullptr ? std::string(literalName)
+                                       : std::move(dynamicName),
+                category, startUs, duration, depth);
+}
+
+} // namespace neusight::obs

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Span-based request tracer of the observability layer. A TraceSpan is
+ * an RAII scope: construction stamps the start, destruction records
+ * one complete event (name, category, thread id, nesting depth, start,
+ * duration) into the owning Tracer. The collected timeline exports as
+ * Chrome trace-event JSON, loadable directly in chrome://tracing or
+ * Perfetto (ui.perfetto.dev), where spans nest visually per thread.
+ *
+ * The disabled path is near-zero-cost: a disabled tracer makes the
+ * span constructor one relaxed atomic load and the destructor one
+ * branch — no clock read, no lock, and (with a string-literal name) no
+ * allocation — so spans stay compiled into every hot path and tracing
+ * is switched on per run (--trace-out). Dynamic span names should be
+ * built only behind an enabled() check.
+ */
+
+#ifndef NEUSIGHT_OBS_TRACE_HPP
+#define NEUSIGHT_OBS_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace neusight::obs {
+
+/** One completed span (Chrome trace-event "X" phase). */
+struct TraceEvent
+{
+    std::string name;
+    /** Subsystem label ("serve", "engine", "dist", "core", ...). */
+    const char *category = "neusight";
+    /** Small sequential id of the recording thread. */
+    uint32_t threadId = 0;
+    /** Nesting depth within the recording thread (0 = top level). */
+    int depth = 0;
+    /** Microseconds since the tracer's epoch. */
+    double startUs = 0.0;
+    double durationUs = 0.0;
+};
+
+/**
+ * Collects TraceEvents behind an enabled flag. Recording appends under
+ * a mutex (spans are request-granular — a few per forecast — so the
+ * lock is not a hot-path concern; the *disabled* path never reaches
+ * it). Thread-safe throughout.
+ */
+class Tracer
+{
+  public:
+    Tracer();
+
+    /** Whether spans record (one relaxed load; the hot-path check). */
+    bool enabled() const { return on.load(std::memory_order_relaxed); }
+
+    /** Turn collection on/off. Enabling resets the epoch only on the
+     *  first enable, so repeated toggles share one timeline. */
+    void setEnabled(bool enable);
+
+    /** Microseconds since this tracer's epoch. */
+    double nowUs() const;
+
+    /**
+     * Record a completed span with explicit timing — used where the
+     * measured interval is not a C++ scope (queue wait between
+     * enqueue and dequeue). No-op when disabled.
+     */
+    void add(std::string name, const char *category, double start_us,
+             double duration_us, int depth = 0);
+
+    /** Snapshot of every recorded event. */
+    std::vector<TraceEvent> events() const;
+
+    /** Recorded event count. */
+    size_t eventCount() const;
+
+    /** Drop all recorded events. */
+    void clear();
+
+    /**
+     * The Chrome trace-event document: {"traceEvents": [...]}, each
+     * event a complete ("ph":"X") event with ts/dur in microseconds
+     * and the nesting depth in args.
+     */
+    common::Json toChromeJson() const;
+
+    /** Write toChromeJson() to @p out; returns events written. */
+    size_t writeChromeTrace(std::ostream &out) const;
+
+    /** Write to @p path; fatal() on I/O error. Returns events. */
+    size_t writeChromeTrace(const std::string &path) const;
+
+    /** The process-wide tracer every TraceSpan defaults to. */
+    static Tracer &global();
+
+    /** Small sequential id of the calling thread (stable per thread). */
+    static uint32_t currentThreadId();
+
+  private:
+    friend class TraceSpan;
+
+    std::atomic<bool> on{false};
+    std::chrono::steady_clock::time_point epoch;
+
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> buffer;
+};
+
+/**
+ * RAII span. Prefer the string-literal constructor on hot paths — it
+ * allocates nothing either way; build dynamic names only behind
+ * tracer.enabled().
+ */
+class TraceSpan
+{
+  public:
+    /** Literal-named span against @p tracer (default: the global). */
+    explicit TraceSpan(const char *name, const char *category = "neusight",
+                       Tracer &tracer = Tracer::global());
+
+    /** Dynamically-named span (name is moved in; gate construction of
+     *  the string on tracer.enabled() to keep disabled paths free). */
+    TraceSpan(std::string name, const char *category,
+              Tracer &tracer = Tracer::global());
+
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    void open(Tracer &tracer, const char *category);
+
+    /** Null when the tracer was disabled at construction. */
+    Tracer *tracer = nullptr;
+    const char *literalName = nullptr;
+    std::string dynamicName;
+    const char *category = "neusight";
+    double startUs = 0.0;
+    int depth = 0;
+};
+
+} // namespace neusight::obs
+
+#endif // NEUSIGHT_OBS_TRACE_HPP

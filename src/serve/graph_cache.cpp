@@ -17,10 +17,10 @@ ModelGraphCache::lookup(const std::string &key)
     std::lock_guard<std::mutex> lock(mutex);
     const auto it = index.find(key);
     if (it == index.end()) {
-        ++missCount;
+        missCount->inc();
         return nullptr;
     }
-    ++hitCount;
+    hitCount->inc();
     lru.splice(lru.begin(), lru, it->second);
     return it->second->second;
 }
@@ -30,7 +30,7 @@ ModelGraphCache::insert(const std::string &key,
                         std::shared_ptr<const graph::KernelGraph> graph)
 {
     std::lock_guard<std::mutex> lock(mutex);
-    ++insertCount;
+    insertCount->inc();
     const auto it = index.find(key);
     if (it != index.end()) {
         it->second->second = std::move(graph);
@@ -40,7 +40,7 @@ ModelGraphCache::insert(const std::string &key,
     if (lru.size() >= maxEntries) {
         index.erase(lru.back().first);
         lru.pop_back();
-        ++evictionCount;
+        evictionCount->inc();
     }
     lru.emplace_front(key, std::move(graph));
     index[key] = lru.begin();
@@ -58,15 +58,34 @@ ModelGraphCache::getOrBuild(
     return built;
 }
 
+void
+ModelGraphCache::registerMetrics(
+    const std::shared_ptr<ModelGraphCache> &cache,
+    obs::MetricsRegistry &registry, const std::string &prefix)
+{
+    ensure(cache != nullptr,
+           "ModelGraphCache::registerMetrics: null cache");
+    registry.adopt(prefix + ".hits", cache->hitCount);
+    registry.adopt(prefix + ".misses", cache->missCount);
+    registry.adopt(prefix + ".evictions", cache->evictionCount);
+    registry.adopt(prefix + ".inserts", cache->insertCount);
+    registry.probe(prefix + ".size", [cache] {
+        return static_cast<double>(cache->size());
+    });
+    registry.probe(prefix + ".capacity", [cache] {
+        return static_cast<double>(cache->capacity());
+    });
+}
+
 CacheStats
 ModelGraphCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex);
     CacheStats s;
-    s.hits = hitCount;
-    s.misses = missCount;
-    s.evictions = evictionCount;
-    s.inserts = insertCount;
+    s.hits = hitCount->value();
+    s.misses = missCount->value();
+    s.evictions = evictionCount->value();
+    s.inserts = insertCount->value();
     s.size = lru.size();
     s.capacity = maxEntries;
     return s;

@@ -61,6 +61,16 @@ class ModelGraphCache
     /** Point-in-time counters. */
     CacheStats stats() const;
 
+    /**
+     * Adopt @p cache's live counters into @p registry as
+     * "<prefix>.hits" etc., plus size/capacity probes, so registry
+     * snapshots and stats() read the same objects (see
+     * PredictionCache::registerMetrics).
+     */
+    static void registerMetrics(const std::shared_ptr<ModelGraphCache> &cache,
+                                obs::MetricsRegistry &registry,
+                                const std::string &prefix);
+
     /** Drop every entry; counters keep accumulating. */
     void clear();
 
@@ -79,10 +89,16 @@ class ModelGraphCache
     std::list<Entry> lru;
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
     size_t maxEntries;
-    uint64_t hitCount = 0;
-    uint64_t missCount = 0;
-    uint64_t evictionCount = 0;
-    uint64_t insertCount = 0;
+    /** obs counters (adoptable into a MetricsRegistry); incremented
+     *  under the mutex but independently readable. */
+    std::shared_ptr<obs::Counter> hitCount =
+        std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> missCount =
+        std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> evictionCount =
+        std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> insertCount =
+        std::make_shared<obs::Counter>();
 };
 
 } // namespace neusight::serve

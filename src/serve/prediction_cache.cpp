@@ -150,7 +150,7 @@ PredictionCache::lookup(const std::string &key, PredictionDetail &out)
         }
     }
     stripe.activeReaders.fetch_sub(1, std::memory_order_seq_cst);
-    (hit ? hits : misses).fetch_add(1, std::memory_order_relaxed);
+    (hit ? *hits : *misses).inc();
     return hit;
 }
 
@@ -179,7 +179,7 @@ PredictionCache::evictLru(Stripe &stripe)
                                    std::memory_order_seq_cst);
     stripe.limbo.push_back(victim);
     --stripe.liveCount;
-    evictions.fetch_add(1, std::memory_order_relaxed);
+    evictions->inc();
 }
 
 void
@@ -288,7 +288,7 @@ PredictionCache::insert(const std::string &key,
         }
     }
     ++stripe.liveCount;
-    inserts.fetch_add(1, std::memory_order_relaxed);
+    inserts->inc();
     // Keep enough null terminators for short, always-terminating probe
     // chains; tombstones otherwise accumulate under eviction churn.
     if (stripe.nullCount < slotsPerStripe / 4)
@@ -426,16 +426,35 @@ CacheStats
 PredictionCache::stats() const
 {
     CacheStats s;
-    s.hits = hits.load(std::memory_order_relaxed);
-    s.misses = misses.load(std::memory_order_relaxed);
-    s.evictions = evictions.load(std::memory_order_relaxed);
-    s.inserts = inserts.load(std::memory_order_relaxed);
+    s.hits = hits->value();
+    s.misses = misses->value();
+    s.evictions = evictions->value();
+    s.inserts = inserts->value();
     s.capacity = totalCapacity;
     for (const auto &stripe : stripes) {
         std::lock_guard<std::mutex> lock(stripe->writerMutex);
         s.size += stripe->liveCount;
     }
     return s;
+}
+
+void
+PredictionCache::registerMetrics(
+    const std::shared_ptr<PredictionCache> &cache,
+    obs::MetricsRegistry &registry, const std::string &prefix)
+{
+    ensure(cache != nullptr,
+           "PredictionCache::registerMetrics: null cache");
+    registry.adopt(prefix + ".hits", cache->hits);
+    registry.adopt(prefix + ".misses", cache->misses);
+    registry.adopt(prefix + ".evictions", cache->evictions);
+    registry.adopt(prefix + ".inserts", cache->inserts);
+    registry.probe(prefix + ".size", [cache] {
+        return static_cast<double>(cache->size());
+    });
+    registry.probe(prefix + ".capacity", [cache] {
+        return static_cast<double>(cache->capacity());
+    });
 }
 
 void

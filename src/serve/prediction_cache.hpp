@@ -35,6 +35,7 @@
 #include "gpusim/gpu_spec.hpp"
 #include "gpusim/kernel_desc.hpp"
 #include "graph/latency_predictor.hpp"
+#include "obs/metrics.hpp"
 
 namespace neusight::serve {
 
@@ -105,6 +106,17 @@ class PredictionCache : public core::KernelPredictionCache
     /** Point-in-time counters (consistent enough for reporting). */
     CacheStats stats() const;
 
+    /**
+     * Adopt @p cache's live hit/miss/eviction/insert counters into
+     * @p registry as "<prefix>.hits" etc., plus size/capacity probes.
+     * The registry then snapshots the very atomics stats() reads, so
+     * the two views cannot drift. @p cache is captured by the probes
+     * (kept alive as long as the registry holds them).
+     */
+    static void registerMetrics(const std::shared_ptr<PredictionCache> &cache,
+                                obs::MetricsRegistry &registry,
+                                const std::string &prefix);
+
     /// @name Persistence: JSON-lines snapshots keyed on the stable
     /// fingerprints, so a warm cache survives server restarts (the
     /// ROADMAP's cache-persistence item). Entries are written least-
@@ -172,10 +184,13 @@ class PredictionCache : public core::KernelPredictionCache
     size_t slotMask;
     /** Global LRU clock; every touch gets a unique monotonic tick. */
     mutable std::atomic<uint64_t> clock{1};
-    mutable std::atomic<uint64_t> hits{0};
-    mutable std::atomic<uint64_t> misses{0};
-    std::atomic<uint64_t> evictions{0};
-    std::atomic<uint64_t> inserts{0};
+    /** Striped obs counters, so a MetricsRegistry can adopt the same
+     *  objects stats() reads (registerMetrics). */
+    std::shared_ptr<obs::Counter> hits = std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> misses = std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> evictions =
+        std::make_shared<obs::Counter>();
+    std::shared_ptr<obs::Counter> inserts = std::make_shared<obs::Counter>();
 };
 
 /**

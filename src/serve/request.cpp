@@ -22,6 +22,8 @@ requestKindName(RequestKind kind)
         return "hybrid";
       case RequestKind::HybridSweep:
         return "sweep";
+      case RequestKind::Stats:
+        return "stats";
     }
     panic("requestKindName: bad kind");
 }
@@ -31,6 +33,14 @@ ForecastRequest::fingerprint() const
 {
     std::string key;
     key.reserve(160);
+    if (kind == RequestKind::Stats) {
+        // A snapshot is point-in-time state, not a deterministic
+        // function of the request: every stats request must run (the
+        // tag keeps concurrent ones from coalescing with each other).
+        key += "stats!";
+        key += tag;
+        return key;
+    }
     // The backend leads the key: the same workload through two different
     // predictors is two different forecasts, so they must never coalesce.
     // Fingerprints are process-local (coalescing/dedup only), so the

@@ -36,6 +36,8 @@ enum class RequestKind
     Hybrid,
     /** Strategy sweep: answer with the fastest runnable hybrid plan. */
     HybridSweep,
+    /** Metrics-registry snapshot (the "stats" wire op); no forecast. */
+    Stats,
 };
 
 /** Display name, e.g. "inference". */
@@ -116,6 +118,12 @@ struct ForecastResult
     bool coalesced = false;
     /** Server-wide cache counters observed at completion. */
     CacheStats cache;
+    /**
+     * Serialized JSON payload of non-forecast kinds (the Stats kind's
+     * registry snapshot); empty for forecasts. Wire responses embed it
+     * as a JSON object instead of the latency fields.
+     */
+    std::string payload;
 };
 
 } // namespace neusight::serve

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace neusight::serve {
 
@@ -52,6 +53,17 @@ ForecastServer::ForecastServer(std::shared_ptr<api::ForecastEngine> engine_,
     ensure(options.workers > 0, "ForecastServer: need at least one worker");
     ensure(options.queueCapacity > 0,
            "ForecastServer: queue capacity must be positive");
+    // Resolve the serve.* metrics once; the hot path only touches the
+    // kept pointers (registry lookups lock).
+    obs::MetricsRegistry &reg = *engine->metrics();
+    submitted = reg.counter("serve.submitted");
+    completed = reg.counter("serve.completed");
+    coalescedCount = reg.counter("serve.coalesced");
+    rejectedCount = reg.counter("serve.rejected");
+    queueDepth = reg.gauge("serve.queue_depth");
+    queueWaitUs = reg.histogram("serve.queue_wait_us", "us");
+    executeUs = reg.histogram("serve.execute_us", "us");
+    e2eUs = reg.histogram("serve.e2e_us", "us");
     threads.reserve(options.workers);
     for (size_t i = 0; i < options.workers; ++i)
         threads.emplace_back([this] { workerLoop(); });
@@ -81,11 +93,11 @@ ForecastServer::submit(ForecastRequest request)
     const std::string key = request.fingerprint();
 
     std::unique_lock<std::mutex> lock(mutex);
-    ++submitted;
+    submitted->inc();
     auto it = inFlight.find(key);
     if (it != inFlight.end()) {
         // Identical request already queued or executing: piggyback.
-        ++coalescedCount;
+        coalescedCount->inc();
         it->second->waiters.emplace_back(std::move(promise),
                                          std::move(request.tag));
         return future;
@@ -98,13 +110,13 @@ ForecastServer::submit(ForecastRequest request)
     // fingerprint would race on the inFlight mapping.
     it = inFlight.find(key);
     if (it != inFlight.end()) {
-        ++coalescedCount;
+        coalescedCount->inc();
         it->second->waiters.emplace_back(std::move(promise),
                                          std::move(request.tag));
         return future;
     }
     if (stopping) {
-        ++rejectedCount;
+        rejectedCount->inc();
         lock.unlock();
         ForecastResult rejected;
         rejected.tag = request.tag;
@@ -117,8 +129,10 @@ ForecastServer::submit(ForecastRequest request)
     std::string tag = request.tag;
     pending->request = std::move(request);
     pending->waiters.emplace_back(std::move(promise), std::move(tag));
+    pending->enqueued = std::chrono::steady_clock::now();
     inFlight.emplace(key, pending);
     queue.push_back(std::move(pending));
+    queueDepth->set(static_cast<int64_t>(queue.size()));
     lock.unlock();
     notEmpty.notify_one();
     return future;
@@ -137,18 +151,39 @@ ForecastServer::workerLoop()
         }
         std::shared_ptr<Pending> pending = std::move(queue.front());
         queue.pop_front();
+        queueDepth->set(static_cast<int64_t>(queue.size()));
         ++executing;
         lock.unlock();
         notFull.notify_one();
 
+        obs::Tracer &tracer = obs::Tracer::global();
         const auto start = std::chrono::steady_clock::now();
-        ForecastResult result = engine->forecast(pending->request);
+        const double wait_us =
+            std::chrono::duration<double, std::micro>(
+                start - pending->enqueued)
+                .count();
+        queueWaitUs->record(wait_us);
+        if (tracer.enabled()) {
+            // The wait is not a C++ scope (it straddles submit() and
+            // this worker), so it is recorded explicitly, ending at the
+            // dequeue instant.
+            const double now_us = tracer.nowUs();
+            tracer.add("serve.queue_wait", "serve", now_us - wait_us,
+                       wait_us, 0);
+        }
+        ForecastResult result;
+        {
+            obs::TraceSpan execute("serve.execute", "serve", tracer);
+            result = engine->forecast(pending->request);
+        }
         const double micros =
             std::chrono::duration<double, std::micro>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        executeUs->record(micros);
         finishResult(result, micros, options.cache);
 
+        obs::TraceSpan respond("serve.respond", "serve", tracer);
         lock.lock();
         // Unpublish first: submits from here on start a fresh
         // computation, while everyone who piggybacked meanwhile is in
@@ -159,7 +194,11 @@ ForecastServer::workerLoop()
         // predicate cannot come true while any future is unready.
         inFlight.erase(pending->request.fingerprint());
         auto waiters = std::move(pending->waiters);
-        completed += waiters.size();
+        completed->inc(waiters.size());
+        e2eUs->record(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() -
+                          pending->enqueued)
+                          .count());
         for (size_t i = 0; i < waiters.size(); ++i) {
             ForecastResult copy = result;
             copy.tag = std::move(waiters[i].second);
@@ -214,14 +253,14 @@ ServerStats
 ForecastServer::stats() const
 {
     ServerStats s;
+    s.submitted = submitted->value();
+    s.completed = completed->value();
+    s.coalesced = coalescedCount->value();
+    s.rejected = rejectedCount->value();
+    s.workers = options.workers;
     {
         std::lock_guard<std::mutex> lock(mutex);
-        s.submitted = submitted;
-        s.completed = completed;
-        s.coalesced = coalescedCount;
-        s.rejected = rejectedCount;
         s.queueDepth = queue.size();
-        s.workers = options.workers;
     }
     if (options.cache)
         s.cache = options.cache->stats();

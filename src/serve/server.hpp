@@ -13,6 +13,7 @@
 #ifndef NEUSIGHT_SERVE_SERVER_HPP
 #define NEUSIGHT_SERVE_SERVER_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -27,6 +28,7 @@
 #include "api/engine.hpp"
 #include "dist/collective.hpp"
 #include "graph/latency_predictor.hpp"
+#include "obs/metrics.hpp"
 #include "serve/graph_cache.hpp"
 #include "serve/request.hpp"
 
@@ -137,12 +139,23 @@ class ForecastServer
      */
     void stop();
 
+    /**
+     * Point-in-time counters — a thin view over the engine's metrics
+     * registry (the serve.* counters and the adopted cache counters),
+     * so this struct can never drift from what --metrics-json reports.
+     */
     ServerStats stats() const;
 
     /** The engine executing this server's requests. */
     const std::shared_ptr<api::ForecastEngine> &forecastEngine() const
     {
         return engine;
+    }
+
+    /** The engine's metrics registry (serve.* metrics live there). */
+    const std::shared_ptr<obs::MetricsRegistry> &metrics() const
+    {
+        return engine->metrics();
     }
 
     /** The engine's model-graph cache, or nullptr when disabled. */
@@ -158,6 +171,8 @@ class ForecastServer
         /** (promise, tag) per coalesced submitter; front = first. */
         std::vector<std::pair<std::promise<ForecastResult>, std::string>>
             waiters;
+        /** Enqueue instant (queue-wait histogram / e2e latency). */
+        std::chrono::steady_clock::time_point enqueued;
     };
 
     void workerLoop();
@@ -176,10 +191,19 @@ class ForecastServer
     /** Set once the winning stop() has joined every worker. */
     bool workersJoined = false;
 
-    uint64_t submitted = 0;
-    uint64_t completed = 0;
-    uint64_t coalescedCount = 0;
-    uint64_t rejectedCount = 0;
+    /// @name Registry-backed counters (serve.* in engine->metrics()):
+    /// the same objects a registry snapshot reads, so stats() and
+    /// --metrics-json can never disagree. Resolved at construction.
+    /// @{
+    std::shared_ptr<obs::Counter> submitted;
+    std::shared_ptr<obs::Counter> completed;
+    std::shared_ptr<obs::Counter> coalescedCount;
+    std::shared_ptr<obs::Counter> rejectedCount;
+    std::shared_ptr<obs::Gauge> queueDepth;
+    std::shared_ptr<obs::Histogram> queueWaitUs;
+    std::shared_ptr<obs::Histogram> executeUs;
+    std::shared_ptr<obs::Histogram> e2eUs;
+    /// @}
 
     std::vector<std::thread> threads;
 };

@@ -26,9 +26,11 @@ kindFromString(const std::string &op)
         return RequestKind::Hybrid;
     if (op == "sweep")
         return RequestKind::HybridSweep;
+    if (op == "stats")
+        return RequestKind::Stats;
     fatal("wire: unknown op '" + op +
           "' (expected inference|decode|training|distributed|hybrid|"
-          "sweep)");
+          "sweep|stats)");
 }
 
 gpusim::DataType
@@ -123,6 +125,12 @@ requestFromJson(const Json &json)
         fatal("wire: request must be a JSON object");
     ForecastRequest req;
     req.kind = kindFromString(json.at("op").asString());
+    if (req.kind == RequestKind::Stats) {
+        // A stats request names no workload: only the echo tag applies.
+        req.model.clear();
+        req.tag = json.stringOr("tag", "");
+        return req;
+    }
     req.model = json.at("model").asString();
     req.gpu = gpusim::resolveGpu(json.at("gpu").asString());
     req.batch = positiveField(json, "batch", 1);
@@ -190,6 +198,11 @@ requestToJson(const ForecastRequest &req)
 {
     Json json;
     json.set("op", requestKindName(req.kind));
+    if (req.kind == RequestKind::Stats) {
+        if (!req.tag.empty())
+            json.set("tag", req.tag);
+        return json;
+    }
     json.set("model", req.model);
     json.set("gpu", req.gpu.name);
     json.set("batch", req.batch);
@@ -246,6 +259,13 @@ resultToJson(const ForecastResult &result)
     json.set("ok", result.ok);
     if (!result.ok) {
         json.set("error", result.error);
+        return json;
+    }
+    if (!result.payload.empty()) {
+        // Stats responses embed the registry snapshot in place of the
+        // forecast fields.
+        json.set("stats", Json::parse(result.payload));
+        json.set("service_us", result.serviceMicros);
         return json;
     }
     if (result.oom) {

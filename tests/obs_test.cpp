@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the observability layer: counter exactness under concurrent
+ * hammering, histogram bucket geometry and quantile error bounds, the
+ * metrics registry (create-on-first-use, adoption, probes, JSON and
+ * table snapshots), and the span tracer (nesting, Chrome trace-event
+ * well-formedness, and the no-allocation guarantee of the disabled
+ * path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Global allocation counter: every operator new in this binary bumps
+// it, so the disabled-span test can assert an allocation count of
+// exactly zero across span construction/destruction.
+static std::atomic<uint64_t> gAllocations{0};
+
+void *
+operator new(std::size_t size)
+{
+    gAllocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace neusight {
+namespace {
+
+TEST(Counter, SingleThreadExact)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentHammerIsExact)
+{
+    // Striped increments must never lose a count: each inc lands on
+    // exactly one stripe and value() sums all stripes.
+    obs::Counter c;
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 100000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&c] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                c.inc();
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd)
+{
+    obs::Gauge g;
+    g.set(10);
+    g.add(-3);
+    EXPECT_EQ(g.value(), 7);
+    g.set(-5);
+    EXPECT_EQ(g.value(), -5);
+}
+
+TEST(Histogram, BucketBoundariesContainTheirValues)
+{
+    // Every value must fall inside [lower, upper) of its own bucket,
+    // and consecutive buckets must tile the axis without gaps.
+    for (double v : {0.1, 0.11, 0.5, 1.0, 3.7, 100.0, 8.1e5, 1.0e9}) {
+        const size_t b = obs::Histogram::bucketIndex(v);
+        EXPECT_LE(obs::Histogram::bucketLowerBound(b), v) << v;
+        EXPECT_LT(v, obs::Histogram::bucketUpperBound(b)) << v;
+    }
+    for (size_t b = 0; b + 1 < obs::Histogram::kNumBuckets; ++b) {
+        EXPECT_DOUBLE_EQ(obs::Histogram::bucketUpperBound(b),
+                         obs::Histogram::bucketLowerBound(b + 1));
+    }
+}
+
+TEST(Histogram, OutOfRangeValuesClamp)
+{
+    EXPECT_EQ(obs::Histogram::bucketIndex(0.0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(-5.0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(1e300),
+              obs::Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, BasicStatistics)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.record(10.0);
+    h.record(20.0);
+    h.record(30.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_NEAR(h.sum(), 60.0, 1e-2);
+    EXPECT_NEAR(h.mean(), 20.0, 1e-2);
+    EXPECT_NEAR(h.minValue(), 10.0, 1e-2);
+    EXPECT_NEAR(h.maxValue(), 30.0, 1e-2);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 0.0);
+}
+
+TEST(Histogram, QuantileWithinOneBucketWidth)
+{
+    // Log-spaced sample spanning five orders of magnitude; the estimate
+    // must sit within one bucket width (a factor of 2^(1/4)) of the
+    // exact order statistic.
+    obs::Histogram h;
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i)
+        values.push_back(0.5 * std::pow(1.012, i));
+    for (double v : values)
+        h.record(v);
+    std::sort(values.begin(), values.end());
+
+    const double width = std::pow(
+        2.0, 1.0 / static_cast<double>(obs::Histogram::kBucketsPerOctave));
+    for (double q : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999}) {
+        const size_t rank = static_cast<size_t>(
+            std::ceil(q * static_cast<double>(values.size())));
+        const double exact = values[std::max<size_t>(rank, 1) - 1];
+        const double est = h.quantile(q);
+        EXPECT_LE(est / exact, width * 1.001) << "q=" << q;
+        EXPECT_GE(est / exact, 1.0 / (width * 1.001)) << "q=" << q;
+    }
+}
+
+TEST(Histogram, QuantileClampsToObservedRange)
+{
+    obs::Histogram h;
+    h.record(5.0);
+    for (double q : {0.0, 0.5, 1.0})
+        EXPECT_NEAR(h.quantile(q), 5.0, 1e-2) << q;
+}
+
+TEST(Histogram, ConcurrentRecordCountsEveryObservation)
+{
+    obs::Histogram h;
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 50000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&h, t] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                h.record(1.0 + static_cast<double>((t + i) % 97));
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(Registry, CreateOnFirstUseReturnsSharedInstance)
+{
+    obs::MetricsRegistry reg;
+    auto c1 = reg.counter("test.counter");
+    auto c2 = reg.counter("test.counter");
+    EXPECT_EQ(c1.get(), c2.get());
+    c1->inc(3);
+    EXPECT_EQ(c2->value(), 3u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, TypeMismatchIsFatal)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("test.metric");
+    EXPECT_THROW(reg.gauge("test.metric"), std::runtime_error);
+    EXPECT_THROW(reg.histogram("test.metric"), std::runtime_error);
+}
+
+TEST(Registry, AdoptedMetricsCannotDrift)
+{
+    // The adopted object and the registry snapshot read the same
+    // atomics — incrementing through either handle is visible in both.
+    obs::MetricsRegistry reg;
+    auto owned = std::make_shared<obs::Counter>();
+    owned->inc(5);
+    reg.adopt("test.adopted", owned);
+    EXPECT_EQ(reg.counter("test.adopted").get(), owned.get());
+    reg.counter("test.adopted")->inc(2);
+    EXPECT_EQ(owned->value(), 7u);
+}
+
+TEST(Registry, JsonSnapshotRoundTrips)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("test.count")->inc(12);
+    reg.gauge("test.depth")->set(-4);
+    reg.histogram("test.lat_us")->record(100.0);
+    reg.probe("test.probe", [] { return 42.5; });
+
+    const common::Json snap =
+        common::Json::parse(reg.toJson().dump(0));
+    EXPECT_EQ(snap.at("test.count").asInt(), 12);
+    EXPECT_EQ(snap.at("test.depth").asInt(), -4);
+    EXPECT_DOUBLE_EQ(snap.at("test.probe").asDouble(), 42.5);
+    const common::Json &hist = snap.at("test.lat_us");
+    EXPECT_EQ(hist.at("count").asInt(), 1);
+    EXPECT_EQ(hist.at("unit").asString(), "us");
+    EXPECT_TRUE(hist.at("buckets").isArray());
+
+    const std::string table = reg.toTable();
+    EXPECT_NE(table.find("test.count"), std::string::npos);
+    EXPECT_NE(table.find("test.lat_us"), std::string::npos);
+}
+
+TEST(Registry, RemoveUnregisters)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("test.gone");
+    reg.remove("test.gone");
+    EXPECT_EQ(reg.size(), 0u);
+    reg.remove("test.never_there"); // No-op, must not throw.
+}
+
+TEST(Trace, SpansNestAndRecordDepth)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    {
+        obs::TraceSpan outer("obs.test.outer", "test", tracer);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        {
+            obs::TraceSpan inner("obs.test.inner", "test", tracer);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+
+    const auto &inner =
+        events[0].name == "obs.test.inner" ? events[0] : events[1];
+    const auto &outer =
+        events[0].name == "obs.test.outer" ? events[0] : events[1];
+    ASSERT_EQ(inner.name, "obs.test.inner");
+    ASSERT_EQ(outer.name, "obs.test.outer");
+    EXPECT_EQ(outer.depth, 0);
+    EXPECT_EQ(inner.depth, 1);
+    EXPECT_EQ(inner.threadId, outer.threadId);
+    // The child interval must lie inside the parent interval.
+    EXPECT_GE(inner.startUs, outer.startUs);
+    EXPECT_LE(inner.startUs + inner.durationUs,
+              outer.startUs + outer.durationUs);
+    EXPECT_GT(inner.durationUs, 0.0);
+}
+
+TEST(Trace, ChromeJsonIsWellFormed)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    {
+        obs::TraceSpan span("obs.test.span", "test", tracer);
+    }
+    tracer.add("obs.test.manual", "test", 1.0, 2.0, 1);
+
+    const common::Json doc =
+        common::Json::parse(tracer.toChromeJson().dump(2));
+    const auto &events = doc.at("traceEvents").asArray();
+    ASSERT_EQ(events.size(), 2u);
+    for (const common::Json &event : events) {
+        EXPECT_EQ(event.at("ph").asString(), "X");
+        EXPECT_TRUE(event.at("name").isString());
+        EXPECT_TRUE(event.at("cat").isString());
+        EXPECT_TRUE(event.at("ts").isNumber());
+        EXPECT_TRUE(event.at("dur").isNumber());
+        EXPECT_TRUE(event.at("pid").isNumber());
+        EXPECT_TRUE(event.at("tid").isNumber());
+        EXPECT_TRUE(event.at("args").at("depth").isNumber());
+    }
+}
+
+TEST(Trace, DisabledAddIsANoOp)
+{
+    obs::Tracer tracer;
+    tracer.add("obs.test.ignored", "test", 0.0, 1.0);
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(Trace, ClearDropsEvents)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.add("obs.test.kept", "test", 0.0, 1.0);
+    EXPECT_EQ(tracer.eventCount(), 1u);
+    tracer.clear();
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(Trace, DisabledSpanAllocatesNothing)
+{
+    // The disabled path is the one compiled into every hot path: it
+    // must not touch the heap (and must record nothing).
+    obs::Tracer tracer; // Never enabled.
+    const uint64_t before = gAllocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 100000; ++i) {
+        obs::TraceSpan span("obs.test.disabled", "test", tracer);
+    }
+    const uint64_t after = gAllocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before);
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+} // namespace
+} // namespace neusight

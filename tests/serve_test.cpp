@@ -516,6 +516,47 @@ TEST(Wire, ResultSerializesForecastAndCacheCounters)
     EXPECT_EQ(ejson.at("error").asString(), "boom");
 }
 
+TEST(Wire, StatsOpRoundTripsRegistrySnapshot)
+{
+    // The stats op needs no model/gpu fields and survives the encode →
+    // decode round trip.
+    const ForecastRequest req = requestFromJson(
+        common::Json::parse("{\"op\":\"stats\",\"tag\":\"s1\"}"));
+    EXPECT_EQ(req.kind, RequestKind::Stats);
+    EXPECT_EQ(req.tag, "s1");
+    const ForecastRequest again = requestFromJson(requestToJson(req));
+    EXPECT_EQ(again.kind, RequestKind::Stats);
+    EXPECT_EQ(again.tag, "s1");
+    // Snapshots are point-in-time: distinct tags must never coalesce.
+    ForecastRequest other = req;
+    other.tag = "s2";
+    EXPECT_NE(req.fingerprint(), other.fingerprint());
+
+    // End-to-end: a served stats request answers with the engine's
+    // metrics-registry snapshot instead of a forecast.
+    const SlowCountingPredictor predictor(1);
+    ServerOptions options;
+    options.workers = 1;
+    ForecastServer server(predictor, options);
+    ASSERT_TRUE(server.submit(smallInferenceRequest(2, "warm")).get().ok);
+    ForecastRequest stats_req;
+    stats_req.kind = RequestKind::Stats;
+    stats_req.tag = "s3";
+    const ForecastResult result =
+        server.submit(std::move(stats_req)).get();
+    server.stop();
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_FALSE(result.payload.empty());
+
+    const common::Json json = resultToJson(result);
+    EXPECT_EQ(json.at("tag").asString(), "s3");
+    EXPECT_FALSE(json.has("latency_ms"));
+    const common::Json &snap = json.at("stats");
+    EXPECT_GE(snap.at("serve.submitted").asInt(), 2);
+    EXPECT_GE(snap.at("engine.requests").asInt(), 2);
+    EXPECT_TRUE(snap.at("serve.e2e_us").at("count").isNumber());
+}
+
 TEST(GraphCache, LruEvictionAndPromotion)
 {
     ModelGraphCache cache(2);

@@ -24,11 +24,35 @@
 #include "common/table.hpp"
 #include "dist/parallel.hpp"
 #include "graph/model_io.hpp"
+#include "obs/trace.hpp"
 #include "tool_common.hpp"
 
 namespace {
 
 using namespace neusight;
+
+/** Exit-time observability dumps (--metrics-json / --trace-out). */
+void
+dumpObservability(const api::ForecastEngine &engine,
+                  const std::string &metrics_path,
+                  const std::string &trace_path)
+{
+    if (!metrics_path.empty()) {
+        engine.metrics()->writeJson(metrics_path);
+        std::fprintf(stderr,
+                     "neusight-distributed: wrote metrics snapshot to "
+                     "%s\n",
+                     metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        const size_t events =
+            obs::Tracer::global().writeChromeTrace(trace_path);
+        std::fprintf(stderr,
+                     "neusight-distributed: wrote %zu trace events to "
+                     "%s\n",
+                     events, trace_path.c_str());
+    }
+}
 
 common::Json
 sweepEntryJson(int rank, const dist::SweepEntry &entry)
@@ -198,8 +222,17 @@ run(int argc, const char *const *argv)
     args.addString("precision", "f64",
                    "NeuSight MLP inference lane: f64 (bit-exact "
                    "reference) or f32 (SIMD single-precision)");
+    args.addString("metrics-json", "",
+                   "write the metrics-registry snapshot (sweep.* "
+                   "counters, cache counters) to this path on exit");
+    args.addString("trace-out", "",
+                   "enable span tracing and write Chrome trace-event "
+                   "JSON to this path on exit");
     if (!args.parse(argc, argv))
         return 0;
+
+    if (!args.getString("trace-out").empty())
+        obs::Tracer::global().setEnabled(true);
 
     const graph::ModelConfig model =
         graph::resolveModel(args.getString("model"));
@@ -260,9 +293,12 @@ run(int argc, const char *const *argv)
                          args.getDouble("reference-link-gbps")));
     const graph::LatencyPredictor &neusight = engine.backend();
     const dist::CollectiveModel &comms = engine.collectives();
+    const std::string metrics_path = args.getString("metrics-json");
+    const std::string trace_path = args.getString("trace-out");
 
     if (args.getFlag("sweep")) {
         dist::SweepOptions options;
+        options.metrics = engine.metrics();
         options.tryRecompute = true;
         options.virtualStagesPerGpu =
             static_cast<int>(args.getInt("virtual-stages"));
@@ -273,9 +309,12 @@ run(int argc, const char *const *argv)
         if (args.getInt("top") > 0)
             options.keepTop = std::max(
                 options.keepTop, static_cast<int>(args.getInt("top")));
-        return runSweep(neusight, comms, server, model, global_batch,
-                        options, static_cast<int>(args.getInt("top")),
-                        args.getString("sweep-json"));
+        const int rc =
+            runSweep(neusight, comms, server, model, global_batch,
+                     options, static_cast<int>(args.getInt("top")),
+                     args.getString("sweep-json"));
+        dumpObservability(engine, metrics_path, trace_path);
+        return rc;
     }
 
     // A composed TP x PP x DP forecast: any of --tp/--pp/--dp selects
@@ -318,6 +357,7 @@ run(int argc, const char *const *argv)
             table.addRow({"mem GB/GPU",
                           TextTable::num(result.memoryBytes / 1e9, 1)});
             table.print();
+            dumpObservability(engine, metrics_path, trace_path);
             return 1;
         }
         table.addRow({"predicted (ms)",
@@ -333,6 +373,7 @@ run(int argc, const char *const *argv)
         table.addRow({"comm GB",
                       TextTable::num(result.commBytes / 1e9, 2)});
         table.print();
+        dumpObservability(engine, metrics_path, trace_path);
         return 0;
     }
 
@@ -379,6 +420,7 @@ run(int argc, const char *const *argv)
                       result.oom ? "out of memory" : note});
     }
     table.print();
+    dumpObservability(engine, metrics_path, trace_path);
     return 0;
 }
 

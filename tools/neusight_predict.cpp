@@ -20,6 +20,7 @@
 #include "common/argparse.hpp"
 #include "common/table.hpp"
 #include "graph/fusion.hpp"
+#include "obs/trace.hpp"
 #include "tool_common.hpp"
 
 namespace {
@@ -45,8 +46,17 @@ run(int argc, const char *const *argv)
     args.addString("precision", "f64",
                    "NeuSight MLP inference lane: f64 (bit-exact "
                    "reference) or f32 (SIMD single-precision)");
+    args.addString("metrics-json", "",
+                   "write the metrics-registry snapshot to this path "
+                   "on exit");
+    args.addString("trace-out", "",
+                   "enable span tracing and write Chrome trace-event "
+                   "JSON to this path on exit");
     if (!args.parse(argc, argv))
         return 0;
+
+    if (!args.getString("trace-out").empty())
+        obs::Tracer::global().setEnabled(true);
 
     const bool training = args.getString("phase") == "training";
     if (!training && args.getString("phase") != "inference")
@@ -99,6 +109,19 @@ run(int argc, const char *const *argv)
                           TextTable::num(ms, 2),
                           TextTable::pct(100.0 * ms / total_ms)});
         table.print();
+    }
+    if (!args.getString("metrics-json").empty()) {
+        engine.metrics()->writeJson(args.getString("metrics-json"));
+        std::fprintf(stderr,
+                     "neusight-predict: wrote metrics snapshot to %s\n",
+                     args.getString("metrics-json").c_str());
+    }
+    if (!args.getString("trace-out").empty()) {
+        const size_t events = obs::Tracer::global().writeChromeTrace(
+            args.getString("trace-out"));
+        std::fprintf(stderr,
+                     "neusight-predict: wrote %zu trace events to %s\n",
+                     events, args.getString("trace-out").c_str());
     }
     return 0;
 }

@@ -12,19 +12,24 @@
  *   neusight-serve --script requests.jsonl --workers 8 --repeat 16
  */
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "api/engine.hpp"
 #include "common/argparse.hpp"
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 #include "serve/prediction_cache.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
@@ -83,8 +88,21 @@ run(int argc, const char *const *argv)
                  "pipeline stdin with execution: submit every line as "
                  "it arrives and print results in submission order, so "
                  "one piped client saturates the worker pool");
+    args.addString("metrics-json", "",
+                   "write the metrics-registry snapshot (counters, "
+                   "per-kind latency histograms) to this path on exit");
+    args.addString("trace-out", "",
+                   "enable span tracing and write a Chrome trace-event "
+                   "JSON (chrome://tracing / Perfetto) to this path on "
+                   "exit");
+    args.addInt("stats-interval", 0,
+                "print the metrics table to stderr every N seconds "
+                "(0 disables)");
     if (!args.parse(argc, argv))
         return 0;
+
+    if (!args.getString("trace-out").empty())
+        obs::Tracer::global().setEnabled(true);
 
     const int64_t workers = args.getInt("workers");
     const int64_t queue = args.getInt("queue");
@@ -130,6 +148,30 @@ run(int argc, const char *const *argv)
     options.queueCapacity = static_cast<size_t>(queue);
     options.cache = cache;
     serve::ForecastServer server(engine, options);
+
+    // Periodic stderr metrics reporting: a detached-loop thread woken
+    // early on shutdown so exit never waits out the interval.
+    const int64_t stats_interval = args.getInt("stats-interval");
+    if (stats_interval < 0)
+        fatal("--stats-interval must be non-negative");
+    std::mutex reporter_mutex;
+    std::condition_variable reporter_cv;
+    bool reporter_stop = false;
+    std::thread reporter;
+    if (stats_interval > 0) {
+        reporter = std::thread([&] {
+            std::unique_lock<std::mutex> lock(reporter_mutex);
+            for (;;) {
+                if (reporter_cv.wait_for(
+                        lock, std::chrono::seconds(stats_interval),
+                        [&] { return reporter_stop; }))
+                    return;
+                const std::string table = engine->metrics()->toTable();
+                std::fprintf(stderr, "neusight-serve: metrics\n%s",
+                             table.c_str());
+            }
+        });
+    }
 
     const auto start = std::chrono::steady_clock::now();
     uint64_t answered = 0;
@@ -240,6 +282,14 @@ run(int argc, const char *const *argv)
         }
     }
     server.stop();
+    if (reporter.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(reporter_mutex);
+            reporter_stop = true;
+        }
+        reporter_cv.notify_all();
+        reporter.join();
+    }
 
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
@@ -280,6 +330,19 @@ run(int argc, const char *const *argv)
         std::fprintf(stderr,
                      "neusight-serve: saved %zu cache entries to %s\n",
                      saved, args.getString("cache-save").c_str());
+    }
+    if (!args.getString("metrics-json").empty()) {
+        engine->metrics()->writeJson(args.getString("metrics-json"));
+        std::fprintf(stderr,
+                     "neusight-serve: wrote metrics snapshot to %s\n",
+                     args.getString("metrics-json").c_str());
+    }
+    if (!args.getString("trace-out").empty()) {
+        const size_t events = obs::Tracer::global().writeChromeTrace(
+            args.getString("trace-out"));
+        std::fprintf(stderr,
+                     "neusight-serve: wrote %zu trace events to %s\n",
+                     events, args.getString("trace-out").c_str());
     }
     return failed == 0 ? 0 : 2;
 }
