@@ -56,6 +56,10 @@ ForecastEngine::ForecastEngine(EngineConfig config_)
         metricsReg = std::make_shared<obs::MetricsRegistry>();
     requestsTotal = metricsReg->counter("engine.requests");
     failuresTotal = metricsReg->counter("engine.failures");
+    // Engines per registry: 1 here, and N in a merged cross-shard
+    // snapshot (obs::mergeMetricsSnapshots sums gauges), so a cluster
+    // stats reply reports how many engine processes produced it.
+    metricsReg->gauge("engine.instances")->add(1);
     // Sweeps executed through this engine report into its registry
     // unless the caller already pointed them elsewhere.
     if (!config.sweep.metrics)

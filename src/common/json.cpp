@@ -490,6 +490,20 @@ Json::set(const std::string &key, Json value)
     object.emplace_back(key, std::move(value));
 }
 
+bool
+Json::erase(const std::string &key)
+{
+    if (type_ != Type::Object)
+        fatal("json: erase() on a non-object value");
+    for (auto it = object.begin(); it != object.end(); ++it) {
+        if (it->first == key) {
+            object.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 Json::push(Json value)
 {

@@ -104,6 +104,9 @@ class Json
     /** Append/overwrite an object member (creates the object if null). */
     void set(const std::string &key, Json value);
 
+    /** Remove an object member if present; returns whether it was. */
+    bool erase(const std::string &key);
+
     /** Append an array element (creates the array if null). */
     void push(Json value);
 

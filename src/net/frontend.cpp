@@ -1,0 +1,164 @@
+#include "net/frontend.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "net/io.hpp"
+#include "net/shard_router.hpp"
+#include "net/socket_server.hpp"
+
+namespace neusight::net {
+
+namespace {
+
+void
+reportReady(const FrontendOptions &options, uint16_t port)
+{
+    if (options.portReportFd >= 0) {
+        const std::string line = std::to_string(port) + "\n";
+        if (!writeFully(options.portReportFd, line.data(), line.size()))
+            warn("net: could not report the bound port");
+        closeFd(options.portReportFd);
+    }
+    if (!options.readyLabel.empty())
+        std::fprintf(stderr, "%s: listening on %s:%u (%zu shard%s)\n",
+                     options.readyLabel.c_str(),
+                     options.bindAddress.c_str(),
+                     static_cast<unsigned>(port), options.shards,
+                     options.shards == 1 ? "" : "s");
+}
+
+/** The whole life of one forked shard worker; never returns. */
+[[noreturn]] void
+runShardWorker(const FrontendOptions &options,
+               const EngineFactory &factory, int pipe_fd)
+{
+    // Terminal signals target the process group; workers must survive
+    // them and exit on pipe EOF instead, or a ^C would kill the shards
+    // out from under the router's drain.
+    ::signal(SIGTERM, SIG_IGN);
+    ::signal(SIGINT, SIG_IGN);
+    int code = 0;
+    try {
+        std::unique_ptr<serve::ForecastServer> server = factory();
+        SocketServerOptions sopt;
+        sopt.adoptedFd = pipe_fd;
+        sopt.maxLineBytes = options.maxLineBytes;
+        // The router is the only peer: it already did per-client
+        // admission and bounds the outstanding backlog per shard; the
+        // engine's own queueCapacity (set by the factory) is the final
+        // backpressure bound behind it.
+        sopt.maxInFlightPerClient = 0;
+        sopt.drainTimeoutMs = options.drainTimeoutMs;
+        {
+            SocketServer sock(*server, sopt);
+            sock.run();
+        }
+        server->stop();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "shard worker: %s\n", e.what());
+        code = 1;
+    }
+    // _Exit: the parent's atexit/stdio state is not this process's to
+    // flush (stderr above is unbuffered).
+    std::_Exit(code);
+}
+
+int
+runSharded(const FrontendOptions &options, const EngineFactory &factory)
+{
+    std::vector<ShardHandle> shards;
+    shards.reserve(options.shards);
+    for (size_t s = 0; s < options.shards; ++s) {
+        int fds[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0)
+            fatal(std::string("net: socketpair failed: ") +
+                  strerror(errno));
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            fatal(std::string("net: fork failed: ") + strerror(errno));
+        if (pid == 0) {
+            closeFd(fds[0]);
+            // Drop the router ends of the earlier shards' pipes: a
+            // worker holding them open would keep a sibling's EOF from
+            // ever arriving.
+            for (const ShardHandle &earlier : shards)
+                closeFd(earlier.fd);
+            runShardWorker(options, factory, fds[1]);
+        }
+        closeFd(fds[1]);
+        ShardHandle handle;
+        handle.fd = fds[0];
+        handle.pid = pid;
+        shards.push_back(handle);
+    }
+
+    ShardRouterOptions ropt;
+    ropt.bindAddress = options.bindAddress;
+    ropt.port = options.port;
+    ropt.maxLineBytes = options.maxLineBytes;
+    ropt.maxInFlightPerClient = options.maxInFlightPerClient;
+    ropt.maxOutstandingPerShard = options.maxOutstandingPerShard;
+    ropt.drainTimeoutMs = options.drainTimeoutMs;
+    std::vector<pid_t> pids;
+    for (const ShardHandle &handle : shards)
+        pids.push_back(handle.pid);
+    ShardRouter router(std::move(shards), ropt);
+    reportReady(options, router.port());
+    installStopSignals(router.stopFlag(), router.wakeWriteFd());
+    router.run();
+    installStopSignals(nullptr, -1);
+
+    int code = 0;
+    for (const pid_t pid : pids) {
+        int status = 0;
+        pid_t rc;
+        do {
+            rc = ::waitpid(pid, &status, 0);
+        } while (rc < 0 && errno == EINTR);
+        if (rc != pid || !WIFEXITED(status) ||
+            WEXITSTATUS(status) != 0) {
+            warn("net: shard worker pid " + std::to_string(pid) +
+                 " exited abnormally");
+            code = 1;
+        }
+    }
+    return code;
+}
+
+} // namespace
+
+int
+runFrontend(const FrontendOptions &options, const EngineFactory &factory)
+{
+    ensure(options.shards > 0, "runFrontend: need at least one shard");
+    ignoreSigpipe();
+    if (options.shards > 1)
+        return runSharded(options, factory);
+
+    std::unique_ptr<serve::ForecastServer> server = factory();
+    SocketServerOptions sopt;
+    sopt.bindAddress = options.bindAddress;
+    sopt.port = options.port;
+    sopt.maxLineBytes = options.maxLineBytes;
+    sopt.maxInFlightPerClient = options.maxInFlightPerClient;
+    sopt.drainTimeoutMs = options.drainTimeoutMs;
+    SocketServer sock(*server, sopt);
+    reportReady(options, sock.port());
+    installStopSignals(sock.stopFlag(), sock.wakeWriteFd());
+    sock.run();
+    installStopSignals(nullptr, -1);
+    server->stop();
+    return 0;
+}
+
+} // namespace neusight::net

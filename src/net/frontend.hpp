@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Entry point of the network serving mode, shared by the neusight-serve
+ * tool and the load-generator bench. runFrontend() either serves
+ * directly (shards == 1: one SocketServer over one in-process
+ * ForecastServer) or forks N shard workers connected by AF_UNIX streams
+ * and runs the consistent-hash ShardRouter in the parent. The engine
+ * factory runs *after* fork in each worker, so every shard builds its
+ * own ForecastEngine — caches are per-process and, thanks to the hash
+ * ring, hot on disjoint request populations.
+ *
+ * Workers ignore SIGTERM/SIGINT (terminal signals hit the whole process
+ * group); their shutdown signal is EOF on the router pipe, which the
+ * router sends by closing it after the drain. The parent installs the
+ * usual stop-signal plumbing, so `kill -TERM` of the parent drains the
+ * whole tree: router drains outstanding replies, closes pipes, workers
+ * drain and exit, parent reaps them.
+ */
+
+#ifndef NEUSIGHT_NET_FRONTEND_HPP
+#define NEUSIGHT_NET_FRONTEND_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace neusight::net {
+
+/** Transport configuration of runFrontend (engine/server knobs live in
+ *  the factory the caller supplies). */
+struct FrontendOptions
+{
+    std::string bindAddress = "127.0.0.1";
+    /** Listen port; 0 binds an ephemeral port. */
+    uint16_t port = 0;
+    /** Worker processes; 1 serves in-process without forking. */
+    size_t shards = 1;
+    size_t maxLineBytes = serve::LineFramer::kDefaultMaxLineBytes;
+    /** In-flight requests per client before admission rejects. */
+    size_t maxInFlightPerClient = 256;
+    /** Forwarded-but-unanswered bound per shard (sharded mode). */
+    size_t maxOutstandingPerShard = 4096;
+    /** Bound on the graceful drain after SIGTERM/SIGINT. */
+    int drainTimeoutMs = 30000;
+    /**
+     * When >= 0: the bound port is written here as "<port>\n" once the
+     * socket listens (the bench's race-free way to learn an ephemeral
+     * port from a forked server).
+     */
+    int portReportFd = -1;
+    /** Stderr ready-line prefix; empty suppresses the line. */
+    std::string readyLabel = "neusight-serve";
+};
+
+/** Builds one shard's ForecastServer; runs after fork in that shard. */
+using EngineFactory =
+    std::function<std::unique_ptr<serve::ForecastServer>()>;
+
+/**
+ * Serve until a stop signal drains. Returns the process exit code
+ * (0 = clean drain). Sharded mode returns non-zero if any worker
+ * exited abnormally.
+ */
+int runFrontend(const FrontendOptions &options, const EngineFactory &factory);
+
+} // namespace neusight::net
+
+#endif // NEUSIGHT_NET_FRONTEND_HPP

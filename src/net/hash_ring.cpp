@@ -1,0 +1,70 @@
+#include "net/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace neusight::net {
+
+uint64_t
+fnv1a64(const std::string &key)
+{
+    uint64_t hash = 14695981039346656037ull;
+    for (const char c : key) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+HashRing::HashRing(size_t num_shards, size_t vnodes)
+    : alive(num_shards, true), live(num_shards)
+{
+    ensure(num_shards > 0, "HashRing: need at least one shard");
+    ensure(vnodes > 0, "HashRing: need at least one vnode");
+    points.reserve(num_shards * vnodes);
+    for (size_t s = 0; s < num_shards; ++s) {
+        for (size_t v = 0; v < vnodes; ++v) {
+            const std::string label =
+                "shard-" + std::to_string(s) + "#" + std::to_string(v);
+            points.push_back(
+                Point{fnv1a64(label), static_cast<uint32_t>(s)});
+        }
+    }
+    std::sort(points.begin(), points.end());
+}
+
+size_t
+HashRing::shardFor(const std::string &key) const
+{
+    ensure(!points.empty(), "HashRing: every shard was removed");
+    const uint64_t h = fnv1a64(key);
+    auto it = std::lower_bound(
+        points.begin(), points.end(), Point{h, 0},
+        [](const Point &a, const Point &b) { return a.hash < b.hash; });
+    if (it == points.end())
+        it = points.begin(); // Wrap: the ring is circular.
+    return it->shard;
+}
+
+void
+HashRing::removeShard(size_t shard)
+{
+    if (shard >= alive.size() || !alive[shard])
+        return;
+    alive[shard] = false;
+    --live;
+    points.erase(std::remove_if(points.begin(), points.end(),
+                                [shard](const Point &p) {
+                                    return p.shard == shard;
+                                }),
+                 points.end());
+}
+
+bool
+HashRing::contains(size_t shard) const
+{
+    return shard < alive.size() && alive[shard];
+}
+
+} // namespace neusight::net

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Consistent-hash ring placing request fingerprints on shard processes.
+ * Each shard owns many virtual points on a 64-bit ring; a fingerprint
+ * maps to the first point clockwise from its hash. The hash is FNV-1a
+ * (deterministic across runs, builds, and machines — std::hash is not),
+ * so the same fingerprint lands on the same shard across server
+ * restarts and each shard's kernel/graph caches stay hot and disjoint.
+ * Removing a shard (a worker died) only remaps the keys it owned.
+ */
+
+#ifndef NEUSIGHT_NET_HASH_RING_HPP
+#define NEUSIGHT_NET_HASH_RING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neusight::net {
+
+/** 64-bit FNV-1a; the ring's stable hash. */
+uint64_t fnv1a64(const std::string &key);
+
+class HashRing
+{
+  public:
+    /** @p num_shards shards 0..N-1, @p vnodes ring points per shard. */
+    explicit HashRing(size_t num_shards, size_t vnodes = kDefaultVnodes);
+
+    /** Shard owning @p key. fatal() when the ring is empty. */
+    size_t shardFor(const std::string &key) const;
+
+    /**
+     * Drop @p shard's points (worker death): keys it owned redistribute
+     * over the survivors; everyone else's mapping is untouched.
+     */
+    void removeShard(size_t shard);
+
+    /** Shards still on the ring. */
+    size_t liveShards() const { return live; }
+
+    /** True when @p shard is still on the ring. */
+    bool contains(size_t shard) const;
+
+    static constexpr size_t kDefaultVnodes = 64;
+
+  private:
+    struct Point
+    {
+        uint64_t hash;
+        uint32_t shard;
+        bool operator<(const Point &o) const
+        {
+            // Tie-break on shard id so the ring order is total and
+            // identical across instances.
+            return hash != o.hash ? hash < o.hash : shard < o.shard;
+        }
+    };
+
+    std::vector<Point> points;
+    std::vector<bool> alive;
+    size_t live = 0;
+};
+
+} // namespace neusight::net
+
+#endif // NEUSIGHT_NET_HASH_RING_HPP

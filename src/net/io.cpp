@@ -1,0 +1,275 @@
+#include "net/io.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+
+namespace neusight::net {
+
+namespace {
+
+/** Stop-signal routing state; only ever read from the handler, which
+ *  restricts us to lock-free atomics and one write(). */
+std::atomic<std::atomic<bool> *> g_stop_flag{nullptr};
+std::atomic<int> g_stop_wake_fd{-1};
+
+extern "C" void
+stopSignalHandler(int)
+{
+    std::atomic<bool> *flag = g_stop_flag.load(std::memory_order_acquire);
+    if (flag != nullptr)
+        flag->store(true, std::memory_order_release);
+    const int fd = g_stop_wake_fd.load(std::memory_order_acquire);
+    if (fd >= 0) {
+        const char byte = 's';
+        // A full pipe (EAGAIN) means a wake-up is already pending.
+        [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
+    }
+}
+
+} // namespace
+
+void
+ignoreSigpipe()
+{
+    struct sigaction sa;
+    memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool
+setTcpNoDelay(int fd)
+{
+    const int one = 1;
+    return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                        sizeof(one)) == 0;
+}
+
+bool
+setCloseOnExec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+ssize_t
+readRetry(int fd, void *buf, size_t count)
+{
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, count);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+ssize_t
+sendRetry(int fd, const void *buf, size_t count)
+{
+    for (;;) {
+        ssize_t n = ::send(fd, buf, count, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, buf, count);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+bool
+writeFully(int fd, const void *buf, size_t count)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (count > 0) {
+        const ssize_t n = sendRetry(fd, p, count);
+        if (n < 0)
+            return false;
+        p += n;
+        count -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+int
+acceptRetry(int listen_fd)
+{
+    for (;;) {
+        const int fd =
+            ::accept4(listen_fd, nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd >= 0 || errno != EINTR)
+            return fd;
+    }
+}
+
+int
+epollWaitRetry(int epoll_fd, struct epoll_event *events, int max_events,
+               int timeout_ms)
+{
+    for (;;) {
+        const int n = ::epoll_wait(epoll_fd, events, max_events, timeout_ms);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+void
+closeFd(int fd)
+{
+    if (fd < 0)
+        return;
+    // POSIX: after EINTR the fd state is unspecified but the number is
+    // released on Linux; retrying risks closing a recycled fd, so don't.
+    ::close(fd);
+}
+
+WakePipe::WakePipe()
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        fatal(std::string("net: pipe() failed: ") + strerror(errno));
+    readFd = fds[0];
+    writeFd = fds[1];
+    for (int fd : fds) {
+        if (!setNonBlocking(fd) || !setCloseOnExec(fd))
+            fatal("net: cannot configure wake pipe");
+    }
+}
+
+WakePipe::~WakePipe()
+{
+    closeFd(readFd);
+    closeFd(writeFd);
+}
+
+void
+WakePipe::notify() const
+{
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t rc = ::write(writeFd, &byte, 1);
+}
+
+void
+WakePipe::drain() const
+{
+    char buf[256];
+    while (readRetry(readFd, buf, sizeof(buf)) > 0) {
+    }
+}
+
+void
+installStopSignals(std::atomic<bool> *flag, int wake_write_fd)
+{
+    static_assert(std::atomic<std::atomic<bool> *>::is_always_lock_free,
+                  "stop-signal routing must be async-signal-safe");
+    g_stop_flag.store(flag, std::memory_order_release);
+    g_stop_wake_fd.store(wake_write_fd, std::memory_order_release);
+    struct sigaction sa;
+    memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = flag != nullptr ? stopSignalHandler : SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: the epoll loop *wants* EINTR visibility (it
+    // retries explicitly); everything else in the tree retries too.
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+int
+listenTcp(const std::string &bind_address, uint16_t port,
+          uint16_t *bound_port, int backlog)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                         SOCK_CLOEXEC,
+                            0);
+    if (fd < 0)
+        fatal(std::string("net: socket() failed: ") + strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+        closeFd(fd);
+        fatal("net: bad bind address '" + bind_address + "'");
+    }
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const std::string why = strerror(errno);
+        closeFd(fd);
+        fatal("net: cannot bind " + bind_address + ":" +
+              std::to_string(port) + ": " + why);
+    }
+    if (::listen(fd, backlog) != 0) {
+        const std::string why = strerror(errno);
+        closeFd(fd);
+        fatal("net: listen() failed: " + why);
+    }
+    if (bound_port != nullptr) {
+        struct sockaddr_in actual;
+        socklen_t len = sizeof(actual);
+        if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&actual),
+                          &len) != 0) {
+            const std::string why = strerror(errno);
+            closeFd(fd);
+            fatal("net: getsockname() failed: " + why);
+        }
+        *bound_port = ntohs(actual.sin_port);
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &address, uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    setTcpNoDelay(fd); // Pipelined small lines die under Nagle.
+    struct sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+        closeFd(fd);
+        errno = EINVAL;
+        return -1;
+    }
+    for (;;) {
+        if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)) == 0 ||
+            errno == EISCONN)
+            return fd;
+        // EINTR leaves the handshake running in the background: retry
+        // until it reports EISCONN (done) or a real error; EALREADY is
+        // the in-progress answer of that retry.
+        if (errno != EINTR && errno != EALREADY) {
+            const int saved = errno;
+            closeFd(fd);
+            errno = saved;
+            return -1;
+        }
+    }
+}
+
+} // namespace neusight::net

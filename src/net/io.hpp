@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Robust POSIX I/O primitives for the socket front-end: every wrapper
+ * retries EINTR (a delivered signal must never look like an I/O error),
+ * sends suppress SIGPIPE (a client hanging up mid-response is that
+ * client's problem, not a process-fatal signal), and the stop-signal
+ * plumbing is async-signal-safe (the handler only sets a lock-free flag
+ * and writes one byte to a wake pipe).
+ *
+ * Pipes have been hiding these bugs: stdin never returns EINTR under
+ * our signal dispositions and writing to a closed stdout merely fails,
+ * but real sockets deliver both constantly, so the whole net/ layer
+ * funnels its syscalls through here.
+ */
+
+#ifndef NEUSIGHT_NET_IO_HPP
+#define NEUSIGHT_NET_IO_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <sys/epoll.h>
+#include <sys/types.h>
+
+namespace neusight::net {
+
+/**
+ * Ignore SIGPIPE process-wide (idempotent). Every tool main that may
+ * write to a pipe or socket calls this first: without it, a client (or
+ * `| head`) hanging up mid-write kills the whole process with the
+ * default SIGPIPE disposition. Sends below additionally pass
+ * MSG_NOSIGNAL, so the net/ layer is safe even if a main forgets.
+ */
+void ignoreSigpipe();
+
+/** Set O_NONBLOCK on @p fd; returns false on fcntl failure. */
+bool setNonBlocking(int fd);
+
+/** Set FD_CLOEXEC on @p fd; returns false on fcntl failure. */
+bool setCloseOnExec(int fd);
+
+/**
+ * Disable Nagle on a TCP socket (no-op failure on non-TCP fds). The
+ * wire protocol is small pipelined lines in both directions; leaving
+ * Nagle on serializes them behind delayed ACKs and collapses loopback
+ * throughput by two orders of magnitude.
+ */
+bool setTcpNoDelay(int fd);
+
+/**
+ * read(), retried on EINTR. Returns the byte count, 0 at EOF, or -1
+ * with errno (EAGAIN/EWOULDBLOCK = drained a non-blocking fd).
+ */
+ssize_t readRetry(int fd, void *buf, size_t count);
+
+/**
+ * send() with MSG_NOSIGNAL, retried on EINTR. Returns the byte count
+ * written (possibly short) or -1 with errno. Falls back to write()
+ * for fds send() rejects (pipes in the tests).
+ */
+ssize_t sendRetry(int fd, const void *buf, size_t count);
+
+/**
+ * Write all @p count bytes to a *blocking* fd, retrying EINTR and
+ * short writes (the wire output path must never assume one write()
+ * moves a whole line). Returns false on a real error (errno kept).
+ */
+bool writeFully(int fd, const void *buf, size_t count);
+
+/** accept4(SOCK_NONBLOCK|SOCK_CLOEXEC), retried on EINTR. */
+int acceptRetry(int listen_fd);
+
+/** epoll_wait(), retried on EINTR. */
+int epollWaitRetry(int epoll_fd, struct epoll_event *events, int max_events,
+                   int timeout_ms);
+
+/** close(), retried on EINTR (per POSIX the fd is gone either way). */
+void closeFd(int fd);
+
+/**
+ * A CLOEXEC pipe whose write end is safe to use from a signal handler
+ * (non-blocking write of one byte). Used as the epoll loop's wake-up
+ * channel for completions and stop signals.
+ */
+struct WakePipe
+{
+    int readFd = -1;
+    int writeFd = -1;
+
+    WakePipe();
+    ~WakePipe();
+    WakePipe(const WakePipe &) = delete;
+    WakePipe &operator=(const WakePipe &) = delete;
+
+    /** Async-signal-safe: one byte into the pipe (full pipe = no-op,
+     *  the loop is already due to wake). */
+    void notify() const;
+
+    /** Drain every pending wake byte (loop side). */
+    void drain() const;
+};
+
+/**
+ * Route SIGTERM/SIGINT to a stop flag + wake pipe: the handler sets
+ * *flag and writes one byte to @p wake_write_fd — nothing else, so it
+ * is async-signal-safe. Re-installable (fork children point the
+ * signals at their own loop). Passing flag = nullptr restores SIG_DFL.
+ */
+void installStopSignals(std::atomic<bool> *flag, int wake_write_fd);
+
+/**
+ * Create a listening TCP socket on @p bind_address:@p port (port 0 =
+ * ephemeral), non-blocking, CLOEXEC, SO_REUSEADDR. Returns the fd and
+ * stores the actually-bound port in @p bound_port. fatal() on failure.
+ */
+int listenTcp(const std::string &bind_address, uint16_t port,
+              uint16_t *bound_port, int backlog = 128);
+
+/**
+ * Blocking TCP connect to @p address:@p port, EINTR-retried (client
+ * side: the load generator, tests). Returns the connected fd or -1
+ * with errno.
+ */
+int connectTcp(const std::string &address, uint16_t port);
+
+} // namespace neusight::net
+
+#endif // NEUSIGHT_NET_IO_HPP

@@ -1,0 +1,697 @@
+#include "net/shard_router.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "obs/merge.hpp"
+#include "serve/request.hpp"
+
+namespace neusight::net {
+
+namespace {
+
+/** Encoded rejection/error line ('\n'-terminated). */
+std::string
+errorLine(const std::string &tag, const std::string &message)
+{
+    serve::ForecastResult result;
+    result.tag = tag;
+    result.ok = false;
+    result.error = message;
+    return serve::resultToJson(result).dump(0) + "\n";
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(std::vector<ShardHandle> shards,
+                         ShardRouterOptions options_)
+    : options(std::move(options_)), ring(shards.empty() ? 1 : shards.size())
+{
+    ensure(!shards.empty(), "ShardRouter: need at least one shard");
+    ignoreSigpipe();
+
+    connectionsTotal = registry.counter("net.connections");
+    activeConnections = registry.gauge("net.active_connections");
+    linesTotal = registry.counter("net.lines");
+    protocolErrors = registry.counter("net.protocol_errors");
+    slowDisconnects = registry.counter("net.slow_client_disconnects");
+    rejectedCount = registry.counter("serve.rejected");
+    forwardedTotal = registry.counter("router.forwarded");
+    shardDeaths = registry.counter("router.shard_deaths");
+    liveShardsGauge = registry.gauge("router.live_shards");
+    liveShardsGauge->set(static_cast<int64_t>(shards.size()));
+
+    epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd < 0)
+        fatal(std::string("net: epoll_create1 failed: ") + strerror(errno));
+    struct epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = wake.readFd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, wake.readFd, &ev) != 0)
+        fatal("net: cannot register wake pipe");
+
+    listenFd = listenTcp(options.bindAddress, options.port, &boundPort);
+    ev.data.fd = listenFd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, listenFd, &ev) != 0)
+        fatal("net: cannot register listen socket");
+
+    shardFds.resize(shards.size(), -1);
+    for (size_t s = 0; s < shards.size(); ++s) {
+        const int fd = shards[s].fd;
+        ensure(fd >= 0, "ShardRouter: bad shard fd");
+        if (!setNonBlocking(fd))
+            fatal("net: cannot make shard pipe non-blocking");
+        auto peer = std::make_unique<Peer>();
+        peer->fd = fd;
+        peer->gen = nextGen++;
+        peer->shard = static_cast<int>(s);
+        peer->framer = serve::LineFramer(options.maxLineBytes);
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0)
+            fatal("net: cannot register shard pipe");
+        peer->registered = EPOLLIN;
+        shardFds[s] = fd;
+        peers[fd] = std::move(peer);
+    }
+}
+
+ShardRouter::~ShardRouter()
+{
+    for (auto &entry : peers)
+        closeFd(entry.second->fd);
+    peers.clear();
+    closeFd(listenFd);
+    closeFd(epollFd);
+}
+
+void
+ShardRouter::requestStop()
+{
+    stopRequested.store(true, std::memory_order_release);
+    wake.notify();
+}
+
+ShardRouter::Peer *
+ShardRouter::findShardPeer(int shard)
+{
+    if (shard < 0 || static_cast<size_t>(shard) >= shardFds.size())
+        return nullptr;
+    const int fd = shardFds[static_cast<size_t>(shard)];
+    if (fd < 0)
+        return nullptr;
+    auto it = peers.find(fd);
+    return it == peers.end() ? nullptr : it->second.get();
+}
+
+void
+ShardRouter::acceptAll()
+{
+    for (;;) {
+        const int fd = acceptRetry(listenFd);
+        if (fd < 0) {
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                warn(std::string("net: accept failed: ") + strerror(errno));
+            return;
+        }
+        addClient(fd);
+    }
+}
+
+void
+ShardRouter::addClient(int fd)
+{
+    if (!setNonBlocking(fd)) {
+        closeFd(fd);
+        return;
+    }
+    setTcpNoDelay(fd);
+    auto peer = std::make_unique<Peer>();
+    peer->fd = fd;
+    peer->gen = nextGen++;
+    peer->framer = serve::LineFramer(options.maxLineBytes);
+    struct epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        closeFd(fd);
+        return;
+    }
+    peer->registered = EPOLLIN;
+    peers[fd] = std::move(peer);
+    connectionsTotal->inc();
+    activeConnections->set(
+        static_cast<int64_t>(peers.size() - shardFds.size()));
+}
+
+void
+ShardRouter::handleReadable(Peer &peer)
+{
+    const int fd = peer.fd;
+    const bool isShard = peer.shard >= 0;
+    char buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = readRetry(fd, buf, sizeof(buf));
+        if (n > 0) {
+            peer.framer.feed(buf, static_cast<size_t>(n));
+            processLines(peer);
+            if (peers.find(fd) == peers.end())
+                return; // processLines closed it.
+            if (peer.closeAfterFlush)
+                return;
+            continue;
+        }
+        if (n == 0) {
+            if (isShard) {
+                shardDied(peer.shard);
+                return;
+            }
+            peer.eof = true;
+            updateInterest(peer);
+            maybeFinishClient(peer);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        if (isShard)
+            shardDied(peer.shard);
+        else
+            closePeer(fd);
+        return;
+    }
+}
+
+void
+ShardRouter::processLines(Peer &peer)
+{
+    const int fd = peer.fd;
+    const bool isShard = peer.shard >= 0;
+    std::string line;
+    for (;;) {
+        const serve::LineFramer::Event event = peer.framer.next(line);
+        if (event == serve::LineFramer::Event::None)
+            return;
+        if (event == serve::LineFramer::Event::Oversized) {
+            protocolErrors->inc();
+            if (isShard) {
+                // A shard emitting an over-long line is a bug, not a
+                // hostile client; drop the line, keep the shard.
+                warn("net: dropped oversized line from shard " +
+                     std::to_string(peer.shard));
+                continue;
+            }
+            appendOutput(peer,
+                         errorLine("", "request line exceeds " +
+                                           std::to_string(
+                                               options.maxLineBytes) +
+                                           " bytes"));
+            peer.closeAfterFlush = true;
+            updateInterest(peer);
+            flushOutput(peer);
+            return;
+        }
+        if (isShard)
+            handleShardLine(peer, line);
+        else
+            handleClientLine(peer, line);
+        if (peers.find(fd) == peers.end())
+            return; // A write error closed the connection.
+        if (peer.closeAfterFlush)
+            return;
+    }
+}
+
+void
+ShardRouter::rejectClient(Peer &client, const std::string &tag,
+                          const std::string &why)
+{
+    rejectedCount->inc();
+    appendOutput(client, errorLine(tag, why));
+    queueFlush(client);
+}
+
+void
+ShardRouter::handleClientLine(Peer &client, const std::string &line)
+{
+    if (serve::isSkippableRequestLine(line))
+        return;
+    linesTotal->inc();
+    if (stopping) {
+        rejectClient(client, "", "server is draining");
+        return;
+    }
+    std::string tag;
+    common::Json json;
+    serve::ForecastRequest request;
+    try {
+        json = common::Json::parse(line);
+        if (json.isObject())
+            tag = json.stringOr("tag", "");
+        request = serve::requestFromJson(json);
+    } catch (const std::exception &e) {
+        protocolErrors->inc();
+        appendOutput(client, errorLine(tag, e.what()));
+        queueFlush(client);
+        return;
+    }
+    if (options.maxInFlightPerClient > 0 &&
+        client.inFlight >= options.maxInFlightPerClient) {
+        rejectClient(client, tag,
+                     "admission limit: " +
+                         std::to_string(options.maxInFlightPerClient) +
+                         " requests already in flight on this connection");
+        return;
+    }
+    if (request.kind == serve::RequestKind::Stats) {
+        handleStatsRequest(client, tag);
+        return;
+    }
+    if (ring.liveShards() == 0) {
+        rejectClient(client, tag, "every shard worker has died");
+        return;
+    }
+    const int shard =
+        static_cast<int>(ring.shardFor(request.fingerprint()));
+    Peer *pipe = findShardPeer(shard);
+    if (pipe == nullptr) {
+        // The ring said live but the pipe is gone: a death we have not
+        // fully processed yet. Treat as overload, not as a crash.
+        rejectClient(client, tag, "shard " + std::to_string(shard) +
+                                      " is unavailable");
+        return;
+    }
+    if (pipe->outstanding >= options.maxOutstandingPerShard) {
+        rejectClient(client, tag,
+                     "server overloaded (shard " + std::to_string(shard) +
+                         " backlog full)");
+        return;
+    }
+    const std::string rid = "r" + std::to_string(nextRid++);
+    json.set("tag", rid);
+    RidEntry entry;
+    entry.clientFd = client.fd;
+    entry.clientGen = client.gen;
+    entry.tag = tag;
+    entry.shard = shard;
+    ridMap[rid] = std::move(entry);
+    ++client.inFlight;
+    ++pipe->outstanding;
+    forwardedTotal->inc();
+    appendOutput(*pipe, json.dump(0) + "\n");
+    queueFlush(*pipe);
+}
+
+void
+ShardRouter::handleStatsRequest(Peer &client, const std::string &tag)
+{
+    // Register the group before the first forward: flushOutput below may
+    // reenter shardDied -> finishStatsGroup, which must see this group.
+    const uint64_t groupId = nextStatsGroup++;
+    const int clientFd = client.fd;
+    const uint64_t clientGen = client.gen;
+    {
+        StatsGroup group;
+        group.clientFd = clientFd;
+        group.clientGen = clientGen;
+        group.tag = tag;
+        statsGroups[groupId] = std::move(group);
+    }
+    ++client.inFlight;
+    for (size_t s = 0; s < shardFds.size(); ++s) {
+        Peer *pipe = findShardPeer(static_cast<int>(s));
+        if (pipe == nullptr)
+            continue;
+        const std::string rid = "r" + std::to_string(nextRid++);
+        common::Json statsReq;
+        statsReq.set("op", "stats");
+        statsReq.set("tag", rid);
+        RidEntry entry;
+        entry.clientFd = clientFd;
+        entry.clientGen = clientGen;
+        entry.tag = tag;
+        entry.shard = static_cast<int>(s);
+        entry.statsGroup = groupId;
+        ridMap[rid] = std::move(entry);
+        ++statsGroups[groupId].pending;
+        ++pipe->outstanding;
+        appendOutput(*pipe, statsReq.dump(0) + "\n");
+        flushOutput(*pipe); // May kill the shard and finalize the group.
+        if (statsGroups.find(groupId) == statsGroups.end())
+            return; // Already answered (every forward target died).
+    }
+    if (statsGroups[groupId].pending == 0)
+        finishStatsGroup(groupId); // No live shards: router-only stats.
+}
+
+void
+ShardRouter::finishStatsGroup(uint64_t groupId)
+{
+    auto it = statsGroups.find(groupId);
+    if (it == statsGroups.end())
+        return;
+    StatsGroup group = std::move(it->second);
+    statsGroups.erase(it);
+    std::vector<common::Json> snapshots = std::move(group.snapshots);
+    snapshots.push_back(registry.toJson());
+    common::Json reply;
+    if (!group.tag.empty())
+        reply.set("tag", group.tag);
+    reply.set("ok", true);
+    reply.set("stats", obs::mergeMetricsSnapshots(snapshots));
+    reply.set("shards", static_cast<int64_t>(ring.liveShards()));
+    replyToClient(group.clientFd, group.clientGen, reply.dump(0) + "\n",
+                  /*decrementInFlight=*/true);
+}
+
+void
+ShardRouter::replyToClient(int clientFd, uint64_t clientGen,
+                           const std::string &line, bool decrementInFlight)
+{
+    auto it = peers.find(clientFd);
+    if (it == peers.end() || it->second->gen != clientGen)
+        return; // Client hung up before its answer was ready.
+    Peer &client = *it->second;
+    if (decrementInFlight) {
+        ensure(client.inFlight > 0, "net: client in-flight underflow");
+        --client.inFlight;
+    }
+    appendOutput(client, line);
+    queueFlush(client);
+}
+
+void
+ShardRouter::handleShardLine(Peer &shardPeer, const std::string &line)
+{
+    common::Json json;
+    try {
+        json = common::Json::parse(line);
+    } catch (const std::exception &e) {
+        protocolErrors->inc();
+        warn("net: unparseable reply from shard " +
+             std::to_string(shardPeer.shard) + ": " + e.what());
+        return;
+    }
+    const std::string rid =
+        json.isObject() ? json.stringOr("tag", "") : "";
+    auto it = ridMap.find(rid);
+    if (it == ridMap.end()) {
+        protocolErrors->inc();
+        warn("net: reply from shard " + std::to_string(shardPeer.shard) +
+             " for unknown rid '" + rid + "'");
+        return;
+    }
+    RidEntry entry = std::move(it->second);
+    ridMap.erase(it);
+    ensure(shardPeer.outstanding > 0, "net: shard outstanding underflow");
+    --shardPeer.outstanding;
+
+    if (entry.statsGroup != 0) {
+        auto git = statsGroups.find(entry.statsGroup);
+        if (git != statsGroups.end()) {
+            StatsGroup &group = git->second;
+            if (json.isObject() && json.has("stats"))
+                group.snapshots.push_back(json.at("stats"));
+            ensure(group.pending > 0, "net: stats group underflow");
+            if (--group.pending == 0)
+                finishStatsGroup(entry.statsGroup);
+        }
+        return;
+    }
+
+    // Restore the client's tag (the rid was ours, not theirs).
+    if (entry.tag.empty())
+        json.erase("tag");
+    else
+        json.set("tag", entry.tag);
+    replyToClient(entry.clientFd, entry.clientGen, json.dump(0) + "\n",
+                  /*decrementInFlight=*/true);
+}
+
+void
+ShardRouter::appendOutput(Peer &peer, const std::string &line)
+{
+    peer.outbuf.append(line);
+}
+
+void
+ShardRouter::flushOutput(Peer &peer)
+{
+    while (peer.outOffset < peer.outbuf.size()) {
+        const ssize_t n =
+            sendRetry(peer.fd, peer.outbuf.data() + peer.outOffset,
+                      peer.outbuf.size() - peer.outOffset);
+        if (n > 0) {
+            peer.outOffset += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break; // Kernel buffer full: wait for EPOLLOUT.
+        if (peer.shard >= 0)
+            shardDied(peer.shard);
+        else
+            closePeer(peer.fd);
+        return;
+    }
+    if (peer.outOffset == peer.outbuf.size()) {
+        peer.outbuf.clear();
+        peer.outOffset = 0;
+    } else if (peer.outOffset > (1u << 16) &&
+               peer.outOffset >= peer.outbuf.size() / 2) {
+        peer.outbuf.erase(0, peer.outOffset);
+        peer.outOffset = 0;
+    }
+    if (peer.shard < 0 &&
+        peer.outbuf.size() - peer.outOffset > options.maxOutputBytes) {
+        // Slow client (shard pipes are bounded by maxOutstandingPerShard
+        // instead — disconnecting a shard would lose its caches).
+        slowDisconnects->inc();
+        warn("net: disconnecting slow client (unread output over " +
+             std::to_string(options.maxOutputBytes) + " bytes)");
+        closePeer(peer.fd);
+        return;
+    }
+    updateInterest(peer);
+    if (peer.shard < 0)
+        maybeFinishClient(peer);
+}
+
+void
+ShardRouter::queueFlush(Peer &peer)
+{
+    if (peer.flushQueued)
+        return;
+    peer.flushQueued = true;
+    flushPending.push_back(peer.fd);
+}
+
+void
+ShardRouter::flushPendingPeers()
+{
+    // Index loop: flushing can kill a shard, whose error replies queue
+    // additional client flushes onto the tail of this very vector.
+    for (size_t i = 0; i < flushPending.size(); ++i) {
+        auto it = peers.find(flushPending[i]);
+        if (it == peers.end())
+            continue; // Closed (or the fd re-accepted) mid-batch.
+        it->second->flushQueued = false;
+        flushOutput(*it->second);
+    }
+    flushPending.clear();
+}
+
+void
+ShardRouter::updateInterest(Peer &peer)
+{
+    // Shard pipes stay readable during a drain (their replies are the
+    // drain); clients do not (no new work once stopping).
+    const bool want_read =
+        !peer.eof && !peer.closeAfterFlush && (peer.shard >= 0 || !stopping);
+    const bool want_write = peer.outOffset < peer.outbuf.size();
+    const uint32_t events =
+        (want_read ? static_cast<uint32_t>(EPOLLIN) : 0u) |
+        (want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    if (events == peer.registered)
+        return;
+    struct epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = events;
+    ev.data.fd = peer.fd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_MOD, peer.fd, &ev) == 0)
+        peer.registered = events;
+}
+
+void
+ShardRouter::maybeFinishClient(Peer &peer)
+{
+    const bool flushed = peer.outOffset >= peer.outbuf.size();
+    if (!flushed)
+        return;
+    if (peer.closeAfterFlush || (peer.eof && peer.inFlight == 0))
+        closePeer(peer.fd);
+}
+
+void
+ShardRouter::closePeer(int fd)
+{
+    auto it = peers.find(fd);
+    if (it == peers.end())
+        return;
+    ensure(it->second->shard < 0, "net: closePeer on a shard pipe");
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr);
+    closeFd(fd);
+    peers.erase(it);
+    activeConnections->set(
+        static_cast<int64_t>(peers.size() - shardFds.size()));
+    // Outstanding rids of this client stay in ridMap: the shard still
+    // answers them, and replyToClient drops the reply (gen mismatch).
+}
+
+void
+ShardRouter::shardDied(int shard)
+{
+    Peer *pipe = findShardPeer(shard);
+    if (pipe == nullptr)
+        return;
+    const int fd = pipe->fd;
+    warn("net: shard " + std::to_string(shard) +
+         " died; remapping its keys across " +
+         std::to_string(ring.liveShards() - 1) + " survivors");
+    shardDeaths->inc();
+    ring.removeShard(static_cast<size_t>(shard));
+    liveShardsGauge->set(static_cast<int64_t>(ring.liveShards()));
+    shardFds[static_cast<size_t>(shard)] = -1;
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr);
+    closeFd(fd);
+    peers.erase(fd);
+
+    // Fail everything that was outstanding on the dead shard.
+    std::vector<std::pair<std::string, RidEntry>> failed;
+    for (auto it = ridMap.begin(); it != ridMap.end();) {
+        if (it->second.shard == shard) {
+            failed.emplace_back(it->first, std::move(it->second));
+            it = ridMap.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto &[rid, entry] : failed) {
+        (void)rid;
+        if (entry.statsGroup != 0) {
+            auto git = statsGroups.find(entry.statsGroup);
+            if (git != statsGroups.end()) {
+                ensure(git->second.pending > 0,
+                       "net: stats group underflow");
+                if (--git->second.pending == 0)
+                    finishStatsGroup(entry.statsGroup);
+            }
+            continue;
+        }
+        replyToClient(entry.clientFd, entry.clientGen,
+                      errorLine(entry.tag, "shard worker died before "
+                                           "answering"),
+                      /*decrementInFlight=*/true);
+    }
+}
+
+void
+ShardRouter::beginStop()
+{
+    if (stopping)
+        return;
+    stopping = true;
+    stopDeadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(options.drainTimeoutMs);
+    if (listenFd >= 0) {
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, listenFd, nullptr);
+        closeFd(listenFd);
+        listenFd = -1;
+    }
+    for (auto &entry : peers)
+        updateInterest(*entry.second);
+}
+
+bool
+ShardRouter::drained() const
+{
+    if (!ridMap.empty() || !statsGroups.empty())
+        return false;
+    for (const auto &entry : peers)
+        if (entry.second->shard < 0 &&
+            entry.second->outOffset < entry.second->outbuf.size())
+            return false;
+    return true;
+}
+
+void
+ShardRouter::run()
+{
+    constexpr int kMaxEvents = 64;
+    struct epoll_event events[kMaxEvents];
+    for (;;) {
+        int timeout_ms = -1;
+        if (stopping) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    stopDeadline - std::chrono::steady_clock::now())
+                    .count();
+            timeout_ms = left > 0 ? static_cast<int>(left) : 0;
+        }
+        const int n = epollWaitRetry(epollFd, events, kMaxEvents, timeout_ms);
+        if (n < 0)
+            fatal(std::string("net: epoll_wait failed: ") + strerror(errno));
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            const uint32_t mask = events[i].events;
+            if (fd == wake.readFd) {
+                wake.drain();
+                continue;
+            }
+            if (fd == listenFd) {
+                if (!stopping)
+                    acceptAll();
+                continue;
+            }
+            auto it = peers.find(fd);
+            if (it == peers.end())
+                continue;
+            Peer &peer = *it->second;
+            if (mask & (EPOLLERR | EPOLLHUP)) {
+                if (peer.shard >= 0)
+                    shardDied(peer.shard);
+                else
+                    closePeer(fd);
+                continue;
+            }
+            if (mask & EPOLLIN)
+                handleReadable(peer);
+            if (peers.find(fd) == peers.end())
+                continue;
+            if (mask & EPOLLOUT)
+                flushOutput(*peers.find(fd)->second);
+        }
+        // One send() per peer per batch: every reply/forward appended
+        // above goes out here, before the loop can sleep again.
+        flushPendingPeers();
+        if (stopRequested.load(std::memory_order_acquire))
+            beginStop();
+        if (stopping &&
+            (drained() || std::chrono::steady_clock::now() >= stopDeadline))
+            break;
+    }
+
+    // Close every stream. Shard workers see EOF on their pipes, drain
+    // whatever they still hold, and exit; the frontend reaps them.
+    for (auto &entry : peers) {
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, entry.second->fd, nullptr);
+        closeFd(entry.second->fd);
+    }
+    peers.clear();
+    activeConnections->set(0);
+}
+
+} // namespace neusight::net

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Parent-side router of the multi-process serving mode: accepts client
+ * TCP connections, parses each request line, and forwards it over an
+ * AF_UNIX stream to one of N forked shard workers chosen by consistent-
+ * hashing the request fingerprint (net/hash_ring.hpp). Equal
+ * fingerprints always land on the same shard, so each worker's kernel-
+ * prediction and model-graph caches stay hot and mutually disjoint —
+ * the N processes partition the forecast space instead of duplicating
+ * one cache N times.
+ *
+ * The router rewrites each forwarded request's "tag" to an internal
+ * routing id and restores the client's tag on the way back, so shards
+ * need no routing awareness — each one is a stock SocketServer serving
+ * its adopted stream. "stats" requests fan out to every live shard and
+ * the replies merge into one cluster snapshot
+ * (obs::mergeMetricsSnapshots) that also folds in the router's own
+ * registry (connection/rejection counters live here, not in shards).
+ *
+ * A dead shard (EOF/error on its pipe) is removed from the ring — its
+ * outstanding requests fail with an error reply, its keys remap to the
+ * survivors, everyone else's mapping is untouched. Graceful stop
+ * mirrors SocketServer: stop reading clients, drain every outstanding
+ * reply, flush, then close the shard pipes (workers see EOF, drain,
+ * and exit on their own).
+ */
+
+#ifndef NEUSIGHT_NET_SHARD_ROUTER_HPP
+#define NEUSIGHT_NET_SHARD_ROUTER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.hpp"
+#include "net/hash_ring.hpp"
+#include "net/io.hpp"
+#include "obs/metrics.hpp"
+#include "serve/wire.hpp"
+
+namespace neusight::net {
+
+/** One forked shard worker as the router sees it. */
+struct ShardHandle
+{
+    /** Parent end of the worker's AF_UNIX stream (router-owned). */
+    int fd = -1;
+    pid_t pid = -1;
+};
+
+/** Construction-time configuration of a ShardRouter. */
+struct ShardRouterOptions
+{
+    std::string bindAddress = "127.0.0.1";
+    /** Listen port; 0 binds an ephemeral port (see port()). */
+    uint16_t port = 0;
+    size_t maxLineBytes = serve::LineFramer::kDefaultMaxLineBytes;
+    /** Unread-response bound per client; slower readers disconnect. */
+    size_t maxOutputBytes = 8u << 20;
+    /** In-flight requests per client before admission rejects. */
+    size_t maxInFlightPerClient = 256;
+    /** Forwarded-but-unanswered bound per shard; a deeper backlog
+     *  rejects new requests routed there (backpressure, counted in
+     *  serve.rejected). */
+    size_t maxOutstandingPerShard = 4096;
+    /** Bound on the graceful drain after a stop request. */
+    int drainTimeoutMs = 30000;
+};
+
+/**
+ * The sharding front-end. Single-threaded: one epoll loop owns the
+ * listen socket, every client connection, and every shard pipe.
+ * Construction binds (port() is immediately valid) and registers the
+ * shard pipes; run() blocks until a stop request drains. The caller
+ * (net::runFrontend) forks the workers, passes their pipe fds in, and
+ * reaps the pids after run() returns.
+ */
+class ShardRouter
+{
+  public:
+    ShardRouter(std::vector<ShardHandle> shards, ShardRouterOptions options);
+    ~ShardRouter();
+
+    ShardRouter(const ShardRouter &) = delete;
+    ShardRouter &operator=(const ShardRouter &) = delete;
+
+    /** The bound TCP port. */
+    uint16_t port() const { return boundPort; }
+
+    /** Run the epoll loop; returns after the drain completes. */
+    void run();
+
+    /** Ask run() to drain and return. Thread-safe and idempotent. */
+    void requestStop();
+
+    /// @name Stop-signal plumbing for net::installStopSignals.
+    /// @{
+    std::atomic<bool> *stopFlag() { return &stopRequested; }
+    int wakeWriteFd() const { return wake.writeFd; }
+    /// @}
+
+    /** The router's own registry (net.* and router.* metrics). */
+    obs::MetricsRegistry &metrics() { return registry; }
+
+  private:
+    /** A connected byte stream: a TCP client, or a shard pipe. */
+    struct Peer
+    {
+        int fd = -1;
+        uint64_t gen = 0;
+        /** Shard index for pipe peers; -1 for clients. */
+        int shard = -1;
+        serve::LineFramer framer;
+        std::string outbuf;
+        size_t outOffset = 0;
+        /** Client only: requests forwarded and not yet answered. */
+        size_t inFlight = 0;
+        /** Shard only: requests outstanding on this pipe. */
+        size_t outstanding = 0;
+        bool eof = false;
+        bool closeAfterFlush = false;
+        uint32_t registered = 0;
+        /** Already in flushPending for this event batch. */
+        bool flushQueued = false;
+    };
+
+    /** One forwarded request awaiting its shard's answer. */
+    struct RidEntry
+    {
+        int clientFd = -1;
+        uint64_t clientGen = 0;
+        /** The client's original tag, restored on the reply. */
+        std::string tag;
+        int shard = -1;
+        /** Non-zero: part of a fanned-out stats request. */
+        uint64_t statsGroup = 0;
+    };
+
+    /** One "stats" fan-out collecting per-shard snapshots. */
+    struct StatsGroup
+    {
+        int clientFd = -1;
+        uint64_t clientGen = 0;
+        std::string tag;
+        size_t pending = 0;
+        std::vector<common::Json> snapshots;
+    };
+
+    void acceptAll();
+    void addClient(int fd);
+    void handleReadable(Peer &peer);
+    void processLines(Peer &peer);
+    void handleClientLine(Peer &client, const std::string &line);
+    void handleShardLine(Peer &shardPeer, const std::string &line);
+    void handleStatsRequest(Peer &client, const std::string &tag);
+    void finishStatsGroup(uint64_t groupId);
+    void replyToClient(int clientFd, uint64_t clientGen,
+                       const std::string &line, bool decrementInFlight);
+    void rejectClient(Peer &client, const std::string &tag,
+                      const std::string &why);
+    void appendOutput(Peer &peer, const std::string &line);
+    void flushOutput(Peer &peer);
+    /** Defer a flush to the end of the current event batch (one send()
+     *  per peer per batch instead of one per line). */
+    void queueFlush(Peer &peer);
+    void flushPendingPeers();
+    void updateInterest(Peer &peer);
+    void maybeFinishClient(Peer &peer);
+    void closePeer(int fd);
+    void shardDied(int shard);
+    void beginStop();
+    bool drained() const;
+    Peer *findShardPeer(int shard);
+
+    ShardRouterOptions options;
+    HashRing ring;
+    obs::MetricsRegistry registry;
+    WakePipe wake;
+    int listenFd = -1;
+    int epollFd = -1;
+    uint16_t boundPort = 0;
+    std::atomic<bool> stopRequested{false};
+    bool stopping = false;
+    std::chrono::steady_clock::time_point stopDeadline;
+
+    uint64_t nextGen = 1;
+    uint64_t nextRid = 1;
+    /** Peers with output appended this batch, flushed together. */
+    std::vector<int> flushPending;
+    uint64_t nextStatsGroup = 1;
+    /** Every connected stream, clients and shard pipes alike, by fd. */
+    std::unordered_map<int, std::unique_ptr<Peer>> peers;
+    /** Shard index -> pipe fd (-1 once dead). */
+    std::vector<int> shardFds;
+    std::unordered_map<std::string, RidEntry> ridMap;
+    std::map<uint64_t, StatsGroup> statsGroups;
+
+    /// @name Router-registry metrics.
+    /// @{
+    std::shared_ptr<obs::Counter> connectionsTotal;
+    std::shared_ptr<obs::Gauge> activeConnections;
+    std::shared_ptr<obs::Counter> linesTotal;
+    std::shared_ptr<obs::Counter> protocolErrors;
+    std::shared_ptr<obs::Counter> slowDisconnects;
+    std::shared_ptr<obs::Counter> rejectedCount;
+    std::shared_ptr<obs::Counter> forwardedTotal;
+    std::shared_ptr<obs::Counter> shardDeaths;
+    std::shared_ptr<obs::Gauge> liveShardsGauge;
+    /// @}
+};
+
+} // namespace neusight::net
+
+#endif // NEUSIGHT_NET_SHARD_ROUTER_HPP

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Level-triggered epoll front-end framing the JSON-lines forecast
+ * protocol over TCP, layered as a pure consumer of the existing
+ * serve::ForecastServer (no new predictor wiring): the epoll thread
+ * owns the sockets — accept, per-connection partial-line reassembly
+ * (serve::LineFramer), bounded non-blocking writes — and submits parsed
+ * requests straight into the server via trySubmit (non-blocking, so
+ * hundreds of requests pipeline into the engine's coalescing queue);
+ * worker-thread completions come back through a completion queue +
+ * wake pipe.
+ *
+ * Robustness rules (the bugs pipes were hiding):
+ *  - every syscall retries EINTR (net/io.hpp);
+ *  - sends use MSG_NOSIGNAL and SIGPIPE is ignored, so a client
+ *    hanging up mid-response closes that connection, never the server;
+ *  - short writes park the remainder in the connection's output buffer
+ *    and wait for EPOLLOUT;
+ *  - a client whose unread output exceeds maxOutputBytes (slow reader)
+ *    is disconnected rather than allowed to pin server memory;
+ *  - per-client admission control and the engine's bounded queue
+ *    reject (counted in serve.rejected) instead of queueing without
+ *    bound;
+ *  - SIGTERM/SIGINT (net::installStopSignals) drain gracefully: stop
+ *    accepting, answer everything already dispatched, flush, exit.
+ *
+ * Responses carry the request's "tag" but may complete out of order
+ * relative to submission (the worker pool finishes fast requests
+ * first); clients that care tag their requests.
+ */
+
+#ifndef NEUSIGHT_NET_SOCKET_SERVER_HPP
+#define NEUSIGHT_NET_SOCKET_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/io.hpp"
+#include "obs/metrics.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace neusight::net {
+
+/** Construction-time configuration of a SocketServer. */
+struct SocketServerOptions
+{
+    /** Listen address; loopback by default (no accidental exposure). */
+    std::string bindAddress = "127.0.0.1";
+    /** Listen port; 0 binds an ephemeral port (see port()). */
+    uint16_t port = 0;
+    /**
+     * Serve one already-connected stream instead of listening (the
+     * shard-worker mode: the parent router is the only peer). The
+     * server owns the fd and the run loop exits when it closes.
+     */
+    int adoptedFd = -1;
+    /** Longest accepted request line; longer ones answer an error and
+     *  close the connection. */
+    size_t maxLineBytes = serve::LineFramer::kDefaultMaxLineBytes;
+    /** Unread-response bound per connection; a slower reader is
+     *  disconnected (slow-client protection). */
+    size_t maxOutputBytes = 8u << 20;
+    /** In-flight requests allowed per connection before admission
+     *  control rejects; 0 = unlimited (shard-worker mode). */
+    size_t maxInFlightPerClient = 256;
+    /** Bound on the graceful drain after a stop request; connections
+     *  still unflushed at the deadline are dropped. */
+    int drainTimeoutMs = 30000;
+};
+
+/**
+ * The socket front-end. Construction binds (listen mode) so port() is
+ * immediately valid; run() blocks on the epoll loop until a stop
+ * request (requestStop() / installed signal) completes its drain, or
+ * until the adopted stream closes. The ForecastServer must outlive the
+ * SocketServer and is not stopped by it — the caller owns both.
+ */
+class SocketServer
+{
+  public:
+    SocketServer(serve::ForecastServer &server, SocketServerOptions options);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** The bound TCP port (listen mode; 0 in adopted-fd mode). */
+    uint16_t port() const { return boundPort; }
+
+    /** Run the epoll loop; returns after the drain completes. */
+    void run();
+
+    /** Ask run() to drain and return. Thread-safe and idempotent. */
+    void requestStop();
+
+    /// @name Stop-signal plumbing for net::installStopSignals.
+    /// @{
+    std::atomic<bool> *stopFlag() { return &stopRequested; }
+    int wakeWriteFd() const { return wake.writeFd; }
+    /// @}
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        uint64_t gen = 0;
+        serve::LineFramer framer;
+        /** Unwritten response bytes ([outOffset, size) is pending). */
+        std::string outbuf;
+        size_t outOffset = 0;
+        size_t inFlight = 0;
+        /** Peer finished sending (EOF seen); close once answered. */
+        bool eof = false;
+        /** Protocol violation: close as soon as outbuf flushes. */
+        bool closeAfterFlush = false;
+        /** Event mask currently registered with epoll. */
+        uint32_t registered = 0;
+        /** Completion batching: already marked for this batch's flush. */
+        bool flushQueued = false;
+    };
+
+    struct Completion
+    {
+        int fd = -1;
+        uint64_t gen = 0;
+        std::string line;
+    };
+
+    void acceptAll();
+    void addConnection(int fd);
+    void handleReadable(Connection &conn);
+    void processLines(Connection &conn);
+    void handleLine(Connection &conn, const std::string &line);
+    void respond(Connection &conn, const serve::ForecastResult &result);
+    void appendOutput(Connection &conn, const std::string &line);
+    void flushOutput(Connection &conn);
+    void updateInterest(Connection &conn);
+    void maybeFinishConnection(Connection &conn);
+    void closeConnection(int fd);
+    void drainCompletions();
+    void beginStop();
+    bool drained() const;
+
+    serve::ForecastServer &server;
+    SocketServerOptions options;
+    WakePipe wake;
+    int listenFd = -1;
+    int epollFd = -1;
+    uint16_t boundPort = 0;
+    std::atomic<bool> stopRequested{false};
+    bool stopping = false;
+    std::chrono::steady_clock::time_point stopDeadline;
+
+    uint64_t nextGen = 1;
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    /** Dispatched-but-unanswered requests across all connections
+     *  (including closed ones whose completions are still due). */
+    size_t inFlightTotal = 0;
+
+    std::mutex completionMutex;
+    std::vector<Completion> completions;
+
+    /// @name Counters in the ForecastServer's metrics registry.
+    /// (serve.rejected is the server's own rejection counter — socket-
+    /// layer admission/backpressure rejections land in the same metric,
+    /// per-shard stats stay one vocabulary.)
+    /// @{
+    std::shared_ptr<obs::Counter> connectionsTotal;
+    std::shared_ptr<obs::Gauge> activeConnections;
+    std::shared_ptr<obs::Counter> linesTotal;
+    std::shared_ptr<obs::Counter> protocolErrors;
+    std::shared_ptr<obs::Counter> slowDisconnects;
+    std::shared_ptr<obs::Counter> rejectedCount;
+    /// @}
+};
+
+} // namespace neusight::net
+
+#endif // NEUSIGHT_NET_SOCKET_SERVER_HPP

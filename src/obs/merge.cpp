@@ -1,0 +1,148 @@
+#include "obs/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace neusight::obs {
+
+namespace {
+
+/** A histogram summary is the only object-valued metric we emit. */
+bool
+isHistogramSummary(const common::Json &value)
+{
+    return value.isObject() && value.has("buckets") && value.has("count");
+}
+
+/** Accumulated state of one histogram metric across shards. */
+struct HistogramMerge
+{
+    /** Bucket lower bound -> summed count. Keys are the exact doubles
+     *  Histogram::bucketLowerBound emits, so equal buckets collide. */
+    std::map<double, uint64_t> buckets;
+    uint64_t count = 0;
+    double weightedMeanSum = 0.0;
+    double minValue = std::numeric_limits<double>::infinity();
+    double maxValue = 0.0;
+    std::string unit;
+
+    void absorb(const common::Json &summary)
+    {
+        const uint64_t n =
+            static_cast<uint64_t>(summary.numberOr("count", 0.0));
+        if (n > 0) {
+            count += n;
+            weightedMeanSum +=
+                summary.numberOr("mean", 0.0) * static_cast<double>(n);
+            minValue = std::min(minValue, summary.numberOr("min", 0.0));
+            maxValue = std::max(maxValue, summary.numberOr("max", 0.0));
+        }
+        if (unit.empty())
+            unit = summary.stringOr("unit", "");
+        if (!summary.at("buckets").isArray())
+            return;
+        for (const common::Json &pair : summary.at("buckets").asArray()) {
+            if (!pair.isArray() || pair.asArray().size() != 2)
+                continue;
+            buckets[pair.asArray()[0].asDouble()] +=
+                static_cast<uint64_t>(pair.asArray()[1].asDouble());
+        }
+    }
+
+    /** Same estimator as Histogram::quantile, over merged buckets. */
+    double quantile(double q) const
+    {
+        if (count == 0)
+            return 0.0;
+        q = std::min(1.0, std::max(0.0, q));
+        const uint64_t rank = std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   std::ceil(q * static_cast<double>(count))));
+        const double octave =
+            std::pow(2.0, 1.0 / Histogram::kBucketsPerOctave);
+        uint64_t cumulative = 0;
+        for (const auto &[lower, n] : buckets) {
+            cumulative += n;
+            if (cumulative >= rank) {
+                const double mid = std::sqrt(lower * (lower * octave));
+                return std::min(maxValue, std::max(minValue, mid));
+            }
+        }
+        return maxValue;
+    }
+
+    common::Json toJson() const
+    {
+        common::Json json;
+        json.set("count", count);
+        json.set("mean", count > 0
+                             ? weightedMeanSum / static_cast<double>(count)
+                             : 0.0);
+        json.set("min", count > 0 ? minValue : 0.0);
+        json.set("max", maxValue);
+        json.set("p50", quantile(0.50));
+        json.set("p90", quantile(0.90));
+        json.set("p99", quantile(0.99));
+        json.set("p999", quantile(0.999));
+        common::Json::Array pairs;
+        for (const auto &[lower, n] : buckets) {
+            common::Json::Array pair;
+            pair.push_back(common::Json(lower));
+            pair.push_back(common::Json(n));
+            pairs.push_back(common::Json(std::move(pair)));
+        }
+        json.set("buckets", common::Json(std::move(pairs)));
+        if (!unit.empty())
+            json.set("unit", unit);
+        return json;
+    }
+};
+
+} // namespace
+
+common::Json
+mergeMetricsSnapshots(const std::vector<common::Json> &snapshots)
+{
+    // std::map keeps the output name-sorted like a registry snapshot.
+    std::map<std::string, double> numerics;
+    std::map<std::string, HistogramMerge> histograms;
+    for (const common::Json &snapshot : snapshots) {
+        if (!snapshot.isObject())
+            continue;
+        for (const auto &[name, value] : snapshot.asObject()) {
+            if (value.isNumber())
+                numerics[name] += value.asDouble();
+            else if (isHistogramSummary(value))
+                histograms[name].absorb(value);
+        }
+    }
+    common::Json merged{common::Json::Object{}};
+    auto num = numerics.begin();
+    auto hist = histograms.begin();
+    while (num != numerics.end() || hist != histograms.end()) {
+        const bool takeNum =
+            hist == histograms.end() ||
+            (num != numerics.end() && num->first < hist->first);
+        if (takeNum) {
+            // Counters and gauges are integral; keep them so in JSON.
+            const double v = num->second;
+            if (v == std::floor(v) && std::abs(v) < 9.0e15)
+                merged.set(num->first, static_cast<int64_t>(v));
+            else
+                merged.set(num->first, v);
+            ++num;
+        } else {
+            merged.set(hist->first, hist->second.toJson());
+            ++hist;
+        }
+    }
+    return merged;
+}
+
+} // namespace neusight::obs

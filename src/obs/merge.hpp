@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Cross-process metrics aggregation for the sharded serving mode: each
+ * shard worker answers a "stats" op with its own MetricsRegistry
+ * snapshot (JSON), and the router merges those snapshots into one
+ * cluster view. Counters/gauges/probes sum; histograms merge their
+ * [lower_bound, count] bucket pairs and recompute the quantile
+ * estimates from the merged buckets — the same geometric-midpoint
+ * estimator Histogram::quantile uses, so a 1-shard merged snapshot is
+ * numerically identical to the shard's own snapshot.
+ */
+
+#ifndef NEUSIGHT_OBS_MERGE_HPP
+#define NEUSIGHT_OBS_MERGE_HPP
+
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace neusight::obs {
+
+/**
+ * Merge per-shard MetricsRegistry::toJson() snapshots into one
+ * aggregate snapshot. Metric names union; numeric metrics (counters,
+ * gauges, probes) add; histogram summaries merge by bucket. Non-object
+ * snapshots are skipped. An empty input merges to an empty object.
+ */
+common::Json mergeMetricsSnapshots(const std::vector<common::Json> &snapshots);
+
+} // namespace neusight::obs
+
+#endif // NEUSIGHT_OBS_MERGE_HPP

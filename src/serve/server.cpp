@@ -80,6 +80,16 @@ ForecastServer::~ForecastServer()
     stop();
 }
 
+void
+ForecastServer::rejectNow(Completion &done, std::string tag)
+{
+    ForecastResult rejected;
+    rejected.tag = std::move(tag);
+    rejected.ok = false;
+    rejected.error = "server is shutting down";
+    done(std::move(rejected));
+}
+
 std::future<ForecastResult>
 ForecastServer::submit(ForecastRequest request)
 {
@@ -88,17 +98,34 @@ ForecastServer::submit(ForecastRequest request)
     // coalesces with an identical request that omitted it.
     if (request.backend.empty())
         request.backend = engine->defaultBackendName();
-    std::promise<ForecastResult> promise;
-    std::future<ForecastResult> future = promise.get_future();
+    // The promise rides inside a Completion (waiters hold callbacks,
+    // not promises, so the future path and the trySubmit path share
+    // every line of the worker's fulfilment code). shared_ptr because
+    // std::function requires copyable captures.
+    auto promise = std::make_shared<std::promise<ForecastResult>>();
+    std::future<ForecastResult> future = promise->get_future();
+    Completion done = [promise](ForecastResult result) {
+        promise->set_value(std::move(result));
+    };
     const std::string key = request.fingerprint();
 
     std::unique_lock<std::mutex> lock(mutex);
     submitted->inc();
+    if (stopping) {
+        // Reject before the piggyback lookup: a submit that raced
+        // stop() must not coalesce onto still-draining work — the
+        // documented contract is that every post-stop() submit resolves
+        // immediately to a rejection, deterministically.
+        rejectedCount->inc();
+        lock.unlock();
+        rejectNow(done, std::move(request.tag));
+        return future;
+    }
     auto it = inFlight.find(key);
     if (it != inFlight.end()) {
         // Identical request already queued or executing: piggyback.
         coalescedCount->inc();
-        it->second->waiters.emplace_back(std::move(promise),
+        it->second->waiters.emplace_back(std::move(done),
                                          std::move(request.tag));
         return future;
     }
@@ -111,24 +138,20 @@ ForecastServer::submit(ForecastRequest request)
     it = inFlight.find(key);
     if (it != inFlight.end()) {
         coalescedCount->inc();
-        it->second->waiters.emplace_back(std::move(promise),
+        it->second->waiters.emplace_back(std::move(done),
                                          std::move(request.tag));
         return future;
     }
     if (stopping) {
         rejectedCount->inc();
         lock.unlock();
-        ForecastResult rejected;
-        rejected.tag = request.tag;
-        rejected.ok = false;
-        rejected.error = "server is shutting down";
-        promise.set_value(std::move(rejected));
+        rejectNow(done, std::move(request.tag));
         return future;
     }
     auto pending = std::make_shared<Pending>();
     std::string tag = request.tag;
     pending->request = std::move(request);
-    pending->waiters.emplace_back(std::move(promise), std::move(tag));
+    pending->waiters.emplace_back(std::move(done), std::move(tag));
     pending->enqueued = std::chrono::steady_clock::now();
     inFlight.emplace(key, pending);
     queue.push_back(std::move(pending));
@@ -136,6 +159,48 @@ ForecastServer::submit(ForecastRequest request)
     lock.unlock();
     notEmpty.notify_one();
     return future;
+}
+
+bool
+ForecastServer::trySubmit(ForecastRequest request, Completion done)
+{
+    if (request.backend.empty())
+        request.backend = engine->defaultBackendName();
+    const std::string key = request.fingerprint();
+
+    std::unique_lock<std::mutex> lock(mutex);
+    if (stopping) {
+        submitted->inc();
+        rejectedCount->inc();
+        lock.unlock();
+        rejectNow(done, std::move(request.tag));
+        return true;
+    }
+    auto it = inFlight.find(key);
+    if (it != inFlight.end()) {
+        // Piggybacking never occupies a queue slot, so coalesced
+        // requests are accepted even when the queue is full — they add
+        // no work, only a waiter.
+        submitted->inc();
+        coalescedCount->inc();
+        it->second->waiters.emplace_back(std::move(done),
+                                         std::move(request.tag));
+        return true;
+    }
+    if (queue.size() >= options.queueCapacity)
+        return false; // Caller rejects (and counts) at its own edge.
+    submitted->inc();
+    auto pending = std::make_shared<Pending>();
+    std::string tag = request.tag;
+    pending->request = std::move(request);
+    pending->waiters.emplace_back(std::move(done), std::move(tag));
+    pending->enqueued = std::chrono::steady_clock::now();
+    inFlight.emplace(key, pending);
+    queue.push_back(std::move(pending));
+    queueDepth->set(static_cast<int64_t>(queue.size()));
+    lock.unlock();
+    notEmpty.notify_one();
+    return true;
 }
 
 void
@@ -187,11 +252,7 @@ ForecastServer::workerLoop()
         lock.lock();
         // Unpublish first: submits from here on start a fresh
         // computation, while everyone who piggybacked meanwhile is in
-        // waiters and gets this result. The promises are fulfilled
-        // before executing is decremented (still under the lock —
-        // set_value only stores, it runs no user code), so drain()'s
-        // "every accepted request answered" contract is exact: its
-        // predicate cannot come true while any future is unready.
+        // waiters and gets this result.
         inFlight.erase(pending->request.fingerprint());
         auto waiters = std::move(pending->waiters);
         completed->inc(waiters.size());
@@ -199,12 +260,19 @@ ForecastServer::workerLoop()
                           std::chrono::steady_clock::now() -
                           pending->enqueued)
                           .count());
+        lock.unlock();
+        // Completions run outside the lock (they are arbitrary caller
+        // code — the socket front-end's, for one) but BEFORE executing
+        // is decremented, so drain()'s "every accepted request
+        // answered" contract stays exact: its predicate cannot come
+        // true while any completion is still pending.
         for (size_t i = 0; i < waiters.size(); ++i) {
             ForecastResult copy = result;
             copy.tag = std::move(waiters[i].second);
             copy.coalesced = i > 0;
-            waiters[i].first.set_value(std::move(copy));
+            waiters[i].first(std::move(copy));
         }
+        lock.lock();
         --executing;
         const bool drained = queue.empty() && executing == 0;
         lock.unlock();

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -130,6 +131,26 @@ class ForecastServer
      */
     std::future<ForecastResult> submit(ForecastRequest request);
 
+    /**
+     * A request's completion callback: invoked exactly once with the
+     * result, from a worker thread (never under the server's internal
+     * lock) — or inline from trySubmit for immediate rejections. The
+     * callback must not block on the server (submit/drain/stop from
+     * inside it deadlocks by design).
+     */
+    using Completion = std::function<void(ForecastResult)>;
+
+    /**
+     * Non-blocking submit for event-loop callers (the socket
+     * front-end): never waits. Returns false — without invoking
+     * @p done — when the queue is full, so the caller can reject at
+     * its own edge (that is the backpressure chain: engine queue ->
+     * trySubmit -> rejection on the wire). Coalesces exactly like
+     * submit(); after stop(), @p done is invoked inline with a
+     * rejection result and trySubmit returns true.
+     */
+    bool trySubmit(ForecastRequest request, Completion done);
+
     /** Block until every accepted request has been answered. */
     void drain();
 
@@ -168,14 +189,15 @@ class ForecastServer
     struct Pending
     {
         ForecastRequest request;
-        /** (promise, tag) per coalesced submitter; front = first. */
-        std::vector<std::pair<std::promise<ForecastResult>, std::string>>
-            waiters;
+        /** (completion, tag) per coalesced submitter; front = first. */
+        std::vector<std::pair<Completion, std::string>> waiters;
         /** Enqueue instant (queue-wait histogram / e2e latency). */
         std::chrono::steady_clock::time_point enqueued;
     };
 
     void workerLoop();
+    /** Invoke @p done (outside the lock) with a rejection result. */
+    static void rejectNow(Completion &done, std::string tag);
 
     std::shared_ptr<api::ForecastEngine> engine;
     ServerOptions options;

@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <cstring>
 #include <istream>
 
 #include "common/logging.hpp"
@@ -8,6 +9,71 @@
 namespace neusight::serve {
 
 using common::Json;
+
+LineFramer::LineFramer(size_t max_line_bytes)
+    : maxLineBytes(max_line_bytes)
+{
+    ensure(maxLineBytes > 0, "LineFramer: max line bytes must be positive");
+}
+
+void
+LineFramer::feed(const char *data, size_t size)
+{
+    if (discardingLine) {
+        // Inside an already-reported oversized line: drop bytes until
+        // its terminating newline shows up, then resume buffering.
+        const char *nl = static_cast<const char *>(memchr(data, '\n', size));
+        if (nl == nullptr)
+            return;
+        discardingLine = false;
+        const size_t dropped = static_cast<size_t>(nl - data) + 1;
+        data += dropped;
+        size -= dropped;
+    }
+    pending.append(data, size);
+}
+
+LineFramer::Event
+LineFramer::next(std::string &out)
+{
+    // Compact once the consumed prefix dominates, so long sessions
+    // don't grow the buffer without bound.
+    if (consumed > 0 && consumed >= pending.size() / 2) {
+        pending.erase(0, consumed);
+        scanned -= consumed;
+        consumed = 0;
+    }
+    const size_t nl = pending.find('\n', scanned);
+    if (nl == std::string::npos) {
+        scanned = pending.size();
+        if (pending.size() - consumed > maxLineBytes) {
+            // No newline in sight and the line is already over the
+            // bound: report it once and stream the rest to /dev/null.
+            pending.clear();
+            consumed = 0;
+            scanned = 0;
+            discardingLine = true;
+            return Event::Oversized;
+        }
+        return Event::None;
+    }
+    size_t end = nl;
+    if (end > consumed && pending[end - 1] == '\r')
+        --end;
+    const size_t start = consumed;
+    consumed = nl + 1;
+    scanned = consumed;
+    if (end - start > maxLineBytes)
+        return Event::Oversized;
+    out.assign(pending, start, end - start);
+    return Event::Line;
+}
+
+size_t
+LineFramer::buffered() const
+{
+    return pending.size() - consumed;
+}
 
 namespace {
 

@@ -2,8 +2,9 @@
  * @file
  * JSON line protocol for the forecast server: one request object per
  * line in, one result object per line out, so forecast workloads can be
- * scripted from files or pipes (and later from sockets) without any new
- * dependency — the reader/writer is common/json.
+ * scripted from files, pipes, or sockets (src/net/) without any new
+ * dependency — the reader/writer is common/json. Byte-stream transports
+ * reassemble partial lines through LineFramer below.
  *
  * Request lines:
  *   {"op":"inference","model":"GPT3-XL","batch":4,"gpu":"H100"}
@@ -27,6 +28,7 @@
 #ifndef NEUSIGHT_SERVE_WIRE_HPP
 #define NEUSIGHT_SERVE_WIRE_HPP
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -35,6 +37,66 @@
 #include "serve/request.hpp"
 
 namespace neusight::serve {
+
+/**
+ * Incremental line framer for byte-stream transports. Sockets deliver
+ * the JSON-lines protocol in arbitrary chunks — a request line may
+ * arrive split across reads or merged with its neighbors — so the
+ * stream side feeds raw bytes in and pulls complete lines out. A bound
+ * on the line length protects the server from a client that never sends
+ * a newline: the oversized line's payload is discarded as it streams
+ * through (memory stays bounded) and reported once, so the caller can
+ * answer with an error and keep or drop the connection.
+ *
+ * Trailing '\r' is stripped (telnet/CRLF clients). The framer is a
+ * pure byte machine: JSON validation stays with requestFromJson.
+ */
+class LineFramer
+{
+  public:
+    /** What next() produced. */
+    enum class Event
+    {
+        /** No complete line buffered; feed more bytes. */
+        None,
+        /** One complete line, in @p out (newline stripped). */
+        Line,
+        /** A line exceeded maxLineBytes; its payload was discarded. */
+        Oversized,
+    };
+
+    explicit LineFramer(size_t max_line_bytes = kDefaultMaxLineBytes);
+
+    /** Append @p size raw bytes from the transport. */
+    void feed(const char *data, size_t size);
+
+    /**
+     * Pull the next framing event. Call until it returns None, then
+     * feed more bytes. Line fills @p out; Oversized reports one
+     * over-long line (already consumed up to its terminating newline —
+     * if the newline has not arrived yet, subsequent bytes of that
+     * line keep being discarded).
+     */
+    Event next(std::string &out);
+
+    /** Bytes buffered waiting for a newline. */
+    size_t buffered() const;
+
+    /** True while inside an oversized line whose newline is pending. */
+    bool discarding() const { return discardingLine; }
+
+    static constexpr size_t kDefaultMaxLineBytes = 1 << 20;
+
+  private:
+    size_t maxLineBytes;
+    std::string pending;
+    /** Start of the unconsumed region (compacted lazily, so pulling
+     *  many merged lines out of one big feed stays linear). */
+    size_t consumed = 0;
+    /** End of the region already scanned for '\n'. */
+    size_t scanned = 0;
+    bool discardingLine = false;
+};
 
 /**
  * Decode one request object. fatal() (throws) on unknown ops, missing

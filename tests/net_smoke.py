@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Socket front-end smoke test.
+
+Spawns `neusight-serve --listen 127.0.0.1:0` (optionally sharded),
+parses the ready line off stderr for the ephemeral port, drives a few
+forecasts and a stats request over TCP, then delivers SIGTERM while a
+request is in flight and asserts the whole process tree drains cleanly
+(exit code 0, all replies well-formed).
+
+Usage: net_smoke.py <path-to-neusight-serve> [--shards N]
+"""
+
+import json
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def fail(msg):
+    print("net_smoke: FAIL:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: net_smoke.py <neusight-serve> [--shards N]")
+    serve = sys.argv[1]
+    shards = 1
+    if "--shards" in sys.argv:
+        shards = int(sys.argv[sys.argv.index("--shards") + 1])
+
+    cmd = [
+        serve, "--backend", "oracle", "--workers", "1",
+        "--listen", "127.0.0.1:0", "--shards", str(shards),
+    ]
+    proc = subprocess.Popen(cmd, stderr=subprocess.PIPE)
+    port = None
+    deadline = time.time() + 30
+    try:
+        for raw in proc.stderr:
+            line = raw.decode(errors="replace")
+            match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+            if time.time() > deadline:
+                break
+        if port is None:
+            fail("server never printed its ready line")
+
+        sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        sock.settimeout(30)
+        stream = sock.makefile("rwb")
+
+        def request(obj):
+            stream.write((json.dumps(obj) + "\n").encode())
+            stream.flush()
+
+        def reply():
+            raw = stream.readline()
+            if not raw:
+                fail("connection closed before a reply")
+            return json.loads(raw)
+
+        # Three forecasts with distinct tags; replies may arrive out of
+        # order (the worker pool finishes fast ones first).
+        tags = []
+        for i, batch in enumerate((1, 2, 4)):
+            tag = "smoke%d" % i
+            tags.append(tag)
+            request({"op": "inference", "model": "BERT-Large",
+                     "batch": batch, "gpu": "A100-40GB", "tag": tag})
+        seen = set()
+        for _ in tags:
+            r = reply()
+            if not r.get("ok"):
+                fail("forecast failed: %s" % r.get("error"))
+            seen.add(r.get("tag"))
+        if seen != set(tags):
+            fail("tags mismatch: %s" % seen)
+
+        # Stats must aggregate (and in sharded mode, merge) registries.
+        request({"op": "stats", "tag": "st"})
+        r = reply()
+        if not r.get("ok") or "stats" not in r:
+            fail("stats request failed: %s" % r)
+        if shards > 1 and r.get("shards") != shards:
+            fail("stats reports %s live shards, want %d"
+                 % (r.get("shards"), shards))
+        if r["stats"].get("engine.instances") != shards:
+            fail("merged stats shows %s engine instances, want %d"
+                 % (r["stats"].get("engine.instances"), shards))
+
+        # SIGTERM during load: put a request in flight, give the event
+        # loop a beat to read it off the socket (the forecast itself
+        # takes far longer), then signal. Drain semantics require the
+        # accepted request to be answered and the process to exit 0 —
+        # no crash, no hung worker, no orphaned shard.
+        request({"op": "inference", "model": "GPT2-Large", "batch": 8,
+                 "gpu": "A100-40GB", "tag": "last"})
+        time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        r = reply()
+        if r.get("tag") != "last" or "ok" not in r:
+            fail("malformed reply during drain: %s" % r)
+        sock.close()
+    finally:
+        try:
+            code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("server did not exit within 60s of SIGTERM")
+    if code != 0:
+        fail("server exited %d after SIGTERM drain" % code)
+    print("net_smoke: OK (shards=%d)" % shards)
+
+
+if __name__ == "__main__":
+    main()

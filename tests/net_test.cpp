@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Tests for the socket front-end: LineFramer partial/merged/oversized
+ * framing, consistent-hash ring stability and minimal disruption,
+ * metrics-snapshot merging, and the SocketServer over a real loopback
+ * TCP connection — round-trips, junk input, per-client admission,
+ * engine-queue backpressure (counted in serve.rejected), a client
+ * hanging up mid-write (the SIGPIPE regression), and graceful drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.hpp"
+#include "eval/oracle.hpp"
+#include "net/hash_ring.hpp"
+#include "net/io.hpp"
+#include "net/socket_server.hpp"
+#include "obs/merge.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace neusight {
+namespace {
+
+using common::Json;
+
+// ---------------------------------------------------------------- framing
+
+std::vector<std::string>
+drainFramer(serve::LineFramer &framer, int *oversized = nullptr)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    for (;;) {
+        const serve::LineFramer::Event event = framer.next(line);
+        if (event == serve::LineFramer::Event::None)
+            return lines;
+        if (event == serve::LineFramer::Event::Oversized) {
+            if (oversized != nullptr)
+                ++*oversized;
+            continue;
+        }
+        lines.push_back(line);
+    }
+}
+
+TEST(LineFramer, ReassemblesSplitAndMergedLines)
+{
+    serve::LineFramer framer;
+    // One line split across three feeds, then two lines in one feed.
+    framer.feed("{\"a\":", 5);
+    EXPECT_TRUE(drainFramer(framer).empty());
+    framer.feed("1", 1);
+    framer.feed("}\n{\"b\":2}\n{\"c\"", 14);
+    const auto lines = drainFramer(framer);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "{\"a\":1}");
+    EXPECT_EQ(lines[1], "{\"b\":2}");
+    // The tail arrives later and completes.
+    framer.feed(":3}\r\n", 5); // CRLF from a telnet-ish client.
+    const auto tail = drainFramer(framer);
+    ASSERT_EQ(tail.size(), 1u);
+    EXPECT_EQ(tail[0], "{\"c\":3}");
+}
+
+TEST(LineFramer, OversizedLineIsDiscardedInStreamingFashion)
+{
+    serve::LineFramer framer(8);
+    const std::string huge(100, 'x');
+    // Fed in small chunks: the framer must not buffer the whole line.
+    for (size_t i = 0; i < huge.size(); i += 10)
+        framer.feed(huge.data() + i, std::min<size_t>(10, huge.size() - i));
+    framer.feed("\nok\n", 4);
+    int oversized = 0;
+    const auto lines = drainFramer(framer, &oversized);
+    EXPECT_EQ(oversized, 1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "ok"); // Recovery after the discard.
+    EXPECT_LE(framer.buffered(), 16u);
+}
+
+// --------------------------------------------------------------- hash ring
+
+TEST(HashRing, SameKeySameShardAcrossInstances)
+{
+    net::HashRing a(4);
+    net::HashRing b(4);
+    for (int i = 0; i < 500; ++i) {
+        const std::string key = "fingerprint-" + std::to_string(i);
+        EXPECT_EQ(a.shardFor(key), b.shardFor(key));
+    }
+}
+
+TEST(HashRing, EveryShardOwnsTraffic)
+{
+    net::HashRing ring(4);
+    std::vector<int> hits(4, 0);
+    for (int i = 0; i < 2000; ++i)
+        ++hits[ring.shardFor("key-" + std::to_string(i))];
+    for (int s = 0; s < 4; ++s)
+        EXPECT_GT(hits[s], 0) << "shard " << s << " owns no keys";
+}
+
+TEST(HashRing, RemovalOnlyRemapsTheDeadShardsKeys)
+{
+    net::HashRing ring(4);
+    std::unordered_map<std::string, size_t> before;
+    for (int i = 0; i < 1000; ++i) {
+        const std::string key = "key-" + std::to_string(i);
+        before[key] = ring.shardFor(key);
+    }
+    ring.removeShard(2);
+    EXPECT_EQ(ring.liveShards(), 3u);
+    EXPECT_FALSE(ring.contains(2));
+    for (const auto &[key, shard] : before) {
+        const size_t now = ring.shardFor(key);
+        if (shard != 2)
+            EXPECT_EQ(now, shard) << key << " moved needlessly";
+        else
+            EXPECT_NE(now, 2u) << key << " still on the dead shard";
+    }
+}
+
+// ----------------------------------------------------------- merged stats
+
+TEST(MergeMetrics, SumsCountersAndMergesHistograms)
+{
+    obs::MetricsRegistry a;
+    obs::MetricsRegistry b;
+    a.counter("serve.submitted")->inc(3);
+    b.counter("serve.submitted")->inc(5);
+    a.gauge("engine.instances")->add(1);
+    b.gauge("engine.instances")->add(1);
+    b.counter("only.in.b")->inc(7);
+    a.histogram("serve.e2e_us", "us")->record(100.0);
+    a.histogram("serve.e2e_us", "us")->record(200.0);
+    b.histogram("serve.e2e_us", "us")->record(400.0);
+
+    const Json merged =
+        obs::mergeMetricsSnapshots({a.toJson(), b.toJson()});
+    EXPECT_EQ(merged.at("serve.submitted").asInt(), 8);
+    EXPECT_EQ(merged.at("engine.instances").asInt(), 2);
+    EXPECT_EQ(merged.at("only.in.b").asInt(), 7);
+    const Json &hist = merged.at("serve.e2e_us");
+    EXPECT_EQ(hist.at("count").asInt(), 3);
+    // The merged quantiles stay inside the recorded range.
+    EXPECT_GE(hist.at("p50").asDouble(), 90.0);
+    EXPECT_LE(hist.at("p999").asDouble(), 450.0);
+}
+
+// ------------------------------------------------------- loopback sockets
+
+/** A SocketServer over a SimulatorOracle engine, run on its own
+ *  thread, plus a line-oriented test client. */
+class LoopbackServer
+{
+  public:
+    explicit LoopbackServer(net::SocketServerOptions options =
+                                net::SocketServerOptions(),
+                            serve::ServerOptions engine_options = {})
+        : server(oracle, engine_options), sock(server, options),
+          thread([this] { sock.run(); })
+    {
+    }
+
+    ~LoopbackServer()
+    {
+        sock.requestStop();
+        thread.join();
+        server.stop();
+    }
+
+    eval::SimulatorOracle oracle;
+    serve::ForecastServer server;
+    net::SocketServer sock;
+    std::thread thread;
+};
+
+class LineClient
+{
+  public:
+    explicit LineClient(uint16_t port)
+        : fd(net::connectTcp("127.0.0.1", port))
+    {
+        EXPECT_GE(fd, 0) << "connect failed: " << strerror(errno);
+    }
+
+    ~LineClient()
+    {
+        if (fd >= 0)
+            net::closeFd(fd);
+    }
+
+    void send(const std::string &bytes)
+    {
+        ASSERT_TRUE(net::writeFully(fd, bytes.data(), bytes.size()));
+    }
+
+    /** Blocking read of the next reply line, parsed as JSON. */
+    Json readReply()
+    {
+        std::string line;
+        for (;;) {
+            if (framer.next(line) == serve::LineFramer::Event::Line)
+                return Json::parse(line);
+            char buf[4096];
+            const ssize_t n = net::readRetry(fd, buf, sizeof(buf));
+            if (n <= 0)
+                return Json(); // EOF / reset: callers assert on shape.
+            framer.feed(buf, static_cast<size_t>(n));
+        }
+    }
+
+    /** Close without reading; pending server writes will fail. */
+    void hangUp()
+    {
+        net::closeFd(fd);
+        fd = -1;
+    }
+
+    int fd;
+    serve::LineFramer framer;
+};
+
+std::string
+forecastLine(const std::string &model, uint64_t batch,
+             const std::string &tag)
+{
+    Json json;
+    json.set("op", "inference");
+    json.set("model", model);
+    json.set("batch", batch);
+    json.set("gpu", "A100-40GB");
+    json.set("tag", tag);
+    return json.dump(0) + "\n";
+}
+
+TEST(SocketServer, RoundTripsSplitMergedAndJunkLines)
+{
+    LoopbackServer loop;
+    LineClient client(loop.sock.port());
+
+    // One request split across two writes.
+    const std::string line = forecastLine("BERT-Large", 1, "split");
+    client.send(line.substr(0, 10));
+    client.send(line.substr(10));
+    Json reply = client.readReply();
+    EXPECT_TRUE(reply.boolOr("ok", false)) << reply.dump(0);
+    EXPECT_EQ(reply.stringOr("tag", ""), "split");
+
+    // Two requests plus a junk line in a single write: both answered,
+    // the junk gets a clean error instead of killing the connection.
+    client.send(forecastLine("BERT-Large", 2, "a") + "this is not json\n" +
+                forecastLine("BERT-Large", 4, "b"));
+    int ok = 0;
+    int failed = 0;
+    std::set<std::string> tags;
+    for (int i = 0; i < 3; ++i) {
+        reply = client.readReply();
+        tags.insert(reply.stringOr("tag", ""));
+        if (reply.boolOr("ok", false))
+            ++ok;
+        else
+            ++failed;
+    }
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(failed, 1);
+    EXPECT_TRUE(tags.count("a"));
+    EXPECT_TRUE(tags.count("b"));
+
+    // The connection is still healthy after the protocol error.
+    client.send(forecastLine("BERT-Large", 8, "after"));
+    reply = client.readReply();
+    EXPECT_TRUE(reply.boolOr("ok", false));
+    EXPECT_EQ(reply.stringOr("tag", ""), "after");
+}
+
+TEST(SocketServer, StatsRequestAnswersOverTheSocket)
+{
+    LoopbackServer loop;
+    LineClient client(loop.sock.port());
+    client.send(forecastLine("BERT-Large", 1, "warm"));
+    EXPECT_TRUE(client.readReply().boolOr("ok", false));
+    client.send("{\"op\":\"stats\",\"tag\":\"s\"}\n");
+    const Json reply = client.readReply();
+    EXPECT_TRUE(reply.boolOr("ok", false)) << reply.dump(0);
+    ASSERT_TRUE(reply.has("stats"));
+    EXPECT_GE(reply.at("stats").at("serve.completed").asInt(), 1);
+    EXPECT_GE(reply.at("stats").at("net.lines").asInt(), 2);
+}
+
+TEST(SocketServer, MidWriteDisconnectDoesNotKillTheServer)
+{
+    LoopbackServer loop;
+    {
+        LineClient rude(loop.sock.port());
+        // Queue work, then vanish without reading a single byte: the
+        // completions land on a closed socket (EPIPE/ECONNRESET in the
+        // flush path — fatal before SIGPIPE was ignored).
+        std::string burst;
+        for (int i = 0; i < 32; ++i)
+            burst += forecastLine("BERT-Large",
+                                  static_cast<uint64_t>(i + 1),
+                                  "r" + std::to_string(i));
+        rude.send(burst);
+        rude.hangUp();
+    }
+    // Give the drain a moment to hit the dead socket, then prove the
+    // server is still alive by serving a well-behaved client.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    LineClient polite(loop.sock.port());
+    polite.send(forecastLine("BERT-Large", 2, "alive"));
+    const Json reply = polite.readReply();
+    EXPECT_TRUE(reply.boolOr("ok", false)) << reply.dump(0);
+    EXPECT_EQ(reply.stringOr("tag", ""), "alive");
+}
+
+TEST(SocketServer, AdmissionLimitRejectsAndCountsInServeRejected)
+{
+    net::SocketServerOptions options;
+    options.maxInFlightPerClient = 1;
+    serve::ServerOptions engine_options;
+    engine_options.workers = 1;
+    LoopbackServer loop(options, engine_options);
+    LineClient client(loop.sock.port());
+
+    // A burst of distinct requests on one connection: with a single
+    // in-flight slot, later ones must be rejected (not queued), and
+    // every rejection lands in serve.rejected.
+    std::string burst;
+    constexpr int kBurst = 8;
+    for (int i = 0; i < kBurst; ++i)
+        burst += forecastLine("BERT-Large", static_cast<uint64_t>(i + 1),
+                              "t" + std::to_string(i));
+    client.send(burst);
+    int ok = 0;
+    int rejected = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        const Json reply = client.readReply();
+        if (reply.boolOr("ok", false)) {
+            ++ok;
+        } else {
+            ++rejected;
+            EXPECT_NE(reply.stringOr("error", "").find("admission"),
+                      std::string::npos)
+                << reply.dump(0);
+        }
+    }
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(rejected, 1);
+    EXPECT_GE(loop.server.stats().rejected,
+              static_cast<uint64_t>(rejected));
+}
+
+TEST(SocketServer, EngineQueueBackpressureRejectsWhenFull)
+{
+    net::SocketServerOptions options;
+    options.maxInFlightPerClient = 0; // Admission off: isolate queue.
+    serve::ServerOptions engine_options;
+    engine_options.workers = 1;
+    engine_options.queueCapacity = 1;
+    LoopbackServer loop(options, engine_options);
+    LineClient client(loop.sock.port());
+
+    // Distinct fingerprints (no coalescing): with a one-slot queue some
+    // must bounce off the engine queue as overload rejections.
+    std::string burst;
+    constexpr int kBurst = 16;
+    for (int i = 0; i < kBurst; ++i)
+        burst += forecastLine("BERT-Large", static_cast<uint64_t>(i + 1),
+                              "q" + std::to_string(i));
+    client.send(burst);
+    int ok = 0;
+    int overloaded = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        const Json reply = client.readReply();
+        if (reply.boolOr("ok", false))
+            ++ok;
+        else if (reply.stringOr("error", "").find("overloaded") !=
+                 std::string::npos)
+            ++overloaded;
+    }
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(overloaded, 1);
+    EXPECT_GE(loop.server.stats().rejected,
+              static_cast<uint64_t>(overloaded));
+}
+
+TEST(SocketServer, OversizedRequestLineAnswersErrorAndCloses)
+{
+    net::SocketServerOptions options;
+    options.maxLineBytes = 128;
+    LoopbackServer loop(options);
+    LineClient client(loop.sock.port());
+    client.send(std::string(1024, 'x') + "\n");
+    const Json reply = client.readReply();
+    EXPECT_FALSE(reply.boolOr("ok", true));
+    EXPECT_NE(reply.stringOr("error", "").find("exceeds"),
+              std::string::npos);
+    // The server closes after flushing the error.
+    char buf[64];
+    EXPECT_EQ(net::readRetry(client.fd, buf, sizeof(buf)), 0);
+}
+
+TEST(SocketServer, GracefulStopAnswersInFlightWork)
+{
+    LoopbackServer loop;
+    LineClient client(loop.sock.port());
+    std::string burst;
+    constexpr int kBurst = 16;
+    for (int i = 0; i < kBurst; ++i)
+        burst += forecastLine("GPT2-Large", static_cast<uint64_t>(i + 1),
+                              "g" + std::to_string(i));
+    client.send(burst);
+    // Let the epoll loop read (and accept) the whole burst — the
+    // forecasts themselves take far longer than the reads — then stop
+    // mid-computation: everything accepted must still be answered.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    loop.sock.requestStop(); // SIGTERM equivalent, mid-load.
+    int answered = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        const Json reply = client.readReply();
+        if (reply.isObject() && reply.has("ok"))
+            ++answered;
+    }
+    // Every accepted request is answered (ok or a drain rejection),
+    // none silently dropped.
+    EXPECT_EQ(answered, kBurst);
+}
+
+} // namespace
+} // namespace neusight

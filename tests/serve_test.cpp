@@ -800,6 +800,93 @@ TEST(Server, HybridRequestsMatchDirectForecast)
     EXPECT_DOUBLE_EQ(result.commBytes, direct.commBytes);
 }
 
+TEST(Server, StopSubmitRaceAlwaysResolvesAndNeverCorruptsDepth)
+{
+    // Hammer the submit/stop race: every submit must resolve (a result
+    // or a deterministic rejection), never hang or enqueue into a dead
+    // pool, and the queue-depth gauge must end at exactly zero (it is
+    // only ever set to queue.size(), so underflow would show up as a
+    // huge positive value here). Run under TSan to pin the locking.
+    for (int round = 0; round < 4; ++round) {
+        const SlowCountingPredictor predictor(1);
+        ServerOptions options;
+        options.workers = 2;
+        options.queueCapacity = 4;
+        ForecastServer server(predictor, options);
+        std::atomic<int> resolved{0};
+        std::vector<std::thread> submitters;
+        for (int t = 0; t < 4; ++t) {
+            submitters.emplace_back([&server, &resolved, t] {
+                for (int i = 0; i < 16; ++i) {
+                    const ForecastResult result =
+                        server
+                            .submit(smallInferenceRequest(
+                                static_cast<uint64_t>(t * 16 + i + 1),
+                                "h" + std::to_string(t * 16 + i)))
+                            .get();
+                    EXPECT_TRUE(result.ok || !result.error.empty());
+                    resolved.fetch_add(1);
+                }
+            });
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        server.stop(); // Races the submitters by design.
+        for (std::thread &t : submitters)
+            t.join();
+        EXPECT_EQ(resolved.load(), 64);
+
+        // Submit-after-stop is a deterministic immediate rejection —
+        // even when identical work is technically still coalescable.
+        const ForecastResult late =
+            server.submit(smallInferenceRequest(1, "late")).get();
+        EXPECT_FALSE(late.ok);
+        EXPECT_NE(late.error.find("shutting down"), std::string::npos);
+
+        EXPECT_EQ(server.stats().queueDepth, 0u);
+        EXPECT_EQ(server.metrics()->gauge("serve.queue_depth")->value(),
+                  0);
+        EXPECT_EQ(server.stats().completed + server.stats().rejected,
+                  server.stats().submitted);
+    }
+}
+
+TEST(Server, TrySubmitBackpressureAndShutdownSemantics)
+{
+    const SlowCountingPredictor predictor(20);
+    ServerOptions options;
+    options.workers = 1;
+    options.queueCapacity = 1;
+    ForecastServer server(predictor, options);
+
+    std::atomic<int> done{0};
+    const auto completion = [&done](ForecastResult) {
+        done.fetch_add(1);
+    };
+    // Slot 1 starts executing, slot 2 queues; a third DISTINCT request
+    // must bounce (queue full), while an identical-to-queued request
+    // still piggybacks (coalescing never needs a slot).
+    ASSERT_TRUE(server.trySubmit(smallInferenceRequest(1, "a"),
+                                 completion));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(server.trySubmit(smallInferenceRequest(2, "b"),
+                                 completion));
+    EXPECT_FALSE(server.trySubmit(smallInferenceRequest(3, "c"),
+                                  completion));
+    EXPECT_TRUE(server.trySubmit(smallInferenceRequest(2, "b2"),
+                                 completion));
+    server.drain();
+    EXPECT_EQ(done.load(), 3);
+
+    // After stop(): accepted, answered inline as a rejection.
+    server.stop();
+    bool rejected = false;
+    EXPECT_TRUE(server.trySubmit(
+        smallInferenceRequest(4, "late"), [&rejected](ForecastResult r) {
+            rejected = !r.ok;
+        }));
+    EXPECT_TRUE(rejected);
+}
+
 TEST(Wire, ScriptReaderSkipsBlanksAndComments)
 {
     std::istringstream script(

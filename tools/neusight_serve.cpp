@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <future>
 #include <iostream>
 #include <mutex>
@@ -32,7 +33,9 @@
 #include "obs/trace.hpp"
 #include "serve/prediction_cache.hpp"
 #include "serve/server.hpp"
+#include "net/frontend.hpp"
 #include "serve/wire.hpp"
+#include "tool_common.hpp"
 
 namespace {
 
@@ -43,6 +46,109 @@ printResult(const serve::ForecastResult &result)
 {
     std::printf("%s\n", serve::resultToJson(result).dump(0).c_str());
     std::fflush(stdout);
+}
+
+/**
+ * --listen mode: hand the socket front-end (src/net/frontend.hpp) an
+ * engine factory and serve until a stop signal drains. The factory runs
+ * after fork in each shard worker, so shards>1 builds one engine (own
+ * caches) per process.
+ */
+int
+runListen(const common::ArgParser &args, const std::string &listen,
+          size_t shards, size_t max_inflight,
+          const std::function<std::shared_ptr<api::ForecastEngine>()>
+              &buildEngine)
+{
+    if (!args.getString("script").empty() || args.getFlag("async") ||
+        args.getInt("repeat") != 1)
+        fatal("--listen serves sockets; --script/--async/--repeat drive "
+              "stdin mode");
+    if (shards > 1) {
+        // These write process-local files / reports; N workers would
+        // race on them. The "stats" wire op serves the merged view.
+        if (!args.getString("cache-save").empty())
+            fatal("--cache-save needs --shards 1 (every worker would "
+                  "overwrite the same snapshot; use the per-shard "
+                  "caches live instead)");
+        if (!args.getString("metrics-json").empty())
+            fatal("--metrics-json needs --shards 1 (query the merged "
+                  "registry over the wire with {\"op\":\"stats\"})");
+        if (!args.getString("trace-out").empty())
+            fatal("--trace-out needs --shards 1");
+        if (args.getInt("stats-interval") != 0)
+            fatal("--stats-interval needs --shards 1");
+    }
+
+    std::string address = "127.0.0.1";
+    std::string port_text = listen;
+    const size_t colon = listen.rfind(':');
+    if (colon != std::string::npos) {
+        address = listen.substr(0, colon);
+        port_text = listen.substr(colon + 1);
+    }
+    int64_t port = -1;
+    try {
+        size_t used = 0;
+        port = std::stoll(port_text, &used);
+        if (used != port_text.size())
+            port = -1;
+    } catch (const std::exception &) {
+        port = -1;
+    }
+    if (port < 0 || port > 65535)
+        fatal("--listen wants \"PORT\" or \"ADDR:PORT\" (got '" +
+              listen + "')");
+
+    const size_t workers = static_cast<size_t>(args.getInt("workers"));
+    const size_t queue = static_cast<size_t>(args.getInt("queue"));
+    // Shared with the epilogue below: only ever set by an in-process
+    // factory call (shards == 1); worker processes fill their own copy.
+    std::shared_ptr<api::ForecastEngine> local_engine;
+    const auto factory = [&]() {
+        auto engine = buildEngine();
+        serve::ServerOptions options;
+        options.workers = workers;
+        options.queueCapacity = queue;
+        options.cache = engine->predictionCache();
+        local_engine = engine;
+        return std::make_unique<serve::ForecastServer>(engine, options);
+    };
+
+    net::FrontendOptions fopt;
+    fopt.bindAddress = address;
+    fopt.port = static_cast<uint16_t>(port);
+    fopt.shards = shards;
+    fopt.maxInFlightPerClient = max_inflight;
+    const int code = net::runFrontend(fopt, factory);
+
+    if (shards == 1 && local_engine) {
+        if (!args.getString("cache-save").empty()) {
+            const size_t saved = local_engine->savePredictionCache();
+            std::fprintf(stderr,
+                         "neusight-serve: saved %zu cache entries to "
+                         "%s\n",
+                         saved, args.getString("cache-save").c_str());
+        }
+        if (!args.getString("metrics-json").empty()) {
+            local_engine->metrics()->writeJson(
+                args.getString("metrics-json"));
+            std::fprintf(stderr,
+                         "neusight-serve: wrote metrics snapshot to "
+                         "%s\n",
+                         args.getString("metrics-json").c_str());
+        }
+        if (!args.getString("trace-out").empty()) {
+            const size_t events =
+                obs::Tracer::global().writeChromeTrace(
+                    args.getString("trace-out"));
+            std::fprintf(stderr,
+                         "neusight-serve: wrote %zu trace events to "
+                         "%s\n",
+                         events, args.getString("trace-out").c_str());
+        }
+    }
+    return code;
 }
 
 int
@@ -98,6 +204,18 @@ run(int argc, const char *const *argv)
     args.addInt("stats-interval", 0,
                 "print the metrics table to stderr every N seconds "
                 "(0 disables)");
+    args.addString("listen", "",
+                   "serve over TCP instead of stdin: \"PORT\" or "
+                   "\"ADDR:PORT\" (port 0 binds an ephemeral port, "
+                   "reported on stderr); SIGTERM/SIGINT drain "
+                   "gracefully");
+    args.addInt("shards", 1,
+                "worker processes behind --listen; requests route to "
+                "shards by consistent-hashing their fingerprints, so "
+                "each shard's caches stay hot and disjoint");
+    args.addInt("max-inflight", 256,
+                "per-connection in-flight requests before admission "
+                "control rejects (--listen mode)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -120,26 +238,45 @@ run(int argc, const char *const *argv)
         fatal("--cache-load/--cache-save need the kernel-prediction "
               "cache (drop --no-cache)");
 
-    auto engine = std::make_shared<api::ForecastEngine>(
-        api::EngineConfig()
-            .backend(args.getString("backend"))
-            .predictor(args.getString("predictor"))
-            .precision(args.getString("precision"))
-            .cache(no_cache ? 0 : static_cast<size_t>(capacity))
-            .graphCache(args.getFlag("no-graph-cache")
-                            ? 0
-                            : static_cast<size_t>(graph_capacity))
-            .loadCacheFrom(args.getString("cache-load"))
-            .saveCacheTo(args.getString("cache-save")));
-    if (!args.getString("cache-load").empty())
-        std::fprintf(stderr,
-                     "neusight-serve: warmed the prediction cache with "
-                     "%zu entries from %s\n",
-                     engine->predictionCache()->size(),
-                     args.getString("cache-load").c_str());
-    // Load the default backend up front: an unknown --backend fails
-    // here, with the registry-derived list in the error.
-    engine->backend();
+    const auto buildEngine = [&]() {
+        auto built = std::make_shared<api::ForecastEngine>(
+            api::EngineConfig()
+                .backend(args.getString("backend"))
+                .predictor(args.getString("predictor"))
+                .precision(args.getString("precision"))
+                .cache(no_cache ? 0 : static_cast<size_t>(capacity))
+                .graphCache(args.getFlag("no-graph-cache")
+                                ? 0
+                                : static_cast<size_t>(graph_capacity))
+                .loadCacheFrom(args.getString("cache-load"))
+                .saveCacheTo(args.getString("cache-save")));
+        if (!args.getString("cache-load").empty())
+            std::fprintf(stderr,
+                         "neusight-serve: warmed the prediction cache "
+                         "with %zu entries from %s\n",
+                         built->predictionCache()->size(),
+                         args.getString("cache-load").c_str());
+        // Load the default backend up front: an unknown --backend
+        // fails here, with the registry-derived list in the error.
+        built->backend();
+        return built;
+    };
+
+    const std::string listen = args.getString("listen");
+    const int64_t shards = args.getInt("shards");
+    const int64_t max_inflight = args.getInt("max-inflight");
+    if (shards < 1)
+        fatal("--shards must be at least 1");
+    if (max_inflight < 1)
+        fatal("--max-inflight must be at least 1");
+    if (listen.empty() && shards != 1)
+        fatal("--shards needs --listen (sharding is a property of the "
+              "socket front-end)");
+    if (!listen.empty())
+        return runListen(args, listen, static_cast<size_t>(shards),
+                         static_cast<size_t>(max_inflight), buildEngine);
+
+    auto engine = buildEngine();
     const std::shared_ptr<serve::PredictionCache> cache =
         engine->predictionCache();
 
@@ -352,6 +489,7 @@ run(int argc, const char *const *argv)
 int
 main(int argc, char **argv)
 {
+    tools::toolInit();
     try {
         return run(argc, argv);
     } catch (const std::exception &e) {

@@ -96,6 +96,7 @@ run(int argc, const char *const *argv)
 int
 main(int argc, char **argv)
 {
+    tools::toolInit();
     try {
         return run(argc, argv);
     } catch (const std::exception &e) {

@@ -17,8 +17,21 @@
 
 #include "api/engine.hpp"
 #include "common/logging.hpp"
+#include "net/io.hpp"
 
 namespace neusight::tools {
+
+/**
+ * Process-wide setup every tool main runs first. Currently: ignore
+ * SIGPIPE, so `neusight-serve ... | head` (or any client hanging up on
+ * a socket mid-write) ends with a write error handled per-stream, not
+ * a silent SIGPIPE death of the whole process.
+ */
+inline void
+toolInit()
+{
+    net::ignoreSigpipe();
+}
 
 /** Split a comma-separated option value into its items. */
 inline std::vector<std::string>
