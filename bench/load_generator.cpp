@@ -10,6 +10,12 @@
  *
  *   bench_load_generator --requests 1000000 --shards 1,4 \
  *       --json BENCH_net.json --min-scaling 1.0
+ *
+ * --chaos turns each run into a fault-tolerance benchmark: a chaos
+ * thread SIGKILLs a live shard worker every --chaos-period-ms while
+ * the clients keep driving load, and the report gains the kill count,
+ * the error rate (typed errors are tolerated, not required to be
+ * zero), and recovery-time quantiles (kill to respawned worker).
  */
 
 #include <algorithm>
@@ -91,7 +97,8 @@ buildRequestLines()
 
 /** Fork a TCP server child; returns its pid and the bound port. */
 pid_t
-spawnServer(size_t shards, size_t workers, uint16_t *port_out)
+spawnServer(size_t shards, size_t workers, bool chaos,
+            uint16_t *port_out)
 {
     int report[2];
     if (::pipe(report) != 0)
@@ -108,6 +115,12 @@ spawnServer(size_t shards, size_t workers, uint16_t *port_out)
         fopt.shards = shards;
         fopt.portReportFd = report[1];
         fopt.readyLabel = ""; // The port pipe is the ready signal.
+        if (chaos) {
+            // Under kill injection no request may hang forever, and a
+            // fast heartbeat keeps detection off the critical path.
+            fopt.requestTimeoutMs = 10000;
+            fopt.heartbeatIntervalMs = 200;
+        }
         const auto factory = [workers]() {
             auto engine = std::make_shared<api::ForecastEngine>(
                 api::EngineConfig().backend("oracle"));
@@ -211,6 +224,68 @@ clientLoop(uint16_t port, const std::vector<std::string> &lines,
     net::closeFd(fd);
 }
 
+/** The server's direct children (= live shard workers). */
+std::vector<pid_t>
+childrenOf(pid_t pid)
+{
+    const std::string path = "/proc/" + std::to_string(pid) + "/task/" +
+                             std::to_string(pid) + "/children";
+    std::ifstream in(path);
+    std::vector<pid_t> pids;
+    long long child = 0;
+    while (in >> child)
+        pids.push_back(static_cast<pid_t>(child));
+    return pids;
+}
+
+/**
+ * The chaos thread: every @p period_ms, SIGKILL one live shard worker
+ * (rotating across the fleet) and time how long the supervisor takes
+ * to bring the fleet back to strength — kill to respawned child, as
+ * seen from /proc. Runs until @p done; skips a round while a previous
+ * kill is still recovering.
+ */
+void
+chaosLoop(pid_t server, size_t shards, int period_ms,
+          std::atomic<bool> &done, obs::Histogram &recovery_ms,
+          std::atomic<uint64_t> &kills)
+{
+    const auto sleepUnlessDone = [&done](int ms) {
+        for (int waited = 0; waited < ms && !done.load(); waited += 5)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    };
+    while (!done.load()) {
+        sleepUnlessDone(period_ms);
+        if (done.load())
+            return;
+        const std::vector<pid_t> pids = childrenOf(server);
+        if (pids.size() < shards)
+            continue; // Still short-handed from the previous kill.
+        const pid_t victim =
+            pids[static_cast<size_t>(kills.load()) % pids.size()];
+        if (::kill(victim, SIGKILL) != 0)
+            continue;
+        kills.fetch_add(1);
+        const auto killed_at = std::chrono::steady_clock::now();
+        // The dead child leaves /proc once the router reaps it; the
+        // fleet is whole again once the respawned worker appears.
+        bool shrank = false;
+        while (!done.load()) {
+            const size_t alive = childrenOf(server).size();
+            if (alive < shards)
+                shrank = true;
+            else if (shrank) {
+                recovery_ms.record(
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - killed_at)
+                        .count());
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+}
+
 struct RunResult
 {
     double reqPerSec = 0.0;
@@ -219,18 +294,32 @@ struct RunResult
     double p999Us = 0.0;
     uint64_t errors = 0;
     uint64_t answered = 0;
+    uint64_t kills = 0;
+    double errorRate = 0.0;
+    double recoveryP50Ms = 0.0;
+    double recoveryP99Ms = 0.0;
 };
 
 RunResult
 runOnce(size_t shards, size_t workers, size_t requests,
         size_t connections, size_t window,
-        const std::vector<std::string> &lines)
+        const std::vector<std::string> &lines, bool chaos,
+        int chaos_period_ms)
 {
     uint16_t port = 0;
-    const pid_t server = spawnServer(shards, workers, &port);
+    const pid_t server = spawnServer(shards, workers, chaos, &port);
 
     obs::Histogram latency;
+    obs::Histogram recovery_ms;
     std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> kills{0};
+    std::atomic<bool> chaos_done{false};
+    std::thread chaos_thread;
+    if (chaos && shards > 1)
+        chaos_thread = std::thread(chaosLoop, server, shards,
+                                   chaos_period_ms, std::ref(chaos_done),
+                                   std::ref(recovery_ms),
+                                   std::ref(kills));
     std::vector<std::thread> clients;
     const size_t per_conn = requests / connections;
     const auto start = std::chrono::steady_clock::now();
@@ -247,6 +336,10 @@ runOnce(size_t shards, size_t workers, size_t requests,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (chaos_thread.joinable()) {
+        chaos_done.store(true);
+        chaos_thread.join();
+    }
 
     ::kill(server, SIGTERM);
     int status = 0;
@@ -265,6 +358,11 @@ runOnce(size_t shards, size_t workers, size_t requests,
     out.p50Us = latency.quantile(0.50);
     out.p99Us = latency.quantile(0.99);
     out.p999Us = latency.quantile(0.999);
+    out.kills = kills.load();
+    out.errorRate = static_cast<double>(out.errors) /
+                    static_cast<double>(std::max<size_t>(requests, 1));
+    out.recoveryP50Ms = recovery_ms.quantile(0.50);
+    out.recoveryP99Ms = recovery_ms.quantile(0.99);
     return out;
 }
 
@@ -286,6 +384,12 @@ run(int argc, const char *const *argv)
                    "fail (exit 3) when req/s at the highest shard count "
                    "falls below this multiple of the shards=1 req/s; "
                    "0 disables");
+    args.addFlag("chaos",
+                 "SIGKILL a shard worker every --chaos-period-ms during "
+                 "each run and report error rate plus recovery-time "
+                 "quantiles (sharded runs only)");
+    args.addInt("chaos-period-ms", 2000,
+                "interval between chaos kills with --chaos");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -294,18 +398,23 @@ run(int argc, const char *const *argv)
     const int64_t workers = args.getInt("workers");
     const int64_t connections = args.getInt("connections");
     const int64_t window = args.getInt("window");
+    const bool chaos = args.getFlag("chaos");
+    const int64_t chaos_period_ms = args.getInt("chaos-period-ms");
     if (requests < 1 || workers < 1 || connections < 1 || window < 1)
         fatal("--requests, --workers, --connections and --window must "
               "be at least 1");
+    if (chaos && chaos_period_ms < 1)
+        fatal("--chaos-period-ms must be at least 1");
 
     const std::vector<std::string> lines = buildRequestLines();
 
     TextTable table(
         "Socket front-end load (" + std::to_string(requests) +
             " requests, " + std::to_string(connections) +
-            " connections, window " + std::to_string(window) + ")",
+            " connections, window " + std::to_string(window) +
+            (chaos ? ", chaos" : "") + ")",
         {"shards", "req/s", "p50 (us)", "p99 (us)", "p999 (us)",
-         "errors"});
+         "errors", "kills", "recover p99"});
     common::Json runs;
     double first_reqps = 0.0;
     double last_reqps = 0.0;
@@ -317,10 +426,18 @@ run(int argc, const char *const *argv)
             shards, static_cast<size_t>(workers),
             static_cast<size_t>(requests),
             static_cast<size_t>(connections),
-            static_cast<size_t>(window), lines);
-        ensure(r.errors == 0, "load_generator: " +
-                                  std::to_string(r.errors) +
-                                  " requests failed");
+            static_cast<size_t>(window), lines, chaos,
+            static_cast<int>(chaos_period_ms));
+        // Under chaos, typed errors (timeouts on a killed shard) are
+        // part of the deal; every request still got exactly one reply.
+        if (!chaos)
+            ensure(r.errors == 0, "load_generator: " +
+                                      std::to_string(r.errors) +
+                                      " requests failed");
+        ensure(r.answered + r.errors ==
+                   static_cast<uint64_t>(requests),
+               "load_generator: replies do not account for every "
+               "request");
         if (first_reqps == 0.0)
             first_reqps = r.reqPerSec;
         last_reqps = r.reqPerSec;
@@ -329,7 +446,11 @@ run(int argc, const char *const *argv)
                       TextTable::num(r.p50Us, 0),
                       TextTable::num(r.p99Us, 0),
                       TextTable::num(r.p999Us, 0),
-                      std::to_string(r.errors)});
+                      std::to_string(r.errors),
+                      std::to_string(r.kills),
+                      r.kills > 0
+                          ? TextTable::num(r.recoveryP99Ms, 0) + " ms"
+                          : "-"});
         common::Json entry;
         entry.set("shards", static_cast<uint64_t>(shards));
         entry.set("req_per_s", r.reqPerSec);
@@ -338,6 +459,12 @@ run(int argc, const char *const *argv)
         entry.set("p999_us", r.p999Us);
         entry.set("answered", r.answered);
         entry.set("errors", r.errors);
+        if (chaos) {
+            entry.set("kills", r.kills);
+            entry.set("error_rate", r.errorRate);
+            entry.set("recovery_ms_p50", r.recoveryP50Ms);
+            entry.set("recovery_ms_p99", r.recoveryP99Ms);
+        }
         runs.push(std::move(entry));
     }
     table.print();
@@ -351,6 +478,10 @@ run(int argc, const char *const *argv)
     report.set("connections", static_cast<uint64_t>(connections));
     report.set("window", static_cast<uint64_t>(window));
     report.set("workers_per_shard", static_cast<uint64_t>(workers));
+    report.set("chaos", chaos);
+    if (chaos)
+        report.set("chaos_period_ms",
+                   static_cast<uint64_t>(chaos_period_ms));
     report.set("scaling", scaling);
     report.set("runs", std::move(runs));
     const std::string path = args.getString("json");

@@ -198,6 +198,13 @@ ForecastEngine::forecast(const ForecastRequest &req) const
         result.payload = metricsReg->toJson().dump(0);
         return result;
     }
+    if (req.kind == RequestKind::Ping) {
+        // Liveness probe: nothing to compute. The socket layer answers
+        // pings inline without reaching here; this path serves the
+        // stdin/script modes.
+        requestsTotal->inc();
+        return result;
+    }
     try {
         const graph::LatencyPredictor &predictor = backend(req.backend);
         switch (req.kind) {
@@ -307,6 +314,7 @@ ForecastEngine::forecast(const ForecastRequest &req) const
             break;
           }
           case RequestKind::Stats:
+          case RequestKind::Ping:
             break; // Handled before the switch.
         }
     } catch (const std::exception &e) {

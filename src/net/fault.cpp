@@ -1,0 +1,182 @@
+#include "net/fault.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace neusight::net {
+
+namespace {
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    for (;;) {
+        const size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            parts.push_back(text.substr(start));
+            return parts;
+        }
+        parts.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+}
+
+std::string
+trim(const std::string &text)
+{
+    const size_t first = text.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return "";
+    const size_t last = text.find_last_not_of(" \t");
+    return text.substr(first, last - first + 1);
+}
+
+int64_t
+parseNumber(const std::string &rule, const std::string &key,
+            const std::string &value)
+{
+    try {
+        size_t used = 0;
+        const int64_t n = std::stoll(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return n;
+    } catch (const std::exception &) {
+        fatal("fault-spec: rule '" + rule + "': '" + key +
+              "' wants an integer, got '" + value + "'");
+    }
+}
+
+} // namespace
+
+std::vector<FaultInjector::Rule>
+FaultInjector::parseRules(const std::string &spec)
+{
+    std::vector<Rule> rules;
+    for (const std::string &raw : splitOn(spec, ';')) {
+        const std::string text = trim(raw);
+        if (text.empty())
+            continue;
+        const size_t colon = text.find(':');
+        const std::string kind_name = trim(text.substr(0, colon));
+        Rule rule;
+        if (kind_name == "kill")
+            rule.kind = Kind::Kill;
+        else if (kind_name == "wedge")
+            rule.kind = Kind::Wedge;
+        else if (kind_name == "delay")
+            rule.kind = Kind::Delay;
+        else if (kind_name == "truncate")
+            rule.kind = Kind::Truncate;
+        else if (kind_name == "garbage")
+            rule.kind = Kind::Garbage;
+        else
+            fatal("fault-spec: unknown kind '" + kind_name +
+                  "' (expected kill|wedge|delay|truncate|garbage)");
+        if (rule.kind == Kind::Truncate || rule.kind == Kind::Garbage)
+            rule.every = 16;
+        if (colon != std::string::npos) {
+            for (const std::string &raw_param :
+                 splitOn(text.substr(colon + 1), ',')) {
+                const std::string param = trim(raw_param);
+                if (param.empty())
+                    continue;
+                const size_t eq = param.find('=');
+                if (eq == std::string::npos)
+                    fatal("fault-spec: rule '" + text + "': param '" +
+                          param + "' wants key=value");
+                const std::string key = trim(param.substr(0, eq));
+                const std::string value = trim(param.substr(eq + 1));
+                const int64_t n = parseNumber(text, key, value);
+                if (key == "shard") {
+                    if (n < -1)
+                        fatal("fault-spec: 'shard' must be >= -1");
+                    rule.shard = static_cast<int>(n);
+                } else if (key == "after") {
+                    if (n < 1)
+                        fatal("fault-spec: 'after' must be >= 1");
+                    rule.after = static_cast<uint64_t>(n);
+                } else if (key == "every") {
+                    if (n < 1)
+                        fatal("fault-spec: 'every' must be >= 1");
+                    rule.every = static_cast<uint64_t>(n);
+                } else if (key == "ms") {
+                    if (n < 0)
+                        fatal("fault-spec: 'ms' must be >= 0");
+                    rule.delayMs = static_cast<uint64_t>(n);
+                } else {
+                    fatal("fault-spec: rule '" + text +
+                          "': unknown key '" + key +
+                          "' (expected shard|after|every|ms)");
+                }
+            }
+        }
+        rules.push_back(rule);
+    }
+    return rules;
+}
+
+FaultInjector
+FaultInjector::parse(const std::string &spec, int shard)
+{
+    FaultInjector injector;
+    for (const Rule &rule : parseRules(spec))
+        if (rule.shard < 0 || rule.shard == shard)
+            injector.rules.push_back(rule);
+    return injector;
+}
+
+FaultAction
+FaultInjector::onRequest()
+{
+    if (rules.empty())
+        return FaultAction::None;
+    ++requestCount;
+    for (const Rule &rule : rules) {
+        if (rule.kind == Kind::Kill && requestCount == rule.after)
+            return FaultAction::Kill;
+        if (rule.kind == Kind::Wedge && requestCount == rule.after)
+            return FaultAction::Wedge;
+    }
+    return FaultAction::None;
+}
+
+bool
+FaultInjector::onWrite(std::string &payload)
+{
+    if (rules.empty())
+        return false;
+    ++writeCount;
+    bool mutated = false;
+    for (const Rule &rule : rules) {
+        if (writeCount % rule.every != 0)
+            continue;
+        switch (rule.kind) {
+          case Kind::Delay:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(rule.delayMs));
+            break;
+          case Kind::Truncate:
+            // Drop the tail half: the peer sees a line cut mid-object,
+            // merged with whatever the next batch starts with.
+            payload.resize(payload.size() / 2);
+            mutated = true;
+            break;
+          case Kind::Garbage:
+            payload = "\x01garbage\x01\n";
+            mutated = true;
+            break;
+          case Kind::Kill:
+          case Kind::Wedge:
+            break; // Request-path rules; nothing to do on writes.
+        }
+    }
+    return mutated;
+}
+
+} // namespace neusight::net

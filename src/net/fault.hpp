@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic fault injection for chaos-testing the serving tree.
+ * A FaultInjector is parsed from a --fault-spec string (or the
+ * NEUSIGHT_FAULT_SPEC environment variable) and hooked into a shard
+ * worker's SocketServer, where it can kill or wedge the process after a
+ * counted number of handled requests and corrupt the write path.
+ *
+ * Spec grammar (semicolon-separated rules, comma-separated params):
+ *
+ *   spec  := rule (';' rule)*
+ *   rule  := kind (':' key '=' N (',' key '=' N)*)?
+ *   kind  := kill | wedge | delay | truncate | garbage
+ *
+ *   kill      shard=S after=K   SIGKILL the worker on its K-th request
+ *                               (default K=1): simulates a crash.
+ *   wedge     shard=S after=K   stop reading and answering on the K-th
+ *                               request: simulates a hung worker —
+ *                               only the router's heartbeat can tell.
+ *   delay     shard=S ms=M every=N
+ *                               sleep M ms (default 10) before every
+ *                               N-th write (default 1): a slow pipe.
+ *   truncate  shard=S every=N   drop the tail half of every N-th write
+ *                               batch (default 16): corrupted framing.
+ *   garbage   shard=S every=N   replace every N-th write batch with
+ *                               junk bytes (default 16): unparseable
+ *                               replies.
+ *
+ * shard=S scopes a rule to shard index S; omitted (or -1) applies to
+ * every shard. Counters are per-process, so "after" counts only the
+ * requests the target worker itself handled. Parsing is strict —
+ * unknown kinds/keys fatal() — so typos fail at startup, not silently.
+ */
+
+#ifndef NEUSIGHT_NET_FAULT_HPP
+#define NEUSIGHT_NET_FAULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neusight::net {
+
+/** What the worker must do right now (see FaultInjector::onRequest). */
+enum class FaultAction
+{
+    None,
+    /** raise(SIGKILL): die exactly like a crashed worker. */
+    Kill,
+    /** Stop reading/answering; the process lives but goes silent. */
+    Wedge,
+};
+
+class FaultInjector
+{
+  public:
+    /** Rule kinds (exposed for tests). */
+    enum class Kind
+    {
+        Kill,
+        Wedge,
+        Delay,
+        Truncate,
+        Garbage,
+    };
+
+    struct Rule
+    {
+        Kind kind = Kind::Kill;
+        /** Target shard index; -1 = every shard. */
+        int shard = -1;
+        /** Request ordinal arming kill/wedge. */
+        uint64_t after = 1;
+        /** Write-period of delay/truncate/garbage. */
+        uint64_t every = 1;
+        /** Sleep per armed write (delay only). */
+        uint64_t delayMs = 10;
+    };
+
+    /** Inactive injector (no rules; every hook is a no-op). */
+    FaultInjector() = default;
+
+    /**
+     * Parse @p spec, keeping only the rules scoped to @p shard (or to
+     * every shard). fatal() on grammar errors. An empty spec yields an
+     * inactive injector.
+     */
+    static FaultInjector parse(const std::string &spec, int shard);
+
+    /** Parse without filtering (startup validation, tests). */
+    static std::vector<Rule> parseRules(const std::string &spec);
+
+    bool active() const { return !rules.empty(); }
+
+    /**
+     * Count one handled request line; returns the action the worker
+     * must take (Kill/Wedge trigger exactly once, on the armed
+     * ordinal).
+     */
+    FaultAction onRequest();
+
+    /**
+     * Count one write batch and corrupt it per the delay/truncate/
+     * garbage rules: may sleep, shrink @p payload, or replace it with
+     * junk. Returns true when the payload was mutated (tests).
+     */
+    bool onWrite(std::string &payload);
+
+    const std::vector<Rule> &activeRules() const { return rules; }
+
+  private:
+    std::vector<Rule> rules;
+    uint64_t requestCount = 0;
+    uint64_t writeCount = 0;
+};
+
+} // namespace neusight::net
+
+#endif // NEUSIGHT_NET_FAULT_HPP

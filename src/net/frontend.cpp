@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "net/fault.hpp"
 #include "net/io.hpp"
 #include "net/shard_router.hpp"
 #include "net/socket_server.hpp"
@@ -40,13 +41,16 @@ reportReady(const FrontendOptions &options, uint16_t port)
 /** The whole life of one forked shard worker; never returns. */
 [[noreturn]] void
 runShardWorker(const FrontendOptions &options,
-               const EngineFactory &factory, int pipe_fd)
+               const EngineFactory &factory, int pipe_fd, size_t shard)
 {
     // Terminal signals target the process group; workers must survive
     // them and exit on pipe EOF instead, or a ^C would kill the shards
     // out from under the router's drain.
     ::signal(SIGTERM, SIG_IGN);
     ::signal(SIGINT, SIG_IGN);
+    // A respawned worker forks from inside the router's loop, which has
+    // a SIGCHLD handler installed; this process supervises nobody.
+    ::signal(SIGCHLD, SIG_DFL);
     int code = 0;
     try {
         std::unique_ptr<serve::ForecastServer> server = factory();
@@ -56,9 +60,12 @@ runShardWorker(const FrontendOptions &options,
         // The router is the only peer: it already did per-client
         // admission and bounds the outstanding backlog per shard; the
         // engine's own queueCapacity (set by the factory) is the final
-        // backpressure bound behind it.
+        // backpressure bound behind it. Deadlines are the router's job
+        // too (it strips "timeout_ms" before forwarding).
         sopt.maxInFlightPerClient = 0;
         sopt.drainTimeoutMs = options.drainTimeoutMs;
+        sopt.fault = FaultInjector::parse(options.faultSpec,
+                                          static_cast<int>(shard));
         {
             SocketServer sock(*server, sopt);
             sock.run();
@@ -73,32 +80,52 @@ runShardWorker(const FrontendOptions &options,
     std::_Exit(code);
 }
 
+/**
+ * Fork one worker for @p shard over a fresh socketpair. Returns the
+ * router-side handle; fd < 0 = the spawn failed (the supervisor
+ * retries). Used both for the initial fleet and for respawns from
+ * inside the router loop.
+ */
+ShardHandle
+spawnShardWorker(const FrontendOptions &options,
+                 const EngineFactory &factory, size_t shard)
+{
+    ShardHandle handle;
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+        warn(std::string("net: socketpair failed: ") + strerror(errno));
+        return handle;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        warn(std::string("net: fork failed: ") + strerror(errno));
+        closeFd(fds[0]);
+        closeFd(fds[1]);
+        return handle;
+    }
+    if (pid == 0) {
+        // Scrub every inherited fd except this worker's own pipe end:
+        // sibling pipes (their EOFs must be deliverable), the router's
+        // listen/epoll/client fds (a respawn inherits a running loop),
+        // and the bench's port-report pipe all go.
+        closeAllFdsExcept({fds[1]});
+        runShardWorker(options, factory, fds[1], shard);
+    }
+    closeFd(fds[1]);
+    handle.fd = fds[0];
+    handle.pid = pid;
+    return handle;
+}
+
 int
 runSharded(const FrontendOptions &options, const EngineFactory &factory)
 {
     std::vector<ShardHandle> shards;
     shards.reserve(options.shards);
     for (size_t s = 0; s < options.shards; ++s) {
-        int fds[2];
-        if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0)
-            fatal(std::string("net: socketpair failed: ") +
-                  strerror(errno));
-        const pid_t pid = ::fork();
-        if (pid < 0)
-            fatal(std::string("net: fork failed: ") + strerror(errno));
-        if (pid == 0) {
-            closeFd(fds[0]);
-            // Drop the router ends of the earlier shards' pipes: a
-            // worker holding them open would keep a sibling's EOF from
-            // ever arriving.
-            for (const ShardHandle &earlier : shards)
-                closeFd(earlier.fd);
-            runShardWorker(options, factory, fds[1]);
-        }
-        closeFd(fds[1]);
-        ShardHandle handle;
-        handle.fd = fds[0];
-        handle.pid = pid;
+        const ShardHandle handle = spawnShardWorker(options, factory, s);
+        if (handle.fd < 0)
+            fatal("net: cannot fork the initial shard fleet");
         shards.push_back(handle);
     }
 
@@ -109,17 +136,22 @@ runSharded(const FrontendOptions &options, const EngineFactory &factory)
     ropt.maxInFlightPerClient = options.maxInFlightPerClient;
     ropt.maxOutstandingPerShard = options.maxOutstandingPerShard;
     ropt.drainTimeoutMs = options.drainTimeoutMs;
-    std::vector<pid_t> pids;
-    for (const ShardHandle &handle : shards)
-        pids.push_back(handle.pid);
+    ropt.requestTimeoutMs = options.requestTimeoutMs;
+    ropt.heartbeatIntervalMs = options.heartbeatIntervalMs;
+    ropt.respawn = [&options, &factory](size_t shard) {
+        return spawnShardWorker(options, factory, shard);
+    };
     ShardRouter router(std::move(shards), ropt);
     reportReady(options, router.port());
     installStopSignals(router.stopFlag(), router.wakeWriteFd());
     router.run();
     installStopSignals(nullptr, -1);
 
+    // The router reaped every mid-run death (waitpid(WNOHANG) on
+    // SIGCHLD — no zombies); what is left is the workers that were
+    // alive at the drain, now exiting on pipe EOF.
     int code = 0;
-    for (const pid_t pid : pids) {
+    for (const pid_t pid : router.activePids()) {
         int status = 0;
         pid_t rc;
         do {
@@ -152,6 +184,8 @@ runFrontend(const FrontendOptions &options, const EngineFactory &factory)
     sopt.maxLineBytes = options.maxLineBytes;
     sopt.maxInFlightPerClient = options.maxInFlightPerClient;
     sopt.drainTimeoutMs = options.drainTimeoutMs;
+    sopt.requestTimeoutMs = options.requestTimeoutMs;
+    sopt.fault = FaultInjector::parse(options.faultSpec, 0);
     SocketServer sock(*server, sopt);
     reportReady(options, sock.port());
     installStopSignals(sock.stopFlag(), sock.wakeWriteFd());

@@ -15,6 +15,14 @@
  * usual stop-signal plumbing, so `kill -TERM` of the parent drains the
  * whole tree: router drains outstanding replies, closes pipes, workers
  * drain and exit, parent reaps them.
+ *
+ * Sharded mode is self-healing: runFrontend hands the router a respawn
+ * callback (fork a fresh worker for shard i over a new socketpair), so
+ * a crashed worker is reaped in-loop, its keys remapped, and a
+ * replacement rejoins the ring under the supervisor's backoff policy.
+ * Forked children scrub inherited fds (closeAllFdsExcept) — a worker
+ * must not hold the router's listen socket, client connections, or a
+ * sibling's pipe open, or EOFs would never arrive.
  */
 
 #ifndef NEUSIGHT_NET_FRONTEND_HPP
@@ -46,6 +54,13 @@ struct FrontendOptions
     size_t maxOutstandingPerShard = 4096;
     /** Bound on the graceful drain after SIGTERM/SIGINT. */
     int drainTimeoutMs = 30000;
+    /** Default per-request deadline; 0 = unbounded. A request's own
+     *  "timeout_ms" field overrides it. */
+    int requestTimeoutMs = 0;
+    /** Router-to-shard heartbeat period (sharded mode); 0 disables. */
+    int heartbeatIntervalMs = 1000;
+    /** Chaos fault spec (net/fault.hpp grammar); "" injects nothing. */
+    std::string faultSpec;
     /**
      * When >= 0: the bound port is written here as "<port>\n" once the
      * socket listens (the bench's race-free way to learn an ephemeral

@@ -18,7 +18,7 @@ fnv1a64(const std::string &key)
 }
 
 HashRing::HashRing(size_t num_shards, size_t vnodes)
-    : alive(num_shards, true), live(num_shards)
+    : alive(num_shards, true), live(num_shards), vnodesPerShard(vnodes)
 {
     ensure(num_shards > 0, "HashRing: need at least one shard");
     ensure(vnodes > 0, "HashRing: need at least one vnode");
@@ -59,6 +59,27 @@ HashRing::removeShard(size_t shard)
                                     return p.shard == shard;
                                 }),
                  points.end());
+}
+
+void
+HashRing::addShard(size_t shard)
+{
+    if (shard >= alive.size() || alive[shard])
+        return;
+    alive[shard] = true;
+    ++live;
+    // Identical labels -> identical hashes -> the exact points
+    // removeShard erased, so re-adding restores the pre-death mapping.
+    const size_t first = points.size();
+    for (size_t v = 0; v < vnodesPerShard; ++v) {
+        const std::string label =
+            "shard-" + std::to_string(shard) + "#" + std::to_string(v);
+        points.push_back(Point{fnv1a64(label), static_cast<uint32_t>(shard)});
+    }
+    std::sort(points.begin() + static_cast<ptrdiff_t>(first), points.end());
+    std::inplace_merge(points.begin(),
+                       points.begin() + static_cast<ptrdiff_t>(first),
+                       points.end());
 }
 
 bool

@@ -6,7 +6,10 @@
  * (deterministic across runs, builds, and machines — std::hash is not),
  * so the same fingerprint lands on the same shard across server
  * restarts and each shard's kernel/graph caches stay hot and disjoint.
- * Removing a shard (a worker died) only remaps the keys it owned.
+ * Removing a shard (a worker died) only remaps the keys it owned, and
+ * re-adding it (the supervisor respawned the worker) regenerates the
+ * exact same virtual points, so the shard reclaims precisely its old
+ * keys — nobody else's mapping ever moves.
  */
 
 #ifndef NEUSIGHT_NET_HASH_RING_HPP
@@ -37,6 +40,15 @@ class HashRing
      */
     void removeShard(size_t shard);
 
+    /**
+     * Put @p shard back on the ring (worker respawned). The vnode
+     * labels are deterministic, so the restored points are bit-identical
+     * to the ones removeShard dropped: the shard reclaims exactly the
+     * keys it owned before the death and no others. No-op when the
+     * shard is already live or out of range.
+     */
+    void addShard(size_t shard);
+
     /** Shards still on the ring. */
     size_t liveShards() const { return live; }
 
@@ -61,6 +73,7 @@ class HashRing
     std::vector<Point> points;
     std::vector<bool> alive;
     size_t live = 0;
+    size_t vnodesPerShard = kDefaultVnodes;
 };
 
 } // namespace neusight::net

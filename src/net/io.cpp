@@ -3,11 +3,14 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
+#include <dirent.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -34,6 +37,27 @@ stopSignalHandler(int)
         // A full pipe (EAGAIN) means a wake-up is already pending.
         [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
     }
+}
+
+/** SIGCHLD routing state; same async-signal-safety rules as above. */
+std::atomic<std::atomic<bool> *> g_chld_flag{nullptr};
+std::atomic<int> g_chld_wake_fd{-1};
+
+extern "C" void
+sigchldHandler(int)
+{
+    // waitpid() in a handler would race the supervisor's bookkeeping;
+    // only flag the event and let the epoll loop reap synchronously.
+    const int saved_errno = errno;
+    std::atomic<bool> *flag = g_chld_flag.load(std::memory_order_acquire);
+    if (flag != nullptr)
+        flag->store(true, std::memory_order_release);
+    const int fd = g_chld_wake_fd.load(std::memory_order_acquire);
+    if (fd >= 0) {
+        const char byte = 'c';
+        [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
+    }
+    errno = saved_errno;
 }
 
 } // namespace
@@ -192,6 +216,67 @@ installStopSignals(std::atomic<bool> *flag, int wake_write_fd)
     // retries explicitly); everything else in the tree retries too.
     ::sigaction(SIGTERM, &sa, nullptr);
     ::sigaction(SIGINT, &sa, nullptr);
+}
+
+void
+installSigchld(std::atomic<bool> *flag, int wake_write_fd)
+{
+    g_chld_flag.store(flag, std::memory_order_release);
+    g_chld_wake_fd.store(wake_write_fd, std::memory_order_release);
+    struct sigaction sa;
+    memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = flag != nullptr ? sigchldHandler : SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    // SA_NOCLDSTOP: job-control stops are not deaths; the supervisor
+    // only cares about exits. No SA_RESTART, as with the stop signals.
+    sa.sa_flags = flag != nullptr ? SA_NOCLDSTOP : 0;
+    ::sigaction(SIGCHLD, &sa, nullptr);
+}
+
+void
+closeAllFdsExcept(const std::vector<int> &keep)
+{
+    const auto keeps = [&keep](int fd) {
+        if (fd >= 0 && fd <= 2)
+            return true;
+        for (const int k : keep)
+            if (fd == k)
+                return true;
+        return false;
+    };
+    // /proc/self/fd is the precise enumeration. Collect first, close
+    // after: closing while iterating would yank the DIR's own fd.
+    DIR *dir = ::opendir("/proc/self/fd");
+    if (dir != nullptr) {
+        std::vector<int> open_fds;
+        const int dir_fd = ::dirfd(dir);
+        for (struct dirent *entry = ::readdir(dir); entry != nullptr;
+             entry = ::readdir(dir)) {
+            char *end = nullptr;
+            const long fd = std::strtol(entry->d_name, &end, 10);
+            if (end == entry->d_name || *end != '\0')
+                continue; // "." / ".."
+            if (static_cast<int>(fd) != dir_fd)
+                open_fds.push_back(static_cast<int>(fd));
+        }
+        ::closedir(dir);
+        for (const int fd : open_fds)
+            if (!keeps(fd))
+                closeFd(fd);
+        return;
+    }
+    // Fallback: sweep the soft fd limit (capped — a huge nofile limit
+    // would turn this into millions of close() calls).
+    struct rlimit limit;
+    rlim_t max_fd = 1024;
+    if (::getrlimit(RLIMIT_NOFILE, &limit) == 0 &&
+        limit.rlim_cur != RLIM_INFINITY)
+        max_fd = limit.rlim_cur;
+    if (max_fd > 65536)
+        max_fd = 65536;
+    for (int fd = 3; fd < static_cast<int>(max_fd); ++fd)
+        if (!keeps(fd))
+            closeFd(fd);
 }
 
 int

@@ -22,6 +22,7 @@
 #include <string>
 #include <sys/epoll.h>
 #include <sys/types.h>
+#include <vector>
 
 namespace neusight::net {
 
@@ -108,6 +109,25 @@ struct WakePipe
  * signals at their own loop). Passing flag = nullptr restores SIG_DFL.
  */
 void installStopSignals(std::atomic<bool> *flag, int wake_write_fd);
+
+/**
+ * Route SIGCHLD to a flag + wake pipe the same way: the shard router's
+ * supervisor reaps with waitpid(WNOHANG) from its epoll loop when the
+ * flag fires, so dead workers never linger as zombies. Passing
+ * flag = nullptr restores SIG_DFL (children are then reaped by the
+ * frontend's final blocking waitpid).
+ */
+void installSigchld(std::atomic<bool> *flag, int wake_write_fd);
+
+/**
+ * Close every open fd except the given ones (plus stdio 0/1/2, always
+ * kept). A shard worker forked from the *running* router inherits the
+ * listen socket, the epoll fd, every client connection, and every
+ * sibling's pipe — any of which held open would wedge EOF delivery for
+ * the rest of the tree. Reads /proc/self/fd when available, falls back
+ * to an RLIMIT_NOFILE sweep.
+ */
+void closeAllFdsExcept(const std::vector<int> &keep);
 
 /**
  * Create a listening TCP socket on @p bind_address:@p port (port 0 =

@@ -1,8 +1,10 @@
 #include "net/shard_router.hpp"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <sys/epoll.h>
+#include <sys/wait.h>
 #include <unistd.h>
 #include <utility>
 
@@ -14,14 +16,19 @@ namespace neusight::net {
 
 namespace {
 
-/** Encoded rejection/error line ('\n'-terminated). */
+using Clock = std::chrono::steady_clock;
+
+/** Encoded rejection/error line ('\n'-terminated). @p code is the
+ *  machine-readable "code" field ("" omits it). */
 std::string
-errorLine(const std::string &tag, const std::string &message)
+errorLine(const std::string &tag, const std::string &message,
+          const std::string &code = "")
 {
     serve::ForecastResult result;
     result.tag = tag;
     result.ok = false;
     result.error = message;
+    result.errorCode = code;
     return serve::resultToJson(result).dump(0) + "\n";
 }
 
@@ -41,9 +48,17 @@ ShardRouter::ShardRouter(std::vector<ShardHandle> shards,
     slowDisconnects = registry.counter("net.slow_client_disconnects");
     rejectedCount = registry.counter("serve.rejected");
     forwardedTotal = registry.counter("router.forwarded");
-    shardDeaths = registry.counter("router.shard_deaths");
+    shardDeaths = registry.counter("net.shard.deaths");
+    shardRestarts = registry.counter("net.shard.restarts");
+    shardParked = registry.counter("net.shard.parked");
+    retriesTotal = registry.counter("net.retries");
+    timeoutsTotal = registry.counter("net.timeouts");
     liveShardsGauge = registry.gauge("router.live_shards");
     liveShardsGauge->set(static_cast<int64_t>(shards.size()));
+    submittedCount = registry.counter("net.requests.submitted");
+    completedCount = registry.counter("net.requests.completed");
+    rejectedReqCount = registry.counter("net.requests.rejected");
+    timedOutCount = registry.counter("net.requests.timed_out");
 
     epollFd = ::epoll_create1(EPOLL_CLOEXEC);
     if (epollFd < 0)
@@ -60,23 +75,22 @@ ShardRouter::ShardRouter(std::vector<ShardHandle> shards,
     if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, listenFd, &ev) != 0)
         fatal("net: cannot register listen socket");
 
+    const Clock::time_point now = Clock::now();
     shardFds.resize(shards.size(), -1);
+    shardStates.reserve(shards.size());
     for (size_t s = 0; s < shards.size(); ++s) {
-        const int fd = shards[s].fd;
-        ensure(fd >= 0, "ShardRouter: bad shard fd");
-        if (!setNonBlocking(fd))
-            fatal("net: cannot make shard pipe non-blocking");
-        auto peer = std::make_unique<Peer>();
-        peer->fd = fd;
-        peer->gen = nextGen++;
-        peer->shard = static_cast<int>(s);
-        peer->framer = serve::LineFramer(options.maxLineBytes);
-        ev.data.fd = fd;
-        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0)
-            fatal("net: cannot register shard pipe");
-        peer->registered = EPOLLIN;
-        shardFds[s] = fd;
-        peers[fd] = std::move(peer);
+        ensure(shards[s].fd >= 0, "ShardRouter: bad shard fd");
+        registerShardPipe(s, shards[s].fd);
+        ShardState state;
+        state.pid = shards[s].pid;
+        state.scheduler = RespawnScheduler(options.respawnPolicy);
+        state.scheduler.recordSpawn(now);
+        state.healthy =
+            registry.gauge("net.shard.healthy." + std::to_string(s));
+        state.healthy->set(1);
+        shardStates.push_back(std::move(state));
+        if (shards[s].pid > 0)
+            pidToShard[shards[s].pid] = s;
     }
 }
 
@@ -96,6 +110,16 @@ ShardRouter::requestStop()
     wake.notify();
 }
 
+std::vector<pid_t>
+ShardRouter::activePids() const
+{
+    std::vector<pid_t> pids;
+    pids.reserve(pidToShard.size());
+    for (const auto &entry : pidToShard)
+        pids.push_back(entry.first);
+    return pids;
+}
+
 ShardRouter::Peer *
 ShardRouter::findShardPeer(int shard)
 {
@@ -106,6 +130,27 @@ ShardRouter::findShardPeer(int shard)
         return nullptr;
     auto it = peers.find(fd);
     return it == peers.end() ? nullptr : it->second.get();
+}
+
+void
+ShardRouter::registerShardPipe(size_t shard, int fd)
+{
+    if (!setNonBlocking(fd))
+        fatal("net: cannot make shard pipe non-blocking");
+    auto peer = std::make_unique<Peer>();
+    peer->fd = fd;
+    peer->gen = nextGen++;
+    peer->shard = static_cast<int>(shard);
+    peer->framer = serve::LineFramer(options.maxLineBytes);
+    struct epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0)
+        fatal("net: cannot register shard pipe");
+    peer->registered = EPOLLIN;
+    shardFds[shard] = fd;
+    peers[fd] = std::move(peer);
 }
 
 void
@@ -144,9 +189,9 @@ ShardRouter::addClient(int fd)
     }
     peer->registered = EPOLLIN;
     peers[fd] = std::move(peer);
+    ++clientPeers;
     connectionsTotal->inc();
-    activeConnections->set(
-        static_cast<int64_t>(peers.size() - shardFds.size()));
+    activeConnections->set(static_cast<int64_t>(clientPeers));
 }
 
 void
@@ -228,11 +273,50 @@ ShardRouter::processLines(Peer &peer)
 
 void
 ShardRouter::rejectClient(Peer &client, const std::string &tag,
-                          const std::string &why)
+                          const std::string &why, const std::string &code)
 {
     rejectedCount->inc();
-    appendOutput(client, errorLine(tag, why));
+    rejectedReqCount->inc();
+    appendOutput(client, errorLine(tag, why, code));
     queueFlush(client);
+}
+
+void
+ShardRouter::rejectRid(const RidEntry &entry, const std::string &why,
+                       const std::string &code)
+{
+    rejectedCount->inc();
+    rejectedReqCount->inc();
+    replyToClient(entry.clientFd, entry.clientGen,
+                  errorLine(entry.tag, why, code),
+                  /*decrementInFlight=*/true);
+}
+
+ShardRouter::ForwardStatus
+ShardRouter::forwardEntry(RidEntry &entry)
+{
+    if (ring.liveShards() == 0)
+        return ForwardStatus::NoLiveShard;
+    const int shard = static_cast<int>(ring.shardFor(entry.fingerprint));
+    Peer *pipe = findShardPeer(shard);
+    if (pipe == nullptr) {
+        // The ring said live but the pipe is gone: a death we have not
+        // fully processed yet.
+        return ForwardStatus::PipeMissing;
+    }
+    if (pipe->outstanding >= options.maxOutstandingPerShard)
+        return ForwardStatus::BacklogFull;
+    const std::string rid = "r" + std::to_string(nextRid++);
+    entry.forwardJson.set("tag", rid);
+    entry.shard = shard;
+    appendOutput(*pipe, entry.forwardJson.dump(0) + "\n");
+    queueFlush(*pipe);
+    ++pipe->outstanding;
+    forwardedTotal->inc();
+    if (entry.hasDeadline)
+        deadlines.emplace(entry.deadline, rid);
+    ridMap[rid] = std::move(entry);
+    return ForwardStatus::Ok;
 }
 
 void
@@ -242,7 +326,8 @@ ShardRouter::handleClientLine(Peer &client, const std::string &line)
         return;
     linesTotal->inc();
     if (stopping) {
-        rejectClient(client, "", "server is draining");
+        submittedCount->inc();
+        rejectClient(client, "", "server is draining", "draining");
         return;
     }
     std::string tag;
@@ -259,51 +344,72 @@ ShardRouter::handleClientLine(Peer &client, const std::string &line)
         queueFlush(client);
         return;
     }
+    if (request.kind == serve::RequestKind::Ping) {
+        // Answered inline, before admission: a health probe must get its
+        // pong even when the connection is at its in-flight limit.
+        submittedCount->inc();
+        completedCount->inc();
+        common::Json pong;
+        if (!tag.empty())
+            pong.set("tag", tag);
+        pong.set("ok", true);
+        pong.set("pong", true);
+        appendOutput(client, pong.dump(0) + "\n");
+        queueFlush(client);
+        return;
+    }
+    submittedCount->inc();
     if (options.maxInFlightPerClient > 0 &&
         client.inFlight >= options.maxInFlightPerClient) {
         rejectClient(client, tag,
                      "admission limit: " +
                          std::to_string(options.maxInFlightPerClient) +
-                         " requests already in flight on this connection");
+                         " requests already in flight on this connection",
+                     "overload");
         return;
     }
     if (request.kind == serve::RequestKind::Stats) {
         handleStatsRequest(client, tag);
         return;
     }
-    if (ring.liveShards() == 0) {
-        rejectClient(client, tag, "every shard worker has died");
-        return;
-    }
-    const int shard =
-        static_cast<int>(ring.shardFor(request.fingerprint()));
-    Peer *pipe = findShardPeer(shard);
-    if (pipe == nullptr) {
-        // The ring said live but the pipe is gone: a death we have not
-        // fully processed yet. Treat as overload, not as a crash.
-        rejectClient(client, tag, "shard " + std::to_string(shard) +
-                                      " is unavailable");
-        return;
-    }
-    if (pipe->outstanding >= options.maxOutstandingPerShard) {
-        rejectClient(client, tag,
-                     "server overloaded (shard " + std::to_string(shard) +
-                         " backlog full)");
-        return;
-    }
-    const std::string rid = "r" + std::to_string(nextRid++);
-    json.set("tag", rid);
+
     RidEntry entry;
     entry.clientFd = client.fd;
     entry.clientGen = client.gen;
     entry.tag = tag;
-    entry.shard = shard;
-    ridMap[rid] = std::move(entry);
-    ++client.inFlight;
-    ++pipe->outstanding;
-    forwardedTotal->inc();
-    appendOutput(*pipe, json.dump(0) + "\n");
-    queueFlush(*pipe);
+    entry.fingerprint = request.fingerprint();
+    entry.forwardJson = std::move(json);
+    // The router owns deadline enforcement in sharded mode; the worker
+    // never sees the field (it would answer the timeout a second time).
+    entry.forwardJson.erase("timeout_ms");
+    const uint64_t timeoutMs =
+        request.timeoutMs > 0
+            ? request.timeoutMs
+            : (options.requestTimeoutMs > 0
+                   ? static_cast<uint64_t>(options.requestTimeoutMs)
+                   : 0);
+    if (timeoutMs > 0) {
+        entry.hasDeadline = true;
+        entry.deadline =
+            Clock::now() + std::chrono::milliseconds(timeoutMs);
+    }
+    switch (forwardEntry(entry)) {
+      case ForwardStatus::Ok:
+        ++client.inFlight;
+        return;
+      case ForwardStatus::NoLiveShard:
+        rejectClient(client, tag, "every shard worker has died",
+                     "unavailable");
+        return;
+      case ForwardStatus::PipeMissing:
+        rejectClient(client, tag, "the shard owning this key is down",
+                     "unavailable");
+        return;
+      case ForwardStatus::BacklogFull:
+        rejectClient(client, tag, "server overloaded (shard backlog full)",
+                     "overload");
+        return;
+    }
 }
 
 void
@@ -356,6 +462,9 @@ ShardRouter::finishStatsGroup(uint64_t groupId)
         return;
     StatsGroup group = std::move(it->second);
     statsGroups.erase(it);
+    // The snapshot below must already count this very request as
+    // completed, or the invariant would be off by one in it.
+    completedCount->inc();
     std::vector<common::Json> snapshots = std::move(group.snapshots);
     snapshots.push_back(registry.toJson());
     common::Json reply;
@@ -385,6 +494,14 @@ ShardRouter::replyToClient(int clientFd, uint64_t clientGen,
 }
 
 void
+ShardRouter::handleHeartbeatPong(Peer &shardPeer)
+{
+    ShardState &state = shardStates[static_cast<size_t>(shardPeer.shard)];
+    state.pendingPings = 0;
+    state.healthy->set(1);
+}
+
+void
 ShardRouter::handleShardLine(Peer &shardPeer, const std::string &line)
 {
     common::Json json;
@@ -398,6 +515,11 @@ ShardRouter::handleShardLine(Peer &shardPeer, const std::string &line)
     }
     const std::string rid =
         json.isObject() ? json.stringOr("tag", "") : "";
+    if (rid.rfind("hb", 0) == 0) {
+        // Heartbeat pong: not a client request, never in ridMap.
+        handleHeartbeatPong(shardPeer);
+        return;
+    }
     auto it = ridMap.find(rid);
     if (it == ridMap.end()) {
         protocolErrors->inc();
@@ -409,6 +531,9 @@ ShardRouter::handleShardLine(Peer &shardPeer, const std::string &line)
     ridMap.erase(it);
     ensure(shardPeer.outstanding > 0, "net: shard outstanding underflow");
     --shardPeer.outstanding;
+
+    if (entry.timedOut)
+        return; // The deadline already answered; drop the late reply.
 
     if (entry.statsGroup != 0) {
         auto git = statsGroups.find(entry.statsGroup);
@@ -423,6 +548,7 @@ ShardRouter::handleShardLine(Peer &shardPeer, const std::string &line)
         return;
     }
 
+    completedCount->inc();
     // Restore the client's tag (the rid was ours, not theirs).
     if (entry.tag.empty())
         json.erase("tag");
@@ -545,8 +671,9 @@ ShardRouter::closePeer(int fd)
     ::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr);
     closeFd(fd);
     peers.erase(it);
-    activeConnections->set(
-        static_cast<int64_t>(peers.size() - shardFds.size()));
+    ensure(clientPeers > 0, "net: client peer count underflow");
+    --clientPeers;
+    activeConnections->set(static_cast<int64_t>(clientPeers));
     // Outstanding rids of this client stay in ridMap: the shard still
     // answers them, and replyToClient drops the reply (gen mismatch).
 }
@@ -562,6 +689,7 @@ ShardRouter::shardDied(int shard)
          " died; remapping its keys across " +
          std::to_string(ring.liveShards() - 1) + " survivors");
     shardDeaths->inc();
+    shardStates[static_cast<size_t>(shard)].healthy->set(0);
     ring.removeShard(static_cast<size_t>(shard));
     liveShardsGauge->set(static_cast<int64_t>(ring.liveShards()));
     shardFds[static_cast<size_t>(shard)] = -1;
@@ -569,7 +697,9 @@ ShardRouter::shardDied(int shard)
     closeFd(fd);
     peers.erase(fd);
 
-    // Fail everything that was outstanding on the dead shard.
+    // Resolve everything that was outstanding on the dead shard: retry
+    // once on the shard its keys remapped to (forecasts are idempotent),
+    // then give up with a typed error.
     std::vector<std::pair<std::string, RidEntry>> failed;
     for (auto it = ridMap.begin(); it != ridMap.end();) {
         if (it->second.shard == shard) {
@@ -591,11 +721,194 @@ ShardRouter::shardDied(int shard)
             }
             continue;
         }
+        if (entry.timedOut)
+            continue; // The deadline already answered this client.
+        if (!stopping && entry.attempts <= options.retryLimit) {
+            ++entry.attempts;
+            // The deadline stays the original one: a retry buys the
+            // request a new shard, not more time.
+            if (forwardEntry(entry) == ForwardStatus::Ok) {
+                retriesTotal->inc();
+                continue;
+            }
+        }
+        rejectRid(entry, "shard worker died before answering",
+                  "unavailable");
+    }
+    scheduleRespawn(static_cast<size_t>(shard));
+}
+
+void
+ShardRouter::scheduleRespawn(size_t shard)
+{
+    if (stopping || !options.respawn)
+        return;
+    ShardState &state = shardStates[shard];
+    if (state.parked)
+        return;
+    const RespawnScheduler::Decision decision =
+        state.scheduler.recordDeath(Clock::now());
+    if (decision.park) {
+        state.parked = true;
+        shardParked->inc();
+        warn("net: shard " + std::to_string(shard) + " crash-looped " +
+             std::to_string(state.scheduler.rapidDeaths()) +
+             " times; parking it (its keys stay on the survivors)");
+        return;
+    }
+    state.respawnPending = true;
+    state.respawnAt =
+        Clock::now() + std::chrono::milliseconds(decision.delayMs);
+}
+
+void
+ShardRouter::reapChildren()
+{
+    for (;;) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            return;
+        auto it = pidToShard.find(pid);
+        if (it == pidToShard.end())
+            continue;
+        const size_t shard = it->second;
+        pidToShard.erase(it);
+        // Only the current incarnation's exit is a death event; a late
+        // reap of a pre-respawn pid is pure bookkeeping.
+        if (shardStates[shard].pid == pid) {
+            shardStates[shard].pid = -1;
+            shardDied(static_cast<int>(shard));
+        }
+    }
+}
+
+void
+ShardRouter::fireDeadlines(std::chrono::steady_clock::time_point now)
+{
+    while (!deadlines.empty() && deadlines.begin()->first <= now) {
+        const std::string rid = deadlines.begin()->second;
+        deadlines.erase(deadlines.begin());
+        auto it = ridMap.find(rid);
+        if (it == ridMap.end() || it->second.timedOut)
+            continue; // Answered (or re-routed under a new rid) already.
+        RidEntry &entry = it->second;
+        // The entry stays in ridMap so the shard's late reply still
+        // balances its outstanding counter; handleShardLine drops it.
+        entry.timedOut = true;
+        timeoutsTotal->inc();
+        timedOutCount->inc();
         replyToClient(entry.clientFd, entry.clientGen,
-                      errorLine(entry.tag, "shard worker died before "
-                                           "answering"),
+                      errorLine(entry.tag, "request deadline exceeded",
+                                "timeout"),
                       /*decrementInFlight=*/true);
     }
+}
+
+void
+ShardRouter::processHeartbeats(std::chrono::steady_clock::time_point now)
+{
+    if (options.heartbeatIntervalMs <= 0 || stopping)
+        return;
+    if (now < nextHeartbeatAt)
+        return;
+    nextHeartbeatAt =
+        now + std::chrono::milliseconds(options.heartbeatIntervalMs);
+    for (size_t s = 0; s < shardStates.size(); ++s) {
+        Peer *pipe = findShardPeer(static_cast<int>(s));
+        if (pipe == nullptr)
+            continue;
+        ShardState &state = shardStates[s];
+        if (state.pendingPings >= options.heartbeatMissLimit) {
+            // Alive but silent: a wedge the kernel will never report.
+            warn("net: shard " + std::to_string(s) + " missed " +
+                 std::to_string(state.pendingPings) +
+                 " heartbeats; presumed wedged, killing it");
+            state.healthy->set(0);
+            if (state.pid > 0)
+                ::kill(state.pid, SIGKILL);
+            shardDied(static_cast<int>(s));
+            continue;
+        }
+        ++state.pendingPings;
+        common::Json ping;
+        ping.set("op", "ping");
+        ping.set("tag", "hb" + std::to_string(nextPing++));
+        appendOutput(*pipe, ping.dump(0) + "\n");
+        queueFlush(*pipe);
+    }
+}
+
+void
+ShardRouter::performRespawns(std::chrono::steady_clock::time_point now)
+{
+    if (stopping || !options.respawn)
+        return;
+    for (size_t s = 0; s < shardStates.size(); ++s) {
+        ShardState &state = shardStates[s];
+        if (!state.respawnPending || now < state.respawnAt)
+            continue;
+        state.respawnPending = false;
+        const ShardHandle handle = options.respawn(s);
+        if (handle.fd < 0) {
+            warn("net: respawn of shard " + std::to_string(s) +
+                 " failed; retrying");
+            state.respawnPending = true;
+            state.respawnAt =
+                now + std::chrono::milliseconds(
+                          options.respawnPolicy.baseBackoffMs);
+            continue;
+        }
+        registerShardPipe(s, handle.fd);
+        state.pid = handle.pid;
+        if (handle.pid > 0)
+            pidToShard[handle.pid] = s;
+        state.scheduler.recordSpawn(now);
+        state.pendingPings = 0;
+        state.healthy->set(1);
+        // Identical vnode labels: the shard reclaims exactly the keys it
+        // owned before dying, and only those.
+        ring.addShard(s);
+        liveShardsGauge->set(static_cast<int64_t>(ring.liveShards()));
+        shardRestarts->inc();
+        inform("net: shard " + std::to_string(s) + " respawned (pid " +
+               std::to_string(handle.pid) + "), rejoining the ring");
+    }
+}
+
+int
+ShardRouter::loopTimeoutMs(std::chrono::steady_clock::time_point now) const
+{
+    auto next = Clock::time_point::max();
+    bool have = false;
+    if (stopping) {
+        next = stopDeadline;
+        have = true;
+    } else {
+        if (options.heartbeatIntervalMs > 0) {
+            next = nextHeartbeatAt;
+            have = true;
+        }
+        for (const ShardState &state : shardStates) {
+            if (state.respawnPending && (!have || state.respawnAt < next)) {
+                next = state.respawnAt;
+                have = true;
+            }
+        }
+    }
+    if (!deadlines.empty() && (!have || deadlines.begin()->first < next)) {
+        next = deadlines.begin()->first;
+        have = true;
+    }
+    if (!have)
+        return -1;
+    if (next <= now)
+        return 0;
+    const long long ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(next - now)
+            .count() +
+        1;
+    return ms > 60000 ? 60000 : static_cast<int>(ms);
 }
 
 void
@@ -604,8 +917,12 @@ ShardRouter::beginStop()
     if (stopping)
         return;
     stopping = true;
-    stopDeadline = std::chrono::steady_clock::now() +
+    stopDeadline = Clock::now() +
                    std::chrono::milliseconds(options.drainTimeoutMs);
+    // A drain never spawns: pending respawns are cancelled, and the
+    // frontend's final reap collects whoever is still alive.
+    for (ShardState &state : shardStates)
+        state.respawnPending = false;
     if (listenFd >= 0) {
         ::epoll_ctl(epollFd, EPOLL_CTL_DEL, listenFd, nullptr);
         closeFd(listenFd);
@@ -632,15 +949,14 @@ ShardRouter::run()
 {
     constexpr int kMaxEvents = 64;
     struct epoll_event events[kMaxEvents];
+    installSigchld(&childExited, wake.writeFd);
+    nextHeartbeatAt =
+        Clock::now() +
+        std::chrono::milliseconds(
+            options.heartbeatIntervalMs > 0 ? options.heartbeatIntervalMs
+                                            : 0);
     for (;;) {
-        int timeout_ms = -1;
-        if (stopping) {
-            const auto left =
-                std::chrono::duration_cast<std::chrono::milliseconds>(
-                    stopDeadline - std::chrono::steady_clock::now())
-                    .count();
-            timeout_ms = left > 0 ? static_cast<int>(left) : 0;
-        }
+        const int timeout_ms = loopTimeoutMs(Clock::now());
         const int n = epollWaitRetry(epollFd, events, kMaxEvents, timeout_ms);
         if (n < 0)
             fatal(std::string("net: epoll_wait failed: ") + strerror(errno));
@@ -674,24 +990,33 @@ ShardRouter::run()
             if (mask & EPOLLOUT)
                 flushOutput(*peers.find(fd)->second);
         }
+        const Clock::time_point now = Clock::now();
+        if (childExited.exchange(false, std::memory_order_acq_rel))
+            reapChildren();
+        fireDeadlines(now);
+        processHeartbeats(now);
+        performRespawns(now);
         // One send() per peer per batch: every reply/forward appended
         // above goes out here, before the loop can sleep again.
         flushPendingPeers();
         if (stopRequested.load(std::memory_order_acquire))
             beginStop();
         if (stopping &&
-            (drained() || std::chrono::steady_clock::now() >= stopDeadline))
+            (drained() || Clock::now() >= stopDeadline))
             break;
     }
 
     // Close every stream. Shard workers see EOF on their pipes, drain
-    // whatever they still hold, and exit; the frontend reaps them.
+    // whatever they still hold, and exit; the frontend reaps them
+    // (activePids() names the ones this loop has not reaped already).
     for (auto &entry : peers) {
         ::epoll_ctl(epollFd, EPOLL_CTL_DEL, entry.second->fd, nullptr);
         closeFd(entry.second->fd);
     }
     peers.clear();
+    clientPeers = 0;
     activeConnections->set(0);
+    installSigchld(nullptr, -1);
 }
 
 } // namespace neusight::net

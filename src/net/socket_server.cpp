@@ -1,6 +1,7 @@
 #include "net/socket_server.hpp"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <sys/epoll.h>
 #include <unistd.h>
@@ -13,14 +14,17 @@ namespace neusight::net {
 
 namespace {
 
-/** Encoded rejection/error line ('\n'-terminated). */
+/** Encoded rejection/error line ('\n'-terminated). @p code is the
+ *  machine-readable "code" field ("" omits it). */
 std::string
-errorLine(const std::string &tag, const std::string &message)
+errorLine(const std::string &tag, const std::string &message,
+          const std::string &code = "")
 {
     serve::ForecastResult result;
     result.tag = tag;
     result.ok = false;
     result.error = message;
+    result.errorCode = code;
     return serve::resultToJson(result).dump(0) + "\n";
 }
 
@@ -43,6 +47,8 @@ SocketServer::SocketServer(serve::ForecastServer &server_,
     protocolErrors = reg.counter("net.protocol_errors");
     slowDisconnects = reg.counter("net.slow_client_disconnects");
     rejectedCount = reg.counter("serve.rejected");
+    timeoutsCount = reg.counter("net.timeouts");
+    fault = options.fault;
 
     if (options.adoptedFd < 0) {
         listenFd = listenTcp(options.bindAddress, options.port, &boundPort);
@@ -129,7 +135,7 @@ SocketServer::handleReadable(Connection &conn)
             processLines(conn);
             if (conns.find(fd) == conns.end())
                 return; // processLines closed it.
-            if (conn.closeAfterFlush)
+            if (conn.closeAfterFlush || wedged)
                 return;
             continue;
         }
@@ -173,7 +179,7 @@ SocketServer::processLines(Connection &conn)
         handleLine(conn, line);
         if (conns.find(fd) == conns.end())
             return; // A write error closed the connection.
-        if (conn.closeAfterFlush)
+        if (conn.closeAfterFlush || wedged)
             return;
     }
 }
@@ -181,12 +187,14 @@ SocketServer::processLines(Connection &conn)
 void
 SocketServer::handleLine(Connection &conn, const std::string &line)
 {
+    if (wedged)
+        return; // Fault injection: swallow everything, answer nothing.
     if (serve::isSkippableRequestLine(line))
         return;
     linesTotal->inc();
     if (stopping) {
         rejectedCount->inc();
-        appendOutput(conn, errorLine("", "server is draining"));
+        appendOutput(conn, errorLine("", "server is draining", "draining"));
         flushOutput(conn);
         return;
     }
@@ -203,16 +211,41 @@ SocketServer::handleLine(Connection &conn, const std::string &line)
         flushOutput(conn);
         return;
     }
+    if (request.kind == serve::RequestKind::Ping) {
+        // Answered inline from the epoll thread, before admission: a
+        // pong proves the event loop is alive even when the engine is
+        // saturated, which is exactly what a health check wants to
+        // know. The router's heartbeats ride on this.
+        common::Json pong;
+        if (!tag.empty())
+            pong.set("tag", tag);
+        pong.set("ok", true);
+        pong.set("pong", true);
+        appendOutput(conn, pong.dump(0) + "\n");
+        flushOutput(conn);
+        return;
+    }
+    switch (fault.onRequest()) {
+      case FaultAction::Kill:
+        ::raise(SIGKILL); // Chaos: die exactly like a crashed worker.
+        break;
+      case FaultAction::Wedge:
+        enterWedge();
+        return;
+      case FaultAction::None:
+        break;
+    }
     if (options.maxInFlightPerClient > 0 &&
         conn.inFlight >= options.maxInFlightPerClient) {
         rejectedCount->inc();
         appendOutput(
             conn,
-            errorLine(tag, "admission limit: " +
-                               std::to_string(
-                                   options.maxInFlightPerClient) +
-                               " requests already in flight on this "
-                               "connection"));
+            errorLine(tag,
+                      "admission limit: " +
+                          std::to_string(options.maxInFlightPerClient) +
+                          " requests already in flight on this "
+                          "connection",
+                      "overload"));
         flushOutput(conn);
         return;
     }
@@ -220,17 +253,25 @@ SocketServer::handleLine(Connection &conn, const std::string &line)
     // blocks, so one slow forecast cannot stall the loop, and hundreds
     // of pipelined requests coalesce inside the ForecastServer instead
     // of trickling through a thread pool one blocking submit at a time.
+    const uint64_t timeoutMs =
+        request.timeoutMs > 0
+            ? request.timeoutMs
+            : (options.requestTimeoutMs > 0
+                   ? static_cast<uint64_t>(options.requestTimeoutMs)
+                   : 0);
     const int fd = conn.fd;
     const uint64_t gen = conn.gen;
+    const uint64_t reqId = nextReqId++;
     const bool accepted = server.trySubmit(
         std::move(request),
-        [this, fd, gen](serve::ForecastResult result) {
+        [this, fd, gen, reqId](serve::ForecastResult result) {
             // Worker thread (or inline on shutdown): park the encoded
             // reply and wake the epoll loop, nothing else — the loop
             // owns every connection.
             Completion done;
             done.fd = fd;
             done.gen = gen;
+            done.reqId = reqId;
             done.line = serve::resultToJson(result).dump(0) + "\n";
             {
                 std::lock_guard<std::mutex> lock(completionMutex);
@@ -241,13 +282,23 @@ SocketServer::handleLine(Connection &conn, const std::string &line)
     if (!accepted) {
         rejectedCount->inc();
         appendOutput(conn,
-                     errorLine(tag, "server overloaded (engine queue "
-                                    "full)"));
+                     errorLine(tag,
+                               "server overloaded (engine queue full)",
+                               "overload"));
         flushOutput(conn);
         return;
     }
     ++conn.inFlight;
     ++inFlightTotal;
+    PendingRequest pending;
+    pending.fd = fd;
+    pending.gen = gen;
+    pending.tag = tag;
+    pendingReqs[reqId] = std::move(pending);
+    if (timeoutMs > 0)
+        deadlines.emplace(std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeoutMs),
+                          reqId);
 }
 
 void
@@ -259,6 +310,15 @@ SocketServer::appendOutput(Connection &conn, const std::string &line)
 void
 SocketServer::flushOutput(Connection &conn)
 {
+    if (fault.active() && conn.outOffset < conn.outbuf.size()) {
+        // Chaos: the injector may sleep (delay), shrink (truncate) or
+        // replace (garbage) the unsent tail of this write batch.
+        std::string tail = conn.outbuf.substr(conn.outOffset);
+        if (fault.onWrite(tail)) {
+            conn.outbuf.resize(conn.outOffset);
+            conn.outbuf += tail;
+        }
+    }
     while (conn.outOffset < conn.outbuf.size()) {
         const ssize_t n =
             sendRetry(conn.fd, conn.outbuf.data() + conn.outOffset,
@@ -359,6 +419,14 @@ SocketServer::drainCompletions()
     for (Completion &done : batch) {
         ensure(inFlightTotal > 0, "net: completion accounting underflow");
         --inFlightTotal;
+        bool timedOut = false;
+        auto pit = pendingReqs.find(done.reqId);
+        if (pit != pendingReqs.end()) {
+            timedOut = pit->second.timedOut;
+            pendingReqs.erase(pit);
+        }
+        if (timedOut)
+            continue; // The deadline already answered this client.
         auto it = conns.find(done.fd);
         if (it == conns.end() || it->second->gen != done.gen)
             continue; // Client hung up before its answer was ready.
@@ -377,6 +445,52 @@ SocketServer::drainCompletions()
             continue; // A flush above closed it (slow client).
         it->second->flushQueued = false;
         flushOutput(*it->second);
+    }
+}
+
+void
+SocketServer::fireDeadlines(std::chrono::steady_clock::time_point now)
+{
+    while (!deadlines.empty() && deadlines.begin()->first <= now) {
+        const uint64_t reqId = deadlines.begin()->second;
+        deadlines.erase(deadlines.begin());
+        auto it = pendingReqs.find(reqId);
+        if (it == pendingReqs.end() || it->second.timedOut)
+            continue; // Answered in time.
+        PendingRequest &pending = it->second;
+        // The entry stays until the completion arrives, which then
+        // balances inFlightTotal and is dropped instead of delivered.
+        pending.timedOut = true;
+        timeoutsCount->inc();
+        auto cit = conns.find(pending.fd);
+        if (cit == conns.end() || cit->second->gen != pending.gen)
+            continue; // Client already gone; nothing to answer.
+        Connection &conn = *cit->second;
+        ensure(conn.inFlight > 0, "net: connection in-flight underflow");
+        --conn.inFlight;
+        appendOutput(conn, errorLine(pending.tag,
+                                     "request deadline exceeded",
+                                     "timeout"));
+        flushOutput(conn);
+    }
+}
+
+void
+SocketServer::enterWedge()
+{
+    if (wedged)
+        return;
+    wedged = true;
+    warn("net: fault injection wedged this worker (alive but silent)");
+    // Deregister everything — including the wake pipe, so completions
+    // cannot rouse the loop: epoll_wait blocks with an empty interest
+    // set until something kills the process. Exactly a hung worker.
+    if (listenFd >= 0)
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, listenFd, nullptr);
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, wake.readFd, nullptr);
+    for (auto &entry : conns) {
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, entry.second->fd, nullptr);
+        entry.second->registered = 0;
     }
 }
 
@@ -434,13 +548,26 @@ SocketServer::run()
     struct epoll_event events[kMaxEvents];
     for (;;) {
         int timeout_ms = -1;
+        auto next = std::chrono::steady_clock::time_point::max();
+        bool have_next = false;
         if (stopping) {
+            next = stopDeadline;
+            have_next = true;
+        }
+        if (!wedged && !deadlines.empty() &&
+            (!have_next || deadlines.begin()->first < next)) {
+            next = deadlines.begin()->first;
+            have_next = true;
+        }
+        if (have_next) {
             const auto left = std::chrono::duration_cast<
                                   std::chrono::milliseconds>(
-                                  stopDeadline -
-                                  std::chrono::steady_clock::now())
+                                  next - std::chrono::steady_clock::now())
                                   .count();
-            timeout_ms = left > 0 ? static_cast<int>(left) : 0;
+            timeout_ms = left > 0
+                             ? static_cast<int>(left > 60000 ? 60000
+                                                             : left + 1)
+                             : 0;
         }
         const int n =
             epollWaitRetry(epollFd, events, kMaxEvents, timeout_ms);
@@ -476,7 +603,10 @@ SocketServer::run()
             if (mask & EPOLLOUT)
                 flushOutput(*conns.find(fd)->second);
         }
+        if (wedged)
+            continue; // Silent: neither completions nor deadlines flow.
         drainCompletions();
+        fireDeadlines(std::chrono::steady_clock::now());
         if (stopRequested.load(std::memory_order_acquire))
             beginStop();
         if (stopping) {
@@ -501,6 +631,8 @@ SocketServer::run()
         std::lock_guard<std::mutex> lock(completionMutex);
         completions.clear();
     }
+    pendingReqs.clear();
+    deadlines.clear();
     for (auto &entry : conns)
         closeFd(entry.second->fd);
     if (options.adoptedFd >= 0 &&

@@ -22,7 +22,16 @@
  *    reject (counted in serve.rejected) instead of queueing without
  *    bound;
  *  - SIGTERM/SIGINT (net::installStopSignals) drain gracefully: stop
- *    accepting, answer everything already dispatched, flush, exit.
+ *    accepting, answer everything already dispatched, flush, exit;
+ *  - "ping" requests are answered inline from the epoll thread (never
+ *    queued behind forecasts), so a pong proves the event loop itself
+ *    is alive — the router's heartbeats ride on this;
+ *  - a request's "timeout_ms" (or the server-wide requestTimeoutMs)
+ *    arms a deadline: past it the client gets a typed "timeout" error
+ *    and the late engine result is dropped — no request ever hangs a
+ *    well-behaved client;
+ *  - an optional FaultInjector (chaos testing) can crash or wedge the
+ *    process on a counted request and corrupt the write path.
  *
  * Responses carry the request's "tag" but may complete out of order
  * relative to submission (the worker pool finishes fast requests
@@ -35,12 +44,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/io.hpp"
 #include "obs/metrics.hpp"
 #include "serve/request.hpp"
@@ -74,6 +85,14 @@ struct SocketServerOptions
     /** Bound on the graceful drain after a stop request; connections
      *  still unflushed at the deadline are dropped. */
     int drainTimeoutMs = 30000;
+    /** Default per-request deadline; 0 = unbounded. A request's own
+     *  "timeout_ms" field overrides it. Past the deadline the client
+     *  receives a typed "timeout" error and the engine's late result is
+     *  dropped on completion. */
+    int requestTimeoutMs = 0;
+    /** Chaos-testing fault injector (net/fault.hpp); inactive by
+     *  default. */
+    FaultInjector fault;
 };
 
 /**
@@ -131,7 +150,21 @@ class SocketServer
     {
         int fd = -1;
         uint64_t gen = 0;
+        /** Matches the PendingRequest this result answers. */
+        uint64_t reqId = 0;
         std::string line;
+    };
+
+    /** One accepted request awaiting its engine result (deadline
+     *  bookkeeping; lives until the completion arrives). */
+    struct PendingRequest
+    {
+        int fd = -1;
+        uint64_t gen = 0;
+        std::string tag;
+        /** Deadline fired and the client was answered; the engine's
+         *  late result is dropped. */
+        bool timedOut = false;
     };
 
     void acceptAll();
@@ -146,6 +179,12 @@ class SocketServer
     void maybeFinishConnection(Connection &conn);
     void closeConnection(int fd);
     void drainCompletions();
+    /** Answer every request whose deadline has passed with a typed
+     *  "timeout" error. */
+    void fireDeadlines(std::chrono::steady_clock::time_point now);
+    /** Fault injection: go silent (deregister every fd) but stay
+     *  alive — only a supervisor heartbeat can tell. */
+    void enterWedge();
     void beginStop();
     bool drained() const;
 
@@ -165,6 +204,15 @@ class SocketServer
      *  (including closed ones whose completions are still due). */
     size_t inFlightTotal = 0;
 
+    uint64_t nextReqId = 1;
+    std::unordered_map<uint64_t, PendingRequest> pendingReqs;
+    /** Deadline queue over request ids; stale entries skip lazily. */
+    std::multimap<std::chrono::steady_clock::time_point, uint64_t>
+        deadlines;
+    FaultInjector fault;
+    /** Fault injection tripped a wedge: silent until killed. */
+    bool wedged = false;
+
     std::mutex completionMutex;
     std::vector<Completion> completions;
 
@@ -179,6 +227,7 @@ class SocketServer
     std::shared_ptr<obs::Counter> protocolErrors;
     std::shared_ptr<obs::Counter> slowDisconnects;
     std::shared_ptr<obs::Counter> rejectedCount;
+    std::shared_ptr<obs::Counter> timeoutsCount;
     /// @}
 };
 

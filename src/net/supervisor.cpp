@@ -1,0 +1,49 @@
+#include "net/supervisor.hpp"
+
+#include "common/logging.hpp"
+
+namespace neusight::net {
+
+RespawnScheduler::RespawnScheduler(RespawnPolicy policy_) : policy(policy_)
+{
+    ensure(policy.baseBackoffMs > 0, "RespawnPolicy: baseBackoffMs");
+    ensure(policy.maxBackoffMs >= policy.baseBackoffMs,
+           "RespawnPolicy: maxBackoffMs below baseBackoffMs");
+    ensure(policy.rapidWindowMs > 0, "RespawnPolicy: rapidWindowMs");
+    ensure(policy.parkAfterRapidDeaths > 0,
+           "RespawnPolicy: parkAfterRapidDeaths");
+}
+
+void
+RespawnScheduler::recordSpawn(TimePoint now)
+{
+    lastSpawn = now;
+    spawned = true;
+}
+
+RespawnScheduler::Decision
+RespawnScheduler::recordDeath(TimePoint now)
+{
+    const bool rapid =
+        spawned && (now - lastSpawn) <
+                       std::chrono::milliseconds(policy.rapidWindowMs);
+    consecutiveRapid = rapid ? consecutiveRapid + 1 : 0;
+    Decision decision;
+    if (consecutiveRapid >= policy.parkAfterRapidDeaths) {
+        decision.park = true;
+        return decision;
+    }
+    // First (or post-stable-run) death waits the base delay; each
+    // consecutive rapid death doubles it, clamped at the ceiling.
+    const int doublings =
+        consecutiveRapid > 0 ? consecutiveRapid - 1 : 0;
+    long long delay = policy.baseBackoffMs;
+    for (int i = 0; i < doublings && delay < policy.maxBackoffMs; ++i)
+        delay *= 2;
+    if (delay > policy.maxBackoffMs)
+        delay = policy.maxBackoffMs;
+    decision.delayMs = static_cast<int>(delay);
+    return decision;
+}
+
+} // namespace neusight::net

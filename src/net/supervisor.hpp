@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Respawn scheduling policy of the shard supervisor, factored out of the
+ * ShardRouter so the backoff/circuit-breaker arithmetic is unit-testable
+ * without forking anything. One RespawnScheduler per shard tracks its
+ * spawn/death history and answers, at each death, whether to respawn
+ * (and after what delay) or to park the shard.
+ *
+ * The policy: a death is "rapid" when the worker survived less than
+ * rapidWindowMs since its spawn — the signature of a crash loop (bad
+ * engine config, corrupt cache snapshot, OOM on startup). Consecutive
+ * rapid deaths back off exponentially from baseBackoffMs up to
+ * maxBackoffMs, and after parkAfterRapidDeaths of them the shard is
+ * parked: its keys stay remapped onto the survivors and the server
+ * degrades gracefully instead of fork-bombing. A death after a stable
+ * run (>= rapidWindowMs of uptime) resets the breaker — routine
+ * one-off crashes respawn at the base delay forever.
+ */
+
+#ifndef NEUSIGHT_NET_SUPERVISOR_HPP
+#define NEUSIGHT_NET_SUPERVISOR_HPP
+
+#include <chrono>
+
+namespace neusight::net {
+
+/** Tunables of the respawn policy (one set shared by every shard). */
+struct RespawnPolicy
+{
+    /** Delay before the first respawn attempt. */
+    int baseBackoffMs = 200;
+    /** Backoff ceiling for a persistent crash loop. */
+    int maxBackoffMs = 10000;
+    /** Uptime below this marks a death as rapid (crash-loop evidence). */
+    int rapidWindowMs = 5000;
+    /** Consecutive rapid deaths before the shard is parked for good. */
+    int parkAfterRapidDeaths = 5;
+};
+
+/** Per-shard spawn/death history + the policy's verdicts. */
+class RespawnScheduler
+{
+  public:
+    using TimePoint = std::chrono::steady_clock::time_point;
+
+    explicit RespawnScheduler(RespawnPolicy policy = RespawnPolicy());
+
+    /** The shard (re)started at @p now. */
+    void recordSpawn(TimePoint now);
+
+    /** Verdict for one death. */
+    struct Decision
+    {
+        /** Stop respawning this shard; it is crash-looping. */
+        bool park = false;
+        /** Respawn after this delay (unless park). */
+        int delayMs = 0;
+    };
+
+    /** The shard died at @p now; what should the supervisor do? */
+    Decision recordDeath(TimePoint now);
+
+    /** Consecutive rapid deaths recorded so far (breaker pressure). */
+    int rapidDeaths() const { return consecutiveRapid; }
+
+  private:
+    RespawnPolicy policy;
+    TimePoint lastSpawn{};
+    bool spawned = false;
+    int consecutiveRapid = 0;
+};
+
+} // namespace neusight::net
+
+#endif // NEUSIGHT_NET_SUPERVISOR_HPP

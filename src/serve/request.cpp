@@ -24,6 +24,8 @@ requestKindName(RequestKind kind)
         return "sweep";
       case RequestKind::Stats:
         return "stats";
+      case RequestKind::Ping:
+        return "ping";
     }
     panic("requestKindName: bad kind");
 }
@@ -33,11 +35,13 @@ ForecastRequest::fingerprint() const
 {
     std::string key;
     key.reserve(160);
-    if (kind == RequestKind::Stats) {
-        // A snapshot is point-in-time state, not a deterministic
-        // function of the request: every stats request must run (the
-        // tag keeps concurrent ones from coalescing with each other).
-        key += "stats!";
+    if (kind == RequestKind::Stats || kind == RequestKind::Ping) {
+        // A snapshot (or liveness probe) is point-in-time state, not a
+        // deterministic function of the request: every one must run
+        // (the tag keeps concurrent ones from coalescing with each
+        // other).
+        key += requestKindName(kind);
+        key += '!';
         key += tag;
         return key;
     }

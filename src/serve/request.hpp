@@ -38,6 +38,13 @@ enum class RequestKind
     HybridSweep,
     /** Metrics-registry snapshot (the "stats" wire op); no forecast. */
     Stats,
+    /**
+     * Liveness probe (the "ping" wire op): answered inline by the
+     * socket layer without touching the engine queue, so it proves the
+     * event loop is alive even when every worker thread is busy. The
+     * shard router heartbeats its workers with it.
+     */
+    Ping,
 };
 
 /** Display name, e.g. "inference". */
@@ -82,6 +89,16 @@ struct ForecastRequest
     std::string tag;
 
     /**
+     * Per-request deadline in milliseconds ("timeout_ms" on the wire);
+     * 0 defers to the server's --request-timeout default. Enforced by
+     * the socket layer (the request is answered with a typed "timeout"
+     * error once expired), and deliberately excluded from the
+     * fingerprint: the forecast itself is deadline-independent, so
+     * requests differing only in timeout still coalesce.
+     */
+    uint64_t timeoutMs = 0;
+
+    /**
      * Canonical identity of the forecast this request asks for: two
      * requests with equal fingerprints are guaranteed equal results, so
      * the server answers both with one computation. The tag is excluded.
@@ -97,6 +114,13 @@ struct ForecastResult
     /** False when the request was rejected or failed; see error. */
     bool ok = true;
     std::string error;
+    /**
+     * Machine-readable failure class ("code" on the wire): "timeout",
+     * "overload", "unavailable", "draining", or empty for errors that
+     * predate the vocabulary (parse failures, engine exceptions).
+     * Clients branch on this instead of string-matching error text.
+     */
+    std::string errorCode;
 
     /** The forecast. */
     double latencyMs = 0.0;

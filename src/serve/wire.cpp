@@ -94,9 +94,11 @@ kindFromString(const std::string &op)
         return RequestKind::HybridSweep;
     if (op == "stats")
         return RequestKind::Stats;
+    if (op == "ping")
+        return RequestKind::Ping;
     fatal("wire: unknown op '" + op +
           "' (expected inference|decode|training|distributed|hybrid|"
-          "sweep|stats)");
+          "sweep|stats|ping)");
 }
 
 gpusim::DataType
@@ -191,12 +193,17 @@ requestFromJson(const Json &json)
         fatal("wire: request must be a JSON object");
     ForecastRequest req;
     req.kind = kindFromString(json.at("op").asString());
-    if (req.kind == RequestKind::Stats) {
-        // A stats request names no workload: only the echo tag applies.
+    if (req.kind == RequestKind::Stats || req.kind == RequestKind::Ping) {
+        // Stats/ping requests name no workload: only the echo tag
+        // applies.
         req.model.clear();
         req.tag = json.stringOr("tag", "");
         return req;
     }
+    const double timeout = json.numberOr("timeout_ms", 0.0);
+    if (timeout < 0.0)
+        fatal("wire: 'timeout_ms' must be non-negative");
+    req.timeoutMs = static_cast<uint64_t>(timeout);
     req.model = json.at("model").asString();
     req.gpu = gpusim::resolveGpu(json.at("gpu").asString());
     req.batch = positiveField(json, "batch", 1);
@@ -264,11 +271,13 @@ requestToJson(const ForecastRequest &req)
 {
     Json json;
     json.set("op", requestKindName(req.kind));
-    if (req.kind == RequestKind::Stats) {
+    if (req.kind == RequestKind::Stats || req.kind == RequestKind::Ping) {
         if (!req.tag.empty())
             json.set("tag", req.tag);
         return json;
     }
+    if (req.timeoutMs > 0)
+        json.set("timeout_ms", req.timeoutMs);
     json.set("model", req.model);
     json.set("gpu", req.gpu.name);
     json.set("batch", req.batch);
@@ -325,6 +334,8 @@ resultToJson(const ForecastResult &result)
     json.set("ok", result.ok);
     if (!result.ok) {
         json.set("error", result.error);
+        if (!result.errorCode.empty())
+            json.set("code", result.errorCode);
         return json;
     }
     if (!result.payload.empty()) {

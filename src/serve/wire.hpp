@@ -16,13 +16,20 @@
  *    "tp":2,"dp":2,"micro_batches":2,"recompute":true}
  *   {"op":"sweep","model":"GPT2-Large","gpu":"H100","num_gpus":4,
  *    "global_batch":8}
+ * Control ops carry no workload:
+ *   {"op":"stats"}   — merged metrics-registry snapshot
+ *   {"op":"ping"}    — liveness probe, answered inline by the socket
+ *                      layer ({"ok":true,"pong":true})
  * Optional fields: "tag" (echoed), "dtype" ("fp32"|"fp16"), "backend"
  * (alias "predictor": registry name of the predictor answering this
- * request — one server hosts heterogeneous backends side by side), and
- * for multi-GPU requests "micro_batches", "schedule"
- * ("gpipe"|"1f1b"|"interleaved"), "virtual_stages", "recompute",
- * "link_gbps". "gpu" accepts a Table-4 name or a spec-JSON path
- * (gpusim::resolveGpu).
+ * request — one server hosts heterogeneous backends side by side),
+ * "timeout_ms" (per-request deadline; expired requests answer
+ * {"ok":false,"code":"timeout"}), and for multi-GPU requests
+ * "micro_batches", "schedule" ("gpipe"|"1f1b"|"interleaved"),
+ * "virtual_stages", "recompute", "link_gbps". "gpu" accepts a Table-4
+ * name or a spec-JSON path (gpusim::resolveGpu). Error replies carry a
+ * machine-readable "code" ("timeout"|"overload"|"unavailable"|
+ * "draining") beside the human-readable "error" text.
  */
 
 #ifndef NEUSIGHT_SERVE_WIRE_HPP

@@ -7,10 +7,18 @@ forecasts and a stats request over TCP, then delivers SIGTERM while a
 request is in flight and asserts the whole process tree drains cleanly
 (exit code 0, all replies well-formed).
 
-Usage: net_smoke.py <path-to-neusight-serve> [--shards N]
+With --chaos it instead runs the fault-tolerance smoke: SIGKILL a shard
+worker mid-load and wedge another via --fault-spec, asserting the
+self-healing invariants — every accepted request gets exactly one reply
+(a result or a typed timeout/overload/unavailable error, never a hang),
+the killed shard respawns and rejoins the ring, and the router's
+request ledger balances (submitted == completed + rejected + timed_out).
+
+Usage: net_smoke.py <path-to-neusight-serve> [--shards N] [--chaos]
 """
 
 import json
+import os
 import re
 import signal
 import socket
@@ -18,19 +26,221 @@ import subprocess
 import sys
 import time
 
+TYPED_ERRORS = {"timeout", "overload", "unavailable", "draining"}
+
 
 def fail(msg):
     print("net_smoke: FAIL:", msg, file=sys.stderr)
     sys.exit(1)
 
 
+def spawn_server(serve, extra_args):
+    """Start neusight-serve and return (proc, port) once it listens."""
+    cmd = [serve, "--backend", "oracle", "--workers", "1",
+           "--listen", "127.0.0.1:0"] + extra_args
+    proc = subprocess.Popen(cmd, stderr=subprocess.PIPE)
+    deadline = time.time() + 30
+    for raw in proc.stderr:
+        line = raw.decode(errors="replace")
+        match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+        if time.time() > deadline:
+            break
+    proc.kill()
+    fail("server never printed its ready line")
+
+
+class Client:
+    """Line-oriented JSON client over one TCP connection."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=30)
+        self.sock.settimeout(30)
+        self.stream = self.sock.makefile("rwb")
+
+    def request(self, obj):
+        self.stream.write((json.dumps(obj) + "\n").encode())
+        self.stream.flush()
+
+    def reply(self):
+        raw = self.stream.readline()
+        if not raw:
+            fail("connection closed before a reply")
+        return json.loads(raw)
+
+    def stats(self, tag):
+        self.request({"op": "stats", "tag": tag})
+        r = self.reply()
+        if not r.get("ok") or "stats" not in r:
+            fail("stats request failed: %s" % r)
+        return r
+
+    def close(self):
+        self.sock.close()
+
+
+def worker_pids(router_pid):
+    """The shard workers are the router's direct children."""
+    path = "/proc/%d/task/%d/children" % (router_pid, router_pid)
+    with open(path) as f:
+        return [int(p) for p in f.read().split()]
+
+
+def drive_window(client, start, count, answered, errors):
+    """Send `count` distinct forecasts and read every reply back.
+
+    Replies may arrive out of order (and interleaved with retries after
+    a shard death), so they are matched by tag. Each must be ok or
+    carry a typed error code — a missing or untyped reply fails.
+    """
+    tags = set()
+    for i in range(start, start + count):
+        tag = "c%d" % i
+        tags.add(tag)
+        client.request({"op": "inference", "model": "BERT-Large",
+                        "batch": (i % 512) + 1, "gpu": "A100-40GB",
+                        "tag": tag})
+    for _ in range(count):
+        r = client.reply()
+        tag = r.get("tag")
+        if tag not in tags:
+            fail("unexpected reply tag %s" % tag)
+        tags.discard(tag)
+        if r.get("ok"):
+            answered[0] += 1
+        elif r.get("code") in TYPED_ERRORS:
+            errors[r["code"]] = errors.get(r["code"], 0) + 1
+        else:
+            fail("untyped failure reply: %s" % r)
+    if tags:
+        fail("unanswered requests: %s" % sorted(tags))
+
+
+def await_recovery(client, shards, min_restarts, what):
+    """Poll stats until every shard is live again and the supervisor
+    has logged the respawn(s)."""
+    deadline = time.time() + 30
+    poll = 0
+    while True:
+        r = client.stats("rec%d" % poll)
+        poll += 1
+        stats = r["stats"]
+        if (r.get("shards") == shards
+                and stats.get("net.shard.restarts", 0) >= min_restarts):
+            return stats
+        if time.time() > deadline:
+            fail("%s: no recovery (shards=%s restarts=%s)"
+                 % (what, r.get("shards"),
+                    stats.get("net.shard.restarts")))
+        time.sleep(0.2)
+
+
+def check_ledger(stats, what):
+    submitted = stats.get("net.requests.submitted", 0)
+    settled = (stats.get("net.requests.completed", 0)
+               + stats.get("net.requests.rejected", 0)
+               + stats.get("net.requests.timed_out", 0))
+    if submitted != settled or submitted == 0:
+        fail("%s: ledger off: submitted=%d settled=%d (%s)"
+             % (what, submitted, settled,
+                {k: v for k, v in stats.items()
+                 if k.startswith("net.requests.")}))
+
+
+def shutdown(proc, client):
+    client.close()
+    proc.send_signal(signal.SIGTERM)
+    try:
+        code = proc.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("server did not exit within 60s of SIGTERM")
+    if code != 0:
+        fail("server exited %d after SIGTERM drain" % code)
+
+
+def chaos_kill_phase(serve, shards):
+    """SIGKILL a worker mid-load: the router must answer everything,
+    respawn the shard, and keep the request ledger balanced."""
+    proc, port = spawn_server(serve, [
+        "--shards", str(shards), "--request-timeout", "10000",
+        "--heartbeat-interval", "200"])
+    try:
+        client = Client(port)
+        answered, errors = [0], {}
+        windows, per_window = 30, 20
+        victim = None
+        for w in range(windows):
+            if w == 5:
+                pids = worker_pids(proc.pid)
+                if len(pids) != shards:
+                    fail("expected %d workers, see %s" % (shards, pids))
+                victim = pids[0]
+                os.kill(victim, signal.SIGKILL)
+            drive_window(client, w * per_window, per_window,
+                         answered, errors)
+        total = answered[0] + sum(errors.values())
+        if total != windows * per_window:
+            fail("kill phase: %d replies for %d requests"
+                 % (total, windows * per_window))
+        if answered[0] == 0:
+            fail("kill phase: nothing succeeded")
+        stats = await_recovery(client, shards, 1, "kill phase")
+        if stats.get("net.shard.deaths", 0) < 1:
+            fail("kill phase: death not recorded: %s" % stats)
+        check_ledger(stats, "kill phase")
+        shutdown(proc, client)
+        print("net_smoke: kill phase OK (pid %d killed, ok=%d "
+              "typed-errors=%s)" % (victim, answered[0], errors))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+def chaos_wedge_phase(serve):
+    """Wedge shard 1 via --fault-spec: only the heartbeat can tell, so
+    the router must detect the silence, kill and respawn the worker,
+    and retry or time out everything stranded on it."""
+    proc, port = spawn_server(serve, [
+        "--shards", "2", "--request-timeout", "5000",
+        "--heartbeat-interval", "200",
+        "--fault-spec", "wedge:shard=1,after=40"])
+    try:
+        client = Client(port)
+        answered, errors = [0], {}
+        for w in range(12):
+            drive_window(client, 1000 + w * 10, 10, answered, errors)
+        stats = await_recovery(client, 2, 1, "wedge phase")
+        check_ledger(stats, "wedge phase")
+        if answered[0] == 0:
+            fail("wedge phase: nothing succeeded")
+        shutdown(proc, client)
+        print("net_smoke: wedge phase OK (ok=%d typed-errors=%s)"
+              % (answered[0], errors))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+def chaos_main(serve, shards):
+    chaos_kill_phase(serve, max(shards, 3))
+    chaos_wedge_phase(serve)
+    print("net_smoke: OK (chaos)")
+
+
 def main():
     if len(sys.argv) < 2:
-        fail("usage: net_smoke.py <neusight-serve> [--shards N]")
+        fail("usage: net_smoke.py <neusight-serve> [--shards N] "
+             "[--chaos]")
     serve = sys.argv[1]
     shards = 1
     if "--shards" in sys.argv:
         shards = int(sys.argv[sys.argv.index("--shards") + 1])
+    if "--chaos" in sys.argv:
+        chaos_main(serve, shards)
+        return
 
     cmd = [
         serve, "--backend", "oracle", "--workers", "1",

@@ -6,6 +6,10 @@
  * TCP connection — round-trips, junk input, per-client admission,
  * engine-queue backpressure (counted in serve.rejected), a client
  * hanging up mid-write (the SIGPIPE regression), and graceful drain.
+ * Plus the fault-tolerance layer: hash-ring re-add stability (a
+ * respawned shard reclaims exactly its old keys), the respawn
+ * scheduler's backoff/park policy, the fault-spec grammar, inline ping
+ * answers, and request deadlines (typed "timeout" errors).
  */
 
 #include <gtest/gtest.h>
@@ -21,9 +25,11 @@
 
 #include "common/json.hpp"
 #include "eval/oracle.hpp"
+#include "net/fault.hpp"
 #include "net/hash_ring.hpp"
 #include "net/io.hpp"
 #include "net/socket_server.hpp"
+#include "net/supervisor.hpp"
 #include "obs/merge.hpp"
 #include "obs/metrics.hpp"
 #include "serve/server.hpp"
@@ -436,6 +442,234 @@ TEST(SocketServer, GracefulStopAnswersInFlightWork)
     // Every accepted request is answered (ok or a drain rejection),
     // none silently dropped.
     EXPECT_EQ(answered, kBurst);
+}
+
+// -------------------------------------------------------- fault tolerance
+
+TEST(HashRing, ReAddRestoresTheExactPreRemovalMapping)
+{
+    net::HashRing ring(5);
+    std::unordered_map<std::string, size_t> before;
+    for (int i = 0; i < 2000; ++i) {
+        const std::string key = "key-" + std::to_string(i);
+        before[key] = ring.shardFor(key);
+    }
+    // A shard dies and its respawned replacement rejoins: vnode labels
+    // are deterministic, so the ring must return to the exact
+    // pre-removal mapping — the newcomer reclaims precisely its old
+    // keys and nobody else's cache goes cold.
+    ring.removeShard(3);
+    ring.addShard(3);
+    EXPECT_EQ(ring.liveShards(), 5u);
+    EXPECT_TRUE(ring.contains(3));
+    for (const auto &[key, shard] : before)
+        EXPECT_EQ(ring.shardFor(key), shard) << key << " remapped";
+    // Re-adding a live shard is a no-op, not a double insertion.
+    ring.addShard(3);
+    EXPECT_EQ(ring.liveShards(), 5u);
+    for (const auto &[key, shard] : before)
+        EXPECT_EQ(ring.shardFor(key), shard) << key << " remapped";
+}
+
+TEST(RespawnScheduler, RapidDeathsBackOffExponentiallyThenPark)
+{
+    net::RespawnPolicy policy;
+    policy.baseBackoffMs = 100;
+    policy.maxBackoffMs = 400;
+    policy.rapidWindowMs = 1000;
+    policy.parkAfterRapidDeaths = 4;
+    net::RespawnScheduler sched(policy);
+    using Ms = std::chrono::milliseconds;
+    net::RespawnScheduler::TimePoint t{}; // Synthetic clock.
+
+    // A crash loop: every death lands well inside the rapid window.
+    sched.recordSpawn(t);
+    const auto d1 = sched.recordDeath(t + Ms(10));
+    EXPECT_FALSE(d1.park);
+    EXPECT_EQ(d1.delayMs, 100);
+    sched.recordSpawn(t + Ms(120));
+    const auto d2 = sched.recordDeath(t + Ms(130));
+    EXPECT_FALSE(d2.park);
+    EXPECT_EQ(d2.delayMs, 200);
+    sched.recordSpawn(t + Ms(340));
+    const auto d3 = sched.recordDeath(t + Ms(350));
+    EXPECT_FALSE(d3.park);
+    EXPECT_EQ(d3.delayMs, 400); // Clamped at maxBackoffMs.
+    EXPECT_EQ(sched.rapidDeaths(), 3);
+    sched.recordSpawn(t + Ms(760));
+    const auto d4 = sched.recordDeath(t + Ms(770));
+    EXPECT_TRUE(d4.park); // 4th consecutive rapid death: breaker trips.
+}
+
+TEST(RespawnScheduler, StableRunResetsTheBreaker)
+{
+    net::RespawnPolicy policy;
+    policy.baseBackoffMs = 100;
+    policy.maxBackoffMs = 400;
+    policy.rapidWindowMs = 1000;
+    policy.parkAfterRapidDeaths = 4;
+    net::RespawnScheduler sched(policy);
+    using Ms = std::chrono::milliseconds;
+    net::RespawnScheduler::TimePoint t{};
+
+    sched.recordSpawn(t);
+    sched.recordDeath(t + Ms(10));
+    sched.recordSpawn(t + Ms(120));
+    sched.recordDeath(t + Ms(130));
+    EXPECT_EQ(sched.rapidDeaths(), 2);
+    // The respawn survives a full rapid window: a later one-off death
+    // is routine and goes back to the base delay with breaker pressure
+    // cleared.
+    sched.recordSpawn(t + Ms(340));
+    const auto after_stable = sched.recordDeath(t + Ms(340 + 1000));
+    EXPECT_FALSE(after_stable.park);
+    EXPECT_EQ(after_stable.delayMs, 100);
+    EXPECT_EQ(sched.rapidDeaths(), 0);
+}
+
+TEST(FaultInjector, ParsesTheGrammarWithDefaults)
+{
+    const auto rules = net::FaultInjector::parseRules(
+        "kill:shard=1,after=3; wedge ;delay:ms=7,every=4;"
+        "truncate;garbage:every=5");
+    ASSERT_EQ(rules.size(), 5u);
+    EXPECT_EQ(rules[0].kind, net::FaultInjector::Kind::Kill);
+    EXPECT_EQ(rules[0].shard, 1);
+    EXPECT_EQ(rules[0].after, 3u);
+    EXPECT_EQ(rules[1].kind, net::FaultInjector::Kind::Wedge);
+    EXPECT_EQ(rules[1].shard, -1); // Unscoped: every shard.
+    EXPECT_EQ(rules[1].after, 1u);
+    EXPECT_EQ(rules[2].kind, net::FaultInjector::Kind::Delay);
+    EXPECT_EQ(rules[2].delayMs, 7u);
+    EXPECT_EQ(rules[2].every, 4u);
+    EXPECT_EQ(rules[3].kind, net::FaultInjector::Kind::Truncate);
+    EXPECT_EQ(rules[3].every, 16u);
+    EXPECT_EQ(rules[4].kind, net::FaultInjector::Kind::Garbage);
+    EXPECT_EQ(rules[4].every, 5u);
+
+    // Strict parsing: typos die at startup, not silently at runtime.
+    EXPECT_THROW(net::FaultInjector::parseRules("explode"),
+                 std::exception);
+    EXPECT_THROW(net::FaultInjector::parseRules("kill:when=3"),
+                 std::exception);
+
+    // parse() keeps only the rules scoped to the worker's shard.
+    const auto spec = std::string("kill:shard=1,after=3;garbage:every=2");
+    EXPECT_EQ(net::FaultInjector::parse(spec, 0).activeRules().size(),
+              1u);
+    EXPECT_EQ(net::FaultInjector::parse(spec, 1).activeRules().size(),
+              2u);
+    EXPECT_FALSE(net::FaultInjector::parse("", 0).active());
+}
+
+TEST(FaultInjector, ArmsOnTheExactOrdinalAndCorruptsWrites)
+{
+    auto kill = net::FaultInjector::parse("kill:after=3", 0);
+    EXPECT_EQ(kill.onRequest(), net::FaultAction::None);
+    EXPECT_EQ(kill.onRequest(), net::FaultAction::None);
+    EXPECT_EQ(kill.onRequest(), net::FaultAction::Kill);
+    EXPECT_EQ(kill.onRequest(), net::FaultAction::None); // Fires once.
+
+    auto garbage = net::FaultInjector::parse("garbage:every=3", 0);
+    const std::string original = "{\"ok\":true}\n";
+    std::string payload = original;
+    EXPECT_FALSE(garbage.onWrite(payload));
+    EXPECT_FALSE(garbage.onWrite(payload));
+    EXPECT_EQ(payload, original);
+    EXPECT_TRUE(garbage.onWrite(payload)); // Every 3rd write batch.
+    EXPECT_NE(payload, original);
+
+    auto truncate = net::FaultInjector::parse("truncate:every=1", 0);
+    std::string batch = "0123456789";
+    EXPECT_TRUE(truncate.onWrite(batch));
+    EXPECT_LT(batch.size(), 10u); // Tail half dropped.
+    EXPECT_EQ(batch, "01234");
+}
+
+TEST(SocketServer, PingIsAnsweredInlineWithPong)
+{
+    LoopbackServer loop;
+    LineClient client(loop.sock.port());
+    client.send("{\"op\":\"ping\",\"tag\":\"hb7\"}\n");
+    const Json reply = client.readReply();
+    EXPECT_TRUE(reply.boolOr("ok", false)) << reply.dump(0);
+    EXPECT_TRUE(reply.boolOr("pong", false)) << reply.dump(0);
+    EXPECT_EQ(reply.stringOr("tag", ""), "hb7");
+}
+
+TEST(SocketServer, DeadlineAnswersTypedTimeoutUnderBacklog)
+{
+    net::SocketServerOptions options;
+    options.requestTimeoutMs = 1;
+    serve::ServerOptions engine_options;
+    engine_options.workers = 1;
+    engine_options.queueCapacity = 1024;
+    LoopbackServer loop(options, engine_options);
+    LineClient client(loop.sock.port());
+
+    // 200 distinct forecasts queued behind one worker: the tail of the
+    // queue cannot possibly be served within 1 ms, so deadlines must
+    // fire — and every request must still get exactly one reply, ok or
+    // a typed "timeout" error (no hangs, no double answers).
+    std::string burst;
+    constexpr int kBurst = 200;
+    for (int i = 0; i < kBurst; ++i)
+        burst += forecastLine("GPT2-Large", static_cast<uint64_t>(i + 1),
+                              "d" + std::to_string(i));
+    client.send(burst);
+    int ok = 0;
+    int timed_out = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        const Json reply = client.readReply();
+        ASSERT_TRUE(reply.isObject()) << "missing reply " << i;
+        if (reply.boolOr("ok", false)) {
+            ++ok;
+            continue;
+        }
+        EXPECT_EQ(reply.stringOr("code", ""), "timeout")
+            << reply.dump(0);
+        ++timed_out;
+    }
+    EXPECT_EQ(ok + timed_out, kBurst);
+    EXPECT_GE(timed_out, 1);
+    EXPECT_GE(loop.server.metrics()->toJson().at("net.timeouts").asInt(),
+              static_cast<int64_t>(timed_out));
+}
+
+TEST(SocketServer, PerRequestTimeoutOverridesTheServerDefault)
+{
+    net::SocketServerOptions options; // requestTimeoutMs = 0: unbounded.
+    serve::ServerOptions engine_options;
+    engine_options.workers = 1;
+    engine_options.queueCapacity = 1024;
+    LoopbackServer loop(options, engine_options);
+    LineClient client(loop.sock.port());
+
+    // A backlog of deadline-free requests, then one carrying its own
+    // 1 ms "timeout_ms". Queued behind the backlog it must time out;
+    // everything without a deadline must complete.
+    std::string burst;
+    constexpr int kBacklog = 150;
+    for (int i = 0; i < kBacklog; ++i)
+        burst += forecastLine("GPT2-Large", static_cast<uint64_t>(i + 1),
+                              "b" + std::to_string(i));
+    Json hurried = Json::parse(forecastLine("GPT2-Large", 999, "hurried"));
+    hurried.set("timeout_ms", 1);
+    burst += hurried.dump(0) + "\n";
+    client.send(burst);
+    bool hurried_timed_out = false;
+    for (int i = 0; i < kBacklog + 1; ++i) {
+        const Json reply = client.readReply();
+        ASSERT_TRUE(reply.isObject()) << "missing reply " << i;
+        if (reply.stringOr("tag", "") == "hurried") {
+            EXPECT_FALSE(reply.boolOr("ok", true)) << reply.dump(0);
+            hurried_timed_out =
+                reply.stringOr("code", "") == "timeout";
+        } else {
+            EXPECT_TRUE(reply.boolOr("ok", false)) << reply.dump(0);
+        }
+    }
+    EXPECT_TRUE(hurried_timed_out);
 }
 
 } // namespace

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <functional>
@@ -33,6 +34,7 @@
 #include "obs/trace.hpp"
 #include "serve/prediction_cache.hpp"
 #include "serve/server.hpp"
+#include "net/fault.hpp"
 #include "net/frontend.hpp"
 #include "serve/wire.hpp"
 #include "tool_common.hpp"
@@ -120,6 +122,12 @@ runListen(const common::ArgParser &args, const std::string &listen,
     fopt.port = static_cast<uint16_t>(port);
     fopt.shards = shards;
     fopt.maxInFlightPerClient = max_inflight;
+    fopt.drainTimeoutMs = static_cast<int>(args.getInt("drain-timeout"));
+    fopt.requestTimeoutMs =
+        static_cast<int>(args.getInt("request-timeout"));
+    fopt.heartbeatIntervalMs =
+        static_cast<int>(args.getInt("heartbeat-interval"));
+    fopt.faultSpec = args.getString("fault-spec");
     const int code = net::runFrontend(fopt, factory);
 
     if (shards == 1 && local_engine) {
@@ -216,6 +224,25 @@ run(int argc, const char *const *argv)
     args.addInt("max-inflight", 256,
                 "per-connection in-flight requests before admission "
                 "control rejects (--listen mode)");
+    args.addInt("request-timeout", 30000,
+                "default per-request deadline in ms (--listen mode); a "
+                "request past it gets a typed \"timeout\" error; a "
+                "request's own \"timeout_ms\" field overrides; 0 = "
+                "unbounded");
+    args.addInt("drain-timeout", 30000,
+                "graceful-drain bound in ms after SIGTERM/SIGINT "
+                "(--listen mode): answer what was accepted, then exit "
+                "even if unflushed");
+    args.addInt("heartbeat-interval", 1000,
+                "router-to-shard heartbeat period in ms (--listen with "
+                "--shards > 1); a shard missing 3 pongs is presumed "
+                "wedged, killed and respawned; 0 disables");
+    const char *env_fault = std::getenv("NEUSIGHT_FAULT_SPEC");
+    args.addString("fault-spec", env_fault ? env_fault : "",
+                   "chaos fault injection into the shard workers, e.g. "
+                   "\"kill:shard=1,after=100;delay:ms=5,every=8\" "
+                   "(kinds: kill|wedge|delay|truncate|garbage; defaults "
+                   "from $NEUSIGHT_FAULT_SPEC; --listen mode)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -272,6 +299,20 @@ run(int argc, const char *const *argv)
     if (listen.empty() && shards != 1)
         fatal("--shards needs --listen (sharding is a property of the "
               "socket front-end)");
+    if (args.getInt("request-timeout") < 0 ||
+        args.getInt("heartbeat-interval") < 0)
+        fatal("--request-timeout and --heartbeat-interval must be "
+              "non-negative (0 disables)");
+    if (args.getInt("drain-timeout") < 1)
+        fatal("--drain-timeout must be at least 1 ms");
+    if (!args.getString("fault-spec").empty()) {
+        if (listen.empty())
+            fatal("--fault-spec needs --listen (faults inject into the "
+                  "socket serving path)");
+        // Validate the grammar now: a typo must fail at startup, not
+        // silently inject nothing in the workers.
+        net::FaultInjector::parseRules(args.getString("fault-spec"));
+    }
     if (!listen.empty())
         return runListen(args, listen, static_cast<size_t>(shards),
                          static_cast<size_t>(max_inflight), buildEngine);
