@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Event-simulator throughput and correctness bench: events/s of the
+ * discrete-event engine on the flagship lowered schedules, the
+ * closed-form parity check that anchors the simulator's numbers
+ * (golden GPT2-Large pin, tight relative tolerance), and the
+ * zero-bubble gate (the simulator-only schedule must strictly beat
+ * 1F1B on at least the pinned config). Writes a BENCH_sim.json
+ * artifact for CI and exits nonzero when parity or the zero-bubble
+ * win is lost.
+ *
+ *   bench_sim_throughput --json BENCH_sim.json --parity-tol 1e-3
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/argparse.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "dist/collective.hpp"
+#include "dist/parallel.hpp"
+#include "eval/oracle.hpp"
+#include "graph/models.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace neusight;
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+double
+relErr(double a, double b)
+{
+    return std::fabs(a - b) / std::max(std::fabs(b), 1e-12);
+}
+
+} // namespace
+
+int
+run(int argc, const char *const *argv)
+{
+    common::ArgParser args(
+        "bench_sim_throughput",
+        "event-engine events/s, closed-form parity, and the "
+        "zero-bubble gate");
+    args.addInt("reps", 50, "timed repetitions of each simulation");
+    args.addString("json", "BENCH_sim.json", "JSON report output path");
+    args.addDouble("parity-tol", 1e-3,
+                   "fail (exit 3) when the simulated golden pin "
+                   "diverges from the closed form by more than this "
+                   "relative error");
+    if (!args.parse(argc, argv))
+        return 0;
+    setQuiet(false);
+    const int reps = static_cast<int>(args.getInt("reps"));
+    if (reps < 1)
+        fatal("--reps must be at least 1");
+    const double tol = args.getDouble("parity-tol");
+
+    // The oracle predictor keeps stage pricing cheap and deterministic;
+    // the engine under test is the event loop, not the MLP.
+    const eval::SimulatorOracle oracle;
+    const dist::SimCollectives comms("A100-NVLink");
+    dist::ServerConfig server;
+    server.systemName = "A100-NVLink";
+    server.gpuName = "A100-40GB";
+    server.numGpus = 8;
+    const graph::ModelConfig &model = graph::findModel("GPT2-Large");
+    const uint64_t global_batch = 16;
+    common::Json report;
+
+    // ------------------------------------------------------------------
+    // 1. Engine throughput: simulate the golden hybrid and a deeper
+    // interleaved schedule back to back, counting processed events.
+    // Stage prices are memoized across reps, so after the first
+    // iteration the wall-clock is the event engine itself.
+    // ------------------------------------------------------------------
+    dist::HybridConfig golden;
+    golden.tpDegree = 2;
+    golden.ppDegree = 2;
+    golden.dpDegree = 2;
+    golden.numMicroBatches = 4;
+    golden.schedule = dist::PipelineSchedule::OneFOneB;
+
+    dist::HybridConfig deep;
+    deep.tpDegree = 1;
+    deep.ppDegree = 4;
+    deep.dpDegree = 2;
+    deep.numMicroBatches = 8;
+    deep.schedule = dist::PipelineSchedule::Interleaved1F1B;
+    deep.virtualStagesPerGpu = 2;
+
+    dist::StagePriceMemo memo;
+    uint64_t events = 0;
+    uint64_t tasks = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+        for (const dist::HybridConfig *hy : {&golden, &deep}) {
+            const sim::SimResult res =
+                sim::simulateHybrid(oracle, comms, server, model,
+                                    global_batch, *hy, sim::SimOptions{},
+                                    &memo);
+            events += res.events;
+            tasks += res.tasks;
+        }
+    }
+    const double sim_s = secondsSince(t0);
+    const double events_per_s =
+        static_cast<double>(events) / std::max(sim_s, 1e-9);
+
+    // ------------------------------------------------------------------
+    // 2. Parity: the golden pin through both engines.
+    // ------------------------------------------------------------------
+    const sim::SimResult sim_golden = sim::simulateHybrid(
+        oracle, comms, server, model, global_batch, golden, {}, &memo);
+    const dist::HybridResult closed_golden = dist::hybridTrainingMs(
+        oracle, comms, server, model, global_batch, golden, &memo);
+    const double parity_err =
+        relErr(sim_golden.hybrid.latencyMs, closed_golden.latencyMs);
+    const bool parity_ok = parity_err <= tol;
+
+    // ------------------------------------------------------------------
+    // 3. The zero-bubble gate: on the deep pipeline, the split-backward
+    // schedule must strictly beat 1F1B (that is the simulator's value
+    // statement — a schedule no closed form prices, shown to win).
+    // ------------------------------------------------------------------
+    dist::HybridConfig pipe = deep;
+    pipe.schedule = dist::PipelineSchedule::OneFOneB;
+    pipe.virtualStagesPerGpu = 1;
+    dist::HybridConfig zb = pipe;
+    zb.schedule = dist::PipelineSchedule::ZeroBubble;
+    const sim::SimResult one_f = sim::simulateHybrid(
+        oracle, comms, server, model, global_batch, pipe, {}, &memo);
+    const sim::SimResult zero_b = sim::simulateHybrid(
+        oracle, comms, server, model, global_batch, zb, {}, &memo);
+    const bool zb_ok =
+        zero_b.hybrid.latencyMs < one_f.hybrid.latencyMs &&
+        zero_b.hybrid.bubbleMs < one_f.hybrid.bubbleMs;
+
+    TextTable table("Event-simulator bench (GPT2-Large, batch 16, "
+                    "8x A100-40GB, " + std::to_string(reps) + " reps)",
+                    {"metric", "value"});
+    table.addRow({"events/s", TextTable::num(events_per_s, 0)});
+    table.addRow({"events simulated", std::to_string(events)});
+    table.addRow({"tasks lowered", std::to_string(tasks)});
+    table.addRow({"golden pin sim (ms)",
+                  TextTable::num(sim_golden.hybrid.latencyMs, 3)});
+    table.addRow({"golden pin closed (ms)",
+                  TextTable::num(closed_golden.latencyMs, 3)});
+    table.addRow({"parity rel err",
+                  TextTable::num(parity_err * 100.0, 4) + " %"});
+    table.addRow({"1F1B pp4 (ms)",
+                  TextTable::num(one_f.hybrid.latencyMs, 1)});
+    table.addRow({"zero-bubble pp4 (ms)",
+                  TextTable::num(zero_b.hybrid.latencyMs, 1)});
+    table.addRow({"bubble 1F1B -> ZB (ms)",
+                  TextTable::num(one_f.hybrid.bubbleMs, 1) + " -> " +
+                      TextTable::num(zero_b.hybrid.bubbleMs, 1)});
+    table.print();
+
+    report.set("model", model.name);
+    report.set("server", "8x A100-40GB");
+    report.set("global_batch", global_batch);
+    report.set("reps", static_cast<uint64_t>(reps));
+    report.set("events_per_s", events_per_s);
+    report.set("events", events);
+    report.set("tasks", tasks);
+    common::Json parity;
+    parity.set("sim_ms", sim_golden.hybrid.latencyMs);
+    parity.set("closed_ms", closed_golden.latencyMs);
+    parity.set("rel_err", parity_err);
+    parity.set("tolerance", tol);
+    parity.set("pass", parity_ok);
+    report.set("parity", std::move(parity));
+    common::Json zbj;
+    zbj.set("one_f_one_b_ms", one_f.hybrid.latencyMs);
+    zbj.set("zero_bubble_ms", zero_b.hybrid.latencyMs);
+    zbj.set("one_f_one_b_bubble_ms", one_f.hybrid.bubbleMs);
+    zbj.set("zero_bubble_bubble_ms", zero_b.hybrid.bubbleMs);
+    zbj.set("pass", zb_ok);
+    report.set("zero_bubble", std::move(zbj));
+
+    const std::string path = args.getString("json");
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write JSON report '" + path + "'");
+    out << report.dump(2) << "\n";
+    std::printf("\nJSON report written to %s\n", path.c_str());
+
+    if (!parity_ok) {
+        std::fprintf(stderr,
+                     "sim_throughput: golden-pin parity %.3g exceeds "
+                     "the %.3g tolerance\n",
+                     parity_err, tol);
+        return 3;
+    }
+    if (!zb_ok) {
+        std::fprintf(stderr,
+                     "sim_throughput: zero-bubble failed to beat 1F1B "
+                     "(%.1f ms vs %.1f ms)\n",
+                     zero_b.hybrid.latencyMs, one_f.hybrid.latencyMs);
+        return 4;
+    }
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

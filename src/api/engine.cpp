@@ -10,6 +10,7 @@
 #include "graph/models.hpp"
 #include "gpusim/spec_io.hpp"
 #include "obs/trace.hpp"
+#include "sim/simulator.hpp"
 
 namespace neusight::api {
 
@@ -272,7 +273,8 @@ ForecastEngine::forecast(const ForecastRequest &req) const
             result.commBytes = dr.commBytes;
             break;
           }
-          case RequestKind::Hybrid: {
+          case RequestKind::Hybrid:
+          case RequestKind::Simulate: {
             const graph::ModelConfig model =
                 graph::resolveModel(req.model);
             const dist::ServerConfig server = serverFromRequest(req);
@@ -283,12 +285,30 @@ ForecastEngine::forecast(const ForecastRequest &req) const
                 result.error = reject;
                 break;
             }
-            const dist::HybridResult hr = dist::hybridTrainingMs(
-                predictor, *comms, server, model, req.globalBatch,
-                req.hybrid);
+            // Zero-bubble has no closed form: both request kinds route
+            // it (and any explicit Simulate request) to the
+            // discrete-event simulator.
+            dist::HybridResult hr;
+            if (req.kind == RequestKind::Simulate ||
+                req.hybrid.schedule ==
+                    dist::PipelineSchedule::ZeroBubble) {
+                sim::SimOptions options;
+                options.jitterFraction = req.jitterFraction;
+                options.seed = req.simSeed;
+                hr = sim::simulateHybrid(predictor, *comms, server,
+                                         model, req.globalBatch,
+                                         req.hybrid, options)
+                         .hybrid;
+            } else {
+                hr = dist::hybridTrainingMs(predictor, *comms, server,
+                                            model, req.globalBatch,
+                                            req.hybrid);
+            }
             result.latencyMs = hr.latencyMs;
             result.oom = hr.oom;
             result.commBytes = hr.commBytes;
+            result.bubbleMs = hr.bubbleMs;
+            result.exposedDdpMs = hr.exposedDdpMs;
             result.strategy = req.hybrid.describe();
             break;
           }

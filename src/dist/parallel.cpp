@@ -308,6 +308,11 @@ scheduleStashMicroBatches(PipelineSchedule schedule, int num_micro,
             static_cast<double>(std::max(virtual_stages, 1));
         return std::min(m, s * (2.0 - 1.0 / v));
       }
+      case PipelineSchedule::ZeroBubble:
+        // ZB-H1: the W passes retire stashes on the 1F1B cadence, so
+        // the peak stash matches plain 1F1B (that memory parity is the
+        // schedule's design point).
+        return std::min(m, s);
     }
     panic("scheduleStashMicroBatches: bad schedule");
 }
@@ -335,6 +340,15 @@ bucketedAllReduceMs(const CollectiveModel &comms, double bytes,
 }
 
 } // namespace
+
+DdpAllReduceCost
+ddpAllReduceCost(const CollectiveModel &comms, double bytes,
+                 double bucket_bytes, int group, double link_gbps)
+{
+    const BucketedAllReduce cost =
+        bucketedAllReduceMs(comms, bytes, bucket_bytes, group, link_gbps);
+    return {cost.totalMs, cost.lastBucketMs};
+}
 
 void
 ServerConfig::setGpu(const gpusim::GpuSpec &spec)
@@ -384,8 +398,22 @@ pipelineScheduleName(PipelineSchedule schedule)
         return "1F1B";
       case PipelineSchedule::Interleaved1F1B:
         return "Interleaved-1F1B";
+      case PipelineSchedule::ZeroBubble:
+        return "Zero-Bubble";
     }
     panic("pipelineScheduleName: bad schedule");
+}
+
+const char *
+sweepEngineName(SweepEngine engine)
+{
+    switch (engine) {
+      case SweepEngine::ClosedForm:
+        return "closed_form";
+      case SweepEngine::Simulator:
+        return "sim";
+    }
+    panic("sweepEngineName: bad engine");
 }
 
 std::string
@@ -500,6 +528,10 @@ validateStrategy(const ModelConfig &config, const ServerConfig &server,
             return "interleaved 1F1B is modeled by the hybrid "
                    "forecaster only (use --pp/--sweep, or "
                    "hybridTrainingMs)";
+        if (pipeline.schedule == PipelineSchedule::ZeroBubble)
+            return "the zero-bubble schedule is priced by the "
+                   "discrete-event simulator only (use --simulate, or "
+                   "sim::simulateHybrid)";
         const uint64_t micro =
             static_cast<uint64_t>(pipeline.numMicroBatches);
         if (global_batch == 0 || global_batch % micro != 0)
@@ -832,6 +864,41 @@ parallelFor(size_t count, int threads, const std::function<void(size_t)> &fn)
 
 } // namespace
 
+HybridStagePrices
+hybridStagePrices(const graph::LatencyPredictor &predictor,
+                  const CollectiveModel &comms, const ServerConfig &server,
+                  const ModelConfig &config, uint64_t micro_batch,
+                  const HybridConfig &hybrid, StagePriceMemo *memo)
+{
+    const gpusim::GpuSpec &gpu = server.resolvedGpu();
+    const double link = server.effectiveLinkGBps();
+    const int pp = hybrid.ppDegree;
+    if (pp < 1)
+        fatal("hybridStagePrices: bad pipeline degree");
+    HybridStagePrices prices;
+    prices.trainMs.assign(pp, 0.0);
+    prices.replayMs.assign(pp, 0.0);
+    prices.trainCommBytes.assign(pp, 0.0);
+    prices.replayCommBytes.assign(pp, 0.0);
+    for (int s = 0; s < pp; ++s) {
+        const StagePriceMemo::Price train = pricedStage(
+            predictor, comms, gpu, link, config, micro_batch,
+            hybrid.tpDegree, s, pp, /*training=*/true, memo);
+        prices.trainMs[s] = train.totalMs;
+        prices.trainCommBytes[s] = train.commBytes;
+        if (hybrid.recomputeActivations) {
+            // Checkpointing replays the stage's forward (including its
+            // activation all-reduces) before each backward.
+            const StagePriceMemo::Price replay = pricedStage(
+                predictor, comms, gpu, link, config, micro_batch,
+                hybrid.tpDegree, s, pp, /*training=*/false, memo);
+            prices.replayMs[s] = replay.totalMs;
+            prices.replayCommBytes[s] = replay.commBytes;
+        }
+    }
+    return prices;
+}
+
 HybridResult
 hybridTrainingMs(const graph::LatencyPredictor &predictor,
                  const CollectiveModel &comms, const ServerConfig &server,
@@ -843,6 +910,12 @@ hybridTrainingMs(const graph::LatencyPredictor &predictor,
     const std::string reject =
         validateHybrid(config, server, global_batch, hybrid);
     ensure(reject.empty(), "hybridTrainingMs: " + reject);
+    // Also death-testable: no closed form exists for the zero-bubble
+    // schedule — sim::simulateHybrid prices it, and callers route on
+    // the schedule before reaching this entry point.
+    ensure(hybrid.schedule != PipelineSchedule::ZeroBubble,
+           "hybridTrainingMs: the zero-bubble schedule is priced by the "
+           "discrete-event simulator only (sim::simulateHybrid)");
 
     const gpusim::GpuSpec &gpu = server.resolvedGpu();
     const double link = server.effectiveLinkGBps();
@@ -866,27 +939,22 @@ hybridTrainingMs(const graph::LatencyPredictor &predictor,
 
     // Per-stage slot time: TP-sharded compute plus the stage's TP
     // collectives, plus one forward replay per micro-batch when
-    // recomputing.
+    // recomputing. The per-stage accumulation order matches the
+    // pre-refactor loop exactly, so the latency stays bit-identical.
+    const HybridStagePrices prices = hybridStagePrices(
+        predictor, comms, server, config, micro, hybrid, memo);
     std::vector<double> stage_ms(pp, 0.0);
     double sum_ms = 0.0;
     double max_ms = 0.0;
     double tp_payload = 0.0; // Per pipeline line, per micro-batch.
     double recompute_ms = 0.0;
     for (int s = 0; s < pp; ++s) {
-        const StagePriceMemo::Price train = pricedStage(
-            predictor, comms, gpu, link, config, micro, hybrid.tpDegree,
-            s, pp, /*training=*/true, memo);
-        double ms = train.totalMs;
-        tp_payload += train.commBytes;
+        double ms = prices.trainMs[s];
+        tp_payload += prices.trainCommBytes[s];
         if (hybrid.recomputeActivations) {
-            // Checkpointing replays the stage's forward (including its
-            // activation all-reduces) before each backward.
-            const StagePriceMemo::Price replay = pricedStage(
-                predictor, comms, gpu, link, config, micro,
-                hybrid.tpDegree, s, pp, /*training=*/false, memo);
-            ms += replay.totalMs;
-            recompute_ms += replay.totalMs;
-            tp_payload += replay.commBytes;
+            ms += prices.replayMs[s];
+            recompute_ms += prices.replayMs[s];
+            tp_payload += prices.replayCommBytes[s];
         }
         stage_ms[s] = ms;
         sum_ms += ms;
@@ -1038,6 +1106,11 @@ sweepStrategies(const graph::LatencyPredictor &predictor,
                             options.virtualStagesPerGpu) <=
                     config.numLayers)
                 schedules.push_back(PipelineSchedule::Interleaved1F1B);
+            // Zero-bubble candidates only when the installed pricer
+            // can value them (the closed form cannot; at pp = 1 the
+            // schedule degenerates to 1F1B and adds nothing).
+            if (options.includeZeroBubble && options.pointEvaluator)
+                schedules.push_back(PipelineSchedule::ZeroBubble);
         }
         std::vector<HybridConfig> grid;
         for (int micro_count : options.microBatchCandidates) {
@@ -1203,14 +1276,19 @@ sweepStrategies(const graph::LatencyPredictor &predictor,
         // depend on scheduling.
         std::vector<HybridResult> results(surviving.size());
         parallelFor(surviving.size(), options.threads, [&](size_t i) {
-            results[i] = hybridTrainingMs(predictor, comms, server,
-                                          config, global_batch,
-                                          surviving[i], memo);
+            results[i] =
+                options.pointEvaluator
+                    ? options.pointEvaluator(surviving[i], memo)
+                    : hybridTrainingMs(predictor, comms, server, config,
+                                       global_batch, surviving[i], memo);
         });
         accounting.evaluatedPoints += surviving.size();
+        const SweepEngine engine = options.pointEvaluator
+                                       ? SweepEngine::Simulator
+                                       : SweepEngine::ClosedForm;
         for (size_t i = 0; i < surviving.size(); ++i)
             if (!results[i].oom)
-                out.push_back({surviving[i], results[i]});
+                out.push_back({surviving[i], results[i], engine});
     }
 
     accounting.stagePriceHits = memo_storage.hits();
@@ -1338,6 +1416,9 @@ pipelineTrainingMs(const graph::LatencyPredictor &predictor,
     ensure(pipeline.schedule != PipelineSchedule::Interleaved1F1B,
            "pipelineTrainingMs: interleaved 1F1B is modeled by the "
            "hybrid forecaster only");
+    ensure(pipeline.schedule != PipelineSchedule::ZeroBubble,
+           "pipelineTrainingMs: the zero-bubble schedule is priced by "
+           "the discrete-event simulator only (sim::simulatePipeline)");
     if (server.numGpus < 1)
         fatal("pipelineTrainingMs: need at least one GPU");
     const uint64_t m = static_cast<uint64_t>(pipeline.numMicroBatches);

@@ -13,6 +13,7 @@
 #define NEUSIGHT_DIST_PARALLEL_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -83,6 +84,15 @@ enum class PipelineSchedule
      * activation stash and more stage-boundary transfers.
      */
     Interleaved1F1B,
+    /**
+     * Zero-bubble-style schedule (ZB-H1): the backward pass splits into
+     * an input-gradient pass B (on the pipeline's critical path) and a
+     * weight-gradient pass W (free to fill the drain bubble). No closed
+     * form prices it — the discrete-event simulator
+     * (sim::simulateHybrid) is the only forecaster for this schedule;
+     * the closed-form entry points reject it as a precondition.
+     */
+    ZeroBubble,
 };
 
 /** Display name, e.g. "GPipe". */
@@ -375,6 +385,63 @@ hybridTrainingMs(const graph::LatencyPredictor &predictor,
                  const HybridConfig &hybrid,
                  StagePriceMemo *memo = nullptr);
 
+/**
+ * Per-stage price vectors of one hybrid configuration at micro-batch
+ * size @p micro_batch: exactly the numbers hybridTrainingMs() folds
+ * into its latency formula, exposed so alternative schedule pricers
+ * (the discrete-event simulator) work from bit-identical stage costs.
+ * replayMs/replayCommBytes are zero-filled unless
+ * @p hybrid.recomputeActivations.
+ */
+struct HybridStagePrices
+{
+    /** Predicted stage latency incl. TP collectives, per stage. */
+    std::vector<double> trainMs;
+    /** Forward-replay latency of activation recomputation, per stage. */
+    std::vector<double> replayMs;
+    /** TP-collective payload of the training graph, per stage. */
+    std::vector<double> trainCommBytes;
+    /** TP-collective payload of the replay graph, per stage. */
+    std::vector<double> replayCommBytes;
+};
+
+HybridStagePrices
+hybridStagePrices(const graph::LatencyPredictor &predictor,
+                  const CollectiveModel &comms, const ServerConfig &server,
+                  const graph::ModelConfig &config, uint64_t micro_batch,
+                  const HybridConfig &hybrid,
+                  StagePriceMemo *memo = nullptr);
+
+/** Cost split of a bucketed DDP gradient all-reduce. */
+struct DdpAllReduceCost
+{
+    /** Sum over every bucket. */
+    double totalMs = 0.0;
+    /** The trailing bucket, which can never hide under backward. */
+    double lastBucketMs = 0.0;
+};
+
+/**
+ * Bucketed ring all-reduce of @p bytes across @p group peers — the DDP
+ * cost model hybridTrainingMs() overlaps against the backward window,
+ * exposed for the simulator's collective tasks.
+ */
+DdpAllReduceCost
+ddpAllReduceCost(const CollectiveModel &comms, double bytes,
+                 double bucket_bytes, int group, double link_gbps);
+
+/** Which forecaster priced a sweep entry. */
+enum class SweepEngine
+{
+    /** The algebraic pipeline model (hybridTrainingMs). */
+    ClosedForm,
+    /** The discrete-event simulator (sim::simulateHybrid). */
+    Simulator,
+};
+
+/** Wire/JSON name: "closed_form" or "sim". */
+const char *sweepEngineName(SweepEngine engine);
+
 /** Search space and execution policy of sweepStrategies(). */
 struct SweepOptions
 {
@@ -442,6 +509,25 @@ struct SweepOptions
      * own registry here.
      */
     std::shared_ptr<obs::MetricsRegistry> metrics;
+
+    /**
+     * Alternative point pricer: when set, every surviving grid point is
+     * evaluated through this callable instead of hybridTrainingMs()
+     * (the simulator's sweep arm installs sim::simulateHybrid here via
+     * sim::simulatorSweepOptions). The branch-and-bound cuts stay sound
+     * for any pricer that never beats m x (slowest stage) — true of the
+     * simulator, whose bottleneck GPU is busy at least that long. The
+     * memo argument is the sweep's shared StagePriceMemo (may be null).
+     */
+    std::function<HybridResult(const HybridConfig &, StagePriceMemo *)>
+        pointEvaluator;
+
+    /**
+     * Add zero-bubble candidates to pipelined factorizations. Honored
+     * only alongside a @ref pointEvaluator that can price them — the
+     * closed-form default cannot, and ignores this flag.
+     */
+    bool includeZeroBubble = false;
 };
 
 /** One surviving point of the strategy sweep. */
@@ -449,6 +535,8 @@ struct SweepEntry
 {
     HybridConfig config;
     HybridResult result;
+    /** Which forecaster produced @ref result. */
+    SweepEngine engine = SweepEngine::ClosedForm;
 };
 
 /** Work accounting of one sweepStrategies() call. */

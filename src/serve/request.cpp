@@ -20,6 +20,8 @@ requestKindName(RequestKind kind)
         return "distributed";
       case RequestKind::Hybrid:
         return "hybrid";
+      case RequestKind::Simulate:
+        return "simulate";
       case RequestKind::HybridSweep:
         return "sweep";
       case RequestKind::Stats:
@@ -69,7 +71,7 @@ ForecastRequest::fingerprint() const
                       static_cast<int>(pipeline.schedule), linkGBps);
         key += buf;
     }
-    if (kind == RequestKind::Hybrid) {
+    if (kind == RequestKind::Hybrid || kind == RequestKind::Simulate) {
         std::snprintf(buf, sizeof(buf),
                       "|n%d|g%llu|tp%d|pp%d|dp%d|m%d|sch%d|v%d|r%d|l%.17g",
                       numGpus,
@@ -80,6 +82,14 @@ ForecastRequest::fingerprint() const
                       hybrid.virtualStagesPerGpu,
                       hybrid.recomputeActivations ? 1 : 0, linkGBps);
         key += buf;
+        if (kind == RequestKind::Simulate) {
+            // The jitter stream is part of the forecast's identity;
+            // only identical (fraction, seed) pairs may coalesce.
+            std::snprintf(buf, sizeof(buf), "|j%.17g|s%llu",
+                          jitterFraction,
+                          static_cast<unsigned long long>(simSeed));
+            key += buf;
+        }
     }
     if (kind == RequestKind::HybridSweep) {
         std::snprintf(buf, sizeof(buf), "|n%d|g%llu|l%.17g", numGpus,

@@ -34,6 +34,12 @@ enum class RequestKind
     Distributed,
     /** One composed TP x PP x DP training iteration (Section 5.1). */
     Hybrid,
+    /**
+     * Discrete-event simulation of a hybrid training iteration
+     * (sim::simulateHybrid): prices the zero-bubble schedule and
+     * deterministic jitter the closed-form Hybrid kind cannot.
+     */
+    Simulate,
     /** Strategy sweep: answer with the fastest runnable hybrid plan. */
     HybridSweep,
     /** Metrics-registry snapshot (the "stats" wire op); no forecast. */
@@ -49,6 +55,18 @@ enum class RequestKind
 
 /** Display name, e.g. "inference". */
 const char *requestKindName(RequestKind kind);
+
+/**
+ * Queue class of a request ("priority" on the wire). High-priority
+ * requests drain before normal ones; admission control and
+ * backpressure are identical for both, and coalescing ignores the
+ * class entirely (the forecast is the same either way).
+ */
+enum class RequestPriority
+{
+    Normal,
+    High,
+};
 
 /** One forecast request. */
 struct ForecastRequest
@@ -75,6 +93,10 @@ struct ForecastRequest
     dist::HybridConfig hybrid;
     /** Peak GPU-to-GPU bandwidth GB/s; 0 = the GPU spec's value. */
     double linkGBps = 0.0;
+    /** Simulate kind: per-task compute jitter fraction (>= 0). */
+    double jitterFraction = 0.0;
+    /** Simulate kind: seed of the deterministic jitter stream. */
+    uint64_t simSeed = 0;
     /// @}
 
     /**
@@ -84,6 +106,13 @@ struct ForecastRequest
      * Part of the fingerprint: different backends never coalesce.
      */
     std::string backend;
+
+    /**
+     * Queue class; excluded from the fingerprint (a high and a normal
+     * request for the same forecast coalesce — whoever queued first
+     * determines the position).
+     */
+    RequestPriority priority = RequestPriority::Normal;
 
     /** Client-supplied id echoed in the response (never coalesced on). */
     std::string tag;
@@ -133,6 +162,10 @@ struct ForecastResult
     std::string strategy;
     /** Priced communication payload (distributed kinds). */
     double commBytes = 0.0;
+    /** Pipeline fill/drain bubble (Hybrid / Simulate kinds). */
+    double bubbleMs = 0.0;
+    /** Exposed DP all-reduce tail (Hybrid / Simulate kinds). */
+    double exposedDdpMs = 0.0;
     /** Compute nodes in the forecasted graph. */
     size_t kernelCount = 0;
 

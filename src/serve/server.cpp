@@ -130,7 +130,7 @@ ForecastServer::submit(ForecastRequest request)
         return future;
     }
     notFull.wait(lock, [this] {
-        return queue.size() < options.queueCapacity || stopping;
+        return queuedCount() < options.queueCapacity || stopping;
     });
     // The wait released the mutex: an identical request may have been
     // published meanwhile — re-check, or two Pending entries for one
@@ -150,12 +150,14 @@ ForecastServer::submit(ForecastRequest request)
     }
     auto pending = std::make_shared<Pending>();
     std::string tag = request.tag;
+    const RequestPriority priority = request.priority;
     pending->request = std::move(request);
     pending->waiters.emplace_back(std::move(done), std::move(tag));
     pending->enqueued = std::chrono::steady_clock::now();
     inFlight.emplace(key, pending);
-    queue.push_back(std::move(pending));
-    queueDepth->set(static_cast<int64_t>(queue.size()));
+    (priority == RequestPriority::High ? queueHigh : queueNormal)
+        .push_back(std::move(pending));
+    queueDepth->set(static_cast<int64_t>(queuedCount()));
     lock.unlock();
     notEmpty.notify_one();
     return future;
@@ -187,17 +189,19 @@ ForecastServer::trySubmit(ForecastRequest request, Completion done)
                                          std::move(request.tag));
         return true;
     }
-    if (queue.size() >= options.queueCapacity)
+    if (queuedCount() >= options.queueCapacity)
         return false; // Caller rejects (and counts) at its own edge.
     submitted->inc();
     auto pending = std::make_shared<Pending>();
     std::string tag = request.tag;
+    const RequestPriority priority = request.priority;
     pending->request = std::move(request);
     pending->waiters.emplace_back(std::move(done), std::move(tag));
     pending->enqueued = std::chrono::steady_clock::now();
     inFlight.emplace(key, pending);
-    queue.push_back(std::move(pending));
-    queueDepth->set(static_cast<int64_t>(queue.size()));
+    (priority == RequestPriority::High ? queueHigh : queueNormal)
+        .push_back(std::move(pending));
+    queueDepth->set(static_cast<int64_t>(queuedCount()));
     lock.unlock();
     notEmpty.notify_one();
     return true;
@@ -208,15 +212,19 @@ ForecastServer::workerLoop()
 {
     for (;;) {
         std::unique_lock<std::mutex> lock(mutex);
-        notEmpty.wait(lock, [this] { return !queue.empty() || stopping; });
-        if (queue.empty()) {
+        notEmpty.wait(lock,
+                      [this] { return queuedCount() > 0 || stopping; });
+        if (queuedCount() == 0) {
             if (stopping)
                 return;
             continue;
         }
-        std::shared_ptr<Pending> pending = std::move(queue.front());
-        queue.pop_front();
-        queueDepth->set(static_cast<int64_t>(queue.size()));
+        // High-priority work drains first; FIFO within each class.
+        std::deque<std::shared_ptr<Pending>> &source =
+            queueHigh.empty() ? queueNormal : queueHigh;
+        std::shared_ptr<Pending> pending = std::move(source.front());
+        source.pop_front();
+        queueDepth->set(static_cast<int64_t>(queuedCount()));
         ++executing;
         lock.unlock();
         notFull.notify_one();
@@ -274,7 +282,7 @@ ForecastServer::workerLoop()
         }
         lock.lock();
         --executing;
-        const bool drained = queue.empty() && executing == 0;
+        const bool drained = queuedCount() == 0 && executing == 0;
         lock.unlock();
         if (drained)
             idle.notify_all();
@@ -285,7 +293,8 @@ void
 ForecastServer::drain()
 {
     std::unique_lock<std::mutex> lock(mutex);
-    idle.wait(lock, [this] { return queue.empty() && executing == 0; });
+    idle.wait(lock,
+              [this] { return queuedCount() == 0 && executing == 0; });
 }
 
 void
@@ -328,7 +337,7 @@ ForecastServer::stats() const
     s.workers = options.workers;
     {
         std::lock_guard<std::mutex> lock(mutex);
-        s.queueDepth = queue.size();
+        s.queueDepth = queuedCount();
     }
     if (options.cache)
         s.cache = options.cache->stats();

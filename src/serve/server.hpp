@@ -198,6 +198,13 @@ class ForecastServer
     void workerLoop();
     /** Invoke @p done (outside the lock) with a rejection result. */
     static void rejectNow(Completion &done, std::string tag);
+    /** Queued (not yet executing) requests across both classes. Lock
+     *  held. The queue capacity bounds this sum — priority changes who
+     *  drains first, never how many fit. */
+    size_t queuedCount() const
+    {
+        return queueHigh.size() + queueNormal.size();
+    }
 
     std::shared_ptr<api::ForecastEngine> engine;
     ServerOptions options;
@@ -206,7 +213,15 @@ class ForecastServer
     std::condition_variable notEmpty;
     std::condition_variable notFull;
     std::condition_variable idle;
-    std::deque<std::shared_ptr<Pending>> queue;
+    /**
+     * Two-level FIFO: workers drain queueHigh before queueNormal
+     * (request.priority picks the class at submit; a coalesced request
+     * keeps the position of whoever queued the work first). Within a
+     * class, strict FIFO — no starvation guarantee for normal work
+     * beyond the queue bound itself.
+     */
+    std::deque<std::shared_ptr<Pending>> queueHigh;
+    std::deque<std::shared_ptr<Pending>> queueNormal;
     std::unordered_map<std::string, std::shared_ptr<Pending>> inFlight;
     size_t executing = 0;
     bool stopping = false;

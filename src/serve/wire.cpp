@@ -90,6 +90,8 @@ kindFromString(const std::string &op)
         return RequestKind::Distributed;
     if (op == "hybrid")
         return RequestKind::Hybrid;
+    if (op == "simulate")
+        return RequestKind::Simulate;
     if (op == "sweep")
         return RequestKind::HybridSweep;
     if (op == "stats")
@@ -98,7 +100,7 @@ kindFromString(const std::string &op)
         return RequestKind::Ping;
     fatal("wire: unknown op '" + op +
           "' (expected inference|decode|training|distributed|hybrid|"
-          "sweep|stats|ping)");
+          "simulate|sweep|stats|ping)");
 }
 
 gpusim::DataType
@@ -157,8 +159,10 @@ scheduleFromString(const std::string &name)
         return dist::PipelineSchedule::OneFOneB;
     if (name == "interleaved")
         return dist::PipelineSchedule::Interleaved1F1B;
+    if (name == "zero-bubble")
+        return dist::PipelineSchedule::ZeroBubble;
     fatal("wire: unknown schedule '" + name +
-          "' (expected gpipe|1f1b|interleaved)");
+          "' (expected gpipe|1f1b|interleaved|zero-bubble)");
 }
 
 const char *
@@ -171,8 +175,20 @@ scheduleToString(dist::PipelineSchedule schedule)
         return "1f1b";
       case dist::PipelineSchedule::Interleaved1F1B:
         return "interleaved";
+      case dist::PipelineSchedule::ZeroBubble:
+        return "zero-bubble";
     }
     panic("wire: bad schedule");
+}
+
+RequestPriority
+priorityFromString(const std::string &name)
+{
+    if (name == "normal")
+        return RequestPriority::Normal;
+    if (name == "high")
+        return RequestPriority::High;
+    fatal("wire: unknown priority '" + name + "' (expected normal|high)");
 }
 
 double
@@ -204,6 +220,7 @@ requestFromJson(const Json &json)
     if (timeout < 0.0)
         fatal("wire: 'timeout_ms' must be non-negative");
     req.timeoutMs = static_cast<uint64_t>(timeout);
+    req.priority = priorityFromString(json.stringOr("priority", "normal"));
     req.model = json.at("model").asString();
     req.gpu = gpusim::resolveGpu(json.at("gpu").asString());
     req.batch = positiveField(json, "batch", 1);
@@ -234,7 +251,8 @@ requestFromJson(const Json &json)
             scheduleFromString(json.stringOr("schedule", "gpipe"));
         req.linkGBps = linkField(json);
     }
-    if (req.kind == RequestKind::Hybrid) {
+    if (req.kind == RequestKind::Hybrid ||
+        req.kind == RequestKind::Simulate) {
         req.hybrid.tpDegree =
             static_cast<int>(positiveField(json, "tp", 1));
         req.hybrid.ppDegree =
@@ -256,6 +274,17 @@ requestFromJson(const Json &json)
         req.hybrid.recomputeActivations =
             json.boolOr("recompute", false);
         req.linkGBps = linkField(json);
+        if (req.kind == RequestKind::Simulate) {
+            req.jitterFraction = json.numberOr("jitter", 0.0);
+            if (req.jitterFraction < 0.0)
+                fatal("wire: 'jitter' must be non-negative");
+            req.simSeed = static_cast<uint64_t>(
+                json.numberOr("seed", 0.0));
+        } else if (req.hybrid.schedule ==
+                   dist::PipelineSchedule::ZeroBubble) {
+            fatal("wire: the zero-bubble schedule needs the simulator "
+                  "(op 'simulate', not 'hybrid')");
+        }
     }
     if (req.kind == RequestKind::HybridSweep) {
         req.numGpus =
@@ -297,7 +326,8 @@ requestToJson(const ForecastRequest &req)
         if (req.linkGBps > 0.0)
             json.set("link_gbps", req.linkGBps);
     }
-    if (req.kind == RequestKind::Hybrid) {
+    if (req.kind == RequestKind::Hybrid ||
+        req.kind == RequestKind::Simulate) {
         json.set("num_gpus", req.numGpus);
         json.set("global_batch", req.globalBatch);
         json.set("tp", req.hybrid.tpDegree);
@@ -311,6 +341,12 @@ requestToJson(const ForecastRequest &req)
             json.set("recompute", true);
         if (req.linkGBps > 0.0)
             json.set("link_gbps", req.linkGBps);
+        if (req.kind == RequestKind::Simulate) {
+            if (req.jitterFraction > 0.0)
+                json.set("jitter", req.jitterFraction);
+            if (req.simSeed != 0)
+                json.set("seed", req.simSeed);
+        }
     }
     if (req.kind == RequestKind::HybridSweep) {
         json.set("num_gpus", req.numGpus);
@@ -318,6 +354,8 @@ requestToJson(const ForecastRequest &req)
         if (req.linkGBps > 0.0)
             json.set("link_gbps", req.linkGBps);
     }
+    if (req.priority == RequestPriority::High)
+        json.set("priority", "high");
     if (!req.backend.empty())
         json.set("backend", req.backend);
     if (!req.tag.empty())
@@ -351,6 +389,10 @@ resultToJson(const ForecastResult &result)
         json.set("latency_ms", result.latencyMs);
         if (result.commBytes > 0.0)
             json.set("comm_bytes", result.commBytes);
+        if (result.bubbleMs > 0.0)
+            json.set("bubble_ms", result.bubbleMs);
+        if (result.exposedDdpMs > 0.0)
+            json.set("exposed_ddp_ms", result.exposedDdpMs);
         if (result.kernelCount > 0)
             json.set("kernels", static_cast<uint64_t>(result.kernelCount));
     }

@@ -1,0 +1,272 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "sim/event_queue.hpp"
+
+namespace neusight::sim {
+
+bool
+isComputeTask(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::Forward:
+      case TaskKind::Backward:
+      case TaskKind::BackwardInput:
+      case TaskKind::BackwardWeight:
+        return true;
+      case TaskKind::Transfer:
+      case TaskKind::AllReduce:
+        return false;
+    }
+    panic("sim: unknown task kind");
+}
+
+const char *
+taskKindTag(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::Forward: return "F";
+      case TaskKind::Backward: return "B";
+      case TaskKind::BackwardInput: return "Bi";
+      case TaskKind::BackwardWeight: return "Bw";
+      case TaskKind::Transfer: return "xfer";
+      case TaskKind::AllReduce: return "allreduce";
+    }
+    panic("sim: unknown task kind");
+}
+
+int
+ScheduleProgram::addChannel(bool shared)
+{
+    channelShared.push_back(shared ? 1 : 0);
+    return numChannels++;
+}
+
+int
+ScheduleProgram::addTask(SimTask task)
+{
+    tasks.push_back(std::move(task));
+    return static_cast<int>(tasks.size()) - 1;
+}
+
+namespace {
+
+/** Ready-set entry: dispatch by (priority, task index). */
+using ReadyKey = std::pair<uint64_t, int>;
+
+struct GpuState
+{
+    bool busy = false;
+    std::set<ReadyKey> ready;
+};
+
+struct ChannelState
+{
+    bool shared = false;
+    bool busy = false; // exclusive channels only
+    std::set<ReadyKey> ready;
+    std::vector<int> active; // shared channels: transfers in flight
+    double lastMs = 0.0;     // shared channels: last accounting time
+};
+
+} // namespace
+
+RunResult
+runProgram(const ScheduleProgram &program,
+           const std::vector<double> &durations)
+{
+    const int n = static_cast<int>(program.tasks.size());
+    ensure(static_cast<int>(durations.size()) == n,
+           "sim: durations must match the program's task count");
+
+    std::vector<int> remDeps(n, 0);
+    std::vector<std::vector<int>> dependents(n);
+    for (int i = 0; i < n; ++i) {
+        const SimTask &t = program.tasks[i];
+        ensure((t.gpu >= 0) != (t.channel >= 0),
+               "sim: a task binds exactly one of gpu/channel");
+        ensure(t.gpu < program.numGpus && t.channel < program.numChannels,
+               "sim: task bound to an undeclared resource");
+        remDeps[i] = static_cast<int>(t.deps.size());
+        for (int d : t.deps) {
+            ensure(d >= 0 && d < n, "sim: dependency out of range");
+            dependents[d].push_back(i);
+        }
+    }
+
+    std::vector<GpuState> gpus(program.numGpus);
+    std::vector<ChannelState> channels(program.numChannels);
+    for (int c = 0; c < program.numChannels; ++c)
+        channels[c].shared = program.channelShared[c] != 0;
+
+    RunResult result;
+    result.startMs.assign(n, 0.0);
+    result.finishMs.assign(n, 0.0);
+    result.gpuOrder.assign(program.numGpus, {});
+    result.channelOrder.assign(program.numChannels, {});
+    std::vector<double> gpuBusy(program.numGpus, 0.0);
+
+    // Shared-channel bookkeeping: remaining work at the last accounting
+    // time, and a version counter so rescheduled finish events
+    // invalidate the stale ones they replace.
+    std::vector<double> remaining(n, 0.0);
+    std::vector<uint64_t> version(n, 0);
+
+    EventQueue queue;
+    int completed = 0;
+
+    // Advance a shared channel's accounting to `now`: every active
+    // transfer progressed at 1/n of the link since the last update.
+    auto updateShared = [&](ChannelState &ch, double now) {
+        if (!ch.active.empty()) {
+            const double step =
+                (now - ch.lastMs) / static_cast<double>(ch.active.size());
+            for (int id : ch.active)
+                remaining[id] = std::max(0.0, remaining[id] - step);
+        }
+        ch.lastMs = now;
+    };
+
+    // (Re)schedule finish events for everything active on a shared
+    // channel at the current membership's rate.
+    auto scheduleSharedFinishes = [&](ChannelState &ch, double now) {
+        const double factor = static_cast<double>(ch.active.size());
+        for (int id : ch.active) {
+            ++version[id];
+            queue.push(now + remaining[id] * factor, EventKind::TaskFinish,
+                       id, version[id]);
+        }
+    };
+
+    auto dispatchGpu = [&](int g, double now) {
+        GpuState &gpu = gpus[g];
+        if (gpu.busy || gpu.ready.empty())
+            return;
+        const int id = gpu.ready.begin()->second;
+        gpu.ready.erase(gpu.ready.begin());
+        gpu.busy = true;
+        result.startMs[id] = now;
+        result.gpuOrder[g].push_back(id);
+        queue.push(now + durations[id], EventKind::TaskFinish, id, 0);
+    };
+
+    auto dispatchChannel = [&](int c, double now) {
+        ChannelState &ch = channels[c];
+        if (ch.busy || ch.ready.empty())
+            return;
+        const int id = ch.ready.begin()->second;
+        ch.ready.erase(ch.ready.begin());
+        ch.busy = true;
+        result.startMs[id] = now;
+        result.channelOrder[c].push_back(id);
+        queue.push(now + durations[id], EventKind::TaskFinish, id, 0);
+    };
+
+    // Enqueue a task whose dependencies are all met. Exclusive
+    // resources dispatch in a separate pass (dispatchAll), so every
+    // task arriving at one timestamp is in the ready set before any
+    // dispatch decision — priorities, not arrival order, pick.
+    auto arrive = [&](int id, double now) {
+        const SimTask &t = program.tasks[id];
+        if (t.gpu >= 0) {
+            gpus[t.gpu].ready.insert({t.priority, id});
+            return;
+        }
+        ChannelState &ch = channels[t.channel];
+        if (ch.shared) {
+            // Join the link immediately; everyone active slows down.
+            updateShared(ch, now);
+            remaining[id] = durations[id];
+            ch.active.push_back(id);
+            result.startMs[id] = now;
+            scheduleSharedFinishes(ch, now);
+        } else {
+            ch.ready.insert({t.priority, id});
+        }
+    };
+
+    auto dispatchAll = [&](double now) {
+        for (int g = 0; g < program.numGpus; ++g)
+            dispatchGpu(g, now);
+        for (int c = 0; c < program.numChannels; ++c)
+            if (!channels[c].shared)
+                dispatchChannel(c, now);
+    };
+
+    auto complete = [&](int id, double now) {
+        const SimTask &t = program.tasks[id];
+        result.finishMs[id] = now;
+        result.makespanMs = std::max(result.makespanMs, now);
+        if (t.gpu >= 0) {
+            result.computeEndMs = std::max(result.computeEndMs, now);
+            gpuBusy[t.gpu] += durations[id];
+        }
+        ++completed;
+        for (int dep : dependents[id])
+            if (--remDeps[dep] == 0)
+                arrive(dep, now);
+    };
+
+    for (int i = 0; i < n; ++i)
+        if (remDeps[i] == 0)
+            arrive(i, 0.0);
+    dispatchAll(0.0);
+
+    while (!queue.empty()) {
+        const Event e = queue.pop();
+        const double now = queue.nowMs();
+        const int id = e.task;
+        const SimTask &t = program.tasks[id];
+
+        if (t.gpu >= 0) {
+            gpus[t.gpu].busy = false;
+            complete(id, now);
+        } else {
+            ChannelState &ch = channels[t.channel];
+            if (ch.shared) {
+                if (e.version != version[id])
+                    continue; // superseded by a membership change
+                updateShared(ch, now);
+                ch.active.erase(
+                    std::find(ch.active.begin(), ch.active.end(), id));
+                complete(id, now);
+                // Survivors speed up: reschedule their finishes.
+                scheduleSharedFinishes(ch, now);
+            } else {
+                ch.busy = false;
+                complete(id, now);
+            }
+        }
+        dispatchAll(now);
+    }
+
+    ensure(completed == n,
+           "sim: program deadlocked (dependency cycle in the lowering)");
+    result.maxGpuBusyMs = 0.0;
+    for (double b : gpuBusy)
+        result.maxGpuBusyMs = std::max(result.maxGpuBusyMs, b);
+    result.events = queue.popped();
+    return result;
+}
+
+ScheduleProgram
+chainProgram(const ScheduleProgram &program, const RunResult &order)
+{
+    ScheduleProgram chained = program;
+    auto chain = [&](const std::vector<int> &sequence) {
+        for (size_t k = 1; k < sequence.size(); ++k)
+            chained.tasks[sequence[k]].deps.push_back(sequence[k - 1]);
+    };
+    for (const auto &sequence : order.gpuOrder)
+        chain(sequence);
+    for (int c = 0; c < program.numChannels; ++c)
+        if (!program.channelShared[c])
+            chain(order.channelOrder[c]);
+    return chained;
+}
+
+} // namespace neusight::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Cluster resource model for the discrete-event simulator: a
+ * ScheduleProgram is a DAG of compute and communication tasks bound to
+ * per-GPU compute resources and per-link channel resources, and
+ * runProgram() executes it on the event queue.
+ *
+ * Execution policy per resource:
+ *  - a GPU runs one compute task at a time; among ready tasks it always
+ *    dispatches the one with the lowest priority key (this is how the
+ *    1F1B "backward first" and zero-bubble "W fills idle slots" rules
+ *    are expressed),
+ *  - an exclusive channel (the default; one per link direction) runs
+ *    one transfer at a time, FIFO by priority key,
+ *  - a shared channel models link contention: every active transfer
+ *    proceeds simultaneously at 1/n of the link's capacity (processor
+ *    sharing), so overlapping collectives stretch each other.
+ *
+ * Determinism: all container orders and event tie-breaks are fixed by
+ * task index and push sequence, so the same program and durations give
+ * the same timeline on every run.
+ */
+
+#ifndef NEUSIGHT_SIM_CLUSTER_HPP
+#define NEUSIGHT_SIM_CLUSTER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neusight::sim {
+
+/** Role of a task in the lowered schedule (drives trace labels and
+ *  which tasks jitter applies to). */
+enum class TaskKind
+{
+    Forward,
+    Backward,       // combined backward (dgrad + wgrad)
+    BackwardInput,  // zero-bubble B pass: input gradient only
+    BackwardWeight, // zero-bubble W pass: weight gradient only
+    Transfer,       // pipeline boundary activation/gradient send
+    AllReduce,      // data-parallel gradient reduction
+};
+
+/** True for tasks that occupy a GPU (jitter/straggler targets). */
+bool isComputeTask(TaskKind kind);
+
+/** Short label used in trace span names ("F", "B", "Bi", "Bw", ...). */
+const char *taskKindTag(TaskKind kind);
+
+/** One schedulable unit of work. */
+struct SimTask
+{
+    TaskKind kind = TaskKind::Forward;
+    /** Compute resource, or -1 for communication tasks. */
+    int gpu = -1;
+    /** Channel resource, or -1 for compute tasks. */
+    int channel = -1;
+    /** Physical pipeline stage (straggler targeting + trace labels). */
+    int stage = 0;
+    /** Virtual-stage chunk on its GPU (interleaved schedules). */
+    int chunk = 0;
+    /** Micro-batch index. */
+    int micro = 0;
+    /** Base duration in milliseconds (before jitter/stragglers). */
+    double durationMs = 0.0;
+    /**
+     * Dispatch rank among ready tasks contending for the same resource:
+     * lower runs first. Encodes the schedule's ordering policy.
+     */
+    uint64_t priority = 0;
+    /** Task indices that must finish before this task becomes ready. */
+    std::vector<int> deps;
+};
+
+/** A lowered schedule: resources plus the task DAG. */
+struct ScheduleProgram
+{
+    int numGpus = 0;
+    int numChannels = 0;
+    /** channelShared[c] != 0 marks channel c as processor-sharing. */
+    std::vector<uint8_t> channelShared;
+    std::vector<SimTask> tasks;
+
+    /** Append a channel; returns its index. */
+    int addChannel(bool shared);
+    /** Append a task; returns its index. */
+    int addTask(SimTask task);
+};
+
+/** Timeline produced by one engine run. */
+struct RunResult
+{
+    /** Finish time of the last task. */
+    double makespanMs = 0.0;
+    /** Finish time of the last compute task. */
+    double computeEndMs = 0.0;
+    /** Largest per-GPU total busy time. */
+    double maxGpuBusyMs = 0.0;
+    std::vector<double> startMs;
+    std::vector<double> finishMs;
+    /** Dispatch order per GPU, as executed. */
+    std::vector<std::vector<int>> gpuOrder;
+    /** Dispatch order per exclusive channel, as executed. */
+    std::vector<std::vector<int>> channelOrder;
+    /** Events processed (throughput accounting). */
+    uint64_t events = 0;
+};
+
+/**
+ * Execute a program to completion on a fresh event queue.
+ *
+ * @param program The task DAG and its resources.
+ * @param durations Per-task durations in ms (after any jitter or
+ *        straggler stretch); must have one entry per task.
+ */
+RunResult runProgram(const ScheduleProgram &program,
+                     const std::vector<double> &durations);
+
+/**
+ * Serialize a program against the dispatch orders of a previous run by
+ * adding chain dependency edges per GPU and per exclusive channel
+ * (shared channels are left free — contention already prices them).
+ * Re-running the chained program with stretched durations computes the
+ * longest path through a fixed DAG, which makes the makespan monotone
+ * in every task duration: injecting jitter can never make the
+ * simulated run finish earlier.
+ */
+ScheduleProgram chainProgram(const ScheduleProgram &program,
+                             const RunResult &order);
+
+} // namespace neusight::sim
+
+#endif // NEUSIGHT_SIM_CLUSTER_HPP

@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include "common/logging.hpp"
+
+namespace neusight::sim {
+
+uint64_t EventQueue::push(double time_ms, EventKind kind, int task,
+                          uint64_t version)
+{
+    ensure(time_ms >= now, "sim: event scheduled in the simulated past");
+    Event e;
+    e.timeMs = time_ms;
+    e.seq = nextSeq++;
+    e.kind = kind;
+    e.task = task;
+    e.version = version;
+    heap.push(e);
+    return e.seq;
+}
+
+Event EventQueue::pop()
+{
+    ensure(!heap.empty(), "sim: pop from an empty event queue");
+    Event e = heap.top();
+    heap.pop();
+    now = e.timeMs;
+    ++poppedCount;
+    return e;
+}
+
+} // namespace neusight::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic discrete-event core of the cluster simulator: a
+ * simulated clock plus a min-heap of typed events ordered by
+ * (time, sequence number). The sequence number is the push order, so
+ * simultaneous events always pop in the order they were scheduled —
+ * a simulation replays identically run after run, independent of how
+ * the host machine schedules the process.
+ */
+
+#ifndef NEUSIGHT_SIM_EVENT_QUEUE_HPP
+#define NEUSIGHT_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace neusight::sim {
+
+/** What an event means to the cluster model layered on the queue. */
+enum class EventKind
+{
+    /** A compute or communication task reaches its scheduled finish. */
+    TaskFinish,
+    /**
+     * A shared channel's bandwidth share changed while a transfer was
+     * in flight: its previously scheduled finish is stale and must be
+     * re-checked against the version counter.
+     */
+    TransferUpdate,
+};
+
+/** One timestamped occurrence. */
+struct Event
+{
+    /** Simulated time, milliseconds. */
+    double timeMs = 0.0;
+    /** Push order: the stable tie-break for simultaneous events. */
+    uint64_t seq = 0;
+    EventKind kind = EventKind::TaskFinish;
+    /** Task index the event refers to. */
+    int task = -1;
+    /** Schedule version at push time (lazy invalidation of stale
+     *  finishes on capacity-shared channels). */
+    uint64_t version = 0;
+};
+
+/**
+ * Min-heap event queue with a simulated clock. pop() advances the
+ * clock monotonically; pushing an event into the past is a logic error
+ * and aborts.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule an event; returns its sequence number. */
+    uint64_t push(double time_ms, EventKind kind, int task,
+                  uint64_t version = 0);
+
+    bool empty() const { return heap.empty(); }
+
+    /** Pop the earliest event (ties: lowest seq) and advance the clock. */
+    Event pop();
+
+    /** The simulated clock: time of the last popped event. */
+    double nowMs() const { return now; }
+
+    /** Events pushed over the queue's lifetime. */
+    uint64_t pushed() const { return nextSeq; }
+
+    /** Events popped over the queue's lifetime. */
+    uint64_t popped() const { return poppedCount; }
+
+  private:
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.timeMs != b.timeMs)
+                return a.timeMs > b.timeMs;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    uint64_t nextSeq = 0;
+    uint64_t poppedCount = 0;
+    double now = 0.0;
+};
+
+} // namespace neusight::sim
+
+#endif // NEUSIGHT_SIM_EVENT_QUEUE_HPP

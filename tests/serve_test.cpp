@@ -21,6 +21,7 @@
 #include "serve/prediction_cache.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
+#include "sim/simulator.hpp"
 
 namespace neusight::serve {
 namespace {
@@ -398,6 +399,49 @@ TEST(Server, DrainsEveryAcceptedRequestOnShutdown)
     EXPECT_EQ(server.stats().rejected, 1u);
 }
 
+TEST(Server, HighPriorityDrainsFirst)
+{
+    const SlowCountingPredictor predictor(30);
+    ServerOptions options;
+    options.workers = 1;
+    ForecastServer server(predictor, options);
+
+    // Occupy the single worker so the next four requests sit queued
+    // together when it makes its next dispatch decision.
+    std::future<ForecastResult> blocker =
+        server.submit(smallInferenceRequest(1, "blocker"));
+    while (predictor.calls.load() < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    std::mutex order_mutex;
+    std::vector<std::string> order;
+    const auto record = [&](ForecastResult result) {
+        EXPECT_TRUE(result.ok) << result.error;
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(result.tag);
+    };
+    const auto enqueue = [&](uint64_t batch, const std::string &tag,
+                             RequestPriority priority) {
+        ForecastRequest req = smallInferenceRequest(batch, tag);
+        req.priority = priority;
+        EXPECT_TRUE(server.trySubmit(std::move(req), record));
+    };
+    // Normals enter first; the highs must still drain before them,
+    // FIFO within each class.
+    enqueue(2, "n1", RequestPriority::Normal);
+    enqueue(3, "n2", RequestPriority::Normal);
+    enqueue(4, "h1", RequestPriority::High);
+    enqueue(5, "h2", RequestPriority::High);
+    server.drain();
+    server.stop();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], "h1");
+    EXPECT_EQ(order[1], "h2");
+    EXPECT_EQ(order[2], "n1");
+    EXPECT_EQ(order[3], "n2");
+    EXPECT_TRUE(blocker.get().ok);
+}
+
 TEST(Server, ReportsFailuresWithoutDying)
 {
     const SlowCountingPredictor predictor(0);
@@ -769,6 +813,71 @@ TEST(Wire, HybridAndSweepRequestsRoundTrip)
         requestFromJson(requestToJson(sweep));
     EXPECT_EQ(sweep_again.fingerprint(), sweep.fingerprint());
     EXPECT_NE(sweep.fingerprint(), hybrid.fingerprint());
+}
+
+TEST(Wire, SimulateOpAndPriorityRoundTrip)
+{
+    const ForecastRequest req = requestFromJson(common::Json::parse(
+        "{\"op\":\"simulate\",\"model\":\"GPT2-Large\",\"gpu\":\"H100\","
+        "\"global_batch\":16,\"pp\":4,\"micro_batches\":8,"
+        "\"schedule\":\"zero-bubble\",\"jitter\":0.1,\"seed\":7,"
+        "\"priority\":\"high\"}"));
+    EXPECT_EQ(req.kind, RequestKind::Simulate);
+    EXPECT_EQ(req.hybrid.ppDegree, 4);
+    EXPECT_EQ(req.hybrid.schedule, dist::PipelineSchedule::ZeroBubble);
+    EXPECT_DOUBLE_EQ(req.jitterFraction, 0.1);
+    EXPECT_EQ(req.simSeed, 7u);
+    EXPECT_EQ(req.priority, RequestPriority::High);
+    const ForecastRequest again = requestFromJson(requestToJson(req));
+    EXPECT_EQ(again.fingerprint(), req.fingerprint());
+    EXPECT_EQ(again.priority, RequestPriority::High);
+
+    // The jitter stream is part of the forecast's identity; the
+    // priority class is not (coalescing ignores it).
+    ForecastRequest other_seed = req;
+    other_seed.simSeed = 8;
+    EXPECT_NE(other_seed.fingerprint(), req.fingerprint());
+    ForecastRequest other_priority = req;
+    other_priority.priority = RequestPriority::Normal;
+    EXPECT_EQ(other_priority.fingerprint(), req.fingerprint());
+
+    // The closed-form op cannot price the zero-bubble schedule; the
+    // wire layer rejects the combination up front.
+    EXPECT_THROW(requestFromJson(common::Json::parse(
+                     "{\"op\":\"hybrid\",\"model\":\"GPT2-Large\","
+                     "\"gpu\":\"H100\",\"global_batch\":16,\"pp\":4,"
+                     "\"micro_batches\":8,"
+                     "\"schedule\":\"zero-bubble\"}")),
+                 std::runtime_error);
+}
+
+TEST(Server, SimulateRequestsMatchDirectSimulation)
+{
+    const eval::SimulatorOracle oracle;
+    ForecastRequest req;
+    req.kind = RequestKind::Simulate;
+    req.model = "GPT2-Large";
+    req.gpu = findGpu("A100-40GB");
+    req.numGpus = 4;
+    req.globalBatch = 8;
+    req.hybrid.ppDegree = 4;
+    req.hybrid.numMicroBatches = 8;
+    req.hybrid.schedule = dist::PipelineSchedule::ZeroBubble;
+
+    ForecastServer server(oracle, ServerOptions{});
+    const ForecastResult result = server.submit(req).get();
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.strategy, req.hybrid.describe());
+
+    const dist::EstimatedCollectives comms("A100-NVLink", 600.0);
+    dist::ServerConfig config;
+    config.setGpu(req.gpu);
+    config.numGpus = req.numGpus;
+    const sim::SimResult direct = sim::simulateHybrid(
+        oracle, comms, config, graph::findModel(req.model),
+        req.globalBatch, req.hybrid);
+    EXPECT_DOUBLE_EQ(result.latencyMs, direct.hybrid.latencyMs);
+    EXPECT_DOUBLE_EQ(result.bubbleMs, direct.hybrid.bubbleMs);
 }
 
 TEST(Server, HybridRequestsMatchDirectForecast)

@@ -25,6 +25,7 @@
 #include "dist/parallel.hpp"
 #include "graph/model_io.hpp"
 #include "obs/trace.hpp"
+#include "sim/simulator.hpp"
 #include "tool_common.hpp"
 
 namespace {
@@ -65,6 +66,7 @@ sweepEntryJson(int rank, const dist::SweepEntry &entry)
     row.set("micro_batches", entry.config.numMicroBatches);
     row.set("schedule",
             dist::pipelineScheduleName(entry.config.schedule));
+    row.set("engine", dist::sweepEngineName(entry.engine));
     row.set("recompute", entry.config.recomputeActivations);
     row.set("latency_ms", entry.result.latencyMs);
     row.set("bubble_ms", entry.result.bubbleMs);
@@ -187,7 +189,8 @@ run(int argc, const char *const *argv)
     args.addInt("micro-batches", 1,
                 "pipeline micro-batches per iteration");
     args.addString("schedule", "gpipe",
-                   "pipeline schedule: gpipe | 1f1b | interleaved");
+                   "pipeline schedule: gpipe | 1f1b | interleaved | "
+                   "zero-bubble (zero-bubble implies --simulate)");
     args.addInt("tp", 0, "tensor-parallel degree of a hybrid forecast "
                          "(with --pp/--dp; unset degrees default to 1)");
     args.addInt("pp", 0, "pipeline-parallel degree of a hybrid forecast");
@@ -196,6 +199,19 @@ run(int argc, const char *const *argv)
                               "pass (trades FLOPs for stash memory)");
     args.addInt("virtual-stages", 2,
                 "model chunks per GPU for the interleaved schedule");
+    args.addFlag("simulate",
+                 "price the forecast on the discrete-event cluster "
+                 "simulator instead of the closed form (defaults to a "
+                 "pure pipeline over every GPU when no --tp/--pp/--dp "
+                 "is given)");
+    args.addFlag("zero-bubble",
+                 "use the zero-bubble schedule (backward split into "
+                 "input- and weight-gradient passes); simulator-only, "
+                 "implies --simulate");
+    args.addDouble("jitter", 0.0,
+                   "per-task compute jitter fraction for --simulate "
+                   "(deterministic given --seed; implies --simulate)");
+    args.addInt("seed", 0, "seed of the --jitter stream");
     args.addFlag("sweep", "search every (tp, pp, dp, micro-batch, "
                           "schedule, recompute) combination and rank the "
                           "runnable ones by forecast iteration time");
@@ -207,6 +223,10 @@ run(int argc, const char *const *argv)
                 "with --sweep: worker threads pricing sweep points "
                 "(0 = one per hardware thread)");
     args.addInt("top", 10, "sweep rows to print (0 = all surviving)");
+    args.addString("engine", "closed_form",
+                   "with --sweep: pricing engine, closed_form | sim "
+                   "(sim prices every point on the event simulator and "
+                   "adds zero-bubble candidates to the grid)");
     args.addString("sweep-json", "",
                    "also write the ranked sweep as JSON (every runnable "
                    "point with --exhaustive; otherwise the prune "
@@ -274,8 +294,22 @@ run(int argc, const char *const *argv)
         pipeline.schedule = dist::PipelineSchedule::OneFOneB;
     else if (schedule == "interleaved")
         pipeline.schedule = dist::PipelineSchedule::Interleaved1F1B;
+    else if (schedule == "zero-bubble")
+        pipeline.schedule = dist::PipelineSchedule::ZeroBubble;
     else
-        fatal("--schedule must be gpipe, 1f1b, or interleaved");
+        fatal("--schedule must be gpipe, 1f1b, interleaved, or "
+              "zero-bubble");
+    if (args.getFlag("zero-bubble"))
+        pipeline.schedule = dist::PipelineSchedule::ZeroBubble;
+    if (args.getDouble("jitter") < 0.0)
+        fatal("--jitter must be non-negative");
+    // Anything only the event engine can price routes to it implicitly.
+    const bool simulate =
+        args.getFlag("simulate") || args.getDouble("jitter") > 0.0 ||
+        pipeline.schedule == dist::PipelineSchedule::ZeroBubble;
+    sim::SimOptions sim_options;
+    sim_options.jitterFraction = args.getDouble("jitter");
+    sim_options.seed = static_cast<uint64_t>(args.getInt("seed"));
 
     if (args.getInt("global-batch") < 1)
         fatal("--global-batch must be at least 1");
@@ -309,6 +343,13 @@ run(int argc, const char *const *argv)
         if (args.getInt("top") > 0)
             options.keepTop = std::max(
                 options.keepTop, static_cast<int>(args.getInt("top")));
+        const std::string engine_choice = args.getString("engine");
+        if (engine_choice == "sim" || simulate)
+            options = sim::simulatorSweepOptions(neusight, comms, server,
+                                                 model, global_batch,
+                                                 options, sim_options);
+        else if (engine_choice != "closed_form")
+            fatal("--engine must be closed_form or sim");
         const int rc =
             runSweep(neusight, comms, server, model, global_batch,
                      options, static_cast<int>(args.getInt("top")),
@@ -318,13 +359,19 @@ run(int argc, const char *const *argv)
     }
 
     // A composed TP x PP x DP forecast: any of --tp/--pp/--dp selects
-    // the hybrid path; unset degrees default to 1.
-    if (args.given("tp") || args.given("pp") || args.given("dp")) {
+    // the hybrid path; unset degrees default to 1. --simulate without
+    // degrees defaults to a pure pipeline over every GPU (the setting
+    // where the simulator-only schedules and perturbations matter).
+    if (args.given("tp") || args.given("pp") || args.given("dp") ||
+        simulate) {
+        const bool degrees_given =
+            args.given("tp") || args.given("pp") || args.given("dp");
         dist::HybridConfig hybrid;
         hybrid.tpDegree =
             args.given("tp") ? static_cast<int>(args.getInt("tp")) : 1;
-        hybrid.ppDegree =
-            args.given("pp") ? static_cast<int>(args.getInt("pp")) : 1;
+        hybrid.ppDegree = args.given("pp")
+                              ? static_cast<int>(args.getInt("pp"))
+                              : (degrees_given ? 1 : server.numGpus);
         hybrid.dpDegree =
             args.given("dp") ? static_cast<int>(args.getInt("dp")) : 1;
         hybrid.numMicroBatches = pipeline.numMicroBatches;
@@ -336,12 +383,26 @@ run(int argc, const char *const *argv)
             dist::validateHybrid(model, server, global_batch, hybrid);
         if (!reject.empty())
             fatal("hybrid strategy: " + reject);
-        const dist::HybridResult result = dist::hybridTrainingMs(
-            neusight, comms, server, model, global_batch, hybrid);
+        dist::HybridResult result;
+        uint64_t sim_events = 0;
+        uint64_t sim_tasks = 0;
+        if (simulate) {
+            sim_options.emitTrace = !trace_path.empty();
+            const sim::SimResult simulated = sim::simulateHybrid(
+                neusight, comms, server, model, global_batch, hybrid,
+                sim_options);
+            result = simulated.hybrid;
+            sim_events = simulated.events;
+            sim_tasks = simulated.tasks;
+        } else {
+            result = dist::hybridTrainingMs(neusight, comms, server,
+                                            model, global_batch, hybrid);
+        }
         TextTable table(model.name + " hybrid training forecast on " +
                             std::to_string(server.numGpus) + "x " +
                             gpu.name + " (global batch " +
-                            std::to_string(global_batch) + ")",
+                            std::to_string(global_batch) +
+                            (simulate ? ", event simulator)" : ")"),
                         {"metric", "value"});
         table.addRow({"strategy", hybrid.describe()});
         table.addRow({"micro-batches",
@@ -372,6 +433,17 @@ run(int argc, const char *const *argv)
                       TextTable::num(result.memoryBytes / 1e9, 1)});
         table.addRow({"comm GB",
                       TextTable::num(result.commBytes / 1e9, 2)});
+        if (simulate) {
+            table.addRow({"sim events",
+                          std::to_string(sim_events)});
+            table.addRow({"sim tasks", std::to_string(sim_tasks)});
+            if (sim_options.jitterFraction > 0.0)
+                table.addRow(
+                    {"jitter",
+                     TextTable::num(sim_options.jitterFraction, 2) +
+                         " (seed " +
+                         std::to_string(sim_options.seed) + ")"});
+        }
         table.print();
         dumpObservability(engine, metrics_path, trace_path);
         return 0;
